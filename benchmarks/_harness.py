@@ -1,0 +1,31 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at
+simulation scale, prints it, and archives the text under
+``benchmarks/results/`` so the output survives pytest's capture.
+``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print a result block and archive it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    The experiments are deterministic simulations — repeating them
+    would measure the same virtual outcome at real wall cost — so
+    every bench uses a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

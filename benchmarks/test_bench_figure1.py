@@ -1,0 +1,58 @@
+"""Fig. 1 — Balance factor for a variety of platforms.
+
+Balance factor = b_eff / R_max (bytes communicated per floating-point
+operation).  The paper's reading: well-balanced systems (vector
+machines, the T3E) deliver noticeably more bytes/flop than clusters
+of SMPs with weak inter-node networks; rank placement alone moves a
+machine down the ranking (SR 8000 round-robin vs sequential).
+"""
+
+import pytest
+
+from benchmarks._harness import once, record
+from repro.beff import MeasurementConfig, balance_factor
+from repro.machines import get_machine
+from repro.reporting import figure1_rows
+
+CONFIG = MeasurementConfig(backend="analytic")
+
+RUNS = [
+    ("t3e", 64),
+    ("sr8000", 24),
+    ("sr8000-seq", 24),
+    ("sr2201", 16),
+    ("sx5", 4),
+    ("sx4", 16),
+    ("hpv", 7),
+    ("sv1", 15),
+]
+
+
+def run_figure1():
+    entries = []
+    for key, procs in RUNS:
+        spec = get_machine(key)
+        entries.append((key, spec, spec.run_beff(procs, CONFIG)))
+    return entries
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1(benchmark):
+    entries = once(benchmark, run_figure1)
+    rows = figure1_rows([(s, r) for _k, s, r in entries])
+    factors = {k: balance_factor(r.b_eff, s.rmax(r.nprocs)) for k, s, r in entries}
+
+    lines = ["Fig. 1: balance factor b_eff / R_max (bytes per flop)", ""]
+    for name, bf in sorted(rows, key=lambda x: -x[1]):
+        bar = "#" * max(1, int(bf * 300))
+        lines.append(f"{name:36s} {bf:7.4f}  {bar}")
+    record("figure1", "\n".join(lines))
+
+    # all factors land in the plausible HPC band (0.01 .. 1 B/flop)
+    for key, bf in factors.items():
+        assert 0.005 < bf < 1.0, (key, bf)
+
+    # the paper's qualitative ordering claims
+    assert factors["sr8000-seq"] > factors["sr8000"]  # placement alone
+    assert factors["sx5"] > factors["hpv"]  # vector beats bus-SMP
+    assert factors["t3e"] > factors["sr8000"]  # T3E is well balanced

@@ -1,0 +1,59 @@
+"""Fig. 5 — final b_eff_io comparison across the four platforms.
+
+The paper's Fig. 5 plots the b_eff_io value per partition size for
+the IBM SP, Cray T3E, Hitachi SR 8000 and NEC SX-5.  Its reading:
+absolute values correlate with the amount of memory (and cache) in
+each system; the SP keeps gaining with partition size, the T3E does
+not, and the SX-5's huge filesystem cache gives it a strong
+small-partition value.
+"""
+
+import pytest
+
+from benchmarks._harness import once, record
+from repro.beffio import BeffIOConfig
+from repro.machines import get_machine
+from repro.reporting import figure5_rows
+from repro.util import MB
+
+CONFIG = BeffIOConfig(T=2.0)
+RUNS = [
+    ("sp", (4, 16)),
+    ("t3e", (4, 16)),
+    ("sr8000", (4, 16)),
+    ("sx5", (4,)),
+]
+
+
+def run_figure5():
+    entries = []
+    for key, partitions in RUNS:
+        spec = get_machine(key)
+        for n in partitions:
+            entries.append((key, spec.name, spec.run_beffio(n, CONFIG)))
+    return entries
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5(benchmark):
+    entries = once(benchmark, run_figure5)
+
+    lines = [f"Fig. 5: b_eff_io per partition (T={CONFIG.T} s scaled)", ""]
+    for name, procs, value in figure5_rows([(n, r) for _k, n, r in entries]):
+        bar = "#" * max(1, int(value / 10))
+        lines.append(f"{name:26s} n={procs:3d} {value:9.1f} MB/s  {bar}")
+    record("figure5", "\n".join(lines))
+
+    values = {(k, r.nprocs): r.b_eff_io for k, _n, r in entries}
+
+    # every platform produces a positive partition value
+    assert all(v > 0 for v in values.values())
+    # the SP gains more from 4 -> 16 than the T3E (Fig. 3's contrast
+    # carried into the final values)
+    sp_gain = values[("sp", 16)] / values[("sp", 4)]
+    t3e_gain = values[("t3e", 16)] / values[("t3e", 4)]
+    assert sp_gain > t3e_gain
+    # the cache-rich SX-5 posts the best small-partition value
+    assert values[("sx5", 4)] >= max(
+        values[(k, 4)] for k in ("sp", "t3e", "sr8000")
+    )

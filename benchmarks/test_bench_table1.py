@@ -1,0 +1,128 @@
+"""Table 1 — Effective Benchmark Results.
+
+Regenerates the paper's Table 1 on the simulated machine library:
+b_eff, b_eff per process, L_max, ping-pong, b_eff at L_max, per
+process at L_max, and the ring-patterns-only column, for every system
+(at simulation-affordable process counts; the analytic backend prices
+the large T3E partitions).
+
+Shape assertions (the paper's reading of the table):
+ * per-process b_eff falls as the T3E partition grows;
+ * ping-pong exceeds the loaded per-process bandwidth everywhere;
+ * ring-only at L_max >= the ring+random value (placement hurts);
+ * SR 8000 sequential placement beats round-robin;
+ * the vector machines lead the per-process ranking.
+"""
+
+import pytest
+
+from benchmarks._harness import once, record
+from repro.beff import MeasurementConfig, run_detail
+from repro.machines import get_machine
+from repro.reporting import table1
+from repro.util import MB
+
+CONFIG = MeasurementConfig(backend="analytic")
+
+#: (machine key, process counts) — Table 1's rows at tractable sizes
+ROWS = [
+    ("t3e", (2, 24, 64, 128, 256, 512)),
+    ("sr8000", (24, 128)),
+    ("sr8000-seq", (24,)),
+    ("sr2201", (16,)),
+    ("sx5", (4,)),
+    ("sx4", (4, 8, 16)),
+    ("hpv", (7,)),
+    ("sv1", (15,)),
+]
+
+#: paper values for the comparison block: (b_eff/proc, /proc@Lmax, rings)
+PAPER = {
+    ("t3e", 24): (63, 142, 205),
+    ("t3e", 512): (39, 98, 193),
+    ("t3e", 128): (44, 99, 195),
+    ("t3e", 256): (39, 89, 190),
+    ("sr8000", 24): (38, 115, 110),
+    ("sr8000-seq", 24): (75, 226, 400),
+    ("sr2201", 16): (33, 91, 96),
+    ("sx5", 4): (1360, 8762, 8758),
+    ("sx4", 16): (604, 3141, 3242),
+    ("hpv", 7): (62, 162, 162),
+    ("sv1", 15): (96, 373, 375),
+}
+
+
+def run_table1():
+    entries = []
+    for key, counts in ROWS:
+        spec = get_machine(key)
+        # ping-pong between ranks 0 and 1 at the row's first partition
+        # size (clusters need >= 2 nodes for an inter-node ping-pong)
+        detail = run_detail(
+            spec.fabric_factory(counts[0] if counts[0] >= 2 else 2),
+            spec.memory_per_proc,
+            iterations=1,
+            int_bits=spec.int_bits,
+        )
+        pingpong = detail["ping-pong"].bandwidth
+        for n in counts:
+            result = spec.run_beff(n, CONFIG)
+            entries.append((key, spec, result, pingpong))
+    return entries
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark):
+    entries = once(benchmark, run_table1)
+
+    lines = [table1([(s, r, p) for _k, s, r, p in entries]).render(), ""]
+    lines.append("paper vs measured (MB/s):")
+    lines.append(
+        f"{'system':24s}{'n':>5s} {'b_eff/proc':>16s} {'@Lmax/proc':>16s} {'rings@Lmax':>16s}"
+    )
+    for key, spec, res, _p in entries:
+        paper = PAPER.get((key, res.nprocs))
+        if paper is None:
+            continue
+        measured = (
+            res.b_eff_per_proc / MB,
+            res.b_eff_at_lmax_per_proc / MB,
+            res.ring_only_at_lmax_per_proc / MB,
+        )
+        cells = "".join(
+            f" {p:7d}/{m:7.0f}" for p, m in zip(paper, measured)
+        )
+        lines.append(f"{spec.name:24.24s}{res.nprocs:5d} {cells}")
+    record("table1", "\n".join(lines))
+
+    by_key = {(k, r.nprocs): r for k, _s, r, _p in entries}
+    pingpong = {k: p for k, _s, _r, p in entries}
+
+    # per-process b_eff falls with partition size on the T3E
+    t3e = [by_key[("t3e", n)] for n in (24, 64, 128, 256, 512)]
+    per_proc = [r.b_eff_per_proc for r in t3e]
+    assert per_proc == sorted(per_proc, reverse=True)
+
+    # ping-pong beats (or ties, within the latency-amortization margin:
+    # a ring keeps two messages in flight, a ping-pong pays startup per
+    # message) the loaded per-process bandwidth at L_max
+    for (key, _n), res in by_key.items():
+        assert pingpong[key] >= res.b_eff_at_lmax_per_proc * 0.95, key
+
+    # rings-only >= combined wherever rank order means locality; under
+    # round-robin placement random can *beat* the rings (the paper's
+    # own SR 8000 row shows 110 < 115) so that machine is exempt
+    for (key, _n), res in by_key.items():
+        if key == "sr8000":
+            continue
+        assert res.ring_only_at_lmax >= res.b_eff_at_lmax * 0.99, key
+
+    # SR 8000: sequential placement wins big
+    assert (
+        by_key[("sr8000-seq", 24)].ring_only_at_lmax
+        > 2 * by_key[("sr8000", 24)].ring_only_at_lmax
+    )
+
+    # vector machines lead the per-process ranking
+    assert by_key[("sx5", 4)].b_eff_per_proc > by_key[("sv1", 15)].b_eff_per_proc
+    assert by_key[("sx4", 16)].b_eff_per_proc > by_key[("t3e", 24)].b_eff_per_proc

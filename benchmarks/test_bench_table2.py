@@ -1,0 +1,51 @@
+"""Table 2 — The pattern details used in b_eff_io.
+
+Regenerates the pattern list from code for two machine memory sizes
+and checks the table's own arithmetic: sum(U) = 64, 36 patterns with
+scheduled time, the per-type U sums (22/12/10/10/10), the
+non-wellformed +8 variants, and the M_PART = max(2 MB, memory/128)
+resolution.
+"""
+
+import pytest
+
+from benchmarks._harness import once, record
+from repro.beffio import SUM_U, build_patterns, mpart_for
+from repro.beffio.patterns import active_pattern_count, patterns_of_type
+from repro.reporting import table2
+from repro.util import GB, KB, MB
+
+
+def run_table2():
+    return {
+        "T3E-like (128 MB/proc)": build_patterns(128 * MB),
+        "SR8000-like (1 GB/proc)": build_patterns(1 * GB),
+    }
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2(benchmark):
+    tables = once(benchmark, run_table2)
+
+    blocks = []
+    for label, patterns in tables.items():
+        blocks.append(f"--- {label}: M_PART = {patterns[1].l // MB} MB ---")
+        blocks.append(table2(patterns).render())
+        blocks.append("")
+    record("table2", "\n".join(blocks))
+
+    for label, patterns in tables.items():
+        assert sum(p.U for p in patterns) == SUM_U == 64
+        assert active_pattern_count(patterns) == 36
+        per_type = {
+            t: sum(p.U for p in patterns_of_type(patterns, t)) for t in range(5)
+        }
+        assert per_type == {0: 22, 1: 12, 2: 10, 3: 10, 4: 10}
+        # chunk-size set: 1 kB, 32 kB, 1 MB, M_PART and the +8 variants
+        t2 = patterns_of_type(patterns, 2)
+        assert {p.l for p in t2 if p.wellformed} >= {KB, 32 * KB, MB}
+        assert {p.l for p in t2 if not p.wellformed} == {KB + 8, 32 * KB + 8, MB + 8}
+
+    assert tables["T3E-like (128 MB/proc)"][1].l == 2 * MB  # floor
+    assert tables["SR8000-like (1 GB/proc)"][1].l == 8 * MB  # memory/128
+    assert mpart_for(1 * GB) == 8 * MB

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Model your own machine and benchmark it.
+
+The machine library covers the paper's systems, but the point of the
+benchmarks is to characterize *new* machines.  This example builds a
+hypothetical commodity Linux cluster (the kind the paper's "Top
+Clusters" outlook, Sec. 6, is aimed at): 16 dual-CPU nodes on a
+fat-tree with 2:1 oversubscription, plus a small NFS-ish I/O
+subsystem — then asks the benchmarks whether it is *balanced*.
+
+Run:  python examples/custom_machine.py
+"""
+
+from repro.beff import MeasurementConfig, balance_factor
+from repro.beffio import BeffIOConfig
+from repro.machines import MachineSpec, get_machine
+from repro.net import NetParams
+from repro.pfs import PFSConfig
+from repro.topology import FatTree
+from repro.util import GB, KB, MB, format_time
+
+
+def commodity_cluster() -> MachineSpec:
+    return MachineSpec(
+        name="Commodity cluster (hypothetical)",
+        memory_per_proc=512 * MB,  # L_max = 4 MB
+        int_bits=32,
+        rmax_per_proc=0.6e9,
+        # 100 MB/s NICs (gigabit-class), 8 hosts per edge switch,
+        # 2:1 oversubscribed uplinks
+        make_topology=lambda n: FatTree(
+            n, radix=8, downlink_bw=100 * MB, oversubscription=2.0
+        ),
+        net=NetParams(
+            latency=45e-6,  # commodity TCP-era latency
+            intra_node_latency=10e-6,
+            eager_threshold=16 * KB,
+            rendezvous_latency=25e-6,
+            msg_rate_cap=95 * MB,
+        ),
+        pfs=PFSConfig(
+            num_servers=2,  # two NFS-ish servers
+            stripe_unit=64 * KB,
+            disk_bw=25 * MB,
+            ingest_bw=300 * MB,
+            seek_time=8e-3,
+            request_overhead=4e-4,
+            disk_block=8 * KB,
+            cache_bytes=512 * MB,
+            client_bw=60 * MB,
+            server_net_bw=80 * MB,
+            call_overhead=2e-4,
+        ),
+        procs_choices=(16, 32),
+        notes="example of a user-defined machine",
+    )
+
+
+cluster = commodity_cluster()
+PROCS = 16
+
+print(f"=== {cluster.name}, {PROCS} processes ===\n")
+beff = cluster.run_beff(PROCS, MeasurementConfig(backend="analytic"))
+print(f"b_eff                 {beff.b_eff / MB:10.0f} MB/s")
+print(f"b_eff per process     {beff.b_eff_per_proc / MB:10.0f} MB/s")
+print(f"at Lmax per process   {beff.b_eff_at_lmax_per_proc / MB:10.0f} MB/s")
+print(f"memory communicated in {format_time(beff.memory_transfer_time())}")
+
+bf = balance_factor(beff.b_eff, cluster.rmax(PROCS))
+t3e = get_machine("t3e")
+t3e_beff = t3e.run_beff(PROCS, MeasurementConfig(backend="analytic"))
+bf_t3e = balance_factor(t3e_beff.b_eff, t3e.rmax(PROCS))
+print(f"\nbalance factor        {bf:10.4f} bytes/flop")
+print(f"Cray T3E reference    {bf_t3e:10.4f} bytes/flop")
+print(f"-> the cluster delivers {bf / bf_t3e:.1%} of the T3E's balance\n")
+
+io = cluster.run_beffio(8, BeffIOConfig(T=3.0))
+print(f"b_eff_io ({io.nprocs} procs)    {io.b_eff_io / MB:10.1f} MB/s")
+for method, value in io.method_values.items():
+    print(f"  {method:8s}            {value / MB:10.1f} MB/s")
+
+# The coffee-cup rule (paper Sec. 2.2): a balanced system writes or
+# reads its total memory in ~10 minutes.
+memory = cluster.memory_per_proc * io.nprocs
+coffee = memory / io.b_eff_io
+print(f"\ncoffee-cup check: total memory {memory / GB:.1f} GB, "
+      f"I/O round trip ~{format_time(coffee)}")
+print("(rule of thumb: should be <= ~10 min on a balanced system)")

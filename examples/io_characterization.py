@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""I/O characterization: the paper's Sec. 5 story on two machines.
+
+Reproduces, at example scale, the contrast of Fig. 3: on the Cray T3E
+the I/O subsystem is a *global resource* (10 striped RAID disks on a
+GigaRing — the partition size barely matters and the best value sits
+at a mid-size partition), while on the IBM SP the I/O bandwidth
+*tracks the number of compute nodes* until the 20 GPFS servers
+saturate.  Also prints the per-pattern detail (the data behind
+Fig. 4) for one run.
+
+Run:  python examples/io_characterization.py          (~1-2 min)
+"""
+
+from repro.beffio import BeffIOConfig
+from repro.machines import get_machine
+from repro.reporting import beffio_pattern_table, figure3_series
+from repro.util import MB
+
+# Simulated seconds per partition; the paper uses T >= 900 s.  A small
+# T preserves the shapes (and, per Sec. 5.4, *overstates* cache
+# benefits exactly the way short real runs do).
+T = 3.0
+PARTITIONS = (2, 4, 8, 16)
+CONFIG = BeffIOConfig(T=T, pattern_types=(0, 1, 2))  # Fig. 3 ran without type 3
+
+for key in ("t3e", "sp"):
+    spec = get_machine(key)
+    print(f"=== {spec.name} ===")
+    results = []
+    for procs in PARTITIONS:
+        res = spec.run_beffio(procs, CONFIG)
+        results.append(res)
+        print(f"  ran partition of {procs} processes: "
+              f"b_eff_io = {res.b_eff_io / MB:.1f} MB/s")
+    print("\n  procs   write  rewrite   read   b_eff_io  (MB/s)")
+    for procs, w, rw, r, total in figure3_series(results):
+        print(f"  {procs:5d} {w:8.1f} {rw:8.1f} {r:7.1f} {total:10.1f}")
+    best = max(results, key=lambda r: r.b_eff_io)
+    print(f"  -> best partition: {best.nprocs} processes\n")
+
+# -- Fig. 4-style detail on the T3E ----------------------------------------
+spec = get_machine("t3e")
+res = spec.run_beffio(4, BeffIOConfig(T=3.0))
+print(beffio_pattern_table(res, "write").render())
+print("""
+Things to look for (paper Sec. 5.3):
+ * type 0 (collective scatter) keeps its bandwidth at small chunks:
+   two-phase collective buffering turns 1 kB strides into large
+   contiguous filesystem writes;
+ * the '+8' non-wellformed chunks pay read-modify-write penalties;
+ * 1 kB noncollective chunks (types 1-3) are an order of magnitude
+   below the 1 MB ones.
+""")

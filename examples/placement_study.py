@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Process-placement study on a cluster of SMP nodes.
+
+The paper's Table 1 shows the Hitachi SR 8000 twice: with *sequential*
+rank numbering (ranks fill one SMP node before the next) and with
+*round-robin* numbering (consecutive ranks land on different nodes).
+Ring bandwidth differs by ~4x because sequential placement keeps most
+ring neighbors on the same memory bus.
+
+This example quantifies that effect, shows the random patterns are
+placement-insensitive (they are random either way), and runs the
+non-averaged Cartesian detail patterns whose dimensions stress the
+two levels of the hierarchy differently.
+
+Run:  python examples/placement_study.py
+"""
+
+from repro.beff import MeasurementConfig, run_detail
+from repro.machines import hitachi_sr8000
+from repro.util import MB
+
+PROCS = 24
+CONFIG = MeasurementConfig(backend="analytic")
+
+results = {}
+for placement in ("sequential", "round-robin"):
+    spec = hitachi_sr8000(placement)
+    results[placement] = spec.run_beff(PROCS, CONFIG)
+
+print(f"Hitachi SR 8000, {PROCS} processes (3 SMP nodes x 8 CPUs)\n")
+print(f"{'':24s}{'sequential':>12s}{'round-robin':>12s}{'paper seq':>10s}{'paper rr':>9s}")
+rows = [
+    ("b_eff/proc", lambda r: r.b_eff_per_proc, 75, 38),
+    ("b_eff/proc @ Lmax", lambda r: r.b_eff_at_lmax_per_proc, 226, 115),
+    ("ring-only @ Lmax/proc", lambda r: r.ring_only_at_lmax_per_proc, 400, 110),
+]
+for label, getter, paper_seq, paper_rr in rows:
+    seq = getter(results["sequential"]) / MB
+    rr = getter(results["round-robin"]) / MB
+    print(f"{label:24s}{seq:10.0f} {rr:12.0f} {paper_seq:10d} {paper_rr:9d}")
+
+ring_ratio = (
+    results["sequential"].logavg_ring / results["round-robin"].logavg_ring
+)
+random_ratio = (
+    results["sequential"].logavg_random / results["round-robin"].logavg_random
+)
+print(f"\nsequential/round-robin ratio: ring patterns {ring_ratio:.2f}x, "
+      f"random patterns {random_ratio:.2f}x")
+print("(rings love locality; random placement can't exploit it)\n")
+
+# -- detail patterns: where does the hierarchy bite? ------------------------
+for placement in ("sequential", "round-robin"):
+    spec = hitachi_sr8000(placement)
+    det = run_detail(spec.fabric_factory(PROCS), spec.memory_per_proc, iterations=1)
+    interesting = [k for k in det if k.startswith("cart") or "bisection" in k]
+    print(f"{placement}:")
+    for name in sorted(interesting):
+        print(f"  {name:16s} {det[name].bandwidth / MB:10.0f} MB/s aggregate")
+    print()
+
+# -- which links actually carry the traffic? --------------------------------
+# The fluid network tracks bytes per link; the hottest links explain
+# the placement gap: sequential ring traffic lives on the memory
+# buses, round-robin traffic funnels through the NICs.
+for placement in ("sequential", "round-robin"):
+    spec = hitachi_sr8000(placement)
+    fabric = spec.fabric_factory(PROCS)()
+    from repro.mpi import World
+    from repro.sim import Process
+
+    world = World(fabric)
+
+    def program(comm):
+        n = comm.size
+        left, right = (comm.rank - 1) % n, (comm.rank + 1) % n
+        yield from comm.sendrecv(left, 8 * MB, right)
+        yield from comm.sendrecv(right, 8 * MB, left)
+
+    world.run(program)
+    print(f"{placement}: hottest links after one ring round")
+    for name, nbytes in fabric.flows.hottest_links(top=4):
+        print(f"  {name:12s} {nbytes / MB:8.0f} MB")
+    print()

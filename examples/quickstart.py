@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: run both benchmarks on a simulated Cray T3E.
+
+This is the 5-minute tour of the library:
+
+1. pick a machine model from the library,
+2. run b_eff (effective communication bandwidth, paper Sec. 4),
+3. run one b_eff_io partition (effective I/O bandwidth, Sec. 5),
+4. print the same summary numbers the paper's tables report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.beff import MeasurementConfig
+from repro.beffio import BeffIOConfig
+from repro.machines import get_machine
+from repro.reporting import bandwidth_curve, beff_protocol, beffio_summary
+from repro.util import MB, format_time
+
+PROCS = 8
+
+machine = get_machine("t3e")
+print(f"machine: {machine.name}, {PROCS} processes, "
+      f"{machine.memory_per_proc // MB} MB per processor\n")
+
+# -- b_eff ------------------------------------------------------------------
+# The analytic backend prices each communication round with a one-shot
+# max-min allocation; drop backend="analytic" to run the full event
+# simulation (identical shape, slower).
+beff = machine.run_beff(PROCS, MeasurementConfig(backend="analytic"))
+print(beff_protocol(beff, max_rows=10))
+print(f"({len(beff.records)} raw records)\n")
+
+print(f"time to communicate the total memory once: "
+      f"{format_time(beff.memory_transfer_time())}")
+print("(paper Sec. 2.2: 3.2 s on the 512-PE T3E — the 'coffee-cup' scale)\n")
+
+# The classic b_eff diagram: bandwidth over message size.  The ratio
+# of the area under this curve to the asymptotic-bandwidth rectangle
+# is exactly the b_eff averaging rule.
+print(bandwidth_curve(beff, "ring-6"))
+print()
+
+# -- b_eff_io ---------------------------------------------------------------
+# T is the scheduled partition time in *simulated* seconds.  The paper
+# requires T >= 15 min for official numbers; a few seconds preserve the
+# qualitative behavior and keep the example fast.
+beffio = machine.run_beffio(4, BeffIOConfig(T=4.0))
+print(beffio_summary(beffio))
+
+ratio = beff.b_eff / beffio.b_eff_io
+print(f"\ncommunication / I/O bandwidth ratio: {ratio:.0f}x")
+print("(paper Sec. 2.2: about two orders of magnitude)")

@@ -1,0 +1,9 @@
+"""Setuptools shim; all metadata lives in pyproject.toml.
+
+Kept so the package installs in environments without the ``wheel``
+package (pip falls back to ``setup.py develop`` with
+``--no-use-pep517``).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of the b_eff / b_eff_io benchmarks (IPPS 2001).
+
+Koniges, Rabenseifner, Solchenbach: *Benchmark Design for
+Characterization of Balanced High-Performance Architectures*.
+
+The package provides:
+
+* the two benchmarks — :func:`repro.beff.run_beff` (effective
+  communication bandwidth) and :func:`repro.beffio.run_beffio`
+  (effective I/O bandwidth) — implemented exactly as the paper
+  defines them (patterns, size ladders, time-driven control,
+  averaging rules);
+* the entire substrate they run on, as a deterministic discrete-event
+  simulation: an MPI (p2p + collectives + Cartesian topologies), a
+  contention-aware interconnect (max-min fair fluid flows over routed
+  topologies), a striped parallel filesystem with a write-behind
+  cache, and an MPI-IO layer with two-phase collective buffering;
+* calibrated models of the machines the paper measured
+  (:mod:`repro.machines`), and reporting helpers that regenerate the
+  paper's tables and figures (:mod:`repro.reporting`).
+
+Quick start::
+
+    from repro.machines import get_machine
+    result = get_machine("t3e").run_beff(8)
+    print(result.b_eff / 2**20, "MB/s")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

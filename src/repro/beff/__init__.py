@@ -1,0 +1,47 @@
+"""The effective bandwidth benchmark (b_eff), paper Sec. 4.
+
+Public entry points:
+
+* :func:`~repro.beff.benchmark.run_beff` — run the full benchmark on a
+  machine and return a :class:`~repro.beff.benchmark.BeffResult`
+  (b_eff, b_eff at L_max, ring-only variants, per-pattern records).
+* :func:`~repro.beff.sizes.message_sizes` — the 21-value message-size
+  ladder with the L_max rule.
+* :func:`~repro.beff.rings.ring_pattern_sizes` — the six ring-pattern
+  partitions (the ring_numbers.c rules).
+* :mod:`~repro.beff.detail` — the non-averaged detail patterns
+  (ping-pong, bisections, worst-case cycle, Cartesian 2-D/3-D).
+
+Two execution backends measure a communication round:
+``backend="des"`` runs the full event simulation (messages, matching,
+protocols), ``backend="analytic"`` prices each round with a one-shot
+max-min allocation — orders of magnitude faster for large rank
+counts, exact for the symmetric patterns b_eff uses (the difference
+is itself an ablation, see benchmarks/test_bench_ablations.py).
+"""
+
+from repro.beff.sizes import message_sizes, lmax_for
+from repro.beff.rings import ring_pattern_sizes, ring_partition
+from repro.beff.patterns import CommPattern, make_patterns, ring_patterns, random_patterns
+from repro.beff.measurement import MeasurementConfig
+from repro.beff.benchmark import BeffResult, run_beff
+from repro.beff.analysis import aggregate, balance_factor
+from repro.beff.detail import DetailRecord, run_detail
+
+__all__ = [
+    "message_sizes",
+    "lmax_for",
+    "ring_pattern_sizes",
+    "ring_partition",
+    "CommPattern",
+    "make_patterns",
+    "ring_patterns",
+    "random_patterns",
+    "MeasurementConfig",
+    "BeffResult",
+    "run_beff",
+    "aggregate",
+    "balance_factor",
+    "DetailRecord",
+    "run_detail",
+]

@@ -1,0 +1,109 @@
+"""Aggregation of b_eff measurements (the formula of paper Sec. 4).
+
+b_eff = logavg( logavg_ringpatterns( sum_L( max_mthd( max_rep(b) )) / 21 ),
+                logavg_randompatterns( ... ) )
+
+The two-step average guarantees ring and random patterns are weighted
+equally regardless of their counts; the per-size average is a plain
+arithmetic mean over the 21-value ladder (equidistant abscissa).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.beff.measurement import MeasurementRecord
+from repro.util import logavg
+
+
+def best_bandwidths(
+    records: Iterable[MeasurementRecord],
+) -> dict[tuple[str, int], float]:
+    """max over methods and repetitions, keyed by (pattern, size)."""
+    best: dict[tuple[str, int], float] = {}
+    for rec in records:
+        key = (rec.pattern, rec.size)
+        if rec.bandwidth > best.get(key, 0.0):
+            best[key] = rec.bandwidth
+    return best
+
+
+def per_pattern_averages(
+    records: Iterable[MeasurementRecord], num_sizes: int
+) -> dict[str, float]:
+    """sum_L(max_mthd(max_rep(b))) / num_sizes for every pattern."""
+    best = best_bandwidths(records)
+    sums: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    for (pattern, _size), bw in best.items():
+        sums[pattern] += bw
+        counts[pattern] += 1
+    out = {}
+    for pattern, total in sums.items():
+        if counts[pattern] != num_sizes:
+            raise ValueError(
+                f"pattern {pattern!r} has {counts[pattern]} sizes, expected {num_sizes}"
+            )
+        out[pattern] = total / num_sizes
+    return out
+
+
+def _kind_of(records: Iterable[MeasurementRecord]) -> dict[str, str]:
+    kinds: dict[str, str] = {}
+    for rec in records:
+        prev = kinds.setdefault(rec.pattern, rec.kind)
+        if prev != rec.kind:
+            raise ValueError(f"pattern {rec.pattern!r} has inconsistent kinds")
+    return kinds
+
+
+def two_step_logavg(values_by_kind: dict[str, list[float]]) -> float:
+    """logavg of the per-kind logavgs (ring and random weighted equally)."""
+    ring = values_by_kind.get("ring", [])
+    random = values_by_kind.get("random", [])
+    if not ring or not random:
+        raise ValueError("need both ring and random patterns for b_eff")
+    return logavg([logavg(ring), logavg(random)])
+
+
+def aggregate(records: list[MeasurementRecord], num_sizes: int, lmax: int) -> dict:
+    """Compute the b_eff summary values from raw records.
+
+    Returns a dict with keys ``b_eff``, ``b_eff_at_lmax``,
+    ``ring_only_at_lmax``, ``per_pattern`` and the per-kind logavgs —
+    everything Table 1 needs except the per-processor divisions.
+    """
+    if not records:
+        raise ValueError("no measurements to aggregate")
+    kinds = _kind_of(records)
+
+    per_pattern = per_pattern_averages(records, num_sizes)
+    by_kind: dict[str, list[float]] = defaultdict(list)
+    for pattern, value in per_pattern.items():
+        by_kind[kinds[pattern]].append(value)
+    b_eff = two_step_logavg(by_kind)
+
+    best = best_bandwidths(records)
+    at_lmax_by_kind: dict[str, list[float]] = defaultdict(list)
+    for (pattern, size), bw in best.items():
+        if size == lmax:
+            at_lmax_by_kind[kinds[pattern]].append(bw)
+    b_eff_at_lmax = two_step_logavg(at_lmax_by_kind)
+    ring_only_at_lmax = logavg(at_lmax_by_kind["ring"])
+
+    return {
+        "b_eff": b_eff,
+        "b_eff_at_lmax": b_eff_at_lmax,
+        "ring_only_at_lmax": ring_only_at_lmax,
+        "per_pattern": dict(per_pattern),
+        "logavg_ring": logavg(by_kind["ring"]),
+        "logavg_random": logavg(by_kind["random"]),
+    }
+
+
+def balance_factor(b_eff_bytes_per_s: float, rmax_flops: float) -> float:
+    """Fig. 1's metric: b_eff / R_max in bytes per floating-point op."""
+    if rmax_flops <= 0:
+        raise ValueError("R_max must be positive")
+    return b_eff_bytes_per_s / rmax_flops

@@ -1,0 +1,174 @@
+"""Analytic round model: price b_eff rounds without running the DES.
+
+For large rank counts (Table 1 goes to 512 processors) the full event
+simulation of every (pattern, size, method) loop is expensive.  The
+patterns b_eff averages are *synchronized rounds*: all messages start
+together and — being equal-sized — mostly finish together, so a
+one-shot max-min allocation prices a round almost exactly.  The DES
+backend remains the reference; ``benchmarks/test_bench_ablations.py``
+quantifies the (small) difference.
+
+Per-message time = startup latency (+ rendezvous handshake above the
+eager threshold) + L / rate, with rates from progressive filling over
+the concurrent messages of the phase, honoring per-message caps
+(shared-memory copy limit, protocol limit) by iterated fixing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.beff.patterns import CommPattern
+from repro.net.model import Fabric
+from repro.sim.fluid import maxmin_allocate
+from repro.topology.base import Route
+
+
+def _capped_maxmin(
+    capacities: dict[int, float],
+    routes: list[tuple[int, ...]],
+    caps: list[float | None],
+) -> list[float]:
+    """Max-min rates where flow i may not exceed ``caps[i]``.
+
+    Iterated fixing: allocate, clamp violators to their cap, charge
+    their usage to the links, repeat on the rest — the standard way to
+    fold per-flow rate limits into progressive filling.
+    """
+    n = len(routes)
+    rates: list[float | None] = [None] * n
+    residual = dict(capacities)
+    active = list(range(n))
+    while active:
+        alloc = maxmin_allocate(residual, [routes[i] for i in active])
+        violators = [
+            (idx, i)
+            for idx, i in enumerate(active)
+            if caps[i] is not None and alloc[idx] > caps[i]
+        ]
+        if not violators:
+            for idx, i in enumerate(active):
+                rates[i] = alloc[idx]
+            break
+        for _idx, i in violators:
+            rates[i] = caps[i]
+            for link_id in routes[i]:
+                residual[link_id] = max(1e-12, residual[link_id] - caps[i])
+        fixed = {i for _idx, i in violators}
+        active = [i for i in active if i not in fixed]
+    return [r if r is not None else 0.0 for r in rates]
+
+
+class RoundModel:
+    """Prices message phases on one fabric."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+        self.topology = fabric.topology
+        self._capacities = {
+            link_id: fabric.flows.link(link_id).capacity
+            for link_id in range(fabric.flows.num_links)
+        }
+        self._route_cache: dict[tuple[int, int], Route] = {}
+
+    def _route(self, src: int, dst: int) -> Route:
+        key = (src, dst)
+        r = self._route_cache.get(key)
+        if r is None:
+            r = self._route_cache[key] = self.topology.route(src, dst)
+        return r
+
+    def _message_latency(self, route: Route, nbytes: int) -> float:
+        latency = self.fabric.startup_latency(route)
+        if not self.fabric.is_eager(nbytes):
+            latency += self.fabric.rendezvous_delay(route)
+        return latency
+
+    def phase_time(self, messages: list[tuple[int, int, int]]) -> float:
+        """Time for a phase of concurrent (src, dst, nbytes) messages."""
+        if not messages:
+            return 0.0
+        routes = []
+        caps = []
+        metas = []
+        zero_latency = 0.0
+        for src, dst, nbytes in messages:
+            route = self._route(src, dst)
+            latency = self._message_latency(route, nbytes)
+            if nbytes == 0 or not route.links:
+                zero_latency = max(zero_latency, latency)
+                continue
+            routes.append(route.links)
+            caps.append(self.fabric.rate_cap_for(route))
+            metas.append((latency, nbytes))
+        if not routes:
+            return zero_latency
+        rates = _capped_maxmin(self._capacities, routes, caps)
+        longest = max(
+            latency + nbytes / rate
+            for (latency, nbytes), rate in zip(metas, rates)
+        )
+        return max(longest, zero_latency)
+
+    # -- the three methods ---------------------------------------------------
+
+    def _ring_messages(self, pattern: CommPattern) -> tuple[list, list, list]:
+        """(leftward, rightward, two_ring_pairs) message lists."""
+        leftward, rightward, pairs = [], [], []
+        for ring in pattern.rings:
+            k = len(ring)
+            for i, rank in enumerate(ring):
+                left = ring[(i - 1) % k]
+                right = ring[(i + 1) % k]
+                if k == 2:
+                    pairs.append((rank, left))
+                    pairs.append((rank, right))
+                else:
+                    leftward.append((rank, left))
+                    rightward.append((rank, right))
+        return leftward, rightward, pairs
+
+    def round_time(self, pattern: CommPattern, nbytes: int, method: str) -> float:
+        if method == "nonblocking":
+            left, right, pairs = self._ring_messages(pattern)
+            msgs = [(s, d, nbytes) for s, d in left + right + pairs]
+            return self.phase_time(msgs)
+        if method == "sendrecv":
+            left, right, pairs = self._ring_messages(pattern)
+            # phase 1: leftward messages; 2-rings send both in parallel
+            phase1 = [(s, d, nbytes) for s, d in left + pairs]
+            phase2 = [(s, d, nbytes) for s, d in right]
+            return self.phase_time(phase1) + self.phase_time(phase2)
+        if method == "alltoallv":
+            return self._alltoallv_time(pattern, nbytes)
+        raise ValueError(f"unknown method {method!r}")
+
+    def _alltoallv_time(self, pattern: CommPattern, nbytes: int) -> float:
+        """Pairwise exchange: n-1 steps; data only at neighbor strides."""
+        n = pattern.nprocs
+        by_stride: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
+        sizes: dict[tuple[int, int], int] = defaultdict(int)
+        for ring in pattern.rings:
+            k = len(ring)
+            for i, rank in enumerate(ring):
+                sizes[(rank, ring[(i - 1) % k])] += nbytes
+                sizes[(rank, ring[(i + 1) % k])] += nbytes
+        for (src, dst), total in sizes.items():
+            stride = (dst - src) % n
+            if stride == 0:
+                continue  # self message: local copy, negligible here
+            by_stride[stride].append((src, dst, total))
+        # every step pays at least one sendrecv latency; steps whose
+        # stride carries data additionally pay the transfer
+        empty_route = self._route(0, 1 % n) if n > 1 else None
+        base_latency = (
+            self._message_latency(empty_route, 0) if empty_route is not None else 0.0
+        )
+        total = 0.0
+        for step in range(1, n):
+            msgs = by_stride.get(step)
+            if msgs:
+                total += max(self.phase_time(msgs), base_latency)
+            else:
+                total += base_latency
+        return total

@@ -1,0 +1,198 @@
+"""The full b_eff benchmark: schedule, execution, result object.
+
+``run_beff`` measures all 12 patterns x 21 sizes x methods x
+repetitions on a machine, using either the event-driven backend (the
+rank programs literally execute the loops through the simulated MPI)
+or the analytic round model, and aggregates per the paper's formula.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.beff import analysis
+from repro.beff.analytic import RoundModel
+from repro.beff.measurement import MeasurementConfig, MeasurementRecord
+from repro.beff.methods import step
+from repro.beff.patterns import CommPattern, make_patterns
+from repro.beff.sizes import NUM_SIZES, lmax_for, message_sizes
+from repro.mpi.comm import World
+from repro.net.model import Fabric
+from repro.sim.randomness import RandomStreams
+from repro.util import MB
+
+
+@dataclass
+class BeffResult:
+    """Everything Table 1 reports for one (machine, nprocs) entry."""
+
+    nprocs: int
+    memory_per_proc: int
+    lmax: int
+    sizes: list[int]
+    backend: str
+    records: list[MeasurementRecord]
+    b_eff: float  # bytes/s, aggregate
+    b_eff_at_lmax: float
+    ring_only_at_lmax: float
+    per_pattern: dict[str, float]
+    logavg_ring: float
+    logavg_random: float
+
+    @property
+    def b_eff_per_proc(self) -> float:
+        return self.b_eff / self.nprocs
+
+    @property
+    def b_eff_at_lmax_per_proc(self) -> float:
+        return self.b_eff_at_lmax / self.nprocs
+
+    @property
+    def ring_only_at_lmax_per_proc(self) -> float:
+        return self.ring_only_at_lmax / self.nprocs
+
+    def memory_transfer_time(self) -> float:
+        """Seconds to communicate the total memory once at b_eff.
+
+        The paper's Sec. 2.2 comparison: 3.2 s on the 512-PE T3E,
+        13.6 s on a 24-PE SR 8000.
+        """
+        return self.nprocs * self.memory_per_proc / self.b_eff
+
+    def summary_row(self) -> dict:
+        """Table 1's columns (bandwidths in MB/s)."""
+        return {
+            "procs": self.nprocs,
+            "b_eff": self.b_eff / MB,
+            "b_eff/proc": self.b_eff_per_proc / MB,
+            "Lmax": self.lmax,
+            "b_eff@Lmax": self.b_eff_at_lmax / MB,
+            "b_eff/proc@Lmax": self.b_eff_at_lmax_per_proc / MB,
+            "b_eff/proc@Lmax rings": self.ring_only_at_lmax_per_proc / MB,
+        }
+
+
+def run_beff(
+    fabric_factory: Callable[[], Fabric],
+    memory_per_proc: int,
+    config: MeasurementConfig | None = None,
+    streams: RandomStreams | None = None,
+    int_bits: int = 64,
+) -> BeffResult:
+    """Run the effective bandwidth benchmark.
+
+    ``fabric_factory`` builds a fresh :class:`Fabric` (with its own
+    simulator); the number of MPI processes is the fabric topology's
+    process count.  ``memory_per_proc`` drives the L_max rule.
+    """
+    config = config or MeasurementConfig()
+    streams = streams or RandomStreams()
+    fabric = fabric_factory()
+    nprocs = fabric.topology.nprocs
+    sizes = message_sizes(memory_per_proc, int_bits)
+    lmax = lmax_for(memory_per_proc, int_bits)
+    patterns = make_patterns(nprocs, streams)
+
+    if config.backend == "analytic":
+        records = _run_analytic(fabric, patterns, sizes, config)
+    else:
+        records = _run_des(fabric, patterns, sizes, config)
+
+    agg = analysis.aggregate(records, NUM_SIZES, lmax)
+    return BeffResult(
+        nprocs=nprocs,
+        memory_per_proc=memory_per_proc,
+        lmax=lmax,
+        sizes=sizes,
+        backend=config.backend,
+        records=records,
+        b_eff=agg["b_eff"],
+        b_eff_at_lmax=agg["b_eff_at_lmax"],
+        ring_only_at_lmax=agg["ring_only_at_lmax"],
+        per_pattern=agg["per_pattern"],
+        logavg_ring=agg["logavg_ring"],
+        logavg_random=agg["logavg_random"],
+    )
+
+
+def _run_des(
+    fabric: Fabric,
+    patterns: list[CommPattern],
+    sizes: list[int],
+    config: MeasurementConfig,
+) -> list[MeasurementRecord]:
+    world = World(fabric)
+    records: list[MeasurementRecord] = []
+
+    def program(comm):
+        prev_iteration_time: float | None = None
+        for pattern in patterns:
+            for size in sizes:
+                looplength = config.next_looplength(prev_iteration_time)
+                for method in config.methods:
+                    for rep in range(config.repetitions):
+                        yield from comm.barrier()
+                        t0 = comm.wtime()
+                        for _ in range(looplength):
+                            yield from step(method, comm, pattern, size)
+                        local = comm.wtime() - t0
+                        elapsed = yield from comm.allreduce(8, local, max)
+                        if elapsed <= 0:
+                            raise RuntimeError(
+                                f"zero-time measurement: {pattern.name} L={size} {method}"
+                            )
+                        prev_iteration_time = elapsed / looplength
+                        if comm.rank == 0:
+                            bandwidth = (
+                                size
+                                * pattern.messages_per_iteration
+                                * looplength
+                                / elapsed
+                            )
+                            records.append(
+                                MeasurementRecord(
+                                    pattern=pattern.name,
+                                    kind=pattern.kind,
+                                    size=size,
+                                    method=method,
+                                    repetition=rep,
+                                    looplength=looplength,
+                                    time=elapsed,
+                                    bandwidth=bandwidth,
+                                )
+                            )
+
+    world.run(program)
+    return records
+
+
+def _run_analytic(
+    fabric: Fabric,
+    patterns: list[CommPattern],
+    sizes: list[int],
+    config: MeasurementConfig,
+) -> list[MeasurementRecord]:
+    model = RoundModel(fabric)
+    records: list[MeasurementRecord] = []
+    for pattern in patterns:
+        for size in sizes:
+            for method in config.methods:
+                elapsed = model.round_time(pattern, size, method)
+                if elapsed <= 0:
+                    raise RuntimeError(
+                        f"zero-time round: {pattern.name} L={size} {method}"
+                    )
+                records.append(
+                    MeasurementRecord(
+                        pattern=pattern.name,
+                        kind=pattern.kind,
+                        size=size,
+                        method=method,
+                        repetition=0,
+                        looplength=1,
+                        time=elapsed,
+                        bandwidth=size * pattern.messages_per_iteration / elapsed,
+                    )
+                )
+    return records

@@ -1,0 +1,184 @@
+"""The non-averaged detail patterns of b_eff (paper Sec. 4).
+
+"Only for the detailed analysis of the communication behavior, the
+following additional patterns are measured: a worst case cycle, a
+best and a worst bi-section, the communication of a two dimensional
+Cartesian partitioning in the both directions separately and
+together, the same for a three dimensional Cartesian partitioning,
+and a simple ping-pong between the first two MPI processes."
+
+All detail patterns run at L_max with the nonblocking method and
+report aggregate bandwidth (ping-pong reports the classical
+one-direction bandwidth).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.beff.methods import TAG_LEFTWARD, TAG_RIGHTWARD
+from repro.beff.sizes import lmax_for
+from repro.mpi.cart import CartComm, dims_create
+from repro.mpi.comm import World
+from repro.net.model import Fabric
+
+
+@dataclass(frozen=True)
+class DetailRecord:
+    name: str
+    size: int
+    time: float
+    bandwidth: float  # aggregate bytes/s (ping-pong: per-direction)
+
+
+DETAIL_TAG = 200
+
+
+def _exchange(comm, partners: list[tuple[int, int]], nbytes: int):
+    """Nonblocking exchange with each (send_to, recv_from) pair.
+
+    One fixed tag suffices: every pair exchanges exactly one
+    equal-sized message per direction per iteration and matching is
+    per-source FIFO.
+    """
+    reqs = []
+    for dst, src in partners:
+        reqs.append(comm.irecv(src, DETAIL_TAG))
+        reqs.append(comm.isend(dst, nbytes, DETAIL_TAG))
+    yield from comm.waitall(reqs)
+
+
+def _interleaved_cycle(n: int) -> list[int]:
+    """A deliberately bad ring order: hop across the machine each step."""
+    half = n // 2
+    order = []
+    for i in range(half):
+        order.append(i)
+        order.append(i + half)
+    if n % 2:
+        order.append(n - 1)
+    return order
+
+
+def run_detail(
+    fabric_factory: Callable[[], Fabric],
+    memory_per_proc: int,
+    iterations: int = 2,
+    int_bits: int = 64,
+) -> dict[str, DetailRecord]:
+    """Measure all detail patterns; returns records keyed by name."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    fabric = fabric_factory()
+    world = World(fabric)
+    n = world.nprocs
+    if n < 2:
+        raise ValueError("detail patterns need at least 2 processes")
+    size = lmax_for(memory_per_proc, int_bits)
+    results: dict[str, DetailRecord] = {}
+
+    cycle_order = _interleaved_cycle(n)
+    cart2 = dims_create(n, 2)
+    cart3 = dims_create(n, 3)
+
+    def measure(comm, name, partners_of, participants=None, total_messages=None):
+        """Generic measured loop; partners_of(rank) -> [(dst, src), ...]."""
+        partners = partners_of(comm.rank)
+        active = participants is None or comm.rank in participants
+        yield from comm.barrier()
+        t0 = comm.wtime()
+        for _ in range(iterations):
+            if active and partners:
+                yield from _exchange(comm, partners, size)
+        local = comm.wtime() - t0
+        elapsed = yield from comm.allreduce(8, local, max)
+        if comm.rank == 0:
+            msgs = total_messages
+            if msgs is None:
+                msgs = 0
+                for r in range(n):
+                    if participants is None or r in participants:
+                        msgs += len(partners_of(r))
+            bandwidth = size * msgs * iterations / elapsed
+            results[name] = DetailRecord(name, size, elapsed, bandwidth)
+
+    def program(comm):
+        # ping-pong between the first two processes ----------------------
+        yield from comm.barrier()
+        t0 = comm.wtime()
+        for _ in range(iterations):
+            if comm.rank == 0:
+                yield from comm.send(1, size, TAG_LEFTWARD)
+                yield from comm.recv(1, TAG_RIGHTWARD)
+            elif comm.rank == 1:
+                yield from comm.recv(0, TAG_LEFTWARD)
+                yield from comm.send(0, size, TAG_RIGHTWARD)
+        local = comm.wtime() - t0
+        elapsed = yield from comm.allreduce(8, local, max)
+        if comm.rank == 0:
+            # classical ping-pong: one message of L per half round trip
+            results["ping-pong"] = DetailRecord(
+                "ping-pong", size, elapsed, size / (elapsed / (2 * iterations))
+            )
+
+        # bisections -------------------------------------------------------
+        half = n // 2
+        bisection = set(range(2 * half))
+
+        def paired(rank):  # worst: across the machine
+            if rank < half:
+                return [(rank + half, rank + half)]
+            if rank < 2 * half:
+                return [(rank - half, rank - half)]
+            return []
+
+        def neighbor(rank):  # best: adjacent pairs
+            if rank >= 2 * half:
+                return []
+            partner = rank + 1 if rank % 2 == 0 else rank - 1
+            return [(partner, partner)]
+
+        yield from measure(comm, "bisection-far", paired, participants=bisection)
+        yield from measure(comm, "bisection-near", neighbor, participants=bisection)
+
+        # worst-case cycle ---------------------------------------------------
+        position = {rank: i for i, rank in enumerate(cycle_order)}
+
+        def cycle_partners(rank):
+            i = position[rank]
+            right = cycle_order[(i + 1) % n]
+            left = cycle_order[(i - 1) % n]
+            return [(right, left)]
+
+        yield from measure(comm, "worst-cycle", cycle_partners)
+
+        # Cartesian partitions ----------------------------------------------
+        for label, dims in (("cart2d", cart2), ("cart3d", cart3)):
+            cart = CartComm(comm.world.comm_world, dims)
+
+            def dim_partners(dim):
+                def partners(rank):
+                    src, dst = cart.shift(rank, dim)
+                    if src is None or dst is None or dst == rank:
+                        return []
+                    return [(dst, src)]
+
+                return partners
+
+            live_dims = [d for d, extent in enumerate(dims) if extent > 1]
+            for dim in live_dims:
+                yield from measure(comm, f"{label}-dim{dim}", dim_partners(dim))
+
+            def all_dims(rank):
+                out = []
+                for dim in live_dims:
+                    src, dst = cart.shift(rank, dim)
+                    if src is not None and dst is not None and dst != rank:
+                        out.append((dst, src))
+                return out
+
+            yield from measure(comm, f"{label}-all", all_dims)
+
+    world.run(program)
+    return results

@@ -1,0 +1,75 @@
+"""Measurement control: repetitions, looplength adaptation, records.
+
+The paper's time-driven control: the loop length starts at 300 for
+the shortest message and is adapted from the previous loop's measured
+execution time so that every loop runs for 2.5-5 ms (minimum loop
+length 1).  Our virtual clock is deterministic, so by default we cap
+the loop length at a small value and run a single repetition — the
+computed bandwidth is bit-identical to the full schedule — but
+``paper_fidelity()`` restores the original constants for anyone who
+wants to watch the control loop itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.beff.methods import METHODS
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    methods: tuple[str, ...] = METHODS
+    repetitions: int = 1  # paper: 3
+    initial_looplength: int = 300
+    max_looplength: int = 2  # paper: 300 (simulation is deterministic)
+    loop_time_min: float = 2.5e-3
+    loop_time_max: float = 5e-3
+    backend: str = "des"  # "des" | "analytic"
+
+    def __post_init__(self) -> None:
+        if not self.methods:
+            raise ValueError("need at least one communication method")
+        for m in self.methods:
+            if m not in METHODS:
+                raise ValueError(f"unknown method {m!r}")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        if self.initial_looplength < 1 or self.max_looplength < 1:
+            raise ValueError("loop lengths must be >= 1")
+        if not (0 < self.loop_time_min < self.loop_time_max):
+            raise ValueError("need 0 < loop_time_min < loop_time_max")
+        if self.backend not in ("des", "analytic"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+
+    @property
+    def loop_time_target(self) -> float:
+        return 0.5 * (self.loop_time_min + self.loop_time_max)
+
+    def next_looplength(self, previous_iteration_time: float | None) -> int:
+        """Loop length for the next measurement given the last
+        per-iteration time (None before the first measurement)."""
+        if previous_iteration_time is None or previous_iteration_time <= 0:
+            desired = self.initial_looplength
+        else:
+            desired = int(round(self.loop_time_target / previous_iteration_time))
+        return max(1, min(desired, self.initial_looplength, self.max_looplength))
+
+
+def paper_fidelity() -> MeasurementConfig:
+    """The original constants: 3 repetitions, loop length up to 300."""
+    return MeasurementConfig(repetitions=3, max_looplength=300)
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One (pattern, size, method, repetition) measurement."""
+
+    pattern: str
+    kind: str  # "ring" | "random"
+    size: int
+    method: str
+    repetition: int
+    looplength: int
+    time: float  # max over processes, for `looplength` iterations
+    bandwidth: float  # bytes/s: size * messages * looplength / time

@@ -1,0 +1,81 @@
+"""The three communication methods of b_eff (paper Sec. 4).
+
+Every pattern is measured with each method and the maximum bandwidth
+wins, making the result independent of which MPI primitive a vendor
+optimized:
+
+* ``sendrecv`` — two sequential ``MPI_Sendrecv`` calls (leftward then
+  rightward); in rings of exactly two processes the two messages may
+  be (and are) sent in parallel;
+* ``nonblocking`` — ``MPI_Irecv``/``MPI_Isend``/``MPI_Waitall``, all
+  four transfers in flight at once;
+* ``alltoallv`` — one ``MPI_Alltoallv`` over the world with non-zero
+  counts only for the two ring neighbors; its (p-1)-step pairwise
+  exchange pays latency for every zero-byte slot, which is why it
+  loses on sparse ring patterns.
+"""
+
+from __future__ import annotations
+
+from repro.beff.patterns import CommPattern
+
+METHODS = ("sendrecv", "nonblocking", "alltoallv")
+
+#: user-space tags for the two message directions
+TAG_LEFTWARD = 101
+TAG_RIGHTWARD = 102
+
+
+def step_sendrecv(comm, pattern: CommPattern, nbytes: int):
+    """One iteration of the Sendrecv method for ``comm.rank``."""
+    left, right = pattern.neighbors(comm.rank)
+    if pattern.ring_size_of(comm.rank) == 2:
+        # both messages may go in parallel (paper Sec. 4)
+        reqs = [
+            comm.isend(left, nbytes, TAG_LEFTWARD),
+            comm.isend(right, nbytes, TAG_RIGHTWARD),
+            comm.irecv(right, TAG_LEFTWARD),
+            comm.irecv(left, TAG_RIGHTWARD),
+        ]
+        yield from comm.waitall(reqs)
+    else:
+        # leftward: send to left, receive from right — then rightward
+        yield from comm.sendrecv(left, nbytes, right, TAG_LEFTWARD)
+        yield from comm.sendrecv(right, nbytes, left, TAG_RIGHTWARD)
+
+
+def step_nonblocking(comm, pattern: CommPattern, nbytes: int):
+    """One iteration of the nonblocking method for ``comm.rank``."""
+    left, right = pattern.neighbors(comm.rank)
+    reqs = [
+        comm.irecv(right, TAG_LEFTWARD),
+        comm.irecv(left, TAG_RIGHTWARD),
+        comm.isend(left, nbytes, TAG_LEFTWARD),
+        comm.isend(right, nbytes, TAG_RIGHTWARD),
+    ]
+    yield from comm.waitall(reqs)
+
+
+def step_alltoallv(comm, pattern: CommPattern, nbytes: int):
+    """One iteration of the Alltoallv method for ``comm.rank``."""
+    left, right = pattern.neighbors(comm.rank)
+    sizes = [0] * comm.size
+    sizes[left] += nbytes
+    sizes[right] += nbytes
+    yield from comm.alltoallv(sizes)
+
+
+STEP_FUNCTIONS = {
+    "sendrecv": step_sendrecv,
+    "nonblocking": step_nonblocking,
+    "alltoallv": step_alltoallv,
+}
+
+
+def step(method: str, comm, pattern: CommPattern, nbytes: int):
+    """Dispatch one iteration of ``method``."""
+    try:
+        fn = STEP_FUNCTIONS[method]
+    except KeyError:
+        raise ValueError(f"unknown communication method {method!r}") from None
+    yield from fn(comm, pattern, nbytes)

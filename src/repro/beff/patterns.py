@@ -1,0 +1,89 @@
+"""Communication patterns: rings with natural and random placement.
+
+A :class:`CommPattern` is a set of rings over world ranks.  Ring
+patterns use ranks in natural order (so ring neighbors are usually
+topology neighbors); random patterns apply the same ring-size
+partition to a randomly permuted rank list — the paper's way of
+measuring how sensitive the network is to process placement.
+
+Every process sends two messages per iteration: one to its left ring
+neighbor, one to its right (2n messages per iteration in total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.beff.rings import NUM_RING_PATTERNS, ring_partition
+from repro.sim.randomness import RandomStreams
+
+
+@dataclass(frozen=True)
+class CommPattern:
+    """One b_eff pattern: named rings of world ranks."""
+
+    name: str
+    kind: str  # "ring" | "random"
+    rings: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ring", "random"):
+            raise ValueError(f"bad pattern kind {self.kind!r}")
+        seen: set[int] = set()
+        for ring in self.rings:
+            if len(ring) < 2:
+                raise ValueError(f"ring of size {len(ring)} in pattern {self.name}")
+            for rank in ring:
+                if rank in seen:
+                    raise ValueError(f"rank {rank} appears twice in pattern {self.name}")
+                seen.add(rank)
+
+    @property
+    def nprocs(self) -> int:
+        return sum(len(r) for r in self.rings)
+
+    @property
+    def messages_per_iteration(self) -> int:
+        """Total messages per loop iteration: 2 per process."""
+        return 2 * self.nprocs
+
+    def neighbors(self, rank: int) -> tuple[int, int]:
+        """(left, right) ring neighbors of a world rank."""
+        for ring in self.rings:
+            if rank in ring:
+                i = ring.index(rank)
+                return ring[(i - 1) % len(ring)], ring[(i + 1) % len(ring)]
+        raise KeyError(f"rank {rank} not in pattern {self.name}")
+
+    def ring_size_of(self, rank: int) -> int:
+        for ring in self.rings:
+            if rank in ring:
+                return len(ring)
+        raise KeyError(f"rank {rank} not in pattern {self.name}")
+
+
+def ring_patterns(n: int) -> list[CommPattern]:
+    """The six ring patterns with natural rank order."""
+    out = []
+    for p in range(1, NUM_RING_PATTERNS + 1):
+        rings = tuple(tuple(ring) for ring in ring_partition(n, p))
+        out.append(CommPattern(name=f"ring-{p}", kind="ring", rings=rings))
+    return out
+
+
+def random_patterns(n: int, streams: RandomStreams | None = None) -> list[CommPattern]:
+    """The six random patterns: same partitions, permuted placement."""
+    streams = streams or RandomStreams()
+    out = []
+    for p in range(1, NUM_RING_PATTERNS + 1):
+        perm = streams.permutation(f"beff.random-pattern-{p}", n)
+        rings = tuple(
+            tuple(perm[i] for i in ring) for ring in ring_partition(n, p)
+        )
+        out.append(CommPattern(name=f"random-{p}", kind="random", rings=rings))
+    return out
+
+
+def make_patterns(n: int, streams: RandomStreams | None = None) -> list[CommPattern]:
+    """All twelve averaged patterns: six ring + six random."""
+    return ring_patterns(n) + random_patterns(n, streams)

@@ -1,0 +1,69 @@
+"""Ring-size computation for the six ring patterns (paper Sec. 4).
+
+This ports the rules of ring_numbers.c [19]:
+
+1. rings of 2, the last ring may be 3 (odd process counts);
+2. standard ring size 4; <=7 processes form a single ring; remainders
+   distribute as nearly-equal sizes (1*3, 1*5, 2*5 in the paper's
+   notation);
+3. standard ring size 8, remainders spread over sizes 7..9;
+4. standard ring size min(max(16, n/4), n);
+5. standard ring size min(max(32, n/2), n);
+6. one ring containing all processes.
+
+For patterns 2-6 the partition is "k = round(n / standard) rings of
+nearly equal size" — reproducing the published example lists (e.g.
+3*7 ... 4*9 for pattern 3).
+"""
+
+from __future__ import annotations
+
+NUM_RING_PATTERNS = 6
+
+
+def _even_partition(n: int, k: int) -> list[int]:
+    """k nearly-equal positive parts of n, larger parts first."""
+    base, rem = divmod(n, k)
+    return [base + 1] * rem + [base] * (k - rem)
+
+
+def ring_pattern_sizes(n: int, pattern: int) -> list[int]:
+    """Ring sizes of ring pattern ``pattern`` (1-based, 1..6) for n processes."""
+    if n < 2:
+        raise ValueError("b_eff ring patterns need at least 2 processes")
+    if not (1 <= pattern <= NUM_RING_PATTERNS):
+        raise ValueError(f"ring pattern must be 1..{NUM_RING_PATTERNS}, got {pattern}")
+    if pattern == 1:
+        # rings of 2; an odd process count makes the last ring 3
+        k = n // 2
+        sizes = [2] * k
+        if n % 2:
+            sizes[-1] = 3
+        return sizes
+    if pattern == 6:
+        return [n]
+    standard = {
+        2: 4,
+        3: 8,
+        4: min(max(16, n // 4), n),
+        5: min(max(32, n // 2), n),
+    }[pattern]
+    if pattern == 2 and n <= 7:
+        return [n]
+    k = max(1, round(n / standard))
+    # never create a ring smaller than 3 for the larger standards
+    while k > 1 and n // k < 3:
+        k -= 1
+    return _even_partition(n, k)
+
+
+def ring_partition(n: int, pattern: int) -> list[list[int]]:
+    """Rings as consecutive index blocks [0..n) for the given pattern."""
+    sizes = ring_pattern_sizes(n, pattern)
+    rings = []
+    start = 0
+    for size in sizes:
+        rings.append(list(range(start, start + size)))
+        start += size
+    assert start == n
+    return rings

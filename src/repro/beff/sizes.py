@@ -1,0 +1,47 @@
+"""The 21-value message-size ladder (paper Sec. 4).
+
+L = 1 B, 2 B, 4 B, ..., 4 kB           (13 fixed sizes, powers of two)
+    4kB*a^1, ..., 4kB*a^8 = L_max      (8 geometric steps)
+
+with L_max = (memory per processor) / 128, additionally capped at
+128 MB on systems whose C ``int`` is narrower than 64 bits (the
+original implementation's index arithmetic).  The two sub-ladders are
+what makes the paper's "equidistant on the abscissa" averaging
+meaningful: 12 log-spaced intervals below 4 kB, 8 above.
+"""
+
+from __future__ import annotations
+
+from repro.util import KB, MB
+
+#: number of message sizes in the ladder
+NUM_SIZES = 21
+#: boundary between the fixed and geometric sub-ladders
+FIXED_TOP = 4 * KB
+#: L_max cap for systems with 32-bit int
+LMAX_CAP_32BIT = 128 * MB
+
+
+def lmax_for(memory_per_proc: int, int_bits: int = 64) -> int:
+    """L_max = memory/128, capped at 128 MB when ``int_bits`` < 64."""
+    if memory_per_proc < 128 * FIXED_TOP:
+        raise ValueError(
+            f"memory per processor too small ({memory_per_proc} B): "
+            f"L_max would fall below the 4 kB fixed ladder"
+        )
+    lmax = memory_per_proc // 128
+    if int_bits < 64:
+        lmax = min(lmax, LMAX_CAP_32BIT)
+    return lmax
+
+
+def message_sizes(memory_per_proc: int, int_bits: int = 64) -> list[int]:
+    """The 21 message sizes for a processor with ``memory_per_proc`` bytes."""
+    lmax = lmax_for(memory_per_proc, int_bits)
+    fixed = [1 << i for i in range(13)]  # 1 B .. 4 kB
+    a = (lmax / FIXED_TOP) ** (1.0 / 8.0)
+    variable = [int(round(FIXED_TOP * a**k)) for k in range(1, 9)]
+    variable[-1] = lmax  # guard against float rounding at the top
+    sizes = fixed + variable
+    assert len(sizes) == NUM_SIZES
+    return sizes

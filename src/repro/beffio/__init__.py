@@ -1,0 +1,40 @@
+"""The effective I/O bandwidth benchmark (b_eff_io), paper Sec. 5.
+
+Public entry points:
+
+* :func:`~repro.beffio.patterns.build_patterns` — the Table 2 pattern
+  list (five pattern types, wellformed and non-wellformed chunk
+  sizes, time units U with sum 64).
+* :func:`~repro.beffio.benchmark.run_beffio` — run one partition:
+  three access methods (initial write, rewrite, read) over all
+  pattern types with the paper's time-driven scheduling, and the
+  weighted aggregation (scatter type double-weighted; methods
+  weighted 25/25/50).
+* :func:`~repro.beffio.analysis.partition_value` /
+  :func:`~repro.beffio.analysis.system_value` — the aggregation
+  helpers (the system's b_eff_io is the max over partitions with
+  T >= 15 min).
+"""
+
+from repro.beffio.patterns import IOPattern, build_patterns, extension_patterns, mpart_for, SUM_U
+from repro.beffio.benchmark import BeffIOConfig, BeffIOResult, run_beffio
+from repro.beffio.analysis import bytes_per_method, cache_rule, method_value, partition_value, system_value
+from repro.beffio.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "IOPattern",
+    "build_patterns",
+    "mpart_for",
+    "SUM_U",
+    "BeffIOConfig",
+    "BeffIOResult",
+    "run_beffio",
+    "method_value",
+    "partition_value",
+    "system_value",
+    "extension_patterns",
+    "bytes_per_method",
+    "cache_rule",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,106 @@
+"""b_eff_io aggregation (paper Sec. 5.1).
+
+* pattern-type value: transferred bytes / (time from open to close);
+* access-method value: average of the pattern types with the
+  scattering type (type 0) double-weighted;
+* partition value: 25 % initial write + 25 % rewrite + 50 % read;
+* system value: maximum over partitions (with T >= 15 min for an
+  official number — we record T so callers can enforce that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import weighted_average
+
+ACCESS_METHODS = ("write", "rewrite", "read")
+
+#: weights of the access methods in the partition value
+METHOD_WEIGHTS = {"write": 1.0, "rewrite": 1.0, "read": 2.0}
+
+
+@dataclass(frozen=True)
+class TypeResult:
+    """One pattern type under one access method."""
+
+    method: str
+    pattern_type: int
+    nbytes: int  # total across processes
+    time: float  # open-to-close seconds
+    reps: int  # total repetitions across patterns
+
+    @property
+    def bandwidth(self) -> float:
+        if self.time <= 0:
+            raise ValueError("non-positive open-to-close time")
+        return self.nbytes / self.time
+
+
+def method_value(type_results: list[TypeResult]) -> float:
+    """Weighted average over pattern types; scatter type counts twice."""
+    if not type_results:
+        raise ValueError("no pattern types measured")
+    methods = {t.method for t in type_results}
+    if len(methods) != 1:
+        raise ValueError(f"mixed access methods {methods}")
+    values = [t.bandwidth for t in type_results]
+    weights = [2.0 if t.pattern_type == 0 else 1.0 for t in type_results]
+    return weighted_average(values, weights)
+
+
+def partition_value(method_values: dict[str, float]) -> float:
+    """25 % write, 25 % rewrite, 50 % read."""
+    missing = [m for m in ACCESS_METHODS if m not in method_values]
+    if missing:
+        raise ValueError(f"missing access methods: {missing}")
+    values = [method_values[m] for m in ACCESS_METHODS]
+    weights = [METHOD_WEIGHTS[m] for m in ACCESS_METHODS]
+    return weighted_average(values, weights)
+
+
+def cache_rule(nbytes_per_method: dict[str, int], cache_bytes: int,
+               factor: float = 20.0) -> dict[str, bool]:
+    """The paper's Sec. 5.4 disk-residency rule, per access method.
+
+    "One must write a dataset 20 times larger than the memory cache
+    length of the filesystem.  This can be controlled by verifying
+    that the datasize accessed by each b_eff_io access method is
+    larger than 20 times of the filesystems' cache length."
+
+    Returns ``{method: rule_satisfied}``; a False means the method's
+    bandwidth may be cache-inflated.
+    """
+    if cache_bytes < 0:
+        raise ValueError("cache_bytes must be >= 0")
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return {
+        method: nbytes >= factor * cache_bytes
+        for method, nbytes in nbytes_per_method.items()
+    }
+
+
+def bytes_per_method(type_results: list[TypeResult]) -> dict[str, int]:
+    """Total bytes each access method moved (input to :func:`cache_rule`)."""
+    out: dict[str, int] = {}
+    for t in type_results:
+        out[t.method] = out.get(t.method, 0) + t.nbytes
+    return out
+
+
+def system_value(partition_values: dict[int, float], minimum_T: float | None = None,
+                 Ts: dict[int, float] | None = None) -> float:
+    """Max over partitions; optionally only those with T >= minimum_T."""
+    if not partition_values:
+        raise ValueError("no partitions measured")
+    eligible = partition_values
+    if minimum_T is not None:
+        if Ts is None:
+            raise ValueError("need per-partition T values to filter")
+        eligible = {
+            n: v for n, v in partition_values.items() if Ts.get(n, 0.0) >= minimum_T
+        }
+        if not eligible:
+            raise ValueError(f"no partition ran with T >= {minimum_T}")
+    return max(eligible.values())

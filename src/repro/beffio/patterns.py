@@ -1,0 +1,190 @@
+"""The Table 2 pattern list.
+
+Five pattern types (paper Fig. 2):
+
+* type 0 — strided collective access scattering memory chunks of L
+  bytes to/from disk chunks of l bytes in a single MPI-IO call;
+* type 1 — shared file pointer, collective, one call per disk chunk;
+* type 2 — noncollective access to one file per MPI process;
+* type 3 — the separate files assembled into one *segmented* file,
+  noncollective;
+* type 4 — the segmented file accessed with collective routines.
+
+Chunk sizes are 1 kB, 32 kB, 1 MB and M_PART = max(2 MB, memory per
+process / 128); each wellformed (power-of-two) size also appears in a
+*non-wellformed* variant with 8 bytes added.  Every pattern carries a
+time-unit weight U; the scheduled time of a pattern is
+T/3 * U / sum(U) with sum(U) = 64.  Patterns with U = 0 run exactly
+one repetition (they seed the access sequence of their type without
+consuming scheduled time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import KB, MB
+
+#: total time units of the whole pattern list (paper Table 2)
+SUM_U = 64
+
+#: sentinel for the M_PART chunk size (resolved per machine)
+MPART = "M_PART"
+
+#: sentinel for "fill up segment" (pattern 33 and its type-4 mirror)
+FILL_SEGMENT = "FILL"
+
+
+def mpart_for(memory_per_proc: int) -> int:
+    """M_PART = max(2 MB, memory of one node per MPI process / 128)."""
+    if memory_per_proc <= 0:
+        raise ValueError("memory_per_proc must be positive")
+    return max(2 * MB, memory_per_proc // 128)
+
+
+@dataclass(frozen=True)
+class IOPattern:
+    """One row of Table 2, with sizes resolved to bytes."""
+
+    number: int  # paper numbering 0..42
+    pattern_type: int  # 0..4
+    l: int  # contiguous chunk on disk (bytes)
+    L: int  # contiguous chunk in memory per call (bytes)
+    U: int  # time units
+    wellformed: bool
+    fill_segment: bool = False
+
+    def __post_init__(self) -> None:
+        # types 0-4 are the paper's; type 5 is the random-access
+        # extension its Sec. 6 proposes to examine
+        if not (0 <= self.pattern_type <= 5):
+            raise ValueError(f"bad pattern type {self.pattern_type}")
+        if self.l < 1 or self.L < self.l:
+            raise ValueError(f"bad sizes l={self.l} L={self.L}")
+        if self.U < 0:
+            raise ValueError("U must be >= 0")
+
+    @property
+    def chunks_per_call(self) -> int:
+        """Disk chunks accessed by one call (> 1 only for type 0)."""
+        return self.L // self.l
+
+    @property
+    def label(self) -> str:
+        if self.wellformed:
+            return _size_label(self.l)
+        return f"{_size_label(self.l - 8)}+8"
+
+
+def _size_label(nbytes: int) -> str:
+    if nbytes % MB == 0:
+        return f"{nbytes // MB} MB"
+    if nbytes >= MB:
+        return f"{nbytes / MB:.6g} MB"
+    if nbytes % KB == 0:
+        return f"{nbytes // KB} kB"
+    return f"{nbytes} B"
+
+
+def _type0_rows(mpart: int) -> list[tuple[int, int, int, bool]]:
+    """(l, L, U, wellformed) for the scatter type."""
+    return [
+        (MB, MB, 0, True),          # 0
+        (mpart, mpart, 4, True),    # 1
+        (MB, 2 * MB, 4, True),      # 2
+        (MB, MB, 4, True),          # 3
+        (32 * KB, MB, 2, True),     # 4
+        (KB, MB, 2, True),          # 5
+        (32 * KB + 8, MB + 256, 2, False),   # 6: 32 chunks per call
+        (KB + 8, MB + 8 * KB, 2, False),     # 7: 1024 chunks per call
+        (MB + 8, MB + 8, 2, False),          # 8: 1 chunk per call
+    ]
+
+
+def _per_chunk_rows(mpart: int, u_mpart: int, u_1mb: int, u_1mb8: int
+                    ) -> list[tuple[int, int, int, bool]]:
+    """(l, L=l, U, wellformed) rows shared by types 1 and 2/3/4."""
+    return [
+        (MB, MB, 0, True),
+        (mpart, mpart, u_mpart, True),
+        (MB, MB, u_1mb, True),
+        (32 * KB, 32 * KB, 1, True),
+        (KB, KB, 1, True),
+        (32 * KB + 8, 32 * KB + 8, 1, False),
+        (KB + 8, KB + 8, 1, False),
+        (MB + 8, MB + 8, u_1mb8, False),
+    ]
+
+
+def build_patterns(memory_per_proc: int) -> list[IOPattern]:
+    """The full Table 2 list (43 rows; 36 with U > 0, sum(U) = 64)."""
+    mpart = mpart_for(memory_per_proc)
+    patterns: list[IOPattern] = []
+    number = 0
+
+    def emit(ptype: int, rows: list, fill: bool = False) -> None:
+        nonlocal number
+        for l, L, U, wf in rows:
+            patterns.append(
+                IOPattern(
+                    number=number,
+                    pattern_type=ptype,
+                    l=l,
+                    L=L,
+                    U=U,
+                    wellformed=wf,
+                    fill_segment=fill,
+                )
+            )
+            number += 1
+
+    emit(0, _type0_rows(mpart))                              # 0-8, U=22
+    emit(1, _per_chunk_rows(mpart, u_mpart=4, u_1mb=2, u_1mb8=2))  # 9-16, U=12
+    type2_rows = _per_chunk_rows(mpart, u_mpart=2, u_1mb=2, u_1mb8=2)
+    emit(2, type2_rows)                                      # 17-24, U=10
+    emit(3, type2_rows)                                      # 25-32
+    emit(3, [(MB, MB, 0, True)], fill=True)                  # 33: fill up segment
+    emit(4, type2_rows)                                      # 34-41
+    emit(4, [(MB, MB, 0, True)], fill=True)                  # 42
+
+    assert sum(p.U for p in patterns) == SUM_U
+    return patterns
+
+
+def extension_patterns(memory_per_proc: int) -> list[IOPattern]:
+    """Pattern type 5: random access (the paper's Sec. 6 outlook).
+
+    "Although [Crandall et al.] stated that 'the majority of the
+    request patterns are sequential', we should examine whether random
+    access patterns can be included into the b_eff_io benchmark."
+
+    Type 5 mirrors the noncollective chunk rows of type 2, but each
+    access lands at a *random* chunk-aligned offset inside the
+    process's segment of a shared segmented file.  These patterns are
+    NOT part of the standard Table 2 list (sum(U) stays 64); enabling
+    them extends the scheduled time by their own U budget.
+    """
+    mpart = mpart_for(memory_per_proc)
+    rows = _per_chunk_rows(mpart, u_mpart=2, u_1mb=2, u_1mb8=2)
+    out = []
+    for i, (l, L, U, wf) in enumerate(rows):
+        out.append(
+            IOPattern(
+                number=43 + i,
+                pattern_type=5,
+                l=l,
+                L=L,
+                U=U,
+                wellformed=wf,
+            )
+        )
+    return out
+
+
+def patterns_of_type(patterns: list[IOPattern], ptype: int) -> list[IOPattern]:
+    return [p for p in patterns if p.pattern_type == ptype]
+
+
+def active_pattern_count(patterns: list[IOPattern]) -> int:
+    """Patterns with scheduled time (the paper's '36 patterns')."""
+    return sum(1 for p in patterns if p.U > 0)

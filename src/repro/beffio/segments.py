@@ -1,0 +1,62 @@
+"""Segment sizing for pattern types 3 and 4 (paper Sec. 5.1 / 5.4).
+
+The segmented file gives each process one contiguous segment; its
+size must be fixed *before* the segmented patterns run.  The paper
+derives per-chunk-size repeating factors from the measured types 0-2
+and sets the segment to the sum of chunk sizes times those factors,
+rounded up to the next multiple of 1 MB (both drawbacks of that
+choice — 1 MB alignment vs. larger striping units, and 32-bit
+overflow for large process counts — are discussed in Sec. 5.4; the
+optional ``max_segment`` models the 2/n GB reduction rule).
+"""
+
+from __future__ import annotations
+
+from repro.beffio.patterns import IOPattern
+from repro.util import MB
+
+
+def chunk_repetitions(pattern_runs, per_process: bool = True) -> dict[int, float]:
+    """Measured repetitions per chunk size l from types 0-2.
+
+    For the scatter type a repetition moves ``chunks_per_call`` disk
+    chunks, so its factor is scaled accordingly.  Returns the maximum
+    factor seen for each chunk size.
+    """
+    factors: dict[int, float] = {}
+    for run in pattern_runs:
+        if run.pattern_type > 2:
+            continue
+        chunks = run.reps * max(1, run.L // run.l)
+        if per_process:
+            chunks = chunks  # reps are already per process
+        factors[run.l] = max(factors.get(run.l, 0.0), float(chunks))
+    return factors
+
+
+def estimate_segment_size(
+    pattern_runs,
+    type3_patterns: list[IOPattern],
+    fallback_reps: float = 8.0,
+    max_segment: int | None = None,
+) -> int:
+    """Segment bytes per process for the segmented pattern types.
+
+    ``pattern_runs`` are the recorded runs of types 0-2 from the
+    initial-write pass; ``type3_patterns`` the (non-fill) patterns the
+    segment must accommodate.  Falls back to ``fallback_reps``
+    repetitions per pattern when a chunk size was never measured
+    (e.g. Fig. 3's runs without some pattern types).
+    """
+    factors = chunk_repetitions(pattern_runs)
+    total = 0.0
+    for p in type3_patterns:
+        if p.fill_segment:
+            continue
+        reps = factors.get(p.l, fallback_reps)
+        total += p.l * max(reps, 1.0)
+    segment = ((int(total) + MB - 1) // MB) * MB  # round up to 1 MB
+    segment = max(segment, MB)
+    if max_segment is not None:
+        segment = min(segment, max(MB, (max_segment // MB) * MB))
+    return segment

@@ -1,0 +1,56 @@
+"""Multi-partition b_eff_io runs and the system-level value.
+
+The paper defines the b_eff_io *of a system* as the maximum over any
+partition's value (with a scheduled time of at least 15 minutes for
+official numbers).  This module sweeps partitions and applies that
+rule, which is also exactly what Figs. 3 and 5 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.beffio import analysis
+from repro.beffio.benchmark import BeffIOConfig, BeffIOResult
+
+#: the official minimum scheduled time (15 minutes)
+OFFICIAL_MINIMUM_T = 900.0
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All partitions of one machine plus the system-level maximum."""
+
+    machine: str
+    results: tuple[BeffIOResult, ...]
+    system_b_eff_io: float
+    best_partition: int
+    official: bool  # True when every run satisfied T >= 15 min
+
+    def partition_values(self) -> dict[int, float]:
+        return {r.nprocs: r.b_eff_io for r in self.results}
+
+
+def run_sweep(spec, partitions, config: BeffIOConfig | None = None) -> SweepResult:
+    """Run b_eff_io over several partition sizes of one machine.
+
+    ``spec`` is a :class:`repro.machines.MachineSpec`; ``partitions``
+    an iterable of process counts.  Returns the per-partition results
+    and the system value (max over partitions).  ``official`` reports
+    whether the scheduled time satisfied the paper's 15-minute rule.
+    """
+    partitions = sorted(set(partitions))
+    if not partitions:
+        raise ValueError("need at least one partition size")
+    config = config or BeffIOConfig()
+    results = tuple(spec.run_beffio(n, config) for n in partitions)
+    values = {r.nprocs: r.b_eff_io for r in results}
+    system = analysis.system_value(values)
+    best = max(values, key=values.get)
+    return SweepResult(
+        machine=spec.name,
+        results=results,
+        system_b_eff_io=system,
+        best_partition=best,
+        official=config.T >= OFFICIAL_MINIMUM_T,
+    )

@@ -1,0 +1,124 @@
+"""Command-line entry points.
+
+``repro-beff --machine t3e --procs 8`` runs the effective bandwidth
+benchmark on a simulated machine and prints the measurement protocol;
+``repro-beffio --machine sp --procs 4 --T 10`` does the same for the
+I/O benchmark.  ``--machine list`` enumerates the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.beff import MeasurementConfig, run_detail
+from repro.beffio import BeffIOConfig
+from repro.machines import MACHINES, get_machine
+from repro.reporting import beff_protocol, beffio_pattern_table, beffio_summary
+from repro.reporting.export import to_json
+from repro.util import MB
+
+
+def _machine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine",
+        default="t3e",
+        help=f"machine key or 'list' (default t3e; known: {', '.join(sorted(MACHINES))})",
+    )
+    parser.add_argument("--procs", type=int, default=8, help="number of MPI processes")
+
+
+def _resolve_machine(args) -> object | None:
+    if args.machine == "list":
+        for key in sorted(MACHINES):
+            spec = MACHINES[key]()
+            print(f"{key:12s} {spec.name}")
+        return None
+    return get_machine(args.machine)
+
+
+def main_beff(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-beff", description="effective bandwidth benchmark (simulated)"
+    )
+    _machine_arg(parser)
+    parser.add_argument(
+        "--backend", choices=("des", "analytic"), default="des",
+        help="event simulation (reference) or analytic round model (fast)",
+    )
+    parser.add_argument(
+        "--methods", default="sendrecv,nonblocking,alltoallv",
+        help="comma-separated subset of the three methods",
+    )
+    parser.add_argument("--full-protocol", action="store_true",
+                        help="print every raw measurement record")
+    parser.add_argument("--detail", action="store_true",
+                        help="also run the non-averaged detail patterns")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the result as JSON (SKaMPI-style export)")
+    args = parser.parse_args(argv)
+    spec = _resolve_machine(args)
+    if spec is None:
+        return 0
+    config = MeasurementConfig(
+        methods=tuple(args.methods.split(",")),
+        backend=args.backend,
+    )
+    result = spec.run_beff(args.procs, config)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(to_json(result, machine=args.machine))
+    print(beff_protocol(result, max_rows=None if args.full_protocol else 24))
+    if not args.full_protocol:
+        print(f"({len(result.records)} records total; --full-protocol to see all)")
+    if args.detail:
+        details = run_detail(
+            spec.fabric_factory(args.procs), spec.memory_per_proc,
+            int_bits=spec.int_bits,
+        )
+        print("\ndetail patterns (not averaged):")
+        for name, rec in details.items():
+            print(f"  {name:18s} {rec.bandwidth / MB:10.1f} MB/s")
+    return 0
+
+
+def main_beffio(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-beffio", description="effective I/O bandwidth benchmark (simulated)"
+    )
+    _machine_arg(parser)
+    parser.add_argument("--T", type=float, default=30.0,
+                        help="scheduled partition time, simulated seconds "
+                             "(paper: >= 900 for official numbers)")
+    parser.add_argument("--types", default="0,1,2,3,4",
+                        help="comma-separated pattern types to run")
+    parser.add_argument("--pattern-table", action="store_true",
+                        help="print the per-pattern table of every access method")
+    parser.add_argument("--termination", choices=("per-iteration", "geometric"),
+                        default="per-iteration",
+                        help="collective-loop termination algorithm (Sec. 5.4)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the result as JSON (SKaMPI-style export)")
+    args = parser.parse_args(argv)
+    spec = _resolve_machine(args)
+    if spec is None:
+        return 0
+    config = BeffIOConfig(
+        T=args.T,
+        pattern_types=tuple(int(t) for t in args.types.split(",")),
+        termination=args.termination,
+    )
+    result = spec.run_beffio(args.procs, config)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(to_json(result, machine=args.machine))
+    print(beffio_summary(result))
+    if args.pattern_table:
+        for method in ("write", "rewrite", "read"):
+            print()
+            print(beffio_pattern_table(result, method).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_beff())

@@ -1,0 +1,42 @@
+"""Calibrated machine models for every system the paper evaluates.
+
+Each :class:`~repro.machines.spec.MachineSpec` bundles a topology
+factory, network cost constants, (optionally) an I/O-subsystem
+configuration, and the published constants used for calibration
+(memory per processor, R_max per processor for the balance factor).
+
+Calibration sources are the paper's own numbers — Table 1 ping-pong
+and per-process bandwidths, Sec. 5.2's filesystem descriptions (T3E:
+10 striped RAID disks on a GigaRing, ~300 MB/s aggregate; IBM SP:
+GPFS with 20 VSD servers, ~950 MB/s read / ~690 MB/s write peaks;
+NEC SX-5: four striped RAID-3 arrays, a 2 GB filesystem cache and
+4 MB cluster size).  We match *shapes*, not absolute values.
+"""
+
+from repro.machines.spec import MachineSpec
+from repro.machines.library import (
+    MACHINES,
+    cray_t3e_900,
+    hitachi_sr2201,
+    hitachi_sr8000,
+    hp_v9000,
+    ibm_sp_blue,
+    nec_sx4,
+    nec_sx5,
+    sgi_cray_sv1,
+    get_machine,
+)
+
+__all__ = [
+    "MachineSpec",
+    "MACHINES",
+    "get_machine",
+    "cray_t3e_900",
+    "hitachi_sr8000",
+    "hitachi_sr2201",
+    "nec_sx5",
+    "nec_sx4",
+    "hp_v9000",
+    "sgi_cray_sv1",
+    "ibm_sp_blue",
+]

@@ -1,0 +1,318 @@
+"""The paper's machines, calibrated from its published numbers.
+
+Calibration cheat-sheet (all from the paper unless noted):
+
+Cray T3E/900-512 — 3-D torus, 128 MB/PE (L_max = 1 MB), ping-pong
+    ~330 MB/s, ring-pattern per-PE ~193-210 MB/s (=> a ~420 MB/s
+    combined per-node injection+ejection budget), random patterns
+    clearly below rings (torus hop contention).  R_max/PE ~0.47 GF
+    (TOP500 Nov 2000: 447 GF for 512 PEs was the 1200-PE entry;
+    the 900-series entry scales to ~0.47 GF/PE).
+Hitachi SR 8000 — 8-way SMP nodes on an inter-node network;
+    sequential placement ping-pong 954 MB/s (shared-memory copy),
+    round-robin 741-776 MB/s (NIC); ring per-proc 400 (sequential,
+    memory-bus bound) vs 105-110 (round-robin, NIC bound / 8 procs).
+Hitachi SR 2201 — 16 PEs, L_max 2 MB, ring per-PE ~96 MB/s.
+NEC SX-5/8B — 4-CPU shared-memory vector node: ring per-proc at
+    L_max ~8.76 GB/s => ~17.5 GB/s copy bandwidth per CPU (halved by
+    the shared-memory MPI buffering).
+NEC SX-4/32 — ring per-proc ~3.55 GB/s; 16-CPU aggregate backplane
+    ~51 GB/s (b_eff at L_max 50250 MB/s).
+HP-V 9000 — ring per-proc ~162 MB/s.
+SGI Cray SV1 — ping-pong 994 MB/s, ring per-proc ~375 MB/s at 15
+    CPUs => ~5.6 GB/s shared backplane.
+IBM SP "Blue Pacific" — 4-way 332 MHz SMP nodes, SP switch; GPFS
+    with 20 VSD servers (~950 MB/s read / ~690 MB/s write peak).
+T3E I/O — tmp filesystem, 10 striped RAID disks on a GigaRing,
+    ~300 MB/s aggregate hardware peak; I/O is a global resource
+    (b_eff_io flat in the partition size, max near 32 PEs).
+NEC SX-5 I/O — 4 striped RAID-3 arrays on fibre channel; SFS with
+    4 MB cluster size and a 2 GB filesystem cache.
+"""
+
+from __future__ import annotations
+
+from repro.machines.spec import MachineSpec
+from repro.net.model import NetParams
+from repro.pfs.filesystem import PFSConfig
+from repro.topology.clustered import ClusteredSMP
+from repro.topology.crossbar import Crossbar
+from repro.topology.torus import Torus, balanced_dims
+from repro.util import GB, KB, MB
+
+
+def _torus_factory(link_bw: float, nic_bw: float, ndims: int = 3,
+                   node_bw: float | None = None):
+    def make(nprocs: int):
+        return Torus(
+            balanced_dims(nprocs, ndims),
+            link_bw=link_bw,
+            nic_bw=nic_bw,
+            node_bw=node_bw,
+        )
+
+    return make
+
+
+def cray_t3e_900() -> MachineSpec:
+    """Cray T3E/900: one PE per node on a 3-D torus."""
+    return MachineSpec(
+        name="Cray T3E/900",
+        memory_per_proc=128 * MB,  # L_max = 1 MB (Table 1)
+        int_bits=64,
+        rmax_per_proc=0.47e9,
+        make_topology=_torus_factory(
+            link_bw=330 * MB, nic_bw=400 * MB, node_bw=420 * MB
+        ),
+        net=NetParams(
+            latency=14e-6,
+            per_hop_latency=0.3e-6,
+            intra_node_latency=14e-6,
+            eager_threshold=4 * KB,
+            rendezvous_latency=8e-6,
+            msg_rate_cap=330 * MB,  # the paper's asymptotic ping-pong
+        ),
+        pfs=PFSConfig(
+            num_servers=10,  # 10 striped RAID disks on the GigaRing
+            stripe_unit=64 * KB,
+            disk_bw=30 * MB,  # ~300 MB/s aggregate hardware peak
+            ingest_bw=400 * MB,
+            seek_time=6e-3,
+            request_overhead=2e-4,
+            disk_block=16 * KB,
+            cache_bytes=2 * GB,
+            client_bw=100 * MB,
+            # the GigaRing is the shared global resource: ~320 MB/s
+            # aggregate into the I/O servers, independent of partition size
+            server_net_bw=32 * MB,
+            call_overhead=8e-5,
+            unaligned_penalty=2.5e-3,  # T3E's huge wellformed/+8 gap
+        ),
+        procs_choices=(2, 24, 64, 128, 256, 512),
+        notes="distributed memory; rings map to torus neighbors",
+    )
+
+
+def hitachi_sr8000(placement: str = "round-robin") -> MachineSpec:
+    """Hitachi SR 8000: 8-way SMP nodes; placement matters (Table 1)."""
+
+    def make(nprocs: int):
+        if nprocs % 8 == 0:
+            nodes = nprocs // 8
+            per_node = 8
+        else:
+            nodes = 1
+            per_node = nprocs
+        return ClusteredSMP(
+            max(nodes, 1),
+            per_node,
+            membus_bw=3.3 * GB,
+            nic_bw=850 * MB,
+            port_bw=2.2 * GB,
+            placement=placement,
+        )
+
+    return MachineSpec(
+        name=f"Hitachi SR 8000 ({placement})",
+        memory_per_proc=1 * GB,  # L_max = 8 MB (Table 1)
+        int_bits=64,
+        rmax_per_proc=0.93e9,
+        make_topology=make,
+        net=NetParams(
+            latency=18e-6,
+            intra_node_latency=6e-6,
+            eager_threshold=8 * KB,
+            rendezvous_latency=10e-6,
+            copy_bw=1.91 * GB,  # sequential ping-pong ~954 MB/s = copy/2
+            msg_rate_cap=780 * MB,  # round-robin ping-pong
+        ),
+        pfs=PFSConfig(
+            num_servers=8,
+            stripe_unit=256 * KB,
+            disk_bw=45 * MB,
+            ingest_bw=900 * MB,
+            seek_time=5e-3,
+            request_overhead=1.5e-4,
+            disk_block=16 * KB,
+            cache_bytes=1 * GB,
+            client_bw=90 * MB,
+            server_net_bw=180 * MB,
+            call_overhead=6e-5,
+            unaligned_penalty=1e-3,
+        ),
+        procs_choices=(24, 128),
+        notes="cluster of 8-way SMP nodes; sequential vs round-robin numbering",
+    )
+
+
+def hitachi_sr2201() -> MachineSpec:
+    """Hitachi SR 2201: older MPP, 2-D crossbar-ish network."""
+    return MachineSpec(
+        name="Hitachi SR 2201",
+        memory_per_proc=256 * MB,  # L_max = 2 MB
+        int_bits=32,
+        rmax_per_proc=0.23e9,
+        make_topology=_torus_factory(link_bw=300 * MB, nic_bw=105 * MB, ndims=2),
+        net=NetParams(
+            latency=30e-6,
+            per_hop_latency=0.5e-6,
+            intra_node_latency=30e-6,
+            eager_threshold=4 * KB,
+            rendezvous_latency=15e-6,
+            msg_rate_cap=280 * MB,
+        ),
+        procs_choices=(16,),
+    )
+
+
+def nec_sx5() -> MachineSpec:
+    """NEC SX-5/8B: shared-memory vector node (4 CPUs measured)."""
+    return MachineSpec(
+        name="NEC SX-5/8B",
+        memory_per_proc=256 * MB,  # L_max = 2 MB
+        int_bits=64,
+        rmax_per_proc=7.2e9,
+        make_topology=lambda n: Crossbar(n, port_bw=8.76 * GB, backplane_bw=64 * GB),
+        net=NetParams(
+            latency=6e-6,
+            intra_node_latency=6e-6,
+            eager_threshold=32 * KB,
+            rendezvous_latency=4e-6,
+            copy_bw=17.5 * GB,  # ring per-proc ~8.76 GB/s = copy/2
+        ),
+        pfs=PFSConfig(
+            num_servers=4,  # 4 striped RAID-3 arrays (DS 1200)
+            stripe_unit=4 * MB,  # SFS cluster size
+            disk_bw=90 * MB,
+            ingest_bw=2 * GB,
+            seek_time=4e-3,
+            request_overhead=1e-4,
+            disk_block=64 * KB,
+            cache_bytes=2 * GB,  # the 2 GB filesystem cache
+            client_bw=500 * MB,
+            server_net_bw=250 * MB,
+            call_overhead=5e-5,
+            unaligned_penalty=4e-4,
+        ),
+        procs_choices=(4,),
+        notes="shared-memory; b_eff reflects half the copy bandwidth",
+    )
+
+
+def nec_sx4() -> MachineSpec:
+    """NEC SX-4/32 (4, 8, 16 CPUs measured)."""
+    return MachineSpec(
+        name="NEC SX-4/32",
+        memory_per_proc=256 * MB,
+        int_bits=64,
+        rmax_per_proc=1.8e9,
+        make_topology=lambda n: Crossbar(n, port_bw=3.56 * GB, backplane_bw=50.5 * GB),
+        net=NetParams(
+            latency=8e-6,
+            intra_node_latency=8e-6,
+            eager_threshold=32 * KB,
+            rendezvous_latency=5e-6,
+            copy_bw=7.1 * GB,  # ring per-proc ~3.55 GB/s = copy/2
+        ),
+        procs_choices=(4, 8, 16),
+    )
+
+
+def hp_v9000() -> MachineSpec:
+    """HP-V 9000 (7 CPUs measured)."""
+    return MachineSpec(
+        name="HP-V 9000",
+        memory_per_proc=1 * GB,  # L_max = 8 MB
+        int_bits=64,
+        rmax_per_proc=0.72e9,
+        make_topology=lambda n: Crossbar(n, port_bw=162 * MB, backplane_bw=2.5 * GB),
+        net=NetParams(
+            latency=12e-6,
+            intra_node_latency=12e-6,
+            eager_threshold=8 * KB,
+            rendezvous_latency=8e-6,
+            copy_bw=324 * MB,  # ring per-proc ~162 MB/s = copy/2
+        ),
+        procs_choices=(7,),
+    )
+
+
+def sgi_cray_sv1() -> MachineSpec:
+    """SGI Cray SV1-B/16-8 (15 CPUs measured)."""
+    return MachineSpec(
+        name="SGI Cray SV1",
+        memory_per_proc=512 * MB,  # L_max = 4 MB
+        int_bits=64,
+        rmax_per_proc=1.0e9,
+        make_topology=lambda n: Crossbar(n, port_bw=4 * GB, backplane_bw=5.6 * GB),
+        net=NetParams(
+            latency=10e-6,
+            intra_node_latency=10e-6,
+            eager_threshold=16 * KB,
+            rendezvous_latency=6e-6,
+            copy_bw=1.99 * GB,  # ping-pong 994 MB/s = copy/2
+        ),
+        procs_choices=(15,),
+    )
+
+
+def ibm_sp_blue() -> MachineSpec:
+    """IBM RS 6000/SP "Blue Pacific": GPFS benchmarks used one I/O
+    process per 4-way SMP node, so the model is one process per node
+    on the SP switch."""
+    return MachineSpec(
+        name="IBM SP (Blue Pacific)",
+        memory_per_proc=1536 * MB,  # ~1.5 GB per node -> M_PART = 12 MB
+        int_bits=32,
+        rmax_per_proc=1.0e9,  # 4 x 332 MHz PowerPC 604e per node
+        make_topology=lambda n: ClusteredSMP(
+            n, 1, membus_bw=1.3 * GB, nic_bw=150 * MB, port_bw=1.3 * GB
+        ),
+        net=NetParams(
+            latency=22e-6,
+            intra_node_latency=8e-6,
+            eager_threshold=8 * KB,
+            rendezvous_latency=12e-6,
+            copy_bw=1.0 * GB,
+            msg_rate_cap=140 * MB,
+        ),
+        pfs=PFSConfig(
+            num_servers=20,  # 20 VSD servers
+            stripe_unit=256 * KB,  # GPFS block size
+            disk_bw=40 * MB,  # ~690-950 MB/s aggregate peak
+            ingest_bw=500 * MB,
+            seek_time=5e-3,
+            request_overhead=2.5e-4,
+            disk_block=256 * KB,
+            cache_bytes=1 * GB,
+            client_bw=35 * MB,  # per-node I/O injection: scales w/ nodes
+            server_net_bw=60 * MB,
+            call_overhead=1e-4,
+            unaligned_penalty=1.5e-3,
+        ),
+        procs_choices=(4, 16, 64, 128),
+        notes="I/O bandwidth tracks the number of nodes until it saturates",
+    )
+
+
+MACHINES = {
+    "t3e": cray_t3e_900,
+    "sr8000": hitachi_sr8000,
+    "sr8000-seq": lambda: hitachi_sr8000("sequential"),
+    "sr2201": hitachi_sr2201,
+    "sx5": nec_sx5,
+    "sx4": nec_sx4,
+    "hpv": hp_v9000,
+    "sv1": sgi_cray_sv1,
+    "sp": ibm_sp_blue,
+}
+
+
+def get_machine(key: str) -> MachineSpec:
+    """Look up a machine by its short key (see ``MACHINES``)."""
+    try:
+        return MACHINES[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {key!r}; available: {sorted(MACHINES)}"
+        ) from None

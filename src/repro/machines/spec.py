@@ -1,0 +1,89 @@
+"""MachineSpec: one simulated machine, ready to benchmark."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.beff.benchmark import BeffResult, run_beff
+from repro.beff.measurement import MeasurementConfig
+from repro.beffio.benchmark import BeffIOConfig, BeffIOResult, run_beffio
+from repro.mpi.comm import World
+from repro.net.model import Fabric, NetParams
+from repro.pfs.filesystem import FileSystem, PFSConfig
+from repro.sim.engine import Simulator
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine model: topology + network constants + I/O subsystem."""
+
+    name: str
+    #: memory per MPI process, bytes (drives L_max and M_PART)
+    memory_per_proc: int
+    #: C int width of the original system (the 128 MB L_max cap)
+    int_bits: int
+    #: Linpack R_max per processor, flops (balance factor, Fig. 1);
+    #: None when the paper gives no basis for an estimate
+    rmax_per_proc: float | None
+    #: builds the interconnect for a given process count
+    make_topology: Callable[[int], Topology]
+    net: NetParams
+    #: I/O subsystem; None for machines the paper only ran b_eff on
+    pfs: PFSConfig | None = None
+    #: the process counts the paper reports for this machine
+    procs_choices: tuple[int, ...] = ()
+    notes: str = ""
+
+    # -- factories -----------------------------------------------------------
+
+    def fabric_factory(self, nprocs: int) -> Callable[[], Fabric]:
+        """A zero-arg factory building a fresh fabric (own simulator)."""
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+
+        def make() -> Fabric:
+            sim = Simulator()
+            return Fabric(sim, self.make_topology(nprocs), self.net)
+
+        return make
+
+    def io_env_factory(self, nprocs: int) -> Callable[[], tuple[World, FileSystem]]:
+        """A zero-arg factory building (World, FileSystem) sharing one sim."""
+        if self.pfs is None:
+            raise ValueError(f"{self.name} has no I/O subsystem configured")
+        fabric_factory = self.fabric_factory(nprocs)
+
+        def make() -> tuple[World, FileSystem]:
+            fabric = fabric_factory()
+            world = World(fabric)
+            fs = FileSystem(fabric.sim, self.pfs)
+            return world, fs
+
+        return make
+
+    # -- convenience runners ---------------------------------------------------
+
+    def run_beff(self, nprocs: int, config: MeasurementConfig | None = None) -> BeffResult:
+        """b_eff on this machine with ``nprocs`` processes."""
+        return run_beff(
+            self.fabric_factory(nprocs),
+            self.memory_per_proc,
+            config,
+            int_bits=self.int_bits,
+        )
+
+    def run_beffio(self, nprocs: int, config: BeffIOConfig | None = None) -> BeffIOResult:
+        """One b_eff_io partition on this machine."""
+        return run_beffio(
+            self.io_env_factory(nprocs),
+            self.memory_per_proc,
+            config,
+        )
+
+    def rmax(self, nprocs: int) -> float:
+        """System R_max for ``nprocs`` processors, flops."""
+        if self.rmax_per_proc is None:
+            raise ValueError(f"no R_max estimate for {self.name}")
+        return self.rmax_per_proc * nprocs

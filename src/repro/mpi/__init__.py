@@ -1,0 +1,39 @@
+"""Simulated MPI: point-to-point, collectives, communicators, topologies.
+
+Rank programs are generators; every MPI call that can block is used
+with ``yield from``:
+
+    def program(rank, comm):
+        if rank == 0:
+            yield from comm.send(1, nbytes=1024, tag=7)
+        else:
+            status = yield from comm.recv(0, tag=7)
+
+The semantics mirror the MPI subset the two benchmarks exercise:
+
+* non-overtaking point-to-point matching with ``ANY_SOURCE`` /
+  ``ANY_TAG`` wildcards, eager and rendezvous protocols;
+* nonblocking ``isend``/``irecv`` with ``wait``/``waitall``;
+* algorithmic collectives (dissemination barrier, binomial bcast and
+  gather, recursive-doubling allreduce, pairwise alltoallv) whose
+  cost comes entirely from their constituent point-to-point messages;
+* communicator split/dup and Cartesian topologies (``dims_create``,
+  periodic shifts) — used by b_eff's 2-D/3-D patterns.
+"""
+
+from repro.mpi.core import ANY_SOURCE, ANY_TAG, MpiError, Request, Status
+from repro.mpi.comm import Comm, RankComm, World
+from repro.mpi.cart import CartComm, dims_create
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiError",
+    "Request",
+    "Status",
+    "Comm",
+    "RankComm",
+    "World",
+    "CartComm",
+    "dims_create",
+]

@@ -1,0 +1,125 @@
+"""Cartesian process topologies (MPI_Dims_create / MPI_Cart_*).
+
+b_eff's detail patterns communicate along the directions of 2-D and
+3-D Cartesian partitionings of MPI_COMM_WORLD; this module provides
+the coordinate arithmetic those patterns need.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mpi.comm import Comm
+from repro.mpi.core import MpiError
+
+
+def dims_create(nnodes: int, ndims: int, dims: list[int] | None = None) -> tuple[int, ...]:
+    """MPI_Dims_create: balanced factorization of ``nnodes``.
+
+    ``dims`` may pre-constrain entries (non-zero values are fixed,
+    zeros are free).  Free dimensions are chosen as close to equal as
+    possible, in non-increasing order, and their product times the
+    fixed entries equals ``nnodes``.
+    """
+    if nnodes < 1:
+        raise MpiError("nnodes must be positive")
+    if ndims < 1:
+        raise MpiError("ndims must be positive")
+    fixed = list(dims) if dims is not None else [0] * ndims
+    if len(fixed) != ndims:
+        raise MpiError("dims constraint length mismatch")
+    fixed_product = 1
+    free_slots = 0
+    for d in fixed:
+        if d < 0:
+            raise MpiError(f"negative dimension constraint {d}")
+        if d == 0:
+            free_slots += 1
+        else:
+            fixed_product *= d
+    if fixed_product == 0 or nnodes % fixed_product != 0:
+        raise MpiError(
+            f"cannot factor {nnodes} nodes with fixed dims {fixed!r}"
+        )
+    remaining = nnodes // fixed_product
+    if free_slots == 0:
+        if remaining != 1:
+            raise MpiError("fixed dims do not multiply to nnodes")
+        return tuple(fixed)
+    # Balanced factorization of `remaining` into free_slots factors.
+    from repro.topology.torus import balanced_dims
+
+    free = list(balanced_dims(remaining, free_slots))
+    out = []
+    for d in fixed:
+        out.append(d if d != 0 else free.pop(0))
+    return tuple(out)
+
+
+class CartComm:
+    """A communicator with Cartesian coordinates attached.
+
+    Ranks are laid out row-major over ``dims`` (last dimension varies
+    fastest), matching MPI_Cart_create with reorder=false.
+    """
+
+    def __init__(self, comm: Comm, dims: tuple[int, ...], periodic: bool | tuple[bool, ...] = True):
+        if math.prod(dims) != comm.size:
+            raise MpiError(
+                f"dims {dims!r} do not cover communicator size {comm.size}"
+            )
+        if any(d < 1 for d in dims):
+            raise MpiError(f"bad Cartesian dims {dims!r}")
+        self.comm = comm
+        self.dims = tuple(dims)
+        if isinstance(periodic, bool):
+            self.periodic = tuple(periodic for _ in dims)
+        else:
+            if len(periodic) != len(dims):
+                raise MpiError("periodic flags arity mismatch")
+            self.periodic = tuple(periodic)
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        self.comm._check_rank(rank)
+        out = []
+        for extent in reversed(self.dims):
+            out.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(out))
+
+    def rank_at(self, coords: tuple[int, ...]) -> int:
+        if len(coords) != self.ndims:
+            raise MpiError("coordinate arity mismatch")
+        rank = 0
+        for c, extent in zip(coords, self.dims):
+            if not (0 <= c < extent):
+                raise MpiError(f"coordinate {c} out of range for extent {extent}")
+            rank = rank * extent + c
+        return rank
+
+    def shift(self, rank: int, dim: int, disp: int = 1) -> tuple[int | None, int | None]:
+        """MPI_Cart_shift: (source, dest) ranks for a shift along ``dim``.
+
+        Returns None entries where a non-periodic dimension runs off
+        the edge (MPI_PROC_NULL).
+        """
+        if not (0 <= dim < self.ndims):
+            raise MpiError(f"dimension {dim} out of range")
+        coords = list(self.coords(rank))
+        extent = self.dims[dim]
+
+        def neighbor(offset: int) -> int | None:
+            c = coords[dim] + offset
+            if self.periodic[dim]:
+                c %= extent
+            elif not (0 <= c < extent):
+                return None
+            nc = list(coords)
+            nc[dim] = c
+            return self.rank_at(tuple(nc))
+
+        return neighbor(-disp), neighbor(+disp)

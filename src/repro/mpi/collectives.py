@@ -1,0 +1,246 @@
+"""Algorithmic collectives built from point-to-point messages.
+
+Costs are not analytic formulas: every collective really executes its
+constituent messages through the fabric, so contention between a
+collective and other traffic (or between phases of the collective
+itself) is captured by the fluid network.
+
+Algorithms (the classic MPICH choices):
+
+* barrier — dissemination (ceil(log2 p) rounds of 0-byte messages);
+* bcast — binomial tree;
+* reduce — binomial tree (mirror of bcast);
+* allreduce — recursive doubling with pre/post phases for non-powers
+  of two;
+* gather — binomial tree with growing payloads;
+* allgather — ring (p-1 steps);
+* alltoallv — pairwise exchange ((p-1) sendrecv steps) — this is the
+  method b_eff's ``MPI_Alltoallv`` communication variant uses, and the
+  0-byte slots it exchanges for non-neighbors are exactly why the
+  nonblocking method usually wins the max-over-methods.
+
+All functions are generators operating on a :class:`repro.mpi.comm.Comm`
+plus the caller's rank; internal message tags live in the negative
+tag space so they can never collide with user tags.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Sequence
+
+# Internal tag space (user tags are >= 0).
+TAG_BARRIER = -10
+TAG_BCAST = -11
+TAG_REDUCE = -12
+TAG_ALLREDUCE_PRE = -13
+TAG_ALLREDUCE_RD = -14
+TAG_ALLREDUCE_POST = -15
+TAG_GATHER = -16
+TAG_ALLGATHER = -17
+TAG_ALLTOALLV = -18
+
+
+def _combine(a: object, b: object, op) -> object:
+    """Reduce two contributions; None propagates (timing-only use)."""
+    if a is None or b is None:
+        return None
+    return op(a, b)
+
+
+def barrier(comm, rank: int):
+    """Dissemination barrier: after ceil(log2 p) rounds everyone has
+    (transitively) heard from everyone."""
+    size = comm.size
+    if size == 1:
+        return None
+    step = 1
+    while step < size:
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        sreq = comm._isend_internal(rank, dst, 0, TAG_BARRIER)
+        rreq = comm._irecv_internal(rank, src, TAG_BARRIER)
+        yield from comm.waitall([sreq, rreq])
+        step <<= 1
+    return None
+
+
+def bcast(comm, rank: int, root: int, nbytes: int, data: object = None):
+    """Binomial-tree broadcast; returns the payload on every rank."""
+    comm._check_rank(root)
+    size = comm.size
+    if size == 1:
+        return data
+    relative = (rank - root) % size
+    payload = data if rank == root else None
+
+    # Receive phase: non-roots receive from the parent determined by
+    # the lowest set bit of the relative rank.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            src = (rank - mask) % size
+            status = yield from comm._recv_internal(rank, src, TAG_BCAST)
+            payload = status.data
+            break
+        mask <<= 1
+    # Send phase: forward down the tree.
+    mask >>= 1
+    reqs = []
+    while mask > 0:
+        if relative + mask < size:
+            dst = (rank + mask) % size
+            reqs.append(comm._isend_internal(rank, dst, nbytes, TAG_BCAST, payload))
+        mask >>= 1
+    if reqs:
+        yield from comm.waitall(reqs)
+    return payload
+
+
+def reduce(comm, rank: int, root: int, nbytes: int, value: object, op=None):
+    """Binomial-tree reduction; the root returns the combined value."""
+    comm._check_rank(root)
+    op = op or operator.add
+    size = comm.size
+    if size == 1:
+        return value
+    relative = (rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            dst = (rank - mask) % size
+            yield from comm._send_internal(rank, dst, nbytes, TAG_REDUCE, acc)
+            return None
+        src_rel = relative + mask
+        if src_rel < size:
+            src = (rank + mask) % size
+            status = yield from comm._recv_internal(rank, src, TAG_REDUCE)
+            acc = _combine(acc, status.data, op)
+        mask <<= 1
+    return acc if rank == root else None
+
+
+def allreduce(comm, rank: int, nbytes: int, value: object, op=None):
+    """Recursive doubling; every rank returns the combined value."""
+    op = op or operator.add
+    size = comm.size
+    if size == 1:
+        return value
+    p2 = 1
+    while p2 * 2 <= size:
+        p2 *= 2
+    rem = size - p2
+    acc = value
+
+    # Pre-phase: fold the surplus ranks into the power-of-two group.
+    participating = True
+    newrank = rank
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            yield from comm._send_internal(rank, rank - 1, nbytes, TAG_ALLREDUCE_PRE, acc)
+            participating = False
+        else:
+            status = yield from comm._recv_internal(rank, rank + 1, TAG_ALLREDUCE_PRE)
+            acc = _combine(acc, status.data, op)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if participating:
+        mask = 1
+        while mask < p2:
+            partner_new = newrank ^ mask
+            partner = partner_new * 2 if partner_new < rem else partner_new + rem
+            status = yield from comm._sendrecv_internal(
+                rank, partner, nbytes, partner, TAG_ALLREDUCE_RD, send_data=acc
+            )
+            acc = _combine(acc, status.data, op)
+            mask <<= 1
+
+    # Post-phase: hand the result back to the folded ranks.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from comm._send_internal(rank, rank + 1, nbytes, TAG_ALLREDUCE_POST, acc)
+        else:
+            status = yield from comm._recv_internal(rank, rank - 1, TAG_ALLREDUCE_POST)
+            acc = status.data
+    return acc
+
+
+def gather(comm, rank: int, root: int, nbytes: int, value: object = None):
+    """Binomial gather; root returns the list of per-rank values."""
+    comm._check_rank(root)
+    size = comm.size
+    collected: dict[int, object] = {rank: value}
+    if size == 1:
+        return [value]
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            dst = (rank - mask) % size
+            yield from comm._send_internal(
+                rank, dst, nbytes * len(collected), TAG_GATHER, collected
+            )
+            return None
+        src_rel = relative + mask
+        if src_rel < size:
+            src = (rank + mask) % size
+            status = yield from comm._recv_internal(rank, src, TAG_GATHER)
+            collected.update(status.data)
+        mask <<= 1
+    return [collected[r] for r in range(size)]
+
+
+def allgather(comm, rank: int, nbytes: int, value: object = None):
+    """Ring allgather: p-1 steps, passing blocks around the ring."""
+    size = comm.size
+    blocks: list[object] = [None] * size
+    blocks[rank] = value
+    if size == 1:
+        return blocks
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carrying = rank  # index of the block we forward next
+    for _step in range(size - 1):
+        status = yield from comm._sendrecv_internal(
+            rank, right, nbytes, left, TAG_ALLGATHER,
+            send_data=(carrying, blocks[carrying]),
+        )
+        idx, payload = status.data
+        blocks[idx] = payload
+        carrying = idx
+    return blocks
+
+
+def alltoallv(
+    comm,
+    rank: int,
+    send_nbytes: Sequence[int],
+    send_data: Sequence[object] | None = None,
+):
+    """Pairwise-exchange alltoallv.
+
+    ``send_nbytes[d]`` is the byte count for destination ``d`` (0 is
+    allowed and still exchanges a header-only message — the fixed
+    per-step cost that makes Alltoallv on sparse patterns expensive).
+    Returns ``[(nbytes, data), ...]`` indexed by source rank.
+    """
+    size = comm.size
+    if len(send_nbytes) != size:
+        raise ValueError(f"send_nbytes needs {size} entries, got {len(send_nbytes)}")
+    if send_data is not None and len(send_data) != size:
+        raise ValueError("send_data length mismatch")
+    received: list[tuple[int, object]] = [(0, None)] * size
+    own = send_data[rank] if send_data is not None else None
+    received[rank] = (send_nbytes[rank], own)
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        payload = send_data[dst] if send_data is not None else None
+        status = yield from comm._sendrecv_internal(
+            rank, dst, send_nbytes[dst], src, TAG_ALLTOALLV, send_data=payload
+        )
+        received[src] = (status.nbytes, status.data)
+    return received

@@ -1,0 +1,366 @@
+"""Communicators and the simulated world.
+
+:class:`World` owns the simulator, the fabric, and the rank programs;
+:class:`Comm` is the object rank programs talk to.  Rank programs are
+factories ``factory(rank, comm) -> generator``; :meth:`World.run`
+drives the whole system to completion in virtual time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator, Sequence
+
+from repro.mpi import collectives
+from repro.mpi.core import ANY_SOURCE, ANY_TAG, Endpoint, MpiError, Request, Status
+from repro.net.model import Fabric
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, wait_all
+
+
+class World:
+    """All simulated MPI state for one machine run."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+        self.sim: Simulator = fabric.sim
+        self.endpoint = Endpoint(fabric)
+        self.nprocs = fabric.topology.nprocs
+        self._next_context = 0
+        self.comm_world = Comm(self, ranks=list(range(self.nprocs)))
+
+    def _new_context(self) -> int:
+        ctx = self._next_context
+        self._next_context += 1
+        return ctx
+
+    def spawn(self, factory: Callable[["RankComm"], Generator]) -> list[Process]:
+        """Create one process per rank running ``factory(rank_comm)``.
+
+        The factory receives a :class:`RankComm` — the world
+        communicator bound to that process's rank.
+        """
+        procs = []
+        for rank in range(self.nprocs):
+            gen = factory(self.comm_world.view(rank))
+            procs.append(Process(self.sim, gen, name=f"rank{rank}"))
+        return procs
+
+    def run(self, factory: Callable[["RankComm"], Generator]) -> list[object]:
+        """Spawn all ranks, run to completion, return per-rank results."""
+        procs = self.spawn(factory)
+        self.sim.run_to_completion()
+        return [p.result for p in procs]
+
+
+class Comm:
+    """A communicator: an ordered group of world ranks + a context id.
+
+    All rank arguments of the methods are ranks *within this
+    communicator*.  A rank program learns its own rank per
+    communicator via :meth:`rank_of_world` / the ``rank`` passed by
+    :meth:`World.run` (for ``comm_world`` the two coincide).
+    """
+
+    def __init__(self, world: World, ranks: Sequence[int]) -> None:
+        if not ranks:
+            raise MpiError("empty communicator")
+        if len(set(ranks)) != len(ranks):
+            raise MpiError(f"duplicate world ranks in communicator: {ranks!r}")
+        self.world = world
+        self.ranks = list(ranks)
+        self.context = world._new_context()
+        self._world_to_comm = {w: i for i, w in enumerate(self.ranks)}
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def world_rank(self, comm_rank: int) -> int:
+        self._check_rank(comm_rank)
+        return self.ranks[comm_rank]
+
+    def rank_of_world(self, world_rank: int) -> int | None:
+        """This communicator's rank of a world rank (None if absent)."""
+        return self._world_to_comm.get(world_rank)
+
+    def wtime(self) -> float:
+        """MPI_Wtime: current virtual time in seconds."""
+        return self.world.sim.now
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise MpiError(f"rank {rank} out of range for communicator of size {self.size}")
+
+    def _check_tag(self, tag: int) -> None:
+        if tag < 0 and tag not in (ANY_TAG,):
+            raise MpiError(f"negative tag {tag} reserved for internal use")
+
+    # -- point-to-point ------------------------------------------------------
+
+    def isend(self, my_rank: int, dst: int, nbytes: int, tag: int = 0, data: object = None) -> Request:
+        """Nonblocking send of ``nbytes`` from ``my_rank`` to ``dst``."""
+        self._check_rank(my_rank)
+        self._check_rank(dst)
+        self._check_tag(tag)
+        return self._isend_internal(my_rank, dst, nbytes, tag, data)
+
+    def _isend_internal(self, my_rank: int, dst: int, nbytes: int, tag: int, data: object = None) -> Request:
+        return self.world.endpoint.isend(
+            context=self.context,
+            world_src=self.ranks[my_rank],
+            world_dst=self.ranks[dst],
+            comm_src=my_rank,
+            nbytes=nbytes,
+            tag=tag,
+            data=data,
+        )
+
+    def irecv(self, my_rank: int, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              capacity: int | None = None) -> Request:
+        """Nonblocking receive at ``my_rank`` (wildcards allowed)."""
+        self._check_rank(my_rank)
+        if src != ANY_SOURCE:
+            self._check_rank(src)
+        if tag != ANY_TAG:
+            self._check_tag(tag)
+        return self._irecv_internal(my_rank, src, tag, capacity)
+
+    def _irecv_internal(self, my_rank: int, src: int, tag: int,
+                        capacity: int | None = None) -> Request:
+        return self.world.endpoint.irecv(
+            context=self.context,
+            world_dst=self.ranks[my_rank],
+            comm_src=src,
+            tag=tag,
+            capacity=capacity,
+        )
+
+    def _send_internal(self, my_rank: int, dst: int, nbytes: int, tag: int, data: object = None):
+        """Blocking send with an internal (negative) tag."""
+        req = self._isend_internal(my_rank, dst, nbytes, tag, data)
+        result = yield from req.wait()
+        return result
+
+    def _recv_internal(self, my_rank: int, src: int, tag: int):
+        """Blocking receive with an internal (negative) tag."""
+        req = self._irecv_internal(my_rank, src, tag)
+        status = yield from req.wait()
+        return status
+
+    def _sendrecv_internal(self, my_rank: int, dst: int, send_nbytes: int,
+                           src: int, tag: int, send_data: object = None):
+        rreq = self._irecv_internal(my_rank, src, tag)
+        sreq = self._isend_internal(my_rank, dst, send_nbytes, tag, send_data)
+        yield from sreq.wait()
+        status = yield from rreq.wait()
+        return status
+
+    def send(self, my_rank: int, dst: int, nbytes: int, tag: int = 0, data: object = None):
+        """Blocking send (generator)."""
+        req = self.isend(my_rank, dst, nbytes, tag, data)
+        result = yield from req.wait()
+        return result
+
+    def recv(self, my_rank: int, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+             capacity: int | None = None):
+        """Blocking receive (generator) -> Status."""
+        req = self.irecv(my_rank, src, tag, capacity)
+        status = yield from req.wait()
+        return status
+
+    def sendrecv(
+        self,
+        my_rank: int,
+        dst: int,
+        send_nbytes: int,
+        src: int,
+        tag: int = 0,
+        send_data: object = None,
+        recv_capacity: int | None = None,
+    ):
+        """MPI_Sendrecv: concurrent send to ``dst`` and receive from ``src``."""
+        rreq = self.irecv(my_rank, src, tag, recv_capacity)
+        sreq = self.isend(my_rank, dst, send_nbytes, tag, send_data)
+        yield from sreq.wait()
+        status = yield from rreq.wait()
+        return status
+
+    @staticmethod
+    def waitall(requests: Sequence[Request]):
+        """Wait for every request; returns their statuses in order."""
+        yield from wait_all([r.event for r in requests])
+        return [r.status for r in requests]
+
+    # -- collectives (generators; see repro.mpi.collectives) -----------------
+
+    def barrier(self, my_rank: int):
+        result = yield from collectives.barrier(self, my_rank)
+        return result
+
+    def bcast(self, my_rank: int, root: int, nbytes: int, data: object = None):
+        result = yield from collectives.bcast(self, my_rank, root, nbytes, data)
+        return result
+
+    def reduce(self, my_rank: int, root: int, nbytes: int, value: object, op=None):
+        result = yield from collectives.reduce(self, my_rank, root, nbytes, value, op)
+        return result
+
+    def allreduce(self, my_rank: int, nbytes: int, value: object, op=None):
+        result = yield from collectives.allreduce(self, my_rank, nbytes, value, op)
+        return result
+
+    def gather(self, my_rank: int, root: int, nbytes: int, value: object = None):
+        result = yield from collectives.gather(self, my_rank, root, nbytes, value)
+        return result
+
+    def allgather(self, my_rank: int, nbytes: int, value: object = None):
+        result = yield from collectives.allgather(self, my_rank, nbytes, value)
+        return result
+
+    def alltoallv(self, my_rank: int, send_nbytes: Sequence[int],
+                  send_data: Sequence[object] | None = None):
+        result = yield from collectives.alltoallv(self, my_rank, send_nbytes, send_data)
+        return result
+
+    # -- communicator management ---------------------------------------------
+
+    def dup(self) -> "Comm":
+        """New communicator over the same group (fresh context)."""
+        return Comm(self.world, self.ranks)
+
+    def create(self, comm_ranks: Sequence[int]) -> "Comm":
+        """Sub-communicator from *this* communicator's ranks (in order given)."""
+        world_ranks = [self.world_rank(r) for r in comm_ranks]
+        return Comm(self.world, world_ranks)
+
+    def split(self, assignments: Sequence[tuple[int, int]]) -> dict[int, "Comm"]:
+        """MPI_Comm_split over the whole group at once.
+
+        ``assignments[r] = (color, key)`` for every rank ``r``.  Returns
+        ``{color: Comm}``; within each new communicator ranks are
+        ordered by (key, old rank).  Ranks with color < 0
+        (MPI_UNDEFINED) get no communicator.
+        """
+        if len(assignments) != self.size:
+            raise MpiError("split needs one (color, key) per rank")
+        by_color: dict[int, list[tuple[int, int]]] = {}
+        for rank, (color, key) in enumerate(assignments):
+            if color < 0:
+                continue
+            by_color.setdefault(color, []).append((key, rank))
+        out = {}
+        for color, members in by_color.items():
+            members.sort()
+            out[color] = self.create([rank for _key, rank in members])
+        return out
+
+    def view(self, my_rank: int) -> "RankComm":
+        """This communicator bound to one rank (the per-process handle)."""
+        self._check_rank(my_rank)
+        return RankComm(self, my_rank)
+
+
+class RankComm:
+    """A communicator as seen from one rank.
+
+    This is the handle rank programs use: ``comm.rank`` and
+    ``comm.size`` are plain attributes and all operations drop the
+    explicit ``my_rank`` argument of :class:`Comm`:
+
+        status = yield from comm.sendrecv(dst=left, send_nbytes=L, src=right)
+
+    Communicator *construction* (dup/split/create) stays on
+    :class:`Comm` and is done by the host-side driver before rank
+    programs start — our benchmarks build their pattern communicators
+    up front, which keeps rank programs free of collective
+    bookkeeping.  Use :meth:`of` to re-bind a prebuilt communicator to
+    this process.
+    """
+
+    __slots__ = ("comm", "rank")
+
+    def __init__(self, comm: Comm, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def world(self) -> World:
+        return self.comm.world
+
+    def wtime(self) -> float:
+        return self.comm.wtime()
+
+    def of(self, other: Comm) -> "RankComm | None":
+        """Bind ``other`` to this process (None if the process is not in it)."""
+        my_world = self.comm.world_rank(self.rank)
+        other_rank = other.rank_of_world(my_world)
+        if other_rank is None:
+            return None
+        return RankComm(other, other_rank)
+
+    # -- point-to-point ----------------------------------------------------
+
+    def isend(self, dst: int, nbytes: int, tag: int = 0, data: object = None) -> Request:
+        return self.comm.isend(self.rank, dst, nbytes, tag, data)
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              capacity: int | None = None) -> Request:
+        return self.comm.irecv(self.rank, src, tag, capacity)
+
+    def send(self, dst: int, nbytes: int, tag: int = 0, data: object = None):
+        result = yield from self.comm.send(self.rank, dst, nbytes, tag, data)
+        return result
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+             capacity: int | None = None):
+        status = yield from self.comm.recv(self.rank, src, tag, capacity)
+        return status
+
+    def sendrecv(self, dst: int, send_nbytes: int, src: int, tag: int = 0,
+                 send_data: object = None, recv_capacity: int | None = None):
+        status = yield from self.comm.sendrecv(
+            self.rank, dst, send_nbytes, src, tag, send_data, recv_capacity
+        )
+        return status
+
+    @staticmethod
+    def waitall(requests: Sequence[Request]):
+        statuses = yield from Comm.waitall(requests)
+        return statuses
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self):
+        result = yield from self.comm.barrier(self.rank)
+        return result
+
+    def bcast(self, root: int, nbytes: int, data: object = None):
+        result = yield from self.comm.bcast(self.rank, root, nbytes, data)
+        return result
+
+    def reduce(self, root: int, nbytes: int, value: object, op=None):
+        result = yield from self.comm.reduce(self.rank, root, nbytes, value, op)
+        return result
+
+    def allreduce(self, nbytes: int, value: object, op=None):
+        result = yield from self.comm.allreduce(self.rank, nbytes, value, op)
+        return result
+
+    def gather(self, root: int, nbytes: int, value: object = None):
+        result = yield from self.comm.gather(self.rank, root, nbytes, value)
+        return result
+
+    def allgather(self, nbytes: int, value: object = None):
+        result = yield from self.comm.allgather(self.rank, nbytes, value)
+        return result
+
+    def alltoallv(self, send_nbytes: Sequence[int],
+                  send_data: Sequence[object] | None = None):
+        result = yield from self.comm.alltoallv(self.rank, send_nbytes, send_data)
+        return result

@@ -1,0 +1,25 @@
+"""Simulated MPI-IO on top of the parallel filesystem.
+
+Implements the MPI-2 I/O subset b_eff_io exercises (paper Sec. 3.2,
+item 4):
+
+* access methods: first write, rewrite, read (the benchmark's three);
+* positioning: individual file pointers and shared file pointers
+  (explicit offsets exist as ``write_at``/``read_at``);
+* coordination: collective and noncollective variants, with a
+  ROMIO-style two-phase collective-buffering optimization — data is
+  exchanged over the *compute* fabric to aggregator ranks which issue
+  large merged filesystem requests;
+* synchronism: blocking only (the benchmark uses no overlap);
+* file views: contiguous and strided (the scatter pattern type 0).
+
+``MPI_File_sync`` maps to a collective flush that waits until no
+server holds dirty bytes of the file — matching the paper's
+discussion that sync publishes data but a benchmark must still write
+far more than the cache to measure disks.
+"""
+
+from repro.mpiio.fileview import ContiguousView, FileView, StridedView
+from repro.mpiio.file import IOFile, open_file
+
+__all__ = ["FileView", "ContiguousView", "StridedView", "IOFile", "open_file"]

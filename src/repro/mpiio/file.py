@@ -1,0 +1,313 @@
+"""The MPI-IO file object.
+
+One :class:`IOFile` is shared by all ranks of the communicator that
+opened it (pass the opening rank to each method, or use it through
+the benchmark drivers).  Pointers:
+
+* individual file pointers — one per rank, view-relative;
+* one shared file pointer — view-relative, advanced atomically.
+
+Collective data operations run ROMIO-style two-phase collective
+buffering (:meth:`write_all` / :meth:`read_all` / the ordered shared-
+pointer variants): per-rank extents are merged into contiguous runs,
+runs are split into ``cb_buffer`` chunks assigned round-robin to
+``num_aggregators`` aggregator ranks, data moves over the compute
+fabric between ranks and aggregators, and each aggregator issues a
+single large filesystem call.  This is the mechanism that makes the
+scattering pattern type 0 fast for small disk chunks (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import Comm
+from repro.mpiio.fileview import ContiguousView, FileView
+from repro.mpiio.gate import CollectiveGate
+from repro.pfs.filesystem import FileSystem, PFSFile
+from repro.pfs.intervals import IntervalSet
+from repro.sim.process import Process, wait_all
+from repro.util import MB
+
+
+def open_file(
+    comm: Comm,
+    fs: FileSystem,
+    name: str,
+    cb_buffer: int = 4 * MB,
+    num_aggregators: int | None = None,
+    sync_drains: bool = True,
+) -> "IOFile":
+    """Collectively open (create if absent) ``name`` over ``comm``."""
+    return IOFile(
+        comm, fs, name,
+        cb_buffer=cb_buffer,
+        num_aggregators=num_aggregators,
+        sync_drains=sync_drains,
+    )
+
+
+class IOFile:
+    def __init__(
+        self,
+        comm: Comm,
+        fs: FileSystem,
+        name: str,
+        cb_buffer: int = 4 * MB,
+        num_aggregators: int | None = None,
+        sync_drains: bool = True,
+    ) -> None:
+        """``sync_drains`` selects the strength of :meth:`sync`.
+
+        True (default): sync waits for disk writeback — the durability
+        a careful application wants.  False: sync only *publishes*
+        (consistency semantics), matching the paper's Sec. 5.4
+        observation that MPI_File_sync does not guarantee data reached
+        a permanent medium; cached data may still inflate short
+        benchmark runs.
+        """
+        if cb_buffer < 1:
+            raise ValueError("cb_buffer must be >= 1")
+        self.comm = comm
+        self.fs = fs
+        self.fabric = comm.world.fabric
+        self.pfsfile: PFSFile = fs.open(name)
+        self.cb_buffer = cb_buffer
+        naggr = num_aggregators if num_aggregators is not None else comm.size
+        self.num_aggregators = max(1, min(naggr, comm.size))
+        self._views: list[FileView] = [ContiguousView(0) for _ in range(comm.size)]
+        self._fp = [0] * comm.size
+        self._shared_fp = 0
+        self._gate = CollectiveGate(comm.world.sim, comm.size, name=f"io:{name}")
+        self.sync_drains = sync_drains
+        self.closed = False
+        #: statistics
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- views and pointers -------------------------------------------------
+
+    def set_view(self, rank: int, view: FileView) -> None:
+        """MPI_File_set_view: install a view; resets the rank's pointer."""
+        self.comm._check_rank(rank)
+        self._views[rank] = view
+        self._fp[rank] = 0
+
+    def view(self, rank: int) -> FileView:
+        return self._views[rank]
+
+    def tell(self, rank: int) -> int:
+        return self._fp[rank]
+
+    def seek(self, rank: int, position: int) -> None:
+        if position < 0:
+            raise ValueError("negative file position")
+        self._fp[rank] = position
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"I/O on closed file {self.pfsfile.name!r}")
+
+    def _client(self, rank: int) -> int:
+        return self.comm.world_rank(rank)
+
+    # -- noncollective operations ----------------------------------------------
+
+    def write(self, rank: int, nbytes: int):
+        """Noncollective write at the individual file pointer."""
+        self._check_open()
+        extents = self._views[rank].map_bytes(self._fp[rank], nbytes)
+        self._fp[rank] += nbytes
+        yield from self.fs.submit_io(self._client(rank), self.pfsfile, "write", extents)
+        self.bytes_written += nbytes
+        return nbytes
+
+    def read(self, rank: int, nbytes: int):
+        """Noncollective read at the individual file pointer."""
+        self._check_open()
+        extents = self._views[rank].map_bytes(self._fp[rank], nbytes)
+        self._fp[rank] += nbytes
+        yield from self.fs.submit_io(self._client(rank), self.pfsfile, "read", extents)
+        self.bytes_read += nbytes
+        return nbytes
+
+    def write_at(self, rank: int, position: int, nbytes: int):
+        """Explicit-offset write (does not move the individual pointer)."""
+        self._check_open()
+        extents = self._views[rank].map_bytes(position, nbytes)
+        yield from self.fs.submit_io(self._client(rank), self.pfsfile, "write", extents)
+        self.bytes_written += nbytes
+        return nbytes
+
+    def read_at(self, rank: int, position: int, nbytes: int):
+        """Explicit-offset read (does not move the individual pointer)."""
+        self._check_open()
+        extents = self._views[rank].map_bytes(position, nbytes)
+        yield from self.fs.submit_io(self._client(rank), self.pfsfile, "read", extents)
+        self.bytes_read += nbytes
+        return nbytes
+
+    def write_shared(self, rank: int, nbytes: int):
+        """Noncollective shared-pointer write (pointer grabbed atomically)."""
+        self._check_open()
+        position = self._shared_fp
+        self._shared_fp += nbytes
+        extents = self._views[rank].map_bytes(position, nbytes)
+        yield from self.fs.submit_io(self._client(rank), self.pfsfile, "write", extents)
+        self.bytes_written += nbytes
+        return nbytes
+
+    def read_shared(self, rank: int, nbytes: int):
+        """Noncollective shared-pointer read."""
+        self._check_open()
+        position = self._shared_fp
+        self._shared_fp += nbytes
+        extents = self._views[rank].map_bytes(position, nbytes)
+        yield from self.fs.submit_io(self._client(rank), self.pfsfile, "read", extents)
+        self.bytes_read += nbytes
+        return nbytes
+
+    # -- collective operations -----------------------------------------------
+
+    def write_all(self, rank: int, nbytes: int):
+        """Collective write at the individual pointer (two-phase)."""
+        result = yield from self._collective_data(rank, nbytes, "write", shared=False)
+        return result
+
+    def read_all(self, rank: int, nbytes: int):
+        """Collective read at the individual pointer (two-phase)."""
+        result = yield from self._collective_data(rank, nbytes, "read", shared=False)
+        return result
+
+    def write_ordered(self, rank: int, nbytes: int):
+        """Collective shared-pointer write: rank-ordered contiguous blocks."""
+        result = yield from self._collective_data(rank, nbytes, "write", shared=True)
+        return result
+
+    def read_ordered(self, rank: int, nbytes: int):
+        """Collective shared-pointer read."""
+        result = yield from self._collective_data(rank, nbytes, "read", shared=True)
+        return result
+
+    def _collective_data(self, rank: int, nbytes: int, kind: str, shared: bool):
+        self._check_open()
+        if not shared:
+            position = self._fp[rank]
+            self._fp[rank] += nbytes
+        else:
+            position = None  # assigned when everyone has arrived
+        result = yield from self._gate.arrive(
+            rank,
+            (position, nbytes),
+            lambda contribs: self._two_phase(contribs, kind, shared),
+        )
+        return result
+
+    def _two_phase(self, contribs: dict[int, tuple[int | None, int]], kind: str,
+                   shared: bool):
+        """Exchange + aggregated access; runs once per collective call."""
+        size = self.comm.size
+        # Resolve positions: shared-pointer collectives get rank-ordered
+        # consecutive blocks starting at the shared pointer.
+        per_rank_extents: dict[int, list[tuple[int, int]]] = {}
+        if shared:
+            base = self._shared_fp
+            for r in range(size):
+                _pos, nbytes = contribs[r]
+                per_rank_extents[r] = self._views[r].map_bytes(base, nbytes)
+                base += nbytes
+            self._shared_fp = base
+        else:
+            for r, (pos, nbytes) in contribs.items():
+                per_rank_extents[r] = self._views[r].map_bytes(pos, nbytes)
+
+        total = sum(nb for _pos, nb in contribs.values())
+        merged = IntervalSet()
+        for extents in per_rank_extents.values():
+            for s, e in extents:
+                merged.add(s, e)
+
+        # Chunk the merged runs over the aggregators.
+        naggr = self.num_aggregators
+        assignments: list[list[tuple[int, int]]] = [[] for _ in range(naggr)]
+        chunk_idx = 0
+        for s, e in merged.intervals():
+            pos = s
+            while pos < e:
+                end = min(e, pos + self.cb_buffer)
+                assignments[chunk_idx % naggr].append((pos, end))
+                chunk_idx += 1
+                pos = end
+
+        if kind == "write":
+            # Phase 1: ranks ship data to aggregators; Phase 2: writes.
+            yield from wait_all(self._exchange_flows(contribs, kind))
+            yield from self._aggregated_io(assignments, "write")
+            self.bytes_written += total
+        else:
+            # Phase 1: aggregators read; Phase 2: data back to ranks.
+            yield from self._aggregated_io(assignments, "read")
+            yield from wait_all(self._exchange_flows(contribs, kind))
+            self.bytes_read += total
+        return total
+
+    def _exchange_flows(self, contribs, kind: str):
+        """Fabric transfers between each rank and its aggregator."""
+        events = []
+        naggr = self.num_aggregators
+        for r, (_pos, nbytes) in contribs.items():
+            if nbytes == 0:
+                continue
+            aggregator = r % naggr
+            src = self.comm.world_rank(r if kind == "write" else aggregator)
+            dst = self.comm.world_rank(aggregator if kind == "write" else r)
+            events.append(self.fabric.transfer_event(src, dst, nbytes))
+        return events
+
+    def _aggregated_io(self, assignments, kind: str):
+        procs = []
+        for aggregator, extents in enumerate(assignments):
+            if not extents:
+                continue
+            gen = self.fs.submit_io(
+                self.comm.world_rank(aggregator), self.pfsfile, kind, extents
+            )
+            procs.append(
+                Process(self.comm.world.sim, gen, name=f"2ph.{kind}.a{aggregator}")
+            )
+        yield from wait_all([p.done_event for p in procs])
+
+    # -- metadata collectives ------------------------------------------------------
+
+    def sync(self, rank: int):
+        """MPI_File_sync: collective; returns when no dirty bytes remain.
+
+        Note the paper's caveat: in real MPI this only guarantees
+        *visibility* to other processes; our model is stricter and
+        waits for disk writeback, which is what the benchmark needs
+        sync for.
+        """
+        self._check_open()
+        result = yield from self._gate.arrive(rank, None, self._do_sync)
+        return result
+
+    def _do_sync(self, _contribs):
+        if self.sync_drains:
+            yield from self.fs.sync(self.comm.world_rank(0), self.pfsfile)
+        else:
+            # publish-only: a metadata round, no disk writeback wait
+            yield from self.fs.submit_io(
+                self.comm.world_rank(0), self.pfsfile, "write", []
+            )
+
+    def close(self, rank: int):
+        """Collective close (flushes like sync, then marks closed)."""
+        self._check_open()
+        result = yield from self._gate.arrive(rank, None, self._do_close)
+        return result
+
+    def _do_close(self, _contribs):
+        yield from self._do_sync(_contribs)
+        self.closed = True
+
+    def reset_shared_pointer(self) -> None:
+        """Rewind the shared file pointer (start of a new access pass)."""
+        self._shared_fp = 0

@@ -1,0 +1,96 @@
+"""File views: mapping a rank's linear byte stream to file offsets.
+
+An MPI file view makes each process see a (possibly strided) window
+of the file as one linear sequence.  ``map_bytes`` converts a range
+of that sequence into absolute file extents — the quantity the
+filesystem layer consumes.
+
+``StridedView(disp, block, stride)`` is the view b_eff_io's
+scattering pattern type 0 sets: process ``r`` of ``n`` uses
+``disp = r * l``, ``block = l``, ``stride = n * l`` so the processes'
+chunks interleave across the file.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class FileView(ABC):
+    """Maps view-relative byte positions to absolute file extents."""
+
+    @abstractmethod
+    def map_bytes(self, position: int, nbytes: int) -> list[tuple[int, int]]:
+        """Absolute (start, end) extents for [position, position+nbytes)."""
+
+    @abstractmethod
+    def extent_of(self, nbytes: int) -> int:
+        """File-space span consumed by ``nbytes`` of view data from 0."""
+
+
+class ContiguousView(FileView):
+    """The default view: the file itself, shifted by ``disp``."""
+
+    def __init__(self, disp: int = 0) -> None:
+        if disp < 0:
+            raise ValueError("displacement must be >= 0")
+        self.disp = disp
+
+    def map_bytes(self, position: int, nbytes: int) -> list[tuple[int, int]]:
+        if position < 0 or nbytes < 0:
+            raise ValueError("negative position or size")
+        if nbytes == 0:
+            return []
+        start = self.disp + position
+        return [(start, start + nbytes)]
+
+    def extent_of(self, nbytes: int) -> int:
+        return nbytes
+
+    def __repr__(self) -> str:
+        return f"ContiguousView(disp={self.disp})"
+
+
+class StridedView(FileView):
+    """Blocks of ``block`` bytes every ``stride`` bytes, from ``disp``."""
+
+    def __init__(self, disp: int, block: int, stride: int) -> None:
+        if disp < 0:
+            raise ValueError("displacement must be >= 0")
+        if block < 1:
+            raise ValueError("block must be >= 1")
+        if stride < block:
+            raise ValueError("stride must be >= block")
+        self.disp = disp
+        self.block = block
+        self.stride = stride
+
+    def map_bytes(self, position: int, nbytes: int) -> list[tuple[int, int]]:
+        if position < 0 or nbytes < 0:
+            raise ValueError("negative position or size")
+        out: list[tuple[int, int]] = []
+        remaining = nbytes
+        pos = position
+        while remaining > 0:
+            block_idx, in_block = divmod(pos, self.block)
+            start = self.disp + block_idx * self.stride + in_block
+            take = min(self.block - in_block, remaining)
+            # coalesce with previous extent when contiguous (stride == block)
+            if out and out[-1][1] == start:
+                out[-1] = (out[-1][0], start + take)
+            else:
+                out.append((start, start + take))
+            pos += take
+            remaining -= take
+        return out
+
+    def extent_of(self, nbytes: int) -> int:
+        if nbytes == 0:
+            return 0
+        full, rest = divmod(nbytes, self.block)
+        if rest == 0:
+            return (full - 1) * self.stride + self.block
+        return full * self.stride + rest
+
+    def __repr__(self) -> str:
+        return f"StridedView(disp={self.disp}, block={self.block}, stride={self.stride})"

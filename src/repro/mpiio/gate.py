@@ -1,0 +1,71 @@
+"""Rendezvous gate for collective file operations.
+
+Every collective call on an :class:`~repro.mpiio.file.IOFile` is a
+rendezvous: the n-th collective call of each rank joins the n-th gate
+instance; the last arrival runs the gate's action (a generator, e.g.
+the two-phase exchange+write) in a fresh process, and everyone leaves
+together with the action's result.  MPI's ordering rule — all ranks
+issue collective operations in the same order — is what makes the
+per-rank sequence number a sound matching key.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.sim.process import Process, SimEvent, on_trigger
+
+
+class CollectiveGate:
+    def __init__(self, sim, size: int, name: str = "gate") -> None:
+        if size < 1:
+            raise ValueError("gate size must be >= 1")
+        self.sim = sim
+        self.size = size
+        self.name = name
+        self._rank_seq = [0] * size
+        self._instances: dict[int, _GateInstance] = {}
+
+    def arrive(
+        self,
+        rank: int,
+        payload: object,
+        action: Callable[[dict[int, object]], Generator],
+    ):
+        """Generator: join the gate, wait for the action, return its result.
+
+        ``action`` receives ``{rank: payload}`` once everyone has
+        arrived; only the action passed by the *last* arriving rank is
+        executed (all ranks of one collective call pass the same
+        action by construction).
+        """
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range")
+        seq = self._rank_seq[rank]
+        self._rank_seq[rank] += 1
+        inst = self._instances.get(seq)
+        if inst is None:
+            inst = self._instances[seq] = _GateInstance(
+                SimEvent(self.sim, name=f"{self.name}#{seq}")
+            )
+        if rank in inst.contributions:
+            raise RuntimeError(f"rank {rank} arrived twice at {self.name}#{seq}")
+        inst.contributions[rank] = payload
+        if len(inst.contributions) == self.size:
+            del self._instances[seq]
+            proc = Process(
+                self.sim,
+                action(inst.contributions),
+                name=f"{self.name}#{seq}.action",
+            )
+            on_trigger(proc.done_event, inst.release.trigger)
+        result = yield inst.release
+        return result
+
+
+class _GateInstance:
+    __slots__ = ("release", "contributions")
+
+    def __init__(self, release: SimEvent) -> None:
+        self.release = release
+        self.contributions: dict[int, object] = {}

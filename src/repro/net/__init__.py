@@ -1,0 +1,12 @@
+"""Message-transfer cost model on top of topology + fluid network.
+
+:class:`~repro.net.model.Fabric` binds a topology to a simulator and
+prices individual transfers: startup latency (per message, plus per
+fabric hop), a max-min-fair bandwidth phase, shared-memory copy
+semantics for intra-node messages, and an eager/rendezvous protocol
+threshold used by the MPI point-to-point layer.
+"""
+
+from repro.net.model import Fabric, NetParams
+
+__all__ = ["Fabric", "NetParams"]

@@ -1,0 +1,156 @@
+"""Transfer pricing: latency + shared-bandwidth phase per message.
+
+Two modelling decisions come straight from the paper:
+
+* **Shared-memory halving** (Sec. 4.1): "On shared memory platforms,
+  the results generally reflect half of the memory-to-memory copy
+  bandwidth because most MPI implementations have to buffer the
+  message in a shared memory section."  Intra-node transfers are
+  therefore rate-capped at ``copy_bw * copy_penalty`` with
+  ``copy_penalty = 0.5`` by default.
+
+* **Per-message protocol cap**: an MPI stack rarely drives a link at
+  hardware speed (T3E: ~330 MB/s ping-pong on faster physical links),
+  so a single message's rate is capped at ``msg_rate_cap`` even when
+  the fluid allocation would give it more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import Simulator
+from repro.sim.fluid import FlowNetwork
+from repro.sim.process import SimEvent, on_trigger
+from repro.topology.base import Route, Topology
+
+
+@dataclass(frozen=True)
+class NetParams:
+    """Cost-model constants for one machine's interconnect + MPI stack."""
+
+    #: per-message startup latency for inter-node transfers (seconds)
+    latency: float = 10e-6
+    #: additional latency per fabric hop (seconds)
+    per_hop_latency: float = 0.0
+    #: startup latency for intra-node (shared-memory) transfers
+    intra_node_latency: float = 2e-6
+    #: messages <= this many bytes use the eager protocol
+    eager_threshold: int = 8 * 1024
+    #: extra handshake delay for rendezvous-protocol messages (seconds)
+    rendezvous_latency: float = 10e-6
+    #: memory-copy bandwidth of one processor (bytes/s); None = uncapped
+    copy_bw: float | None = None
+    #: fraction of copy_bw usable by shared-memory MPI (paper: 1/2)
+    copy_penalty: float = 0.5
+    #: per-message bandwidth cap through the fabric (bytes/s); None = links only
+    msg_rate_cap: float | None = None
+    #: relative timing noise on per-message startup latency (0 = exact).
+    #: Real machines jitter, which is why the paper's b_eff takes the
+    #: maximum over three repetitions; enable this to watch that
+    #: mechanism matter (drawn deterministically from a seeded stream).
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("latency", "per_hop_latency", "intra_node_latency", "rendezvous_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be >= 0")
+        if self.copy_bw is not None and self.copy_bw <= 0:
+            raise ValueError("copy_bw must be positive when given")
+        if not (0.0 < self.copy_penalty <= 1.0):
+            raise ValueError("copy_penalty must be in (0, 1]")
+        if self.msg_rate_cap is not None and self.msg_rate_cap <= 0:
+            raise ValueError("msg_rate_cap must be positive when given")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+
+
+class Fabric:
+    """Prices and executes transfers over an attached topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        params: NetParams,
+        jitter_seed: int = 20010423,
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.params = params
+        #: optional repro.sim.trace.Tracer recording every transfer
+        self.tracer = tracer
+        self.flows = FlowNetwork(sim)
+        topology.attach(self.flows)
+        self._jitter_rng = None
+        if params.jitter > 0.0:
+            from repro.sim.randomness import RandomStreams
+
+            self._jitter_rng = RandomStreams(jitter_seed).stream("fabric.jitter")
+        #: transfer statistics
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def _jittered(self, latency: float) -> float:
+        if self._jitter_rng is None:
+            return latency
+        factor = 1.0 + self.params.jitter * float(self._jitter_rng.uniform(-1.0, 1.0))
+        return latency * factor
+
+    # -- cost queries -----------------------------------------------------
+
+    def startup_latency(self, route: Route) -> float:
+        """Latency before the first byte moves (no rendezvous handshake)."""
+        if route.intra_node:
+            return self.params.intra_node_latency
+        return self.params.latency + self.params.per_hop_latency * route.hops
+
+    def is_eager(self, nbytes: int) -> bool:
+        return nbytes <= self.params.eager_threshold
+
+    def rendezvous_delay(self, route: Route) -> float:
+        """Extra handshake time for a non-eager message on this route."""
+        return self.params.rendezvous_latency + self.params.per_hop_latency * route.hops
+
+    def rate_cap_for(self, route: Route) -> float | None:
+        """Per-message rate cap on this route (copy/protocol limits)."""
+        if route.intra_node:
+            if self.params.copy_bw is None:
+                return self.params.msg_rate_cap
+            return self.params.copy_bw * self.params.copy_penalty
+        return self.params.msg_rate_cap
+
+    # -- execution --------------------------------------------------------
+
+    def transfer_event(self, src: int, dst: int, nbytes: int) -> SimEvent:
+        """Start a transfer *now*; the returned event fires on arrival.
+
+        The event triggers after startup latency plus the fluid
+        bandwidth phase.  Rendezvous handshakes are the p2p layer's
+        job (they need receiver state); this method only moves bytes.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes!r}")
+        route = self.topology.route(src, dst)
+        done = SimEvent(self.sim, name=f"xfer:{src}->{dst}:{nbytes}")
+        latency = self._jittered(self.startup_latency(route))
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "msg", src, dst, nbytes)
+
+        def begin_flow() -> None:
+            flow_done = self.flows.start_flow(
+                list(route.links), nbytes, rate_cap=self.rate_cap_for(route)
+            )
+            on_trigger(flow_done, lambda _value: done.trigger(self.sim.now))
+
+        self.sim.schedule(latency, begin_flow)
+        return done
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        """Generator form of :meth:`transfer_event` for ``yield from``."""
+        yield self.transfer_event(src, dst, nbytes)

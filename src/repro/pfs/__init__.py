@@ -1,0 +1,32 @@
+"""Simulated parallel filesystem.
+
+The model follows the architecture shared by the paper's systems
+(T3E GigaRing striped RAIDs, IBM GPFS with VSD servers, NEC SFS):
+
+* files are striped round-robin over ``num_servers`` I/O servers;
+* each server has a FIFO request queue, a disk (seek + streaming
+  transfer, read-modify-write penalty for accesses not aligned to the
+  disk block), and a slice of the filesystem buffer cache;
+* writes are absorbed into the cache at memory speed and drained to
+  disk in the background — until the cache fills, after which writes
+  throttle to disk speed (this produces the paper's Sec. 5.4
+  observations: short-T runs report cache bandwidth, only datasets
+  much larger than the cache measure the disks);
+* data crosses an I/O network: one link per client, one per server,
+  shared max-min fairly — the resource whose saturation produces
+  Fig. 3's partition-size behavior.
+"""
+
+from repro.pfs.intervals import IntervalSet
+from repro.pfs.cache import BufferCache
+from repro.pfs.server import IOServer
+from repro.pfs.filesystem import FileSystem, PFSConfig, PFSFile
+
+__all__ = [
+    "IntervalSet",
+    "BufferCache",
+    "IOServer",
+    "FileSystem",
+    "PFSConfig",
+    "PFSFile",
+]

@@ -1,0 +1,195 @@
+"""Filesystem buffer cache with write-behind.
+
+One instance models one I/O server's slice of the filesystem cache.
+Byte ranges are tracked exactly (per-file interval sets); the
+eviction policy is deterministic: clean bytes are evicted
+lowest-offset-first per file, oldest file first — for the sequential
+streams the benchmarks generate this approximates LRU (the tail of a
+stream, i.e. the most recently written data, survives).
+
+The paper's Sec. 5.4 cache discussion maps directly onto this model:
+``MPI_File_sync`` only forces dirty bytes to the *drain queue*, a
+benchmark that writes less than ~the cache size measures
+``ingest_bw`` (memory speed) rather than the disks, and only datasets
+much larger than the cache measure sustained disk bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pfs.intervals import IntervalSet
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """How a write interacted with the cache.
+
+    ``in_place``  bytes that overwrote already-cached data (no new space)
+    ``absorbed``  new bytes accepted into the cache (write-behind)
+    ``overflow``  bytes that could not be cached (must go to disk now)
+    """
+
+    in_place: int
+    absorbed: int
+    overflow: int
+
+
+class BufferCache:
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._cached: dict[object, IntervalSet] = {}
+        self._dirty: dict[object, IntervalSet] = {}
+        self._file_order: list[object] = []  # insertion order for eviction
+        self.used = 0
+
+    # -- bookkeeping helpers ------------------------------------------------
+
+    def _sets(self, file_id: object) -> tuple[IntervalSet, IntervalSet]:
+        if file_id not in self._cached:
+            self._cached[file_id] = IntervalSet()
+            self._dirty[file_id] = IntervalSet()
+            self._file_order.append(file_id)
+        return self._cached[file_id], self._dirty[file_id]
+
+    @property
+    def dirty_total(self) -> int:
+        return sum(s.total for s in self._dirty.values())
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def dirty_bytes(self, file_id: object) -> int:
+        s = self._dirty.get(file_id)
+        return s.total if s is not None else 0
+
+    def cached_bytes(self, file_id: object) -> int:
+        s = self._cached.get(file_id)
+        return s.total if s is not None else 0
+
+    # -- eviction -------------------------------------------------------------
+
+    def _evict_clean(self, needed: int) -> int:
+        """Evict clean bytes until ``needed`` bytes are free (best effort).
+
+        Returns the number of bytes actually freed.  Dirty bytes are
+        pinned until drained.
+        """
+        freed = 0
+        for file_id in self._file_order:
+            if freed >= needed:
+                break
+            cached = self._cached[file_id]
+            dirty = self._dirty[file_id]
+            # clean = cached - dirty, walked lowest-offset-first
+            for start, end in cached.intervals():
+                if freed >= needed:
+                    break
+                for gs, ge in dirty.gaps(start, end):
+                    take = min(ge - gs, needed - freed)
+                    removed = cached.remove(gs, gs + take)
+                    self.used -= removed
+                    freed += removed
+                    if freed >= needed:
+                        break
+        return freed
+
+    # -- operations -------------------------------------------------------------
+
+    def write(self, file_id: object, start: int, end: int) -> WriteOutcome:
+        """Account a write of [start, end); data becomes dirty."""
+        if end < start:
+            raise ValueError("inverted range")
+        nbytes = end - start
+        if nbytes == 0:
+            return WriteOutcome(0, 0, 0)
+        cached, dirty = self._sets(file_id)
+        # Mark already-cached bytes dirty *first*: dirty bytes are
+        # pinned, so the eviction below cannot drop data this write is
+        # overwriting in place.
+        in_place = 0
+        cursor = start
+        for gs, ge in cached.gaps(start, end) + [(end, end)]:
+            if cursor < gs:
+                dirty.add(cursor, gs)
+                in_place += gs - cursor
+            cursor = ge
+        gaps_before = cached.gaps(start, end)
+        new = nbytes - in_place
+        if new > self.free:
+            self._evict_clean(new - self.free)
+        absorbed = min(new, self.free)
+        overflow = new - absorbed
+        # Take the absorbed portion from the front of the uncovered gaps.
+        remaining = absorbed
+        for gs, ge in gaps_before:
+            if remaining <= 0:
+                break
+            take = min(ge - gs, remaining)
+            added = cached.add(gs, gs + take)
+            self.used += added
+            dirty.add(gs, gs + take)
+            remaining -= take
+        return WriteOutcome(in_place=in_place, absorbed=absorbed, overflow=overflow)
+
+    def read_hits(self, file_id: object, start: int, end: int) -> tuple[int, list[tuple[int, int]]]:
+        """(cached bytes, uncovered gaps) of [start, end)."""
+        if end < start:
+            raise ValueError("inverted range")
+        cached = self._cached.get(file_id)
+        if cached is None:
+            return 0, [(start, end)] if end > start else []
+        return cached.coverage(start, end), cached.gaps(start, end)
+
+    def insert_clean(self, file_id: object, start: int, end: int) -> int:
+        """Cache data fetched from disk; returns bytes actually cached."""
+        if end < start:
+            raise ValueError("inverted range")
+        nbytes = end - start
+        if nbytes == 0:
+            return 0
+        cached, _dirty = self._sets(file_id)
+        new = nbytes - cached.coverage(start, end)
+        if new > self.free:
+            self._evict_clean(new - self.free)
+        budget = min(new, self.free)
+        inserted = 0
+        for gs, ge in cached.gaps(start, end):
+            if inserted >= budget:
+                break
+            take = min(ge - gs, budget - inserted)
+            added = cached.add(gs, gs + take)
+            self.used += added
+            inserted += added
+        return inserted
+
+    def drain_next(self, max_bytes: int) -> tuple[object, int, int] | None:
+        """Pop up to ``max_bytes`` of the lowest dirty extent for disk writeback.
+
+        Returns (file_id, start, end) of the extent now being cleaned,
+        or None when nothing is dirty.  The bytes stay cached (clean).
+        """
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        for file_id in self._file_order:
+            dirty = self._dirty[file_id]
+            first = dirty.first()
+            if first is None:
+                continue
+            start, end = first
+            end = min(end, start + max_bytes)
+            dirty.remove(start, end)
+            return (file_id, start, end)
+        return None
+
+    def invalidate_file(self, file_id: object) -> None:
+        """Drop every cached byte of a file (e.g. on delete)."""
+        cached = self._cached.pop(file_id, None)
+        if cached is not None:
+            self.used -= cached.total
+        self._dirty.pop(file_id, None)
+        if file_id in self._file_order:
+            self._file_order.remove(file_id)

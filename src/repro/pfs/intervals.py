@@ -1,0 +1,135 @@
+"""Sorted disjoint byte-interval sets.
+
+The cache and the file allocation maps track byte ranges as
+half-open intervals [start, end).  This container keeps them sorted,
+disjoint, and coalesced, with the usual set operations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+
+class IntervalSet:
+    """A set of bytes represented as disjoint half-open intervals."""
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, start: int, end: int) -> int:
+        """Insert [start, end); returns the number of *new* bytes added."""
+        if end < start:
+            raise ValueError(f"inverted interval [{start}, {end})")
+        if end == start:
+            return 0
+        before = self.total
+        # indices of intervals overlapping or adjacent to [start, end)
+        lo = bisect_left(self._ends, start)
+        hi = bisect_right(self._starts, end)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            end = max(end, self._ends[hi - 1])
+        del self._starts[lo:hi]
+        del self._ends[lo:hi]
+        self._starts.insert(lo, start)
+        self._ends.insert(lo, end)
+        return self.total - before
+
+    def remove(self, start: int, end: int) -> int:
+        """Delete [start, end); returns the number of bytes removed."""
+        if end < start:
+            raise ValueError(f"inverted interval [{start}, {end})")
+        if end == start or not self._starts:
+            return 0
+        before = self.total
+        lo = bisect_right(self._ends, start)
+        hi = bisect_left(self._starts, end)
+        if lo >= hi:
+            return 0
+        left_keep = None
+        right_keep = None
+        if self._starts[lo] < start:
+            left_keep = (self._starts[lo], start)
+        if self._ends[hi - 1] > end:
+            right_keep = (end, self._ends[hi - 1])
+        del self._starts[lo:hi]
+        del self._ends[lo:hi]
+        insert_at = lo
+        if left_keep is not None:
+            self._starts.insert(insert_at, left_keep[0])
+            self._ends.insert(insert_at, left_keep[1])
+            insert_at += 1
+        if right_keep is not None:
+            self._starts.insert(insert_at, right_keep[0])
+            self._ends.insert(insert_at, right_keep[1])
+        return before - self.total
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total bytes covered."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def coverage(self, start: int, end: int) -> int:
+        """Bytes of [start, end) that are covered."""
+        if end <= start:
+            return 0
+        covered = 0
+        lo = bisect_right(self._ends, start)
+        for s, e in zip(self._starts[lo:], self._ends[lo:]):
+            if s >= end:
+                break
+            covered += min(e, end) - max(s, start)
+        return covered
+
+    def gaps(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Uncovered sub-intervals of [start, end), in order."""
+        if end <= start:
+            return []
+        out = []
+        cursor = start
+        lo = bisect_right(self._ends, start)
+        for s, e in zip(self._starts[lo:], self._ends[lo:]):
+            if s >= end:
+                break
+            if s > cursor:
+                out.append((cursor, s))
+            cursor = max(cursor, e)
+        if cursor < end:
+            out.append((cursor, end))
+        return out
+
+    def contains(self, start: int, end: int) -> bool:
+        """True if [start, end) is fully covered."""
+        return self.coverage(start, end) == end - start
+
+    def intervals(self) -> list[tuple[int, int]]:
+        """All intervals as (start, end) pairs, ascending."""
+        return list(zip(self._starts, self._ends))
+
+    def first(self) -> tuple[int, int] | None:
+        """Lowest interval, or None when empty."""
+        if not self._starts:
+            return None
+        return (self._starts[0], self._ends[0])
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __len__(self) -> int:
+        """Number of disjoint intervals."""
+        return len(self._starts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"[{s},{e})" for s, e in self.intervals())
+        return f"IntervalSet({inner})"

@@ -1,0 +1,263 @@
+"""I/O server: FIFO request service, disk model, background drain.
+
+One server owns one disk (seek + streaming transfer + read-modify-
+write penalty for block-misaligned edges) and one slice of the
+filesystem buffer cache.  A single server process alternates between
+foreground requests (FIFO) and, when idle, draining dirty cache bytes
+to disk in ``drain_chunk`` pieces — so a saturated request stream
+keeps the cache full and pushes writes to disk speed, while an idle
+period flushes the cache in the background, exactly the dynamics
+behind the paper's T-dependent b_eff_io results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.pfs.cache import BufferCache
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, SimEvent, Sleep
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """A batch of same-file extents for one server (already striped)."""
+
+    kind: str  # "write" | "read"
+    file_id: object
+    extents: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read"):
+            raise ValueError(f"bad request kind {self.kind!r}")
+        for start, end in self.extents:
+            if end < start:
+                raise ValueError(f"inverted extent [{start}, {end})")
+
+    @property
+    def nbytes(self) -> int:
+        return sum(e - s for s, e in self.extents)
+
+
+@dataclass
+class ServerParams:
+    """Timing constants for one I/O server."""
+
+    disk_bw: float  # streaming disk bandwidth, bytes/s
+    ingest_bw: float  # cache/memory bandwidth, bytes/s
+    seek_time: float  # per discontiguous disk access, s
+    request_overhead: float  # fixed service cost per request, s
+    disk_block: int  # RMW alignment granularity, bytes
+    cache_bytes: int  # this server's cache slice
+    drain_chunk: int = 1 << 20  # writeback granularity, bytes
+    drain_delay: float = 0.0  # idle time before background writeback starts, s
+    #: surcharge per request whose extents are not sector-aligned —
+    #: the "non-wellformed" fast-path loss (sector-level RMW, unaligned
+    #: buffer handling); reads pay half
+    unaligned_penalty: float = 0.0
+    #: alignment granularity of the fast path (a disk sector)
+    sector: int = 512
+
+    def __post_init__(self) -> None:
+        if self.disk_bw <= 0 or self.ingest_bw <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.seek_time < 0 or self.request_overhead < 0:
+            raise ValueError("times must be >= 0")
+        if self.disk_block < 1 or self.drain_chunk < 1:
+            raise ValueError("disk_block and drain_chunk must be >= 1")
+        if self.drain_delay < 0:
+            raise ValueError("drain_delay must be >= 0")
+        if self.unaligned_penalty < 0:
+            raise ValueError("unaligned_penalty must be >= 0")
+        if self.sector < 1:
+            raise ValueError("sector must be >= 1")
+        if self.cache_bytes < 0:
+            raise ValueError("cache_bytes must be >= 0")
+
+
+class IOServer:
+    def __init__(self, sim: Simulator, params: ServerParams, name: str = "ios") -> None:
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.cache = BufferCache(params.cache_bytes)
+        self._queue: deque[tuple[IORequest, SimEvent]] = deque()
+        self._disk_pos: tuple[object, int] | None = None
+        #: highest end offset ever written per file (RMW gate: only
+        #: overwrites of existing data need a block read)
+        self._high_water: dict[object, int] = {}
+        self._wakeup: SimEvent | None = None
+        self._sync_waiters: list[tuple[object, SimEvent]] = []
+        #: statistics
+        self.bytes_to_disk = 0
+        self.bytes_from_disk = 0
+        self.requests_served = 0
+        self.seeks = 0
+        Process(sim, self._run(), name=f"{name}.loop", daemon=True)
+
+    # -- client interface ---------------------------------------------------
+
+    def submit(self, request: IORequest) -> SimEvent:
+        """Enqueue a request; the event fires when it has been serviced."""
+        done = SimEvent(self.sim, name=f"{self.name}.req")
+        self._queue.append((request, done))
+        self._kick()
+        return done
+
+    def sync(self, file_id: object) -> SimEvent:
+        """Event that fires once no dirty bytes of ``file_id`` remain here."""
+        done = SimEvent(self.sim, name=f"{self.name}.sync")
+        if self.cache.dirty_bytes(file_id) == 0 and not self._pending_writes(file_id):
+            done.trigger(self.sim.now)
+        else:
+            self._sync_waiters.append((file_id, done))
+            self._kick()
+        return done
+
+    def _pending_writes(self, file_id: object) -> bool:
+        return any(
+            req.kind == "write" and req.file_id == file_id for req, _ev in self._queue
+        )
+
+    # -- service loop ---------------------------------------------------------
+
+    def _kick(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.trigger(None)
+
+    def _run(self):
+        params = self.params
+        no_drain_before = 0.0
+        while True:
+            if self._queue:
+                request, done = self._queue.popleft()
+                duration = self._service(request)
+                if duration > 0:
+                    yield Sleep(duration)
+                self.requests_served += 1
+                done.trigger(self.sim.now)
+                self._check_sync_waiters()
+                no_drain_before = self.sim.now + params.drain_delay
+            elif self.cache.dirty_total > 0:
+                # Writeback waits out the idle delay — interruptibly,
+                # so foreground requests arriving meanwhile are served
+                # first — then yields once more so same-instant
+                # submissions win the disk over the background drain.
+                wait = no_drain_before - self.sim.now
+                if wait > 0:
+                    wakeup = self._wakeup = SimEvent(self.sim, name=f"{self.name}.delay")
+                    self.sim.schedule(
+                        wait,
+                        lambda ev=wakeup: None if ev.triggered else ev.trigger(None),
+                    )
+                    yield wakeup
+                    self._wakeup = None
+                    continue
+                yield Sleep(0.0)
+                if self._queue:
+                    continue
+                drained = self.cache.drain_next(params.drain_chunk)
+                if drained is not None:
+                    file_id, start, end = drained
+                    duration = self._disk_write_time(file_id, start, end)
+                    yield Sleep(duration)
+                    self._check_sync_waiters()
+            else:
+                self._wakeup = SimEvent(self.sim, name=f"{self.name}.wake")
+                yield self._wakeup
+                self._wakeup = None
+
+    def _check_sync_waiters(self) -> None:
+        still = []
+        for file_id, event in self._sync_waiters:
+            if self.cache.dirty_bytes(file_id) == 0 and not self._pending_writes(file_id):
+                event.trigger(self.sim.now)
+            else:
+                still.append((file_id, event))
+        self._sync_waiters = still
+
+    # -- timing pieces ----------------------------------------------------------
+
+    def _disk_write_time(self, file_id: object, start: int, end: int) -> float:
+        params = self.params
+        t = 0.0
+        if self._disk_pos != (file_id, start):
+            t += params.seek_time
+            self.seeks += 1
+        t += (end - start) / params.disk_bw
+        self.bytes_to_disk += end - start
+        self._disk_pos = (file_id, end)
+        return t
+
+    def _disk_read_time(self, file_id: object, start: int, end: int) -> float:
+        params = self.params
+        t = 0.0
+        if self._disk_pos != (file_id, start):
+            t += params.seek_time
+            self.seeks += 1
+        t += (end - start) / params.disk_bw
+        self.bytes_from_disk += end - start
+        self._disk_pos = (file_id, end)
+        return t
+
+    def _is_sector_misaligned(self, request: IORequest) -> bool:
+        sector = self.params.sector
+        return any(
+            start % sector != 0 or end % sector != 0
+            for start, end in request.extents
+        )
+
+    def _rmw_time(self, request: IORequest) -> float:
+        """Read-modify-write cost for block-misaligned *overwrites*.
+
+        A misaligned edge needs the old block only when it cuts into
+        data that already exists on the file (below its high-water
+        mark) and the block is not already cached.  Appending streams
+        — the initial-write access method — never trigger this; the
+        rewrite pass does.
+        """
+        params = self.params
+        block = params.disk_block
+        high = self._high_water.get(request.file_id, 0)
+        t = 0.0
+        for start, end in request.extents:
+            for edge in (start, end):
+                if edge % block == 0 or edge >= high:
+                    continue
+                bstart = (edge // block) * block
+                hit, _gaps = self.cache.read_hits(request.file_id, bstart, bstart + block)
+                if hit < block:
+                    t += self._disk_read_time(request.file_id, bstart, bstart + block)
+                    self.cache.insert_clean(request.file_id, bstart, bstart + block)
+        return t
+
+    def _service(self, request: IORequest) -> float:
+        params = self.params
+        t = params.request_overhead
+        misaligned = self._is_sector_misaligned(request)
+        if request.kind == "write":
+            if misaligned:
+                t += params.unaligned_penalty
+            t += self._rmw_time(request)
+            for start, end in request.extents:
+                outcome = self.cache.write(request.file_id, start, end)
+                cached_bytes = outcome.in_place + outcome.absorbed
+                t += cached_bytes / params.ingest_bw
+                if outcome.overflow:
+                    # cache exhausted: the tail goes straight to disk
+                    ostart = end - outcome.overflow
+                    t += self._disk_write_time(request.file_id, ostart, end)
+                high = self._high_water.get(request.file_id, 0)
+                if end > high:
+                    self._high_water[request.file_id] = end
+        else:
+            if misaligned:
+                t += params.unaligned_penalty / 2.0
+            for start, end in request.extents:
+                hit, gaps = self.cache.read_hits(request.file_id, start, end)
+                t += hit / params.ingest_bw
+                for gs, ge in gaps:
+                    t += self._disk_read_time(request.file_id, gs, ge)
+                    self.cache.insert_clean(request.file_id, gs, ge)
+        return t

@@ -1,0 +1,38 @@
+"""Benchmark protocols and paper-figure formatters.
+
+The original b_eff and b_eff_io programs emit plain-text measurement
+protocols; this package renders our results the same way and shapes
+them into the rows/series of the paper's Table 1, Fig. 1, Table 2,
+and Figs. 3-5 (the benchmark harness prints these).
+"""
+
+from repro.reporting.export import beff_to_dict, beffio_to_dict, to_json
+from repro.reporting.plots import log_bar_chart, multi_series_chart
+from repro.reporting.tables import (
+    bandwidth_curve,
+    beff_protocol,
+    beffio_pattern_table,
+    beffio_summary,
+    figure1_rows,
+    figure3_series,
+    figure5_rows,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "table1",
+    "figure1_rows",
+    "table2",
+    "figure3_series",
+    "beffio_pattern_table",
+    "figure5_rows",
+    "beff_protocol",
+    "beffio_summary",
+    "beff_to_dict",
+    "beffio_to_dict",
+    "to_json",
+    "bandwidth_curve",
+    "log_bar_chart",
+    "multi_series_chart",
+]

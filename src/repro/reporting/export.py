@@ -1,0 +1,82 @@
+"""Machine-readable result export (the paper's Sec. 6 outlook).
+
+"Both benchmarks will also be enhanced to write an additional output
+that can be used in the SKaMPI comparison page" and the Top Clusters
+list needs automated collection — this module provides the analog: a
+stable JSON schema for both benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.beff.benchmark import BeffResult
+from repro.beffio.benchmark import BeffIOResult
+
+#: schema version written into every export
+SCHEMA_VERSION = 1
+
+
+def beff_to_dict(result: BeffResult, machine: str | None = None) -> dict:
+    """Flatten a b_eff result to JSON-compatible primitives."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "b_eff",
+        "machine": machine,
+        "nprocs": result.nprocs,
+        "memory_per_proc": result.memory_per_proc,
+        "lmax": result.lmax,
+        "backend": result.backend,
+        "sizes": list(result.sizes),
+        "b_eff": result.b_eff,
+        "b_eff_per_proc": result.b_eff_per_proc,
+        "b_eff_at_lmax": result.b_eff_at_lmax,
+        "b_eff_at_lmax_per_proc": result.b_eff_at_lmax_per_proc,
+        "ring_only_at_lmax": result.ring_only_at_lmax,
+        "logavg_ring": result.logavg_ring,
+        "logavg_random": result.logavg_random,
+        "per_pattern": dict(result.per_pattern),
+        "records": [asdict(r) for r in result.records],
+    }
+
+
+def beffio_to_dict(result: BeffIOResult, machine: str | None = None) -> dict:
+    """Flatten a b_eff_io result to JSON-compatible primitives."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "b_eff_io",
+        "machine": machine,
+        "nprocs": result.nprocs,
+        "T": result.T,
+        "mpart": result.mpart,
+        "segment_size": result.segment_size,
+        "b_eff_io": result.b_eff_io,
+        "method_values": dict(result.method_values),
+        "type_results": [
+            {
+                "method": t.method,
+                "pattern_type": t.pattern_type,
+                "nbytes": t.nbytes,
+                "time": t.time,
+                "reps": t.reps,
+                "bandwidth": t.bandwidth,
+            }
+            for t in result.type_results
+        ],
+        "pattern_runs": [
+            {**asdict(r), "bandwidth": r.bandwidth} for r in result.pattern_runs
+        ],
+    }
+
+
+def to_json(result: BeffResult | BeffIOResult, machine: str | None = None,
+            indent: int | None = 2) -> str:
+    """Serialize either benchmark's result to a JSON string."""
+    if isinstance(result, BeffResult):
+        payload = beff_to_dict(result, machine)
+    elif isinstance(result, BeffIOResult):
+        payload = beffio_to_dict(result, machine)
+    else:
+        raise TypeError(f"cannot export {type(result).__name__}")
+    return json.dumps(payload, indent=indent)

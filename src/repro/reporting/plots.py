@@ -1,0 +1,81 @@
+"""ASCII charts in the style of the paper's figures.
+
+The paper plots bandwidth on a logarithmic scale against a
+pseudo-logarithmic chunk-size axis (Fig. 4) or against partition
+sizes (Figs. 3 and 5).  These renderers make the same diagrams in
+plain text so benchmark outputs and examples can *show* the shapes,
+not just tabulate them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+
+def log_bar_chart(
+    rows: Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "MB/s",
+    title: str | None = None,
+    bounds: tuple[float, float] | None = None,
+) -> str:
+    """Horizontal bars on a log scale: (label, value) per row.
+
+    A factor of 10 in value maps to a fixed number of columns, so —
+    like the paper's Fig. 4 axes — equal bar-length differences mean
+    equal *ratios*.  ``bounds`` fixes the (min, max) of the scale so
+    several charts can share one axis.
+    """
+    positives = [v for _label, v in rows if v > 0]
+    if not positives:
+        raise ValueError("need at least one positive value")
+    vmin, vmax = bounds if bounds is not None else (min(positives), max(positives))
+    if vmin <= 0 or vmax <= 0:
+        raise ValueError("bounds must be positive")
+    lo = math.log10(vmin)
+    hi = math.log10(vmax)
+    span = max(hi - lo, 1e-9)
+    label_w = max(len(label) for label, _v in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        if value > 0:
+            position = (math.log10(value) - lo) / span
+            filled = 1 + int(max(0.0, min(1.0, position)) * (width - 1))
+            bar = "#" * filled
+            lines.append(f"{label:<{label_w}} |{bar:<{width}} {value:10.2f} {unit}")
+        else:
+            lines.append(f"{label:<{label_w}} |{'':<{width}} {'-':>10} {unit}")
+    return "\n".join(lines)
+
+
+def multi_series_chart(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 50,
+    unit: str = "MB/s",
+    title: str | None = None,
+) -> str:
+    """Several named series over a shared x axis, one block per series.
+
+    Mirrors Fig. 4's per-pattern-type curves over the chunk-size axis:
+    each series gets a log-scaled bar block so type orderings and the
+    wellformed/+8 dips are visible at a glance.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    positives = [v for values in series.values() for v in values if v > 0]
+    if not positives:
+        raise ValueError("need at least one positive value")
+    bounds = (min(positives), max(positives))
+    blocks = []
+    if title:
+        blocks.append(title)
+    for name, values in series.items():
+        rows = list(zip(x_labels, values))
+        blocks.append(f"-- {name} --")
+        blocks.append(log_bar_chart(rows, width=width, unit=unit, bounds=bounds))
+    return "\n".join(blocks)

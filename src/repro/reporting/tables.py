@@ -1,0 +1,205 @@
+"""Render benchmark results as the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.beff.analysis import balance_factor
+from repro.beff.benchmark import BeffResult
+from repro.beffio.benchmark import BeffIOResult
+from repro.beffio.patterns import IOPattern
+from repro.machines.spec import MachineSpec
+from repro.util import MB, Table, format_bytes
+
+
+def table1(
+    entries: Sequence[tuple[MachineSpec, BeffResult, float | None]]
+) -> Table:
+    """Paper Table 1: effective benchmark results, MB/s columns.
+
+    Each entry is (machine, b_eff result, ping-pong bandwidth in
+    bytes/s or None) — the ping-pong column comes from the detail
+    patterns (:func:`repro.beff.run_detail`).
+    """
+    t = Table(
+        [
+            "System",
+            "procs",
+            "b_eff",
+            "b_eff/proc",
+            "Lmax",
+            "ping-pong",
+            "b_eff@Lmax",
+            "/proc@Lmax",
+            "/proc@Lmax rings",
+        ],
+        title="Table 1: Effective Benchmark Results (MByte/s)",
+    )
+    for spec, res, pingpong in entries:
+        t.add_row(
+            spec.name,
+            res.nprocs,
+            f"{res.b_eff / MB:.0f}",
+            f"{res.b_eff_per_proc / MB:.0f}",
+            format_bytes(res.lmax),
+            f"{pingpong / MB:.0f}" if pingpong else "",
+            f"{res.b_eff_at_lmax / MB:.0f}",
+            f"{res.b_eff_at_lmax_per_proc / MB:.0f}",
+            f"{res.ring_only_at_lmax_per_proc / MB:.0f}",
+        )
+    return t
+
+
+def figure1_rows(
+    entries: Sequence[tuple[MachineSpec, BeffResult]]
+) -> list[tuple[str, float]]:
+    """Paper Fig. 1: (system, balance factor bytes/flop) per machine."""
+    rows = []
+    for spec, res in entries:
+        rows.append((f"{spec.name} ({res.nprocs})", balance_factor(res.b_eff, spec.rmax(res.nprocs))))
+    return rows
+
+
+def table2(patterns: Iterable[IOPattern]) -> Table:
+    """Paper Table 2: the b_eff_io pattern list."""
+    t = Table(
+        ["Type", "No.", "l", "L", "U"],
+        title="Table 2: The pattern details used in b_eff_io",
+    )
+    for p in patterns:
+        same = p.L == p.l
+        t.add_row(
+            p.pattern_type,
+            p.number,
+            "fill" if p.fill_segment else p.label,
+            ":=l" if same else format_bytes(p.L),
+            p.U,
+        )
+    return t
+
+
+def figure3_series(
+    results: Sequence[BeffIOResult],
+) -> list[tuple[int, float, float, float, float]]:
+    """Fig. 3 rows: (procs, write, rewrite, read, b_eff_io) in MB/s."""
+    rows = []
+    for res in sorted(results, key=lambda r: r.nprocs):
+        rows.append(
+            (
+                res.nprocs,
+                res.method_values["write"] / MB,
+                res.method_values["rewrite"] / MB,
+                res.method_values["read"] / MB,
+                res.b_eff_io / MB,
+            )
+        )
+    return rows
+
+
+def beffio_pattern_table(result: BeffIOResult, method: str) -> Table:
+    """Fig. 4's underlying table: per-pattern bandwidth of one method."""
+    t = Table(
+        ["Type", "No.", "chunk (l)", "L", "reps", "MB", "MB/s"],
+        title=f"b_eff_io detail: access method '{method}', {result.nprocs} processes",
+    )
+    for run in result.pattern_table(method):
+        t.add_row(
+            run.pattern_type,
+            run.number,
+            format_bytes(run.l),
+            format_bytes(run.L),
+            run.reps,
+            f"{run.nbytes / MB:.1f}",
+            f"{run.bandwidth / MB:.1f}",
+        )
+    return t
+
+
+def figure5_rows(
+    entries: Sequence[tuple[str, BeffIOResult]]
+) -> list[tuple[str, int, float]]:
+    """Fig. 5 rows: (system, procs, b_eff_io MB/s)."""
+    return [
+        (name, res.nprocs, res.b_eff_io / MB)
+        for name, res in entries
+    ]
+
+
+def beff_protocol(result: BeffResult, max_rows: int | None = None) -> str:
+    """The b_eff-style measurement protocol: every raw record."""
+    t = Table(
+        ["pattern", "kind", "L", "method", "rep", "loop", "time", "MB/s"],
+        title=(
+            f"b_eff protocol: {result.nprocs} processes, backend={result.backend}, "
+            f"Lmax={format_bytes(result.lmax)}"
+        ),
+    )
+    rows = result.records if max_rows is None else result.records[:max_rows]
+    for rec in rows:
+        t.add_row(
+            rec.pattern,
+            rec.kind,
+            format_bytes(rec.size),
+            rec.method,
+            rec.repetition,
+            rec.looplength,
+            f"{rec.time * 1e3:.3f} ms",
+            f"{rec.bandwidth / MB:.1f}",
+        )
+    lines = [t.render()]
+    lines.append("")
+    lines.append(f"logavg ring patterns   : {result.logavg_ring / MB:10.1f} MB/s")
+    lines.append(f"logavg random patterns : {result.logavg_random / MB:10.1f} MB/s")
+    lines.append(f"b_eff                  : {result.b_eff / MB:10.1f} MB/s")
+    lines.append(f"b_eff per process      : {result.b_eff_per_proc / MB:10.1f} MB/s")
+    lines.append(f"b_eff at Lmax          : {result.b_eff_at_lmax / MB:10.1f} MB/s")
+    return "\n".join(lines)
+
+
+def bandwidth_curve(result: BeffResult, pattern: str) -> str:
+    """The classic b_eff diagram: bandwidth over message size.
+
+    Renders the best (max over methods/repetitions) bandwidth of one
+    pattern across the 21-size ladder on a log scale — the curve whose
+    area ratio against the asymptotic-bandwidth rectangle *is* the
+    b_eff averaging rule (paper Sec. 4).
+    """
+    from repro.beff.analysis import best_bandwidths
+    from repro.reporting.plots import log_bar_chart
+
+    best = best_bandwidths(result.records)
+    rows = []
+    for size in result.sizes:
+        value = best.get((pattern, size))
+        if value is None:
+            raise KeyError(f"pattern {pattern!r} has no measurement at L={size}")
+        rows.append((format_bytes(size), value / MB))
+    return log_bar_chart(
+        rows,
+        width=44,
+        title=f"bandwidth over message size: {pattern} "
+              f"({result.nprocs} processes, MB/s aggregate)",
+    )
+
+
+def beffio_summary(result: BeffIOResult) -> str:
+    """b_eff_io per-type/per-method summary plus the partition value."""
+    t = Table(
+        ["method", "type", "MB", "open-close", "MB/s"],
+        title=f"b_eff_io summary: {result.nprocs} processes, T={result.T:.0f} s",
+    )
+    for tr in result.type_results:
+        t.add_row(
+            tr.method,
+            tr.pattern_type,
+            f"{tr.nbytes / MB:.1f}",
+            f"{tr.time:.2f} s",
+            f"{tr.bandwidth / MB:.1f}",
+        )
+    lines = [t.render(), ""]
+    for method, value in result.method_values.items():
+        lines.append(f"{method:8s}: {value / MB:10.1f} MB/s")
+    lines.append(f"b_eff_io : {result.b_eff_io / MB:10.1f} MB/s")
+    if result.segment_size is not None:
+        lines.append(f"segment  : {format_bytes(result.segment_size)} per process")
+    return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""Max-min fair fluid-flow network.
+
+Concurrent message transfers are modelled as *flows*: a flow has a
+route (a list of link ids), a byte count, and — at any instant — a
+rate assigned by progressive-filling max-min fairness over the links
+it crosses.  Whenever the set of active flows changes, all flows'
+progress is settled at the current virtual time and rates are
+recomputed.
+
+This is the mechanism that distinguishes b_eff from a ping-pong
+benchmark: when every process communicates at once, flows share
+links, per-flow bandwidth drops, and the drop depends on the
+topology and on where the communication partners sit — exactly the
+effect the paper's ring vs. random comparison measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.engine import Simulator
+from repro.sim.process import SimEvent
+
+#: residual bytes below which a flow counts as finished (guards float error)
+_EPS_BYTES = 1e-3
+#: slack when completing flows at a shared finish instant
+_EPS_TIME = 1e-12
+
+
+def maxmin_allocate(
+    capacities: dict[int, float],
+    routes: list[tuple[int, ...]],
+) -> list[float]:
+    """Progressive-filling max-min fair rates for ``routes``.
+
+    ``capacities`` maps link id -> bytes/s; each route is the tuple of
+    link ids one flow crosses.  Returns one rate per route.  A flow
+    with an empty route gets ``math.inf``.  This is the static core of
+    :class:`FlowNetwork` and is also used directly by the analytic
+    round model of b_eff (``repro.beff.analytic``).
+    """
+    rates = [0.0] * len(routes)
+    residual = {}
+    link_members: dict[int, list[int]] = {}
+    unfixed: set[int] = set()
+    for idx, route in enumerate(routes):
+        if not route:
+            rates[idx] = math.inf
+            continue
+        unfixed.add(idx)
+        for link_id in route:
+            residual[link_id] = capacities[link_id]
+            link_members.setdefault(link_id, []).append(idx)
+
+    while unfixed:
+        bottleneck = math.inf
+        for link_id, members in link_members.items():
+            count = sum(1 for i in members if i in unfixed)
+            if count == 0:
+                continue
+            share = residual[link_id] / count
+            if share < bottleneck:
+                bottleneck = share
+        if math.isinf(bottleneck):  # pragma: no cover - defensive
+            for i in unfixed:
+                rates[i] = math.inf
+            break
+        tol = bottleneck * (1.0 + 1e-12)
+        newly_fixed: list[int] = []
+        for link_id, members in link_members.items():
+            count = sum(1 for i in members if i in unfixed)
+            if count == 0:
+                continue
+            if residual[link_id] / count <= tol:
+                for i in members:
+                    if i in unfixed:
+                        newly_fixed.append(i)
+                        unfixed.discard(i)
+        for i in newly_fixed:
+            rates[i] = bottleneck
+            for link_id in routes[i]:
+                residual[link_id] = max(0.0, residual[link_id] - bottleneck)
+    return rates
+
+
+@dataclass
+class Link:
+    """A unidirectional capacity shared by the flows routed across it."""
+
+    capacity: float  # bytes per second
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not (self.capacity > 0.0) or math.isinf(self.capacity):
+            raise ValueError(f"link capacity must be finite and positive: {self.capacity!r}")
+
+
+@dataclass
+class Flow:
+    """An in-flight transfer; internal bookkeeping for FlowNetwork."""
+
+    flow_id: int
+    route: tuple[int, ...]
+    remaining: float
+    total_bytes: float
+    event: SimEvent
+    rate: float = 0.0
+    finish_time: float = math.inf
+    private_link: int | None = None
+    meta: object = None
+    _dirty: bool = field(default=False, repr=False)
+
+
+class FlowNetwork:
+    """Shared-bandwidth network with progressive-filling allocation.
+
+    Links are created once (usually by a :mod:`repro.topology` builder)
+    and flows come and go as messages are transferred.  A single
+    pending "next completion" timer is maintained; any membership
+    change settles progress and recomputes the allocation.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._links: dict[int, Link] = {}
+        self._next_link_id = 0
+        self._flows: dict[int, Flow] = {}
+        self._next_flow_id = 0
+        self._last_settle = 0.0
+        self._timer: int | None = None
+        #: statistics: total bytes completed, flow count
+        self.bytes_completed = 0.0
+        self.flows_completed = 0
+        #: bytes carried per link (hot-link analysis)
+        self.link_bytes: dict[int, float] = {}
+
+    # -- links ---------------------------------------------------------
+
+    def add_link(self, capacity: float, name: str = "") -> int:
+        """Register a link and return its id for use in routes."""
+        link_id = self._next_link_id
+        self._next_link_id += 1
+        self._links[link_id] = Link(capacity, name)
+        return link_id
+
+    def link(self, link_id: int) -> Link:
+        return self._links[link_id]
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    # -- flows ---------------------------------------------------------
+
+    def start_flow(
+        self,
+        route: list[int] | tuple[int, ...],
+        nbytes: float,
+        rate_cap: float | None = None,
+        meta: object = None,
+    ) -> SimEvent:
+        """Begin transferring ``nbytes`` across ``route``.
+
+        Returns a :class:`SimEvent` that triggers when the last byte
+        arrives.  ``rate_cap`` bounds this flow's rate regardless of
+        link shares (models a NIC or memory-copy engine limit); it is
+        implemented as a private link appended to the route so the
+        fairness computation stays uniform.
+
+        An empty route or zero bytes completes immediately (zero-cost
+        local transfer).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative flow size: {nbytes!r}")
+        event = SimEvent(self.sim, name=f"flow{self._next_flow_id}")
+        if nbytes == 0 or (not route and rate_cap is None):
+            self.sim.schedule(0.0, lambda: event.trigger(0.0))
+            return event
+        for link_id in route:
+            if link_id not in self._links:
+                raise KeyError(f"unknown link id {link_id!r} in route")
+        private = None
+        full_route = tuple(route)
+        if rate_cap is not None:
+            private = self.add_link(rate_cap, name=f"cap:flow{self._next_flow_id}")
+            full_route = full_route + (private,)
+        flow = Flow(
+            flow_id=self._next_flow_id,
+            route=full_route,
+            remaining=float(nbytes),
+            total_bytes=float(nbytes),
+            event=event,
+            private_link=private,
+            meta=meta,
+        )
+        self._next_flow_id += 1
+        self._settle()
+        self._flows[flow.flow_id] = flow
+        self._reallocate()
+        return event
+
+    # -- internals -----------------------------------------------------
+
+    def _settle(self) -> None:
+        """Advance every active flow's remaining bytes to the current time."""
+        now = self.sim.now
+        dt = now - self._last_settle
+        if dt > 0.0:
+            for flow in self._flows.values():
+                moved = min(flow.rate * dt, flow.remaining)
+                flow.remaining -= moved
+                if moved > 0.0:
+                    for link_id in flow.route:
+                        self.link_bytes[link_id] = (
+                            self.link_bytes.get(link_id, 0.0) + moved
+                        )
+        self._last_settle = now
+
+    def _reallocate(self) -> None:
+        """Progressive-filling max-min allocation + completion timer."""
+        if self._timer is not None:
+            self.sim.cancel(self._timer)
+            self._timer = None
+        if not self._flows:
+            return
+
+        flows = list(self._flows.values())
+        capacities = {
+            link_id: self._links[link_id].capacity
+            for flow in flows
+            for link_id in flow.route
+        }
+        rates = maxmin_allocate(capacities, [flow.route for flow in flows])
+        for flow, rate in zip(flows, rates):
+            flow.rate = rate
+
+        # Completion times and the single pending timer.
+        now = self.sim.now
+        earliest = math.inf
+        for flow in self._flows.values():
+            if flow.rate <= 0.0:  # pragma: no cover - defensive
+                flow.finish_time = math.inf
+                continue
+            flow.finish_time = now + flow.remaining / flow.rate
+            if flow.finish_time < earliest:
+                earliest = flow.finish_time
+        if not math.isinf(earliest):
+            self._timer = self.sim.schedule(earliest - now, self._on_timer)
+
+    def hottest_links(self, top: int = 10) -> list[tuple[str, float]]:
+        """The most-trafficked links as (name, bytes), descending.
+
+        Private per-flow cap links are excluded; use this to explain
+        contention results (e.g. which torus links the random
+        placement saturates).
+        """
+        ranked = sorted(self.link_bytes.items(), key=lambda kv: -kv[1])
+        out = []
+        for link_id, nbytes in ranked:
+            link = self._links.get(link_id)
+            if link is None or link.name.startswith("cap:"):
+                continue
+            out.append((link.name or str(link_id), nbytes))
+            if len(out) >= top:
+                break
+        return out
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._settle()
+        now = self.sim.now
+        done = [
+            f
+            for f in self._flows.values()
+            if f.remaining <= _EPS_BYTES or f.finish_time <= now + _EPS_TIME
+        ]
+        for flow in done:
+            del self._flows[flow.flow_id]
+            if flow.private_link is not None:
+                del self._links[flow.private_link]
+            self.bytes_completed += flow.total_bytes
+            self.flows_completed += 1
+        self._reallocate()
+        for flow in done:
+            flow.event.trigger(now)

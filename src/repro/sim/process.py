@@ -1,0 +1,157 @@
+"""Cooperative processes on top of the event engine.
+
+A simulated program is a Python generator.  It performs blocking
+simulated operations by yielding *primitives*:
+
+* ``Sleep(duration)`` — advance virtual time.
+* :class:`SimEvent` — park until someone calls :meth:`SimEvent.trigger`;
+  the trigger value becomes the result of the ``yield``.
+
+Higher layers (MPI calls, filesystem requests) are themselves
+generators that the user code delegates to with ``yield from``, so the
+kernel only ever sees the two primitives.  This is the SimPy execution
+model re-implemented in ~100 lines, with strictly deterministic
+scheduling (FIFO resumption via the engine's sequence numbers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Iterable
+from dataclasses import dataclass
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Primitive: suspend the yielding process for ``duration`` seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative sleep duration: {self.duration!r}")
+
+
+class SimEvent:
+    """One-shot event carrying a value.
+
+    Processes wait by yielding the event; once triggered the event
+    stays triggered, so late waiters resume immediately (this is what
+    makes sequential waiting on a set of events equivalent to a
+    wait-all).
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_waiters", "name")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: object = None
+        self.name = name
+        self._waiters: list[Process] = []
+
+    def trigger(self, value: object = None) -> None:
+        """Fire the event, resuming all waiters at the current time."""
+        if self.triggered:
+            raise RuntimeError(f"SimEvent {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume_later(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else f"{len(self._waiters)} waiting"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+def wait_all(events: Iterable[SimEvent]) -> Generator:
+    """Wait until every event in ``events`` has triggered.
+
+    Returns the list of event values in input order.  Because events
+    stay triggered, waiting on them one after another completes at the
+    time of the last trigger — exactly a wait-all.
+    """
+    values = []
+    for ev in events:
+        values.append((yield ev))
+    return values
+
+
+def on_trigger(event: SimEvent, callback) -> None:
+    """Invoke ``callback(value)`` when ``event`` triggers.
+
+    If the event has already triggered, the callback runs at the
+    current time via the event queue (never synchronously), keeping
+    ordering deterministic.  This is the lightweight alternative to a
+    full Process for glue code that chains events.
+    """
+    if event.triggered:
+        event.sim.schedule(0.0, lambda: callback(event.value))
+    else:
+        event._waiters.append(_CallbackWaiter(event.sim, callback))
+
+
+class _CallbackWaiter:
+    """Adapter giving a plain callable the Process waiter protocol."""
+
+    __slots__ = ("sim", "callback")
+
+    def __init__(self, sim: Simulator, callback) -> None:
+        self.sim = sim
+        self.callback = callback
+
+    def _resume_later(self, value: object) -> None:
+        self.sim.schedule(0.0, lambda: self.callback(value))
+
+
+class Process:
+    """Drives a generator as a simulated process."""
+
+    __slots__ = ("sim", "name", "_gen", "finished", "result", "done_event", "daemon")
+
+    def __init__(
+        self, sim: Simulator, gen: Generator, name: str = "proc", daemon: bool = False
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self.finished = False
+        #: daemon processes (service loops) may stay blocked at shutdown
+        self.daemon = daemon
+        self.result: object = None
+        #: triggers with the generator's return value when it finishes
+        self.done_event = SimEvent(sim, name=f"{name}.done")
+        sim.processes.append(self)
+        # Start lazily so process creation order does not advance time;
+        # the first step runs at the current time via the event queue.
+        sim.schedule(0.0, lambda: self._step(None))
+
+    def _resume_later(self, value: object) -> None:
+        self.sim.schedule(0.0, lambda: self._step(value))
+
+    def _step(self, value: object) -> None:
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done_event.trigger(stop.value)
+            return
+        if isinstance(command, Sleep):
+            self.sim.schedule(command.duration, lambda: self._step(None))
+        elif isinstance(command, SimEvent):
+            if command.triggered:
+                self._resume_later(command.value)
+            else:
+                command._waiters.append(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {command!r}; only Sleep and "
+                "SimEvent are valid primitives (did you forget 'yield from'?)"
+            )
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name!r} {state}>"

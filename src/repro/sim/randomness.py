@@ -1,0 +1,31 @@
+"""Deterministic named random streams.
+
+The benchmarks need randomness in exactly two places: the random
+process placement of b_eff's random patterns, and optional timing
+jitter.  Each consumer draws from its own named stream derived from a
+master seed so that, e.g., adding jitter does not perturb the random
+pattern permutations between runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandomStreams:
+    """Factory of independent, reproducible ``numpy`` generators."""
+
+    def __init__(self, master_seed: int = 20010423) -> None:
+        # Default seed: the IPPS 2001 conference date, purely a constant.
+        self.master_seed = int(master_seed)
+
+    def stream(self, name: str) -> np.random.Generator:
+        """A generator whose sequence depends only on (master_seed, name)."""
+        seq = np.random.SeedSequence(
+            self.master_seed, spawn_key=tuple(name.encode("utf-8"))
+        )
+        return np.random.default_rng(seq)
+
+    def permutation(self, name: str, n: int) -> list[int]:
+        """A reproducible permutation of range(n) for stream ``name``."""
+        return [int(x) for x in self.stream(name).permutation(n)]

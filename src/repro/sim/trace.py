@@ -1,0 +1,79 @@
+"""Optional event tracing for debugging and workload analysis.
+
+Attach a :class:`Tracer` to a :class:`repro.net.Fabric` and/or a
+:class:`repro.pfs.FileSystem` to capture every message transfer and
+filesystem call with its virtual timestamp.  Tracing is off unless an
+object is passed explicitly, so the hot paths stay observer-free by
+default.
+
+Typical uses: verifying that a benchmark produces the traffic its
+definition promises (message counts per pattern), building
+communication matrices, and explaining timing anomalies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str  # "msg" | "io-write" | "io-read"
+    src: object  # sender rank / client id
+    dst: object  # receiver rank / None for I/O
+    nbytes: int
+
+
+class Tracer:
+    """Bounded event recorder with simple aggregations."""
+
+    def __init__(self, limit: int | None = 100_000) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1 or None")
+        self.limit = limit
+        self.events: list[TraceEvent] = []
+        #: events seen beyond the storage limit (still counted)
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, src: object, dst: object,
+               nbytes: int) -> None:
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, kind, src, dst, nbytes))
+
+    # -- aggregations -------------------------------------------------------
+
+    def count(self, kind: str | None = None) -> int:
+        """Recorded events, optionally of one kind (plus dropped ones)."""
+        if kind is None:
+            return len(self.events) + self.dropped
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def bytes_moved(self, kind: str | None = None) -> int:
+        return sum(e.nbytes for e in self.events if kind is None or e.kind == kind)
+
+    def message_matrix(self) -> dict[tuple[object, object], int]:
+        """(src, dst) -> message count for the "msg" events."""
+        counts: Counter = Counter()
+        for e in self.events:
+            if e.kind == "msg":
+                counts[(e.src, e.dst)] += 1
+        return dict(counts)
+
+    def summary(self) -> str:
+        kinds = Counter(e.kind for e in self.events)
+        lines = [f"{len(self.events)} events recorded"
+                 + (f" ({self.dropped} dropped)" if self.dropped else "")]
+        for kind, n in sorted(kinds.items()):
+            lines.append(f"  {kind:9s} {n:8d} events, "
+                         f"{self.bytes_moved(kind):12d} bytes")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

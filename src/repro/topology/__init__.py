@@ -1,0 +1,29 @@
+"""Interconnect topologies with explicit routed links.
+
+A topology owns the links it registers in a
+:class:`repro.sim.FlowNetwork` and answers routing queries: the
+ordered list of link ids a message from process *src* to process
+*dst* crosses.  Contention then emerges in the fluid network when
+concurrent routes share links.
+
+Provided topologies (matched to the paper's machines):
+
+* :class:`~repro.topology.torus.Torus` — k-ary n-cube with
+  dimension-ordered shortest-wrap routing (Cray T3E is a 3-D torus).
+* :class:`~repro.topology.crossbar.Crossbar` — non-blocking fabric
+  with per-process ports, optional shared backplane (SMP vector
+  machines: NEC SX-4/5, HP-V, SGI SV1).
+* :class:`~repro.topology.clustered.ClusteredSMP` — SMP nodes with an
+  intra-node memory bus and inter-node NICs over a node-level fabric
+  (Hitachi SR 8000, IBM RS 6000/SP).
+* :class:`~repro.topology.fattree.FatTree` — two-level switch tree
+  with configurable oversubscription.
+"""
+
+from repro.topology.base import Route, Topology
+from repro.topology.crossbar import Crossbar
+from repro.topology.torus import Torus
+from repro.topology.clustered import ClusteredSMP
+from repro.topology.fattree import FatTree
+
+__all__ = ["Route", "Topology", "Crossbar", "Torus", "ClusteredSMP", "FatTree"]

@@ -1,0 +1,88 @@
+"""Topology abstract base and the Route record."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.sim.fluid import FlowNetwork
+
+
+@dataclass(frozen=True)
+class Route:
+    """The path a message takes from one process to another.
+
+    ``links``
+        ordered link ids in the owning :class:`FlowNetwork`.
+    ``hops``
+        number of fabric hops (drives per-hop latency in the net
+        model); 0 for an intra-node or self message.
+    ``intra_node``
+        True when source and destination share a node (the transfer
+        goes through local memory, not the interconnect fabric).
+    """
+
+    links: tuple[int, ...]
+    hops: int
+    intra_node: bool
+
+
+class Topology(ABC):
+    """Base class: owns links in a flow network, answers routing queries.
+
+    Concrete topologies register their links in :meth:`attach`, which
+    must be called exactly once before :meth:`route`.  A process index
+    is an MPI rank slot; :meth:`node_of` maps it to the physical node
+    (identity unless the topology models multi-processor nodes).
+    """
+
+    def __init__(self, nprocs: int) -> None:
+        if nprocs < 1:
+            raise ValueError(f"need at least one process, got {nprocs}")
+        self.nprocs = nprocs
+        self.net: FlowNetwork | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self, net: FlowNetwork) -> None:
+        """Create this topology's links inside ``net``."""
+        if self.net is not None:
+            raise RuntimeError("topology already attached to a network")
+        self.net = net
+        self._build(net)
+
+    @abstractmethod
+    def _build(self, net: FlowNetwork) -> None:
+        """Register links; called once from :meth:`attach`."""
+
+    # -- queries ---------------------------------------------------------
+
+    @abstractmethod
+    def route(self, src: int, dst: int) -> Route:
+        """Route for a message from process ``src`` to process ``dst``.
+
+        ``src == dst`` is a local copy: empty route, zero hops.
+        """
+
+    def node_of(self, proc: int) -> int:
+        """Physical node hosting ``proc`` (identity by default)."""
+        self._check_proc(proc)
+        return proc
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of physical nodes (== nprocs unless overridden)."""
+        return self.nprocs
+
+    # -- helpers ---------------------------------------------------------
+
+    def _check_proc(self, proc: int) -> None:
+        if not (0 <= proc < self.nprocs):
+            raise IndexError(f"process {proc} out of range [0, {self.nprocs})")
+
+    def _check_attached(self) -> None:
+        if self.net is None:
+            raise RuntimeError("topology not attached; call attach(net) first")
+
+    def _self_route(self) -> Route:
+        return Route(links=(), hops=0, intra_node=True)

@@ -1,0 +1,103 @@
+"""Cluster of SMP nodes: memory bus inside, NICs + fabric between.
+
+Models the Hitachi SR 8000 (8-way SMP nodes on a multidimensional
+crossbar) and the IBM RS 6000/SP (4-way SMP nodes on the SP switch).
+
+* intra-node message: proc tx port -> node memory bus -> proc rx port
+  (marked ``intra_node`` so the net model applies shared-memory copy
+  semantics).
+* inter-node message: proc tx -> node NIC out -> (optional fabric
+  backplane) -> node NIC in -> proc rx.
+
+The NIC links are the scarce resource: with *sequential* rank
+placement a ring keeps most neighbor pairs inside a node, with
+*round-robin* placement every ring hop crosses NICs — reproducing the
+paper's SR 8000 sequential vs. round-robin contrast (Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.sim.fluid import FlowNetwork
+from repro.topology.base import Route, Topology
+
+
+class ClusteredSMP(Topology):
+    def __init__(
+        self,
+        num_nodes: int,
+        procs_per_node: int,
+        membus_bw: float,
+        nic_bw: float,
+        port_bw: float | None = None,
+        fabric_bw: float | None = None,
+        placement: str = "sequential",
+    ) -> None:
+        """``placement`` maps MPI ranks to processor slots.
+
+        ``"sequential"``: ranks fill node 0 completely, then node 1, ...
+        ``"round-robin"``: rank r sits on node ``r % num_nodes``.
+        (Paper Sec. 4.1: the numbering has a heavy impact on ring
+        bandwidth on clusters of SMPs.)
+        """
+        if num_nodes < 1 or procs_per_node < 1:
+            raise ValueError("num_nodes and procs_per_node must be >= 1")
+        super().__init__(num_nodes * procs_per_node)
+        for name, value in (("membus_bw", membus_bw), ("nic_bw", nic_bw)):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive")
+        if placement not in ("sequential", "round-robin"):
+            raise ValueError(f"unknown placement {placement!r}")
+        self._num_nodes = num_nodes
+        self.procs_per_node = procs_per_node
+        self.membus_bw = membus_bw
+        self.nic_bw = nic_bw
+        self.port_bw = port_bw if port_bw is not None else membus_bw
+        self.fabric_bw = fabric_bw
+        self.placement = placement
+        self._tx: list[int] = []
+        self._rx: list[int] = []
+        self._membus: list[int] = []
+        self._nic_out: list[int] = []
+        self._nic_in: list[int] = []
+        self._fabric: int | None = None
+
+    # -- placement ---------------------------------------------------------
+
+    def node_of(self, proc: int) -> int:
+        self._check_proc(proc)
+        if self.placement == "sequential":
+            return proc // self.procs_per_node
+        return proc % self._num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    # -- build / route -------------------------------------------------------
+
+    def _build(self, net: FlowNetwork) -> None:
+        for p in range(self.nprocs):
+            self._tx.append(net.add_link(self.port_bw, name=f"smp.tx{p}"))
+            self._rx.append(net.add_link(self.port_bw, name=f"smp.rx{p}"))
+        for n in range(self._num_nodes):
+            self._membus.append(net.add_link(self.membus_bw, name=f"smp.mem{n}"))
+            self._nic_out.append(net.add_link(self.nic_bw, name=f"smp.nicO{n}"))
+            self._nic_in.append(net.add_link(self.nic_bw, name=f"smp.nicI{n}"))
+        if self.fabric_bw is not None:
+            self._fabric = net.add_link(self.fabric_bw, name="smp.fabric")
+
+    def route(self, src: int, dst: int) -> Route:
+        self._check_attached()
+        self._check_proc(src)
+        self._check_proc(dst)
+        if src == dst:
+            return self._self_route()
+        nsrc, ndst = self.node_of(src), self.node_of(dst)
+        if nsrc == ndst:
+            links = (self._tx[src], self._membus[nsrc], self._rx[dst])
+            return Route(links=links, hops=0, intra_node=True)
+        links = [self._tx[src], self._membus[nsrc], self._nic_out[nsrc]]
+        if self._fabric is not None:
+            links.append(self._fabric)
+        links.extend((self._nic_in[ndst], self._membus[ndst], self._rx[dst]))
+        return Route(links=tuple(links), hops=2, intra_node=False)

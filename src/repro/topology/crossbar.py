@@ -1,0 +1,63 @@
+"""Non-blocking crossbar with per-process ports.
+
+Models shared-memory vector machines (NEC SX-4/SX-5, HP-V, SGI SV1):
+every process has an injection (tx) and an ejection (rx) port of
+``port_bw`` bytes/s, and all transfers optionally share one backplane
+of ``backplane_bw`` bytes/s — the aggregate memory bandwidth.  With no
+backplane the fabric is fully non-blocking and only the ports limit
+concurrency.
+"""
+
+from __future__ import annotations
+
+from repro.sim.fluid import FlowNetwork
+from repro.topology.base import Route, Topology
+
+
+class Crossbar(Topology):
+    def __init__(
+        self,
+        nprocs: int,
+        port_bw: float,
+        backplane_bw: float | None = None,
+    ) -> None:
+        super().__init__(nprocs)
+        if port_bw <= 0:
+            raise ValueError("port_bw must be positive")
+        if backplane_bw is not None and backplane_bw <= 0:
+            raise ValueError("backplane_bw must be positive when given")
+        self.port_bw = port_bw
+        self.backplane_bw = backplane_bw
+        self._tx: list[int] = []
+        self._rx: list[int] = []
+        self._backplane: int | None = None
+
+    def _build(self, net: FlowNetwork) -> None:
+        for p in range(self.nprocs):
+            self._tx.append(net.add_link(self.port_bw, name=f"xbar.tx{p}"))
+            self._rx.append(net.add_link(self.port_bw, name=f"xbar.rx{p}"))
+        if self.backplane_bw is not None:
+            self._backplane = net.add_link(self.backplane_bw, name="xbar.backplane")
+
+    def route(self, src: int, dst: int) -> Route:
+        self._check_attached()
+        self._check_proc(src)
+        self._check_proc(dst)
+        if src == dst:
+            return self._self_route()
+        links = [self._tx[src]]
+        if self._backplane is not None:
+            links.append(self._backplane)
+        links.append(self._rx[dst])
+        # Crossbar peers share one memory system; the transfer never
+        # leaves the box, so it counts as intra-node for the net model
+        # (shared-memory copy semantics apply).
+        return Route(links=tuple(links), hops=1, intra_node=True)
+
+    @property
+    def num_nodes(self) -> int:
+        return 1
+
+    def node_of(self, proc: int) -> int:
+        self._check_proc(proc)
+        return 0

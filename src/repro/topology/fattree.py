@@ -1,0 +1,72 @@
+"""Two-level fat tree with configurable oversubscription.
+
+Hosts hang off edge switches; edge switches connect to a core layer
+through uplinks whose aggregate capacity is ``downlink_bw * radix /
+oversubscription``.  With ``oversubscription=1`` the tree is fully
+provisioned (behaves like a crossbar for any permutation); larger
+values starve cross-switch traffic — useful both as a realistic SP
+switch stand-in and for ablation experiments on how topology shapes
+b_eff's ring/random gap.
+"""
+
+from __future__ import annotations
+
+from repro.sim.fluid import FlowNetwork
+from repro.topology.base import Route, Topology
+
+
+class FatTree(Topology):
+    def __init__(
+        self,
+        nprocs: int,
+        radix: int,
+        downlink_bw: float,
+        oversubscription: float = 1.0,
+    ) -> None:
+        """``radix`` hosts per edge switch; one process per host."""
+        super().__init__(nprocs)
+        if radix < 1:
+            raise ValueError("radix must be >= 1")
+        if downlink_bw <= 0:
+            raise ValueError("downlink_bw must be positive")
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1")
+        self.radix = radix
+        self.downlink_bw = downlink_bw
+        self.oversubscription = oversubscription
+        self.num_switches = (nprocs + radix - 1) // radix
+        self._host_up: list[int] = []
+        self._host_down: list[int] = []
+        self._switch_up: list[int] = []
+        self._switch_down: list[int] = []
+
+    def switch_of(self, proc: int) -> int:
+        self._check_proc(proc)
+        return proc // self.radix
+
+    def _build(self, net: FlowNetwork) -> None:
+        for p in range(self.nprocs):
+            self._host_up.append(net.add_link(self.downlink_bw, name=f"ft.hup{p}"))
+            self._host_down.append(net.add_link(self.downlink_bw, name=f"ft.hdn{p}"))
+        uplink_bw = self.downlink_bw * self.radix / self.oversubscription
+        for s in range(self.num_switches):
+            self._switch_up.append(net.add_link(uplink_bw, name=f"ft.sup{s}"))
+            self._switch_down.append(net.add_link(uplink_bw, name=f"ft.sdn{s}"))
+
+    def route(self, src: int, dst: int) -> Route:
+        self._check_attached()
+        self._check_proc(src)
+        self._check_proc(dst)
+        if src == dst:
+            return self._self_route()
+        s_src, s_dst = self.switch_of(src), self.switch_of(dst)
+        if s_src == s_dst:
+            links = (self._host_up[src], self._host_down[dst])
+            return Route(links=links, hops=1, intra_node=False)
+        links = (
+            self._host_up[src],
+            self._switch_up[s_src],
+            self._switch_down[s_dst],
+            self._host_down[dst],
+        )
+        return Route(links=links, hops=3, intra_node=False)

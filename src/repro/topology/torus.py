@@ -1,0 +1,176 @@
+"""k-ary n-cube (torus) with dimension-ordered routing.
+
+The Cray T3E interconnect is a 3-D torus with one processor per node.
+Links are unidirectional per direction per dimension; routing walks
+the dimensions in order, always taking the shorter wrap-around
+direction (ties go to the positive direction), which is how the T3E's
+deterministic router behaves for the purposes of link-load modelling.
+
+Ring patterns over ranks laid out in torus order travel one hop per
+message; random placement produces multi-hop routes whose link
+sharing is precisely the b_eff ring-vs-random gap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.fluid import FlowNetwork
+from repro.topology.base import Route, Topology
+
+
+def balanced_dims(nprocs: int, ndims: int = 3) -> tuple[int, ...]:
+    """Factor ``nprocs`` into ``ndims`` near-equal torus dimensions.
+
+    Greedy: repeatedly divide by the largest prime factor assigned to
+    the currently smallest dimension.  Matches MPI_Dims_create's goal
+    (dimensions as close together as possible, decreasing order).
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be positive")
+    if ndims < 1:
+        raise ValueError("ndims must be positive")
+    dims = [1] * ndims
+    remaining = nprocs
+    factor = 2
+    factors: list[int] = []
+    while remaining > 1:
+        while remaining % factor == 0:
+            factors.append(factor)
+            remaining //= factor
+        factor += 1 if factor == 2 else 2
+        if factor * factor > remaining and remaining > 1:
+            factors.append(remaining)
+            break
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    return tuple(sorted(dims, reverse=True))
+
+
+class Torus(Topology):
+    def __init__(
+        self,
+        dims: tuple[int, ...],
+        link_bw: float,
+        nic_bw: float | None = None,
+        node_bw: float | None = None,
+        periodic: bool = True,
+    ):
+        """A torus of shape ``dims``; one process per node.
+
+        ``link_bw`` is the capacity of each unidirectional fabric
+        link; ``nic_bw`` caps each node's injection/ejection per
+        direction (defaults to ``link_bw``); ``node_bw``, when given,
+        is a *combined* per-node budget shared by all traffic entering
+        and leaving the node — it models the memory-interface
+        interference that makes a T3E PE under full-duplex load slower
+        per message than a one-directional ping-pong.
+        ``periodic=False`` turns the torus into a mesh (no wraparound
+        links; routing always walks toward the target).
+        """
+        nprocs = math.prod(dims)
+        super().__init__(nprocs)
+        if any(d < 1 for d in dims):
+            raise ValueError(f"bad torus dims {dims!r}")
+        if link_bw <= 0:
+            raise ValueError("link_bw must be positive")
+        self.dims = tuple(dims)
+        self.link_bw = link_bw
+        self.nic_bw = nic_bw if nic_bw is not None else link_bw
+        if self.nic_bw <= 0:
+            raise ValueError("nic_bw must be positive")
+        self.node_bw = node_bw
+        if node_bw is not None and node_bw <= 0:
+            raise ValueError("node_bw must be positive when given")
+        self.periodic = periodic
+        # link id maps: (node, dim, direction) -> link; direction in {+1,-1}
+        self._fabric: dict[tuple[int, int, int], int] = {}
+        self._tx: list[int] = []
+        self._rx: list[int] = []
+        self._node: list[int] = []
+
+    # -- coordinates ------------------------------------------------------
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        """Node index -> torus coordinates (row-major, last dim fastest)."""
+        self._check_proc(node)
+        out = []
+        for d in reversed(self.dims):
+            out.append(node % d)
+            node //= d
+        return tuple(reversed(out))
+
+    def node_at(self, coords: tuple[int, ...]) -> int:
+        if len(coords) != len(self.dims):
+            raise ValueError("coordinate arity mismatch")
+        node = 0
+        for c, d in zip(coords, self.dims):
+            if not (0 <= c < d):
+                raise ValueError(f"coordinate {c} out of range for dim {d}")
+            node = node * d + c
+        return node
+
+    # -- build / route ----------------------------------------------------
+
+    def _build(self, net: FlowNetwork) -> None:
+        for p in range(self.nprocs):
+            self._tx.append(net.add_link(self.nic_bw, name=f"torus.tx{p}"))
+            self._rx.append(net.add_link(self.nic_bw, name=f"torus.rx{p}"))
+            if self.node_bw is not None:
+                self._node.append(net.add_link(self.node_bw, name=f"torus.node{p}"))
+        for node in range(self.nprocs):
+            for dim, extent in enumerate(self.dims):
+                if extent == 1:
+                    continue
+                for direction in (+1, -1):
+                    # A dimension of extent 2 has a single physical cable;
+                    # model it as two unidirectional links (full duplex).
+                    self._fabric[(node, dim, direction)] = net.add_link(
+                        self.link_bw, name=f"torus.l{node}.d{dim}{'+' if direction > 0 else '-'}"
+                    )
+
+    def _walk(self, src: int, dst: int) -> list[tuple[int, int, int]]:
+        """Dimension-ordered steps (node, dim, direction) from src to dst."""
+        steps = []
+        cur = list(self.coords(src))
+        target = self.coords(dst)
+        for dim, extent in enumerate(self.dims):
+            while cur[dim] != target[dim]:
+                if self.periodic:
+                    forward = (target[dim] - cur[dim]) % extent
+                    backward = (cur[dim] - target[dim]) % extent
+                    direction = +1 if forward <= backward else -1
+                else:
+                    direction = +1 if target[dim] > cur[dim] else -1
+                node = self.node_at(tuple(cur))
+                steps.append((node, dim, direction))
+                cur[dim] = (cur[dim] + direction) % extent
+        return steps
+
+    def route(self, src: int, dst: int) -> Route:
+        self._check_attached()
+        self._check_proc(src)
+        self._check_proc(dst)
+        if src == dst:
+            return self._self_route()
+        steps = self._walk(src, dst)
+        links = [self._tx[src]]
+        if self._node:
+            links.append(self._node[src])
+        links.extend(self._fabric[s] for s in steps)
+        if self._node:
+            links.append(self._node[dst])
+        links.append(self._rx[dst])
+        return Route(links=tuple(links), hops=len(steps), intra_node=False)
+
+    def distance(self, src: int, dst: int) -> int:
+        """Manhattan distance in hops (wrap-aware when periodic)."""
+        total = 0
+        for c1, c2, d in zip(self.coords(src), self.coords(dst), self.dims):
+            delta = abs(c1 - c2)
+            total += min(delta, d - delta) if self.periodic else delta
+        return total
+
+    def all_fabric_links(self) -> list[int]:
+        """All fabric link ids (for bisection analyses)."""
+        return list(self._fabric.values())

@@ -1,0 +1,43 @@
+"""Shared utilities: byte units, averaging math, table rendering.
+
+These helpers are deliberately free of any simulation state so every
+other subpackage can depend on them without import cycles.
+"""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    KIB,
+    MIB,
+    GIB,
+    format_bytes,
+    format_bandwidth,
+    format_time,
+    parse_size,
+)
+from repro.util.averages import (
+    logavg,
+    weighted_logavg,
+    weighted_average,
+    geometric_mean,
+)
+from repro.util.tables import Table
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_bandwidth",
+    "format_time",
+    "parse_size",
+    "logavg",
+    "weighted_logavg",
+    "weighted_average",
+    "geometric_mean",
+    "Table",
+]

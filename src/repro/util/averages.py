@@ -1,0 +1,73 @@
+"""Averaging rules used by the b_eff and b_eff_io definitions.
+
+The central operation is the *logarithmic average* (geometric mean):
+b_eff averages ring patterns and random patterns on a logarithmic
+scale and then takes the logarithmic average of the two results
+(paper Sec. 4).  b_eff_io uses plain weighted averages with the
+scattering pattern type double-weighted and the access methods
+weighted 25/25/50 (paper Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def logavg(values: Iterable[float]) -> float:
+    """Logarithmic average (geometric mean) of positive values.
+
+    This is the ``logavg`` of the b_eff formula:
+    ``exp(mean(log(v)))``.  Raises :class:`ValueError` on an empty
+    input or any non-positive value — a bandwidth of zero means a
+    measurement failed and must not be silently absorbed.
+    """
+    total = 0.0
+    count = 0
+    for v in values:
+        if v <= 0.0:
+            raise ValueError(f"logavg requires positive values, got {v!r}")
+        total += math.log(v)
+        count += 1
+    if count == 0:
+        raise ValueError("logavg of empty sequence")
+    return math.exp(total / count)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Alias for :func:`logavg` under its textbook name."""
+    return logavg(values)
+
+
+def weighted_logavg(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted geometric mean: ``exp(sum(w*log(v)) / sum(w))``."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    if not values:
+        raise ValueError("weighted_logavg of empty sequence")
+    wsum = float(sum(weights))
+    if wsum <= 0.0:
+        raise ValueError("weights must sum to a positive value")
+    acc = 0.0
+    for v, w in zip(values, weights):
+        if v <= 0.0:
+            raise ValueError(f"weighted_logavg requires positive values, got {v!r}")
+        if w < 0.0:
+            raise ValueError(f"negative weight {w!r}")
+        acc += w * math.log(v)
+    return math.exp(acc / wsum)
+
+
+def weighted_average(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Plain weighted arithmetic mean, used by the b_eff_io aggregation."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    if not values:
+        raise ValueError("weighted_average of empty sequence")
+    wsum = float(sum(weights))
+    if wsum <= 0.0:
+        raise ValueError("weights must sum to a positive value")
+    for w in weights:
+        if w < 0.0:
+            raise ValueError(f"negative weight {w!r}")
+    return sum(v * w for v, w in zip(values, weights)) / wsum

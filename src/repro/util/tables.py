@@ -1,0 +1,52 @@
+"""Minimal ASCII table renderer for benchmark protocols.
+
+The original b_eff / b_eff_io programs emit plain-text measurement
+protocols; this renderer produces the same style of aligned columns
+for our reports (Table 1, the Table 2 pattern list, per-pattern
+detail tables behind Fig. 4, ...).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class Table:
+    """Accumulate rows and render them as an aligned ASCII table."""
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are stringified, None renders empty."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(["" if c is None else str(c) for c in cells])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

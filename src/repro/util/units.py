@@ -1,0 +1,99 @@
+"""Byte and bandwidth units and human-readable formatting.
+
+The paper (and the original b_eff / b_eff_io sources) consistently use
+binary units: 1 kB = 1024 bytes, 1 MB = 1024**2 bytes.  We follow that
+convention: ``KB``/``MB``/``GB`` here are the *binary* constants that
+match the paper's tables (message-size ladders such as "1 byte to
+4 kb" are powers of two).  The IEC aliases ``KIB``/``MIB``/``GIB`` are
+provided for code that wants to be explicit.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: 1 kB in the paper's convention (binary).
+KB = 1024
+#: 1 MB in the paper's convention (binary).
+MB = 1024 * 1024
+#: 1 GB in the paper's convention (binary).
+GB = 1024 * 1024 * 1024
+
+KIB = KB
+MIB = MB
+GIB = GB
+
+_SIZE_RE = re.compile(
+    r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([kKmMgGtT]?)i?[bB]?\s*$"
+)
+
+_SUFFIX_FACTOR = {
+    "": 1,
+    "k": KB,
+    "m": MB,
+    "g": GB,
+    "t": 1024 * GB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human size string like ``"32kB"`` or ``"1 MB"`` to bytes.
+
+    Integers and floats pass through (rounded to int).  Raises
+    :class:`ValueError` for unrecognized strings or negative values.
+    """
+    if isinstance(text, bool):
+        raise ValueError(f"not a size: {text!r}")
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"negative size: {text!r}")
+        return int(text)
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse size: {text!r}")
+    value = float(m.group(1))
+    factor = _SUFFIX_FACTOR[m.group(2).lower()]
+    return int(round(value * factor))
+
+
+def format_bytes(nbytes: float) -> str:
+    """Format a byte count the way the paper's tables do (1 kB, 32 kB, 1 MB).
+
+    Exact multiples of a unit are printed without a decimal point;
+    other values get one decimal digit.  Values below 1 kB are printed
+    in bytes.
+    """
+    if nbytes < 0:
+        return "-" + format_bytes(-nbytes)
+    for factor, suffix in ((GB, "GB"), (MB, "MB"), (KB, "kB")):
+        if nbytes >= factor:
+            value = nbytes / factor
+            if value == int(value):
+                return f"{int(value)} {suffix}"
+            return f"{value:.1f} {suffix}"
+    if nbytes == int(nbytes):
+        return f"{int(nbytes)} B"
+    return f"{nbytes:.1f} B"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Format a bandwidth in MB/s as in Table 1 (integer MByte/s)."""
+    mbs = bytes_per_second / MB
+    if mbs >= 100:
+        return f"{mbs:.0f} MB/s"
+    if mbs >= 1:
+        return f"{mbs:.1f} MB/s"
+    return f"{mbs:.3f} MB/s"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with a sensible unit (us / ms / s / min)."""
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"

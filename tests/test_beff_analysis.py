@@ -1,0 +1,88 @@
+"""Tests for the b_eff aggregation formula."""
+
+import pytest
+
+from repro.beff.analysis import (
+    aggregate,
+    best_bandwidths,
+    per_pattern_averages,
+    two_step_logavg,
+)
+from repro.beff.measurement import MeasurementRecord
+from repro.util import logavg
+
+
+def rec(pattern, kind, size, method="nonblocking", rep=0, bw=100.0):
+    return MeasurementRecord(
+        pattern=pattern, kind=kind, size=size, method=method,
+        repetition=rep, looplength=1, time=1.0, bandwidth=bw,
+    )
+
+
+class TestBestBandwidths:
+    def test_max_over_methods_and_reps(self):
+        records = [
+            rec("p", "ring", 1, method="sendrecv", bw=50),
+            rec("p", "ring", 1, method="nonblocking", bw=80),
+            rec("p", "ring", 1, method="nonblocking", rep=1, bw=70),
+        ]
+        assert best_bandwidths(records) == {("p", 1): 80}
+
+    def test_sizes_kept_separate(self):
+        records = [rec("p", "ring", 1, bw=10), rec("p", "ring", 2, bw=30)]
+        best = best_bandwidths(records)
+        assert best[("p", 1)] == 10
+        assert best[("p", 2)] == 30
+
+
+class TestPerPatternAverages:
+    def test_average_over_sizes(self):
+        records = [rec("p", "ring", s, bw=s * 10.0) for s in (1, 2, 3)]
+        out = per_pattern_averages(records, num_sizes=3)
+        assert out["p"] == pytest.approx(20.0)
+
+    def test_missing_size_detected(self):
+        records = [rec("p", "ring", 1)]
+        with pytest.raises(ValueError, match="expected 3"):
+            per_pattern_averages(records, num_sizes=3)
+
+
+class TestTwoStepLogavg:
+    def test_equal_weighting_of_kinds(self):
+        values = {"ring": [100.0] * 6, "random": [25.0] * 6}
+        assert two_step_logavg(values) == pytest.approx(50.0)
+
+    def test_requires_both_kinds(self):
+        with pytest.raises(ValueError):
+            two_step_logavg({"ring": [1.0]})
+
+
+class TestAggregate:
+    def _records(self):
+        out = []
+        for p in range(2):
+            for kind, base in (("ring", 100.0), ("random", 50.0)):
+                for size in (1, 2):
+                    out.append(
+                        rec(f"{kind}-{p}", kind, size, bw=base * size)
+                    )
+        return out
+
+    def test_full_formula(self):
+        records = self._records()
+        agg = aggregate(records, num_sizes=2, lmax=2)
+        # per pattern: (100+200)/2=150 rings, (50+100)/2=75 randoms
+        assert agg["per_pattern"]["ring-0"] == pytest.approx(150.0)
+        assert agg["b_eff"] == pytest.approx(logavg([150.0, 75.0]))
+        # at lmax: rings 200, randoms 100
+        assert agg["b_eff_at_lmax"] == pytest.approx(logavg([200.0, 100.0]))
+        assert agg["ring_only_at_lmax"] == pytest.approx(200.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([], 2, 2)
+
+    def test_inconsistent_kind_rejected(self):
+        records = [rec("p", "ring", 1), rec("p", "random", 2)]
+        with pytest.raises(ValueError, match="inconsistent"):
+            aggregate(records, 2, 2)

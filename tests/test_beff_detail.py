@@ -1,0 +1,75 @@
+"""Focused tests for the b_eff detail patterns."""
+
+import pytest
+
+from repro.beff.detail import _interleaved_cycle, run_detail
+from repro.net import Fabric, NetParams
+from repro.sim import Simulator
+from repro.topology import ClusteredSMP, Torus
+from repro.util import GB, MB
+
+MEM = 512 * MB
+
+
+def torus_factory(n, link_bw=200 * MB):
+    def make():
+        sim = Simulator()
+        return Fabric(sim, Torus((n,), link_bw=link_bw), NetParams(latency=5e-6))
+
+    return make
+
+
+class TestInterleavedCycle:
+    def test_even(self):
+        assert _interleaved_cycle(6) == [0, 3, 1, 4, 2, 5]
+
+    def test_odd(self):
+        order = _interleaved_cycle(7)
+        assert sorted(order) == list(range(7))
+        assert order[-1] == 6
+
+    def test_cycle_has_long_hops(self):
+        order = _interleaved_cycle(8)
+        hops = [abs(order[(i + 1) % 8] - order[i]) for i in range(8)]
+        assert max(hops) >= 4
+
+
+class TestDetailRecords:
+    def test_worst_cycle_below_natural_ring(self):
+        # the interleaved cycle crosses the torus; the natural ring
+        # pattern does not — worst-cycle must lose on a 1-D torus
+        res = run_detail(torus_factory(16), MEM, iterations=1)
+        assert res["worst-cycle"].bandwidth < res["bisection-near"].bandwidth
+
+    def test_cartesian_dims_cover_cartesian_factorization(self):
+        res = run_detail(torus_factory(12), MEM, iterations=1)
+        # 12 = 4x3 (2-D) and 3x2x2 (3-D): every live dim measured
+        assert "cart2d-dim0" in res and "cart2d-dim1" in res
+        assert "cart3d-dim0" in res and "cart3d-dim1" in res and "cart3d-dim2" in res
+        assert "cart2d-all" in res and "cart3d-all" in res
+
+    def test_prime_process_count(self):
+        # 7 is prime: dims_create gives (7,1) and (7,1,1); only one
+        # live dimension per partitioning
+        res = run_detail(torus_factory(7), MEM, iterations=1)
+        assert "cart2d-dim0" in res
+        assert "cart2d-dim1" not in res
+        assert "cart3d-dim1" not in res
+
+    def test_all_records_have_positive_bandwidth(self):
+        res = run_detail(torus_factory(8), MEM, iterations=2)
+        for name, rec in res.items():
+            assert rec.bandwidth > 0, name
+            assert rec.time > 0, name
+            assert rec.size == 4 * MB  # Lmax of 512 MB memory
+
+    def test_smp_cluster_cart_dims_feel_hierarchy(self):
+        # on a 2x8 cluster with sequential placement, a (2, 8) Cartesian
+        # partitioning's dim1 (inside nodes) beats dim0 (across nodes)
+        def make():
+            sim = Simulator()
+            topo = ClusteredSMP(2, 8, membus_bw=4 * GB, nic_bw=200 * MB)
+            return Fabric(sim, topo, NetParams(latency=10e-6, copy_bw=2 * GB))
+
+        res = run_detail(make, MEM, iterations=1)
+        assert res["cart2d-dim1"].bandwidth > 2 * res["cart2d-dim0"].bandwidth

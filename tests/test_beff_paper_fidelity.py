@@ -1,0 +1,76 @@
+"""End-to-end test of the paper-fidelity measurement mode.
+
+The default configuration collapses repetitions and loop lengths
+because the simulator is deterministic; this test runs the *actual*
+control loop — loop length starting at 300 and adapted from the
+previous loop's execution time into the 2.5-5 ms window, three
+repetitions — on a small machine and checks the adaptation worked.
+"""
+
+import pytest
+
+from repro.beff import MeasurementConfig, run_beff
+from repro.beff.measurement import paper_fidelity
+from repro.net import Fabric, NetParams
+from repro.sim import Simulator
+from repro.topology import Torus
+from repro.util import MB
+
+
+def fabric_factory():
+    sim = Simulator()
+    return Fabric(
+        sim, Torus((2,), link_bw=300 * MB),
+        NetParams(latency=10e-6, msg_rate_cap=300 * MB),
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = MeasurementConfig(
+        methods=("nonblocking",),
+        repetitions=3,
+        max_looplength=300,
+    )
+    return run_beff(fabric_factory, 512 * MB, config)
+
+
+class TestPaperFidelityRun:
+    def test_three_repetitions_recorded(self, result):
+        reps = {r.repetition for r in result.records}
+        assert reps == {0, 1, 2}
+
+    def test_looplength_starts_at_300(self, result):
+        assert result.records[0].looplength == 300
+
+    def test_looplengths_adapt_into_window(self, result):
+        # after warm-up, loops with small messages settle near the
+        # 2.5-5 ms window; big messages drop to looplength 1
+        config = paper_fidelity()
+        settled = result.records[42:]  # skip the first pattern's warm-up
+        for rec in settled:
+            if rec.looplength not in (1, 300):
+                assert 1e-3 < rec.time < 20e-3, rec
+
+    def test_lmax_loops_run_once(self, result):
+        lmax_records = [r for r in result.records if r.size == result.lmax]
+        # a 4 MB round takes ~27 ms >> the 5 ms budget -> looplength 1
+        assert all(r.looplength == 1 for r in lmax_records)
+
+    def test_repetitions_identical_in_deterministic_sim(self, result):
+        # the paper takes the max over repetitions because real
+        # machines jitter; our virtual clock makes them identical —
+        # which is exactly why the default config uses one repetition
+        by_key = {}
+        for r in result.records:
+            by_key.setdefault((r.pattern, r.size, r.looplength), []).append(r.bandwidth)
+        for key, values in by_key.items():
+            # identical up to float accumulation of virtual timestamps
+            assert max(values) == pytest.approx(min(values), rel=1e-9), key
+
+    def test_matches_fast_mode_result(self, result):
+        fast = run_beff(
+            fabric_factory, 512 * MB,
+            MeasurementConfig(methods=("nonblocking",)),
+        )
+        assert fast.b_eff == pytest.approx(result.b_eff, rel=1e-6)

@@ -1,0 +1,84 @@
+"""Tests for CommPattern construction and neighbor queries."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.beff import CommPattern, make_patterns, random_patterns, ring_patterns
+from repro.sim.randomness import RandomStreams
+
+
+class TestCommPattern:
+    def test_neighbors_in_ring(self):
+        p = CommPattern("t", "ring", ((0, 1, 2, 3),))
+        assert p.neighbors(0) == (3, 1)
+        assert p.neighbors(3) == (2, 0)
+
+    def test_two_ring_neighbors_coincide(self):
+        p = CommPattern("t", "ring", ((0, 1),))
+        assert p.neighbors(0) == (1, 1)
+
+    def test_messages_per_iteration(self):
+        p = CommPattern("t", "ring", ((0, 1), (2, 3, 4)))
+        assert p.messages_per_iteration == 10
+
+    def test_ring_size_of(self):
+        p = CommPattern("t", "ring", ((0, 1), (2, 3, 4)))
+        assert p.ring_size_of(1) == 2
+        assert p.ring_size_of(4) == 3
+
+    def test_unknown_rank(self):
+        p = CommPattern("t", "ring", ((0, 1),))
+        with pytest.raises(KeyError):
+            p.neighbors(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommPattern("t", "weird", ((0, 1),))
+        with pytest.raises(ValueError):
+            CommPattern("t", "ring", ((0,),))
+        with pytest.raises(ValueError):
+            CommPattern("t", "ring", ((0, 1), (1, 2)))
+
+
+class TestPatternFactories:
+    def test_six_ring_patterns(self):
+        pats = ring_patterns(16)
+        assert len(pats) == 6
+        assert [p.kind for p in pats] == ["ring"] * 6
+
+    def test_six_random_patterns(self):
+        pats = random_patterns(16)
+        assert len(pats) == 6
+        assert [p.kind for p in pats] == ["random"] * 6
+
+    def test_make_patterns_twelve(self):
+        pats = make_patterns(16)
+        assert len(pats) == 12
+        names = [p.name for p in pats]
+        assert len(set(names)) == 12
+
+    def test_random_patterns_reproducible(self):
+        a = random_patterns(32, RandomStreams(5))
+        b = random_patterns(32, RandomStreams(5))
+        assert [p.rings for p in a] == [p.rings for p in b]
+
+    def test_random_patterns_actually_permuted(self):
+        ring = ring_patterns(64)[5].rings
+        random = random_patterns(64, RandomStreams(1))[5].rings
+        assert ring != random
+        assert sorted(random[0]) == sorted(ring[0])
+
+    def test_last_pattern_single_ring(self):
+        pats = make_patterns(10)
+        assert len(pats[5].rings) == 1
+        assert len(pats[11].rings) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 300))
+    def test_all_patterns_cover_all_ranks(self, n):
+        for p in make_patterns(n):
+            ranks = sorted(r for ring in p.rings for r in ring)
+            assert ranks == list(range(n))
+            # every rank has well-defined neighbors
+            left, right = p.neighbors(0)
+            assert 0 <= left < n and 0 <= right < n

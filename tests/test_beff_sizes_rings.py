@@ -1,0 +1,141 @@
+"""Tests for the message-size ladder and ring partitions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.beff import lmax_for, message_sizes, ring_partition, ring_pattern_sizes
+from repro.util import GB, KB, MB
+
+
+class TestLmax:
+    def test_memory_over_128(self):
+        assert lmax_for(128 * MB) == MB
+
+    def test_t3e_value(self):
+        # T3E/900-512: 128 MB per PE -> L_max = 1 MB (Table 1)
+        assert lmax_for(128 * MB) == 1 * MB
+
+    def test_sr8000_value(self):
+        # SR 8000: 8 GB node / 8 procs -> 1 GB per proc -> 8 MB (Table 1)
+        assert lmax_for(1 * GB) == 8 * MB
+
+    def test_32bit_cap(self):
+        assert lmax_for(64 * GB, int_bits=32) == 128 * MB
+        assert lmax_for(64 * GB, int_bits=64) == 512 * MB
+
+    def test_too_small_memory_rejected(self):
+        with pytest.raises(ValueError):
+            lmax_for(4 * KB)
+
+
+class TestMessageSizes:
+    def test_twenty_one_values(self):
+        sizes = message_sizes(128 * MB)
+        assert len(sizes) == 21
+
+    def test_fixed_ladder(self):
+        sizes = message_sizes(128 * MB)
+        assert sizes[:13] == [1 << i for i in range(13)]
+
+    def test_top_is_lmax(self):
+        sizes = message_sizes(128 * MB)
+        assert sizes[-1] == MB
+
+    def test_geometric_spacing_above_4k(self):
+        sizes = message_sizes(128 * MB)
+        upper = sizes[12:]  # 4kB .. Lmax, 9 values
+        ratios = [upper[i + 1] / upper[i] for i in range(8)]
+        expected = (MB / (4 * KB)) ** (1 / 8)
+        for r in ratios:
+            assert r == pytest.approx(expected, rel=0.02)
+
+    def test_strictly_increasing(self):
+        sizes = message_sizes(2 * GB)
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+
+    @given(st.integers(20, 40))
+    def test_any_memory_size_well_formed(self, log2_mem):
+        sizes = message_sizes(1 << log2_mem)
+        assert len(sizes) == 21
+        assert sizes[-1] == (1 << log2_mem) // 128
+        assert all(s >= 1 for s in sizes)
+
+
+class TestRingPatternSizes:
+    def test_pattern1_even(self):
+        assert ring_pattern_sizes(8, 1) == [2, 2, 2, 2]
+
+    def test_pattern1_odd_last_ring_three(self):
+        # paper example: 7 processes -> rings {0,1} {2,3} {4,5,6}
+        assert ring_pattern_sizes(7, 1) == [2, 2, 3]
+
+    def test_pattern1_minimal(self):
+        assert ring_pattern_sizes(2, 1) == [2]
+        assert ring_pattern_sizes(3, 1) == [3]
+
+    def test_pattern2_small_counts_single_ring(self):
+        for n in range(2, 8):
+            assert ring_pattern_sizes(n, 2) == [n]
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (8, [4, 4]),
+            (9, [5, 4]),    # "1*5"
+            (10, [5, 5]),   # "2*5"
+            (11, [4, 4, 3]),  # "1*3"
+            (16, [4, 4, 4, 4]),
+        ],
+    )
+    def test_pattern2_remainders(self, n, expected):
+        assert ring_pattern_sizes(n, 2) == expected
+
+    def test_pattern3_sizes_in_seven_to_nine(self):
+        for n in range(29, 200, 7):
+            sizes = ring_pattern_sizes(n, 3)
+            assert all(7 <= s <= 9 for s in sizes), (n, sizes)
+
+    def test_pattern4_standard(self):
+        # min(max(16, n/4), n)
+        sizes = ring_pattern_sizes(128, 4)
+        assert all(abs(s - 32) <= 1 for s in sizes)
+        assert ring_pattern_sizes(8, 4) == [8]
+
+    def test_pattern5_standard(self):
+        sizes = ring_pattern_sizes(128, 5)
+        assert sizes == [64, 64]
+        assert ring_pattern_sizes(16, 5) == [16]
+
+    def test_pattern6_one_ring(self):
+        assert ring_pattern_sizes(100, 6) == [100]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_pattern_sizes(1, 1)
+        with pytest.raises(ValueError):
+            ring_pattern_sizes(8, 0)
+        with pytest.raises(ValueError):
+            ring_pattern_sizes(8, 7)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(2, 600), st.integers(1, 6))
+    def test_partition_properties(self, n, pattern):
+        sizes = ring_pattern_sizes(n, pattern)
+        assert sum(sizes) == n
+        assert all(s >= 2 for s in sizes)
+        if pattern >= 2:
+            # nearly equal: min and max differ by at most 1
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestRingPartition:
+    def test_consecutive_blocks(self):
+        rings = ring_partition(7, 1)
+        assert rings == [[0, 1], [2, 3], [4, 5, 6]]
+
+    def test_covers_all_ranks(self):
+        rings = ring_partition(50, 3)
+        flat = [r for ring in rings for r in ring]
+        assert flat == list(range(50))

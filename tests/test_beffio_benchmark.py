@@ -1,0 +1,232 @@
+"""End-to-end tests of b_eff_io on a small simulated I/O subsystem."""
+
+import pytest
+
+from repro.beffio import BeffIOConfig, build_patterns, run_beffio
+from repro.beffio.analysis import ACCESS_METHODS, TypeResult, method_value, partition_value, system_value
+from repro.beffio.scheduler import pattern_time
+from repro.beffio.segments import chunk_repetitions, estimate_segment_size
+from repro.mpi import World
+from repro.net import Fabric, NetParams
+from repro.pfs import FileSystem, PFSConfig
+from repro.sim import Simulator
+from repro.topology import Torus
+from repro.util import GB, KB, MB
+
+MEM = 256 * MB  # M_PART = 2 MB
+
+
+def env_factory(nprocs=4, **fs_over):
+    def make():
+        sim = Simulator()
+        fabric = Fabric(
+            sim, Torus((nprocs,), link_bw=1000 * MB),
+            NetParams(latency=5e-6, msg_rate_cap=500 * MB),
+        )
+        world = World(fabric)
+        cfg = dict(
+            num_servers=4,
+            stripe_unit=64 * KB,
+            disk_bw=100 * MB,
+            ingest_bw=800 * MB,
+            seek_time=2e-3,
+            request_overhead=1e-4,
+            disk_block=4 * KB,
+            cache_bytes=256 * MB,
+            client_bw=400 * MB,
+            server_net_bw=400 * MB,
+            call_overhead=3e-5,
+        )
+        cfg.update(fs_over)
+        fs = FileSystem(sim, PFSConfig(**cfg))
+        return world, fs
+
+    return make
+
+
+FAST = BeffIOConfig(T=1.5)
+
+
+class TestRunBeffIO:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_beffio(env_factory(4), MEM, FAST)
+
+    def test_partition_value_positive(self, result):
+        assert result.b_eff_io > 0
+        assert result.nprocs == 4
+        assert result.mpart == 2 * MB
+
+    def test_all_methods_and_types_measured(self, result):
+        combos = {(t.method, t.pattern_type) for t in result.type_results}
+        assert combos == {(m, t) for m in ACCESS_METHODS for t in range(5)}
+
+    def test_partition_weighting(self, result):
+        expected = partition_value(result.method_values)
+        assert result.b_eff_io == pytest.approx(expected)
+
+    def test_pattern_runs_cover_all_patterns(self, result):
+        for method in ACCESS_METHODS:
+            numbers = [r.number for r in result.pattern_table(method)]
+            assert numbers == list(range(43))
+
+    def test_u_zero_patterns_ran_once(self, result):
+        for r in result.pattern_table("write"):
+            if r.number in (0, 9, 17, 25):
+                assert r.reps == 1
+
+    def test_bytes_accounting(self, result):
+        for r in result.pattern_runs:
+            if r.pattern_type == 0:
+                assert r.nbytes == r.reps * r.L * 4 or r.reps == 0
+            # reps recorded are max across ranks; for noncollective
+            # patterns bytes <= reps * l * n
+            assert r.nbytes <= max(1, r.reps) * r.L * 4
+
+    def test_read_never_exceeds_write_reps(self, result):
+        write_reps = {r.number: r.reps for r in result.pattern_table("write")}
+        for r in result.pattern_table("read"):
+            assert r.reps <= write_reps[r.number]
+
+    def test_segment_size_computed(self, result):
+        assert result.segment_size is not None
+        assert result.segment_size % MB == 0
+        assert result.segment_size >= MB
+
+    def test_deterministic(self):
+        a = run_beffio(env_factory(2), MEM, BeffIOConfig(T=0.8))
+        b = run_beffio(env_factory(2), MEM, BeffIOConfig(T=0.8))
+        assert a.b_eff_io == b.b_eff_io
+
+
+class TestSubsetsAndConfig:
+    def test_subset_of_types(self):
+        cfg = BeffIOConfig(T=0.8, pattern_types=(0, 2))
+        res = run_beffio(env_factory(2), MEM, cfg)
+        types = {t.pattern_type for t in res.type_results}
+        assert types == {0, 2}
+        assert res.segment_size is None
+
+    def test_segmented_only_uses_fallback(self):
+        cfg = BeffIOConfig(T=0.8, pattern_types=(3,))
+        res = run_beffio(env_factory(2), MEM, cfg)
+        assert res.segment_size is not None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BeffIOConfig(T=0)
+        with pytest.raises(ValueError):
+            BeffIOConfig(pattern_types=())
+        with pytest.raises(ValueError):
+            BeffIOConfig(pattern_types=(7,))
+        with pytest.raises(ValueError):
+            BeffIOConfig(pattern_types=(1, 1))
+        with pytest.raises(ValueError):
+            BeffIOConfig(cb_buffer=0)
+
+    def test_type_result_lookup(self):
+        res = run_beffio(env_factory(2), MEM, BeffIOConfig(T=0.8, pattern_types=(0,)))
+        assert res.type_result("read", 0).pattern_type == 0
+        with pytest.raises(KeyError):
+            res.type_result("read", 3)
+
+
+class TestShapes:
+    """Qualitative findings of the paper's Sec. 5.3 on our substrate."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_beffio(env_factory(4), MEM, BeffIOConfig(T=2.0))
+
+    def _bw(self, result, method, number):
+        for r in result.pattern_table(method):
+            if r.number == number:
+                return r.bandwidth
+        raise KeyError(number)
+
+    def test_scatter_type_handles_small_chunks_best(self, result):
+        # 1 kB chunks: type 0 (collective scatter, two-phase) beats the
+        # per-chunk types 1 and 2 — "the scattering pattern type 0 is
+        # the best on all platforms for small chunk sizes".
+        t0_1k = self._bw(result, "write", 5)
+        t1_1k = self._bw(result, "write", 13)
+        assert t0_1k > t1_1k
+
+    def test_wellformed_beats_nonwellformed(self, result):
+        # 1 MB wellformed (No. 19, type 2) vs 1 MB+8 (No. 24)
+        wf = self._bw(result, "write", 19)
+        nwf = self._bw(result, "write", 24)
+        assert wf > nwf
+
+    def test_large_chunks_beat_small_chunks(self, result):
+        big = self._bw(result, "write", 18)  # M_PART, type 2
+        small = self._bw(result, "write", 21)  # 1 kB, type 2
+        assert big > small
+
+
+class TestAnalysisHelpers:
+    def test_method_value_double_weights_scatter(self):
+        results = [
+            TypeResult("write", 0, 600, 1.0, 1),
+            TypeResult("write", 1, 300, 1.0, 1),
+            TypeResult("write", 2, 300, 1.0, 1),
+        ]
+        # (2*600 + 300 + 300) / 4 = 450
+        assert method_value(results) == pytest.approx(450.0)
+
+    def test_method_value_rejects_mixed(self):
+        results = [
+            TypeResult("write", 0, 1, 1.0, 1),
+            TypeResult("read", 1, 1, 1.0, 1),
+        ]
+        with pytest.raises(ValueError):
+            method_value(results)
+
+    def test_partition_value_weighting(self):
+        values = {"write": 100.0, "rewrite": 100.0, "read": 200.0}
+        assert partition_value(values) == pytest.approx(150.0)
+
+    def test_partition_value_missing_method(self):
+        with pytest.raises(ValueError):
+            partition_value({"write": 1.0})
+
+    def test_system_value_max(self):
+        assert system_value({8: 10.0, 32: 30.0, 64: 20.0}) == 30.0
+
+    def test_system_value_minimum_T(self):
+        vals = {8: 10.0, 32: 30.0}
+        Ts = {8: 900.0, 32: 600.0}
+        assert system_value(vals, minimum_T=900.0, Ts=Ts) == 10.0
+        with pytest.raises(ValueError):
+            system_value(vals, minimum_T=1200.0, Ts=Ts)
+        with pytest.raises(ValueError):
+            system_value(vals, minimum_T=900.0)
+
+    def test_pattern_time(self):
+        assert pattern_time(900.0, 4, 64) == pytest.approx(18.75)
+        with pytest.raises(ValueError):
+            pattern_time(0.0, 4, 64)
+
+
+class TestSegments:
+    def test_chunk_repetitions_scales_scatter(self):
+        from repro.beffio.benchmark import PatternRun
+
+        runs = [
+            PatternRun("write", 5, 0, KB, MB, True, reps=3, nbytes=0, time=1.0),
+            PatternRun("write", 21, 2, KB, KB, True, reps=100, nbytes=0, time=1.0),
+        ]
+        factors = chunk_repetitions(runs)
+        # type 0: 3 reps x 1024 chunks/call = 3072 > 100
+        assert factors[KB] == 3072.0
+
+    def test_estimate_rounded_to_mb(self):
+        pats = [p for p in build_patterns(MEM) if p.pattern_type == 3 and not p.fill_segment]
+        seg = estimate_segment_size([], pats, fallback_reps=4.0)
+        assert seg % MB == 0
+        assert seg >= MB
+
+    def test_max_segment_cap(self):
+        pats = [p for p in build_patterns(MEM) if p.pattern_type == 3 and not p.fill_segment]
+        seg = estimate_segment_size([], pats, fallback_reps=1000.0, max_segment=8 * MB)
+        assert seg <= 8 * MB

@@ -1,0 +1,97 @@
+"""Tests for the Table 2 pattern list."""
+
+import pytest
+
+from repro.beffio import SUM_U, build_patterns, mpart_for
+from repro.beffio.patterns import IOPattern, active_pattern_count, patterns_of_type
+from repro.util import GB, KB, MB
+
+MEM = 256 * MB  # M_PART = 2 MB
+
+
+class TestMpart:
+    def test_floor_at_2mb(self):
+        assert mpart_for(16 * MB) == 2 * MB
+
+    def test_scales_with_memory(self):
+        assert mpart_for(1 * GB) == 8 * MB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mpart_for(0)
+
+
+class TestTable2:
+    def test_sum_u_is_64(self):
+        pats = build_patterns(MEM)
+        assert sum(p.U for p in pats) == SUM_U == 64
+
+    def test_active_pattern_count_is_36(self):
+        assert active_pattern_count(build_patterns(MEM)) == 36
+
+    def test_numbering_dense(self):
+        pats = build_patterns(MEM)
+        assert [p.number for p in pats] == list(range(43))
+
+    def test_per_type_u_sums(self):
+        pats = build_patterns(MEM)
+        sums = {t: sum(p.U for p in patterns_of_type(pats, t)) for t in range(5)}
+        assert sums == {0: 22, 1: 12, 2: 10, 3: 10, 4: 10}
+
+    def test_type0_scatter_sizes(self):
+        t0 = patterns_of_type(build_patterns(MEM), 0)
+        # pattern 5: 1 kB disk chunks, 1 MB memory chunks
+        p5 = t0[5]
+        assert p5.l == KB and p5.L == MB
+        assert p5.chunks_per_call == 1024
+
+    def test_nonwellformed_sizes(self):
+        pats = build_patterns(MEM)
+        p6, p7, p8 = pats[6], pats[7], pats[8]
+        assert (p6.l, p6.L) == (32 * KB + 8, MB + 256)
+        assert (p7.l, p7.L) == (KB + 8, MB + 8 * KB)
+        assert (p8.l, p8.L) == (MB + 8, MB + 8)
+        assert not p6.wellformed and not p7.wellformed and not p8.wellformed
+        # non-wellformed chunk counts match their wellformed sibling
+        assert p6.L // p6.l == 32
+        assert p7.L // p7.l == 1024
+        assert p8.chunks_per_call == 1
+
+    def test_mpart_pattern_resolved(self):
+        pats = build_patterns(1 * GB)
+        assert pats[1].l == 8 * MB  # type 0 row 1 uses M_PART
+        assert pats[10].l == 8 * MB  # type 1 row 1
+
+    def test_per_chunk_types_have_L_eq_l(self):
+        pats = build_patterns(MEM)
+        for p in pats:
+            if p.pattern_type != 0:
+                assert p.L == p.l
+
+    def test_fill_segment_rows(self):
+        pats = build_patterns(MEM)
+        fills = [p for p in pats if p.fill_segment]
+        assert [p.number for p in fills] == [33, 42]
+        assert all(p.U == 0 for p in fills)
+        assert {p.pattern_type for p in fills} == {3, 4}
+
+    def test_types_3_and_4_mirror_type_2(self):
+        pats = build_patterns(MEM)
+        t2 = [(p.l, p.L, p.U) for p in patterns_of_type(pats, 2)]
+        t3 = [(p.l, p.L, p.U) for p in patterns_of_type(pats, 3) if not p.fill_segment]
+        t4 = [(p.l, p.L, p.U) for p in patterns_of_type(pats, 4) if not p.fill_segment]
+        assert t2 == t3 == t4
+
+    def test_labels(self):
+        pats = build_patterns(MEM)
+        assert pats[5].label == "1 kB"
+        assert pats[6].label == "32 kB+8"
+        assert pats[0].label == "1 MB"
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            IOPattern(0, 9, KB, KB, 1, True)
+        with pytest.raises(ValueError):
+            IOPattern(0, 0, 2 * KB, KB, 1, True)  # L < l
+        with pytest.raises(ValueError):
+            IOPattern(0, 0, KB, KB, -1, True)

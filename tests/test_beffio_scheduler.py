@@ -1,0 +1,157 @@
+"""Tests for the time-driven loops and the termination algorithm."""
+
+import pytest
+
+from repro.beffio.scheduler import (
+    collective_timed_loop,
+    local_timed_loop,
+    pattern_time,
+)
+from repro.mpi import World
+from repro.net import Fabric, NetParams
+from repro.sim import Simulator, Sleep
+from repro.topology import Torus
+from repro.util import MB
+
+
+def make_world(nprocs=4, latency=1e-6):
+    sim = Simulator()
+    fabric = Fabric(sim, Torus((nprocs,), link_bw=1000 * MB), NetParams(latency=latency))
+    return World(fabric)
+
+
+class TestLocalLoop:
+    def test_stops_after_budget(self):
+        world = make_world(1)
+        reps_seen = []
+
+        def program(comm):
+            def body():
+                yield Sleep(0.1)
+
+            reps = yield from local_timed_loop(comm, t_end=0.35, body=body)
+            reps_seen.append(reps)
+
+        world.run(program)
+        # 0.1 per rep; after rep 4 the clock (0.4) passes 0.35
+        assert reps_seen == [4]
+
+    def test_at_least_one_rep(self):
+        world = make_world(1)
+        reps_seen = []
+
+        def program(comm):
+            def body():
+                yield Sleep(10.0)
+
+            reps = yield from local_timed_loop(comm, t_end=0.0, body=body)
+            reps_seen.append(reps)
+
+        world.run(program)
+        assert reps_seen == [1]
+
+    def test_max_reps_cap(self):
+        world = make_world(1)
+        reps_seen = []
+
+        def program(comm):
+            def body():
+                yield Sleep(0.01)
+
+            reps = yield from local_timed_loop(comm, t_end=100.0, body=body, max_reps=3)
+            reps_seen.append(reps)
+
+        world.run(program)
+        assert reps_seen == [3]
+
+    def test_invalid_max_reps(self):
+        world = make_world(1)
+
+        def program(comm):
+            yield from local_timed_loop(comm, 1.0, lambda: iter(()), max_reps=0)
+
+        with pytest.raises(ValueError):
+            world.run(program)
+
+
+class TestCollectiveLoop:
+    def test_all_ranks_stop_after_same_iteration(self):
+        world = make_world(4)
+        reps_seen = {}
+
+        def program(comm):
+            def body():
+                # rank-dependent body time: without the collective
+                # decision, ranks would run different rep counts
+                yield Sleep(0.05 + 0.01 * comm.rank)
+
+            reps = yield from collective_timed_loop(comm, t_end=0.2, body=body)
+            reps_seen[comm.rank] = reps
+
+        world.run(program)
+        assert len(set(reps_seen.values())) == 1
+
+    def test_root_clock_decides(self):
+        world = make_world(2)
+        reps_seen = []
+
+        def program(comm):
+            def body():
+                yield Sleep(0.1)
+
+            reps = yield from collective_timed_loop(comm, t_end=0.25, body=body)
+            if comm.rank == 0:
+                reps_seen.append(reps)
+
+        world.run(program)
+        assert reps_seen[0] >= 2
+
+    def test_max_reps_short_circuits_decision(self):
+        world = make_world(2)
+        reps_seen = []
+
+        def program(comm):
+            def body():
+                yield Sleep(0.01)
+
+            reps = yield from collective_timed_loop(
+                comm, t_end=100.0, body=body, max_reps=2
+            )
+            if comm.rank == 0:
+                reps_seen.append(reps)
+
+        world.run(program)
+        assert reps_seen == [2]
+
+    def test_termination_round_costs_time(self):
+        # The Sec. 5.4 point: each iteration pays barrier + bcast.
+        def run(latency):
+            world = make_world(8, latency=latency)
+            done = []
+
+            def program(comm):
+                def body():
+                    yield Sleep(0.001)
+
+                yield from collective_timed_loop(comm, t_end=0.01, body=body, max_reps=5)
+                done.append(comm.wtime())
+
+            world.run(program)
+            return max(done)
+
+        cheap = run(latency=1e-7)
+        pricey = run(latency=200e-6)
+        assert pricey > cheap * 1.5
+
+
+class TestPatternTime:
+    def test_formula(self):
+        # T/3 * U/sumU
+        assert pattern_time(900, 4, 64) == pytest.approx(900 / 3 * 4 / 64)
+        assert pattern_time(900, 0, 64) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pattern_time(-1, 4, 64)
+        with pytest.raises(ValueError):
+            pattern_time(900, 4, 0)

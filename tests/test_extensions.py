@@ -1,0 +1,248 @@
+"""Tests for the paper's future-work extensions we implemented.
+
+* geometric termination for collective loops (Sec. 5.4's proposal);
+* random access pattern type 5 (Sec. 6);
+* machine-readable JSON export (Sec. 6's SKaMPI/Top-Clusters outlook);
+* the 20x-cache disk-residency rule (Sec. 5.4).
+"""
+
+import json
+
+import pytest
+
+from repro.beff import MeasurementConfig
+from repro.beffio import BeffIOConfig, run_beffio
+from repro.beffio.analysis import bytes_per_method, cache_rule
+from repro.beffio.patterns import extension_patterns, patterns_of_type
+from repro.beffio.scheduler import geometric_timed_loop
+from repro.machines import cray_t3e_900
+from repro.mpi import World
+from repro.net import Fabric, NetParams
+from repro.pfs import FileSystem, PFSConfig
+from repro.reporting.export import beff_to_dict, beffio_to_dict, to_json
+from repro.sim import Simulator, Sleep
+from repro.topology import Torus
+from repro.util import KB, MB
+
+
+def env_factory(nprocs=4):
+    def make():
+        sim = Simulator()
+        fabric = Fabric(
+            sim, Torus((nprocs,), link_bw=1000 * MB),
+            NetParams(latency=5e-6, msg_rate_cap=500 * MB),
+        )
+        world = World(fabric)
+        fs = FileSystem(sim, PFSConfig(
+            num_servers=4, stripe_unit=64 * KB, disk_bw=100 * MB,
+            ingest_bw=800 * MB, seek_time=2e-3, request_overhead=1e-4,
+            disk_block=4 * KB, cache_bytes=256 * MB, client_bw=400 * MB,
+            server_net_bw=400 * MB, call_overhead=3e-5,
+        ))
+        return world, fs
+
+    return make
+
+
+MEM = 256 * MB
+
+
+class TestGeometricTermination:
+    def test_loop_semantics_match(self):
+        # all ranks stop after the same count; at least one rep
+        sim = Simulator()
+        fabric = Fabric(sim, Torus((4,), link_bw=100 * MB), NetParams(latency=1e-6))
+        world = World(fabric)
+        reps_seen = {}
+
+        def program(comm):
+            def body():
+                yield Sleep(0.01)
+
+            reps = yield from geometric_timed_loop(comm, t_end=0.1, body=body)
+            reps_seen[comm.rank] = reps
+
+        world.run(program)
+        assert len(set(reps_seen.values())) == 1
+        assert list(reps_seen.values())[0] >= 1
+
+    def test_max_reps_respected(self):
+        sim = Simulator()
+        fabric = Fabric(sim, Torus((2,), link_bw=100 * MB), NetParams())
+        world = World(fabric)
+        got = []
+
+        def program(comm):
+            def body():
+                yield Sleep(0.001)
+
+            reps = yield from geometric_timed_loop(
+                comm, t_end=100.0, body=body, max_reps=7
+            )
+            got.append(reps)
+
+        world.run(program)
+        assert got[0] == 7
+
+    def test_validation(self):
+        sim = Simulator()
+        fabric = Fabric(sim, Torus((2,), link_bw=MB), NetParams())
+        world = World(fabric)
+
+        def program(comm):
+            yield from geometric_timed_loop(comm, 1.0, lambda: iter(()), growth=1.0)
+
+        with pytest.raises(ValueError):
+            world.run(program)
+
+    def test_geometric_reduces_termination_overhead(self):
+        # On a high-latency fabric, per-iteration termination costs a
+        # collective round per rep; geometric batching amortizes it and
+        # the same time budget completes more small-chunk repetitions.
+        def run(termination):
+            cfg = BeffIOConfig(T=1.5, pattern_types=(1,), termination=termination)
+            return run_beffio(env_factory(4), MEM, cfg)
+
+        per_iter = run("per-iteration")
+        geometric = run("geometric")
+        # compare the 1 kB shared-collective pattern (No. 13)
+        bw = {}
+        for label, res in (("per-iteration", per_iter), ("geometric", geometric)):
+            for r in res.pattern_table("write"):
+                if r.number == 13:
+                    bw[label] = r.bandwidth
+        assert bw["geometric"] > bw["per-iteration"]
+
+
+class TestRandomAccessType5:
+    def test_extension_patterns_structure(self):
+        pats = extension_patterns(MEM)
+        assert all(p.pattern_type == 5 for p in pats)
+        assert [p.number for p in pats] == list(range(43, 51))
+        assert sum(p.U for p in pats) == 10
+
+    def test_run_with_type5(self):
+        cfg = BeffIOConfig(T=1.5, pattern_types=(0, 2, 5))
+        res = run_beffio(env_factory(4), MEM, cfg)
+        types = {t.pattern_type for t in res.type_results}
+        assert 5 in types
+        assert res.segment_size is not None
+        t5_runs = [r for r in res.pattern_runs if r.pattern_type == 5]
+        assert len(t5_runs) == 8 * 3  # 8 patterns x 3 methods
+        assert all(r.nbytes >= 0 for r in t5_runs)
+
+    def test_random_slower_than_sequential_on_disk(self):
+        # with no cache, random 1 MB accesses seek; sequential do not
+        def env_small():
+            sim = Simulator()
+            fabric = Fabric(
+                sim, Torus((2,), link_bw=1000 * MB), NetParams(latency=5e-6)
+            )
+            world = World(fabric)
+            fs = FileSystem(sim, PFSConfig(
+                num_servers=1, stripe_unit=16 * MB, disk_bw=100 * MB,
+                ingest_bw=800 * MB, seek_time=10e-3, request_overhead=1e-4,
+                disk_block=4 * KB, cache_bytes=0, client_bw=400 * MB,
+                server_net_bw=400 * MB, call_overhead=3e-5,
+            ))
+            return world, fs
+
+        cfg = BeffIOConfig(T=2.0, pattern_types=(3, 5))
+        res = run_beffio(env_small, MEM, cfg)
+        seq = res.type_result("write", 3)
+        rnd = res.type_result("write", 5)
+        assert rnd.bandwidth < seq.bandwidth
+
+    def test_reads_revisit_written_offsets(self):
+        cfg = BeffIOConfig(T=1.0, pattern_types=(5,))
+        res = run_beffio(env_factory(2), MEM, cfg)
+        # reads of the same offset sequence hit cache: read >= write bw
+        w = res.type_result("write", 5).bandwidth
+        r = res.type_result("read", 5).bandwidth
+        assert r > 0.5 * w
+
+
+class TestJsonExport:
+    def test_beff_roundtrip(self):
+        spec = cray_t3e_900()
+        res = spec.run_beff(
+            4, MeasurementConfig(methods=("nonblocking",), backend="analytic")
+        )
+        text = to_json(res, machine="t3e")
+        payload = json.loads(text)
+        assert payload["benchmark"] == "b_eff"
+        assert payload["machine"] == "t3e"
+        assert payload["nprocs"] == 4
+        assert payload["b_eff"] == pytest.approx(res.b_eff)
+        assert len(payload["records"]) == len(res.records)
+        assert payload["records"][0]["pattern"] == res.records[0].pattern
+
+    def test_beffio_roundtrip(self):
+        cfg = BeffIOConfig(T=0.8, pattern_types=(0,))
+        res = run_beffio(env_factory(2), MEM, cfg)
+        payload = json.loads(to_json(res))
+        assert payload["benchmark"] == "b_eff_io"
+        assert payload["b_eff_io"] == pytest.approx(res.b_eff_io)
+        assert len(payload["type_results"]) == 3
+        assert payload["pattern_runs"][0]["bandwidth"] >= 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_json("not a result")
+
+    def test_dict_helpers(self):
+        spec = cray_t3e_900()
+        res = spec.run_beff(
+            2, MeasurementConfig(methods=("nonblocking",), backend="analytic")
+        )
+        d = beff_to_dict(res)
+        assert d["machine"] is None
+        cfg = BeffIOConfig(T=0.6, pattern_types=(0,))
+        io_res = run_beffio(env_factory(2), MEM, cfg)
+        d2 = beffio_to_dict(io_res, machine="custom")
+        assert d2["machine"] == "custom"
+
+    def test_cli_json_flags(self, tmp_path, capsys):
+        from repro.cli import main_beff, main_beffio
+
+        out = tmp_path / "beff.json"
+        main_beff(["--machine", "t3e", "--procs", "2", "--backend", "analytic",
+                   "--methods", "nonblocking", "--json", str(out)])
+        assert json.loads(out.read_text())["benchmark"] == "b_eff"
+
+        out2 = tmp_path / "io.json"
+        main_beffio(["--machine", "t3e", "--procs", "2", "--T", "0.5",
+                     "--types", "0", "--termination", "geometric",
+                     "--json", str(out2)])
+        assert json.loads(out2.read_text())["benchmark"] == "b_eff_io"
+
+
+class TestCacheRule:
+    def test_rule_applied_per_method(self):
+        sizes = {"write": 2000, "rewrite": 500, "read": 2100}
+        out = cache_rule(sizes, cache_bytes=100, factor=20)
+        assert out == {"write": True, "rewrite": False, "read": True}
+
+    def test_bytes_per_method(self):
+        from repro.beffio.analysis import TypeResult
+
+        results = [
+            TypeResult("write", 0, 100, 1.0, 1),
+            TypeResult("write", 1, 50, 1.0, 1),
+            TypeResult("read", 0, 70, 1.0, 1),
+        ]
+        assert bytes_per_method(results) == {"write": 150, "read": 70}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cache_rule({}, cache_bytes=-1)
+        with pytest.raises(ValueError):
+            cache_rule({}, cache_bytes=1, factor=0)
+
+    def test_end_to_end_cache_rule(self):
+        cfg = BeffIOConfig(T=1.0, pattern_types=(0,))
+        res = run_beffio(env_factory(2), MEM, cfg)
+        sizes = bytes_per_method(res.type_results)
+        verdict = cache_rule(sizes, cache_bytes=256 * MB)
+        # tiny scaled run cannot satisfy the 20x rule -> flagged
+        assert not any(verdict.values())

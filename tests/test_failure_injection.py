@@ -1,0 +1,136 @@
+"""Failure-injection tests: errors must surface loudly, never hang.
+
+A simulation framework earns trust by how it fails: a crashed rank
+program, an impossible configuration, or a semantic violation must
+abort the run with the original exception — not deadlock, not corrupt
+other ranks' results silently.
+"""
+
+import pytest
+
+from repro.mpi import MpiError, World
+from repro.mpiio import IOFile, StridedView
+from repro.net import Fabric, NetParams
+from repro.pfs import FileSystem, PFSConfig
+from repro.sim import DeadlockError, Process, Simulator, Sleep
+from repro.topology import Torus
+from repro.util import KB, MB
+
+
+def make_world(nprocs=4):
+    sim = Simulator()
+    fabric = Fabric(sim, Torus((nprocs,), link_bw=100 * MB), NetParams())
+    return World(fabric)
+
+
+class TestRankProgramCrashes:
+    def test_exception_in_rank_program_propagates(self):
+        world = make_world(2)
+
+        def program(comm):
+            yield Sleep(0.1)
+            if comm.rank == 1:
+                raise RuntimeError("simulated application bug")
+
+        with pytest.raises(RuntimeError, match="application bug"):
+            world.run(program)
+
+    def test_exception_mid_collective_propagates(self):
+        world = make_world(4)
+
+        def program(comm):
+            yield from comm.barrier()
+            if comm.rank == 2:
+                raise ValueError("boom in the middle")
+            yield from comm.barrier()
+
+        with pytest.raises(ValueError, match="boom"):
+            world.run(program)
+
+
+class TestSemanticViolations:
+    def test_one_sided_collective_deadlocks_loudly(self):
+        # rank 0 calls barrier, rank 1 does not: a real MPI would hang;
+        # we must raise DeadlockError naming the stuck process
+        world = make_world(2)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.barrier()
+
+        with pytest.raises(DeadlockError, match="rank0"):
+            world.run(program)
+
+    def test_missing_receive_detected(self):
+        world = make_world(2)
+
+        def program(comm):
+            if comm.rank == 0:
+                # rendezvous-sized message with no receiver ever posted
+                yield from comm.send(1, nbytes=1 * MB)
+
+        with pytest.raises(DeadlockError):
+            world.run(program)
+
+    def test_mismatched_collective_file_call_detected(self):
+        sim = Simulator()
+        fabric = Fabric(sim, Torus((2,), link_bw=100 * MB), NetParams())
+        world = World(fabric)
+        fs = FileSystem(sim, PFSConfig(
+            num_servers=1, stripe_unit=64 * KB, disk_bw=50 * MB,
+            ingest_bw=400 * MB, seek_time=1e-3, request_overhead=1e-4,
+            disk_block=4 * KB, cache_bytes=16 * MB, client_bw=100 * MB,
+            server_net_bw=100 * MB, call_overhead=1e-5,
+        ))
+        f = IOFile(world.comm_world, fs, "half")
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from f.write_all(0, KB)  # rank 1 never joins
+
+        with pytest.raises(DeadlockError):
+            world.run(program)
+
+
+class TestBadConfigurationsFailFast:
+    def test_view_mapping_errors_surface(self):
+        world = make_world(2)
+        with pytest.raises(ValueError):
+            StridedView(0, 10, 5)  # stride < block
+
+    def test_send_to_invalid_rank_fails_at_call(self):
+        world = make_world(2)
+
+        def program(comm):
+            yield from comm.send(17, nbytes=8)
+
+        with pytest.raises(MpiError):
+            world.run(program)
+
+    def test_simulator_refuses_past_scheduling_from_program(self):
+        sim = Simulator()
+
+        def prog():
+            yield Sleep(1.0)
+            sim.schedule(-5.0, lambda: None)
+
+        Process(sim, prog())
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestPartialProgressIsNotLost:
+    def test_results_before_crash_are_recorded(self):
+        world = make_world(2)
+        seen = []
+
+        def program(comm):
+            yield from comm.barrier()
+            seen.append(comm.rank)
+            yield from comm.barrier()
+            if comm.rank == 0:
+                raise RuntimeError("late crash")
+
+        with pytest.raises(RuntimeError):
+            world.run(program)
+        assert sorted(seen) == [0, 1]

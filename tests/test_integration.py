@@ -1,0 +1,150 @@
+"""Cross-layer integration tests: MPI + MPI-IO + filesystem together."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import World
+from repro.mpiio import IOFile, StridedView
+from repro.net import Fabric, NetParams
+from repro.pfs import FileSystem, PFSConfig
+from repro.sim import Simulator
+from repro.topology import ClusteredSMP, Torus
+from repro.util import KB, MB
+
+
+def make_env(nprocs=4, **fs_over):
+    sim = Simulator()
+    fabric = Fabric(
+        sim, Torus((nprocs,), link_bw=500 * MB), NetParams(latency=5e-6)
+    )
+    world = World(fabric)
+    cfg = dict(
+        num_servers=2,
+        stripe_unit=64 * KB,
+        disk_bw=50 * MB,
+        ingest_bw=500 * MB,
+        seek_time=3e-3,
+        request_overhead=1e-4,
+        disk_block=4 * KB,
+        cache_bytes=64 * MB,
+        client_bw=100 * MB,
+        server_net_bw=100 * MB,
+        call_overhead=5e-5,
+    )
+    cfg.update(fs_over)
+    return world, FileSystem(sim, PFSConfig(**cfg))
+
+
+class TestComputeAndIOInterleaved:
+    def test_halo_exchange_plus_checkpoint(self):
+        """A mini application: compute steps with halo exchanges, then a
+        collective checkpoint write — the workload b_eff_io's intro
+        motivates."""
+        world, fs = make_env(4)
+        f = IOFile(world.comm_world, fs, "checkpoint")
+        finished = []
+
+        def program(comm):
+            n = comm.size
+            for _step in range(3):
+                left, right = (comm.rank - 1) % n, (comm.rank + 1) % n
+                yield from comm.sendrecv(right, 64 * KB, left)
+                yield from comm.sendrecv(left, 64 * KB, right)
+            f.seek(comm.rank, comm.rank * MB)
+            yield from f.write_all(comm.rank, MB)
+            yield from f.sync(comm.rank)
+            finished.append(comm.rank)
+
+        world.run(program)
+        assert sorted(finished) == [0, 1, 2, 3]
+        assert f.pfsfile.size == 4 * MB
+        assert fs.total_dirty == 0  # sync_drains defaults to True
+
+    def test_io_and_messages_share_virtual_time(self):
+        # A rank doing I/O and a rank doing communication advance the
+        # same clock; the barrier at the end aligns them.
+        world, fs = make_env(2)
+        f = IOFile(world.comm_world.create([0]), fs, "solo")
+        times = {}
+
+        def program2(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(1, tag=3) for _ in range(5)]
+                yield from f.write(0, 8 * MB)
+                yield from comm.waitall(reqs)
+            else:
+                for _ in range(5):
+                    yield from comm.send(0, 1024, tag=3)
+            yield from comm.barrier()
+            times[comm.rank] = comm.wtime()
+
+        world.run(program2)
+        assert times[0] == pytest.approx(times[1])
+
+
+class TestStridedRoundtrip:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 4), st.sampled_from([KB, 4 * KB, 64 * KB]))
+    def test_interleaved_write_then_read_hits_cache(self, reps, chunk):
+        world, fs = make_env(2)
+        f = IOFile(world.comm_world, fs, "strided")
+        for r in range(2):
+            f.set_view(r, StridedView(r * chunk, chunk, 2 * chunk))
+
+        def program(comm):
+            total = 0
+            for _ in range(reps):
+                total += yield from f.write_all(comm.rank, chunk)
+            f.seek(comm.rank, 0)
+            for _ in range(reps):
+                total += yield from f.read_all(comm.rank, chunk)
+            return total
+
+        results = world.run(program)
+        assert results[0] == results[1] == 2 * reps * chunk * 2
+        # the read phase found everything in cache
+        assert fs.bytes_from_disk == 0
+
+
+class TestClusterIOPlacement:
+    def test_io_from_smp_cluster(self):
+        # MPI-IO works when the compute fabric is a clustered SMP and
+        # the two-phase exchange crosses memory buses and NICs.
+        sim = Simulator()
+        topo = ClusteredSMP(2, 2, membus_bw=2_000 * MB, nic_bw=200 * MB)
+        fabric = Fabric(sim, topo, NetParams(latency=10e-6, copy_bw=1_000 * MB))
+        world = World(fabric)
+        fs = FileSystem(sim, PFSConfig(
+            num_servers=2, stripe_unit=64 * KB, disk_bw=50 * MB,
+            ingest_bw=400 * MB, seek_time=3e-3, request_overhead=1e-4,
+            disk_block=4 * KB, cache_bytes=32 * MB, client_bw=80 * MB,
+            server_net_bw=80 * MB, call_overhead=5e-5,
+        ))
+        f = IOFile(world.comm_world, fs, "cluster-file")
+
+        def program(comm):
+            f.seek(comm.rank, comm.rank * MB)
+            total = yield from f.write_all(comm.rank, MB)
+            return total
+
+        results = world.run(program)
+        assert results == [4 * MB] * 4
+
+
+class TestDeterminismAcrossLayers:
+    def test_full_stack_repeatable(self):
+        def run():
+            world, fs = make_env(3)
+            f = IOFile(world.comm_world, fs, "det")
+            trace = []
+
+            def program(comm):
+                yield from comm.barrier()
+                yield from f.write_shared(comm.rank, 100 * KB)
+                yield from comm.barrier()
+                trace.append((comm.rank, comm.wtime()))
+
+            world.run(program)
+            return trace
+
+        assert run() == run()

@@ -1,0 +1,110 @@
+"""Tests for the machine library: construction + calibration shapes."""
+
+import pytest
+
+from repro.beff import MeasurementConfig
+from repro.beffio import BeffIOConfig
+from repro.machines import MACHINES, get_machine, cray_t3e_900, hitachi_sr8000, nec_sx5
+from repro.util import GB, MB
+
+FAST = MeasurementConfig(methods=("sendrecv", "nonblocking"), max_looplength=1)
+FAST_AN = MeasurementConfig(
+    methods=("sendrecv", "nonblocking"), max_looplength=1, backend="analytic"
+)
+
+
+class TestLibrary:
+    def test_all_machines_construct(self):
+        for key in MACHINES:
+            spec = get_machine(key)
+            assert spec.name
+            assert spec.memory_per_proc > 0
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError, match="available"):
+            get_machine("cm5")
+
+    def test_topologies_build(self):
+        for key in MACHINES:
+            spec = get_machine(key)
+            n = spec.procs_choices[0] if spec.procs_choices else 4
+            fabric = spec.fabric_factory(n)()
+            assert fabric.topology.nprocs == n
+
+    def test_fabric_factory_validation(self):
+        with pytest.raises(ValueError):
+            cray_t3e_900().fabric_factory(0)
+
+    def test_io_env_only_where_configured(self):
+        spec = get_machine("sx4")  # no PFS configured
+        with pytest.raises(ValueError):
+            spec.io_env_factory(4)
+        env = get_machine("t3e").io_env_factory(4)()
+        world, fs = env
+        assert fs.config.num_servers == 10
+
+    def test_rmax(self):
+        spec = cray_t3e_900()
+        assert spec.rmax(512) == pytest.approx(0.47e9 * 512)
+
+
+class TestCalibrationShapes:
+    """Do the simulated machines show the paper's qualitative Table 1?"""
+
+    def test_t3e_lmax_is_1mb(self):
+        res = cray_t3e_900().run_beff(4, FAST)
+        assert res.lmax == 1 * MB
+
+    def test_t3e_pingpong_near_330(self):
+        from repro.beff import run_detail
+
+        spec = cray_t3e_900()
+        det = run_detail(spec.fabric_factory(4), spec.memory_per_proc, iterations=1)
+        assert det["ping-pong"].bandwidth / MB == pytest.approx(330, rel=0.15)
+
+    def test_t3e_ring_per_proc_near_200(self):
+        spec = cray_t3e_900()
+        res = spec.run_beff(8, FAST)
+        per_proc = res.ring_only_at_lmax_per_proc / MB
+        assert 140 < per_proc < 280  # paper: 190-210
+
+    def test_t3e_random_below_ring(self):
+        spec = cray_t3e_900()
+        res = spec.run_beff(27, FAST_AN)  # 3x3x3 torus
+        assert res.logavg_random < res.logavg_ring
+
+    def test_sr8000_placement_contrast(self):
+        seq = hitachi_sr8000("sequential").run_beff(24, FAST)
+        rr = hitachi_sr8000("round-robin").run_beff(24, FAST)
+        # paper: 400 vs 110 MB/s ring per-proc at Lmax
+        assert seq.ring_only_at_lmax_per_proc > 2 * rr.ring_only_at_lmax_per_proc
+
+    def test_sx5_per_proc_in_gbs(self):
+        res = nec_sx5().run_beff(4, FAST)
+        per_proc = res.ring_only_at_lmax_per_proc / MB
+        assert per_proc > 4000  # paper: 8758 MB/s
+
+    def test_shared_memory_beats_distributed_per_proc(self):
+        sx5 = nec_sx5().run_beff(4, FAST)
+        t3e = cray_t3e_900().run_beff(4, FAST)
+        assert sx5.b_eff_per_proc > 10 * t3e.b_eff_per_proc
+
+    def test_balance_factor_ordering(self):
+        # Fig. 1: the T3E is among the best-balanced machines; vector
+        # machines deliver more bytes/flop than the HP-V.
+        from repro.beff import balance_factor
+
+        t3e = cray_t3e_900()
+        res = t3e.run_beff(8, FAST)
+        bf_t3e = balance_factor(res.b_eff, t3e.rmax(8))
+        assert bf_t3e > 0.01  # paper Fig. 1: T3E ~0.04 B/flop
+
+
+class TestMachineIO:
+    def test_t3e_beffio_runs(self):
+        res = cray_t3e_900().run_beffio(4, BeffIOConfig(T=1.0, pattern_types=(0, 2)))
+        assert res.b_eff_io > 0
+
+    def test_sp_beffio_runs(self):
+        res = get_machine("sp").run_beffio(4, BeffIOConfig(T=1.0, pattern_types=(0, 2)))
+        assert res.b_eff_io > 0

@@ -1,0 +1,250 @@
+"""Tests for the algorithmic collectives."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import World
+from repro.net import Fabric, NetParams
+from repro.sim import Simulator
+from repro.topology import Torus
+from repro.util import MB
+
+
+def make_world(nprocs, **params):
+    sim = Simulator()
+    params.setdefault("latency", 1e-6)
+    fabric = Fabric(sim, Torus((nprocs,), link_bw=1000 * MB), NetParams(**params))
+    return World(fabric)
+
+
+sizes = pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 5, 7, 8, 13, 16])
+
+
+class TestBarrier:
+    @sizes
+    def test_barrier_synchronizes(self, nprocs):
+        from repro.sim import Sleep
+
+        world = make_world(nprocs)
+        exit_times = []
+
+        def program(comm):
+            yield Sleep(float(comm.rank))  # stagger arrivals
+            yield from comm.barrier()
+            exit_times.append(comm.wtime())
+
+        world.run(program)
+        # nobody exits before the last arrival at t = nprocs-1
+        assert min(exit_times) >= nprocs - 1
+
+    def test_barrier_cost_scales_logarithmically(self):
+        def barrier_time(n):
+            world = make_world(n, latency=10e-6)
+            t = []
+
+            def program(comm):
+                yield from comm.barrier()
+                t.append(comm.wtime())
+
+            world.run(program)
+            return max(t)
+
+        t4, t16 = barrier_time(4), barrier_time(16)
+        assert t16 < t4 * 4  # log growth, not linear
+
+
+class TestBcast:
+    @sizes
+    def test_payload_reaches_everyone(self, nprocs):
+        world = make_world(nprocs)
+        got = {}
+
+        def program(comm):
+            data = "payload" if comm.rank == 0 else None
+            result = yield from comm.bcast(root=0, nbytes=64, data=data)
+            got[comm.rank] = result
+
+        world.run(program)
+        assert got == {r: "payload" for r in range(nprocs)}
+
+    def test_nonzero_root(self):
+        world = make_world(5)
+        got = {}
+
+        def program(comm):
+            data = 42 if comm.rank == 3 else None
+            result = yield from comm.bcast(root=3, nbytes=8, data=data)
+            got[comm.rank] = result
+
+        world.run(program)
+        assert got == {r: 42 for r in range(5)}
+
+
+class TestReduce:
+    @sizes
+    def test_sum(self, nprocs):
+        world = make_world(nprocs)
+        got = {}
+
+        def program(comm):
+            result = yield from comm.reduce(root=0, nbytes=8, value=comm.rank + 1)
+            got[comm.rank] = result
+
+        world.run(program)
+        assert got[0] == nprocs * (nprocs + 1) // 2
+        for r in range(1, nprocs):
+            assert got[r] is None
+
+    def test_max_op(self):
+        world = make_world(6)
+        got = {}
+
+        def program(comm):
+            value = (comm.rank * 7) % 6
+            result = yield from comm.reduce(root=2, nbytes=8, value=value, op=max)
+            got[comm.rank] = result
+
+        world.run(program)
+        assert got[2] == 5
+
+
+class TestAllreduce:
+    @sizes
+    def test_sum_everywhere(self, nprocs):
+        world = make_world(nprocs)
+        got = {}
+
+        def program(comm):
+            result = yield from comm.allreduce(nbytes=8, value=comm.rank + 1)
+            got[comm.rank] = result
+
+        world.run(program)
+        expected = nprocs * (nprocs + 1) // 2
+        assert got == {r: expected for r in range(nprocs)}
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    def test_allreduce_max_property(self, nprocs, data):
+        values = data.draw(
+            st.lists(st.integers(-1000, 1000), min_size=nprocs, max_size=nprocs)
+        )
+        world = make_world(nprocs)
+        got = {}
+
+        def program(comm):
+            result = yield from comm.allreduce(nbytes=8, value=values[comm.rank], op=max)
+            got[comm.rank] = result
+
+        world.run(program)
+        assert set(got.values()) == {max(values)}
+
+
+class TestGather:
+    @sizes
+    def test_root_collects_in_rank_order(self, nprocs):
+        world = make_world(nprocs)
+        got = {}
+
+        def program(comm):
+            result = yield from comm.gather(root=0, nbytes=16, value=f"v{comm.rank}")
+            got[comm.rank] = result
+
+        world.run(program)
+        assert got[0] == [f"v{r}" for r in range(nprocs)]
+
+    def test_nonzero_root(self):
+        world = make_world(4)
+        got = {}
+
+        def program(comm):
+            result = yield from comm.gather(root=2, nbytes=16, value=comm.rank)
+            got[comm.rank] = result
+
+        world.run(program)
+        assert got[2] == [0, 1, 2, 3]
+        assert got[0] is None
+
+
+class TestAllgather:
+    @sizes
+    def test_everyone_gets_all_blocks(self, nprocs):
+        world = make_world(nprocs)
+        got = {}
+
+        def program(comm):
+            result = yield from comm.allgather(nbytes=16, value=comm.rank * 2)
+            got[comm.rank] = result
+
+        world.run(program)
+        expected = [r * 2 for r in range(nprocs)]
+        assert all(v == expected for v in got.values())
+
+
+class TestAlltoallv:
+    @sizes
+    def test_sizes_and_payloads_routed(self, nprocs):
+        world = make_world(nprocs)
+        got = {}
+
+        def program(comm):
+            sizes = [(comm.rank + dst) % 5 * 100 for dst in range(nprocs)]
+            data = [f"{comm.rank}->{dst}" for dst in range(nprocs)]
+            result = yield from comm.alltoallv(sizes, data)
+            got[comm.rank] = result
+
+        world.run(program)
+        for dst in range(nprocs):
+            for src in range(nprocs):
+                nbytes, payload = got[dst][src]
+                assert nbytes == (src + dst) % 5 * 100
+                assert payload == f"{src}->{dst}"
+
+    def test_length_validation(self):
+        world = make_world(3)
+
+        def program(comm):
+            yield from comm.alltoallv([1, 2])  # wrong length
+
+        with pytest.raises(ValueError):
+            world.run(program)
+
+    def test_sparse_alltoallv_costs_more_than_p2p(self):
+        # The b_eff insight: alltoallv exchanges p-1 messages even when
+        # only two destinations carry data, so it pays more latency than
+        # the direct nonblocking exchange.
+        n = 16
+        latency = 50e-6
+
+        def alltoallv_time():
+            world = make_world(n, latency=latency)
+            t = []
+
+            def program(comm):
+                sizes = [0] * n
+                sizes[(comm.rank + 1) % n] = 1024
+                sizes[(comm.rank - 1) % n] = 1024
+                yield from comm.alltoallv(sizes)
+                t.append(comm.wtime())
+
+            world.run(program)
+            return max(t)
+
+        def nonblocking_time():
+            world = make_world(n, latency=latency)
+            t = []
+
+            def program(comm):
+                left, right = (comm.rank - 1) % n, (comm.rank + 1) % n
+                reqs = [
+                    comm.isend(right, 1024), comm.isend(left, 1024),
+                    comm.irecv(left), comm.irecv(right),
+                ]
+                yield from comm.waitall(reqs)
+                t.append(comm.wtime())
+
+            world.run(program)
+            return max(t)
+
+        assert alltoallv_time() > nonblocking_time() * 2

@@ -1,0 +1,219 @@
+"""Tests for communicator management (dup/create/split/view) and cart."""
+
+import pytest
+
+from repro.mpi import CartComm, Comm, MpiError, World, dims_create
+from repro.net import Fabric, NetParams
+from repro.sim import Simulator
+from repro.topology import Torus
+from repro.util import MB
+
+
+def make_world(nprocs=8):
+    sim = Simulator()
+    fabric = Fabric(sim, Torus((nprocs,), link_bw=100 * MB), NetParams())
+    return World(fabric)
+
+
+class TestCommConstruction:
+    def test_comm_world_covers_all_ranks(self):
+        world = make_world(8)
+        assert world.comm_world.size == 8
+        assert world.comm_world.ranks == list(range(8))
+
+    def test_empty_comm_rejected(self):
+        world = make_world()
+        with pytest.raises(MpiError):
+            Comm(world, [])
+
+    def test_duplicate_ranks_rejected(self):
+        world = make_world()
+        with pytest.raises(MpiError):
+            Comm(world, [0, 1, 1])
+
+    def test_dup_gets_fresh_context(self):
+        world = make_world()
+        dup = world.comm_world.dup()
+        assert dup.context != world.comm_world.context
+        assert dup.ranks == world.comm_world.ranks
+
+    def test_create_subset_with_reordering(self):
+        world = make_world(8)
+        sub = world.comm_world.create([3, 1, 5])
+        assert sub.size == 3
+        assert sub.world_rank(0) == 3
+        assert sub.rank_of_world(5) == 2
+        assert sub.rank_of_world(0) is None
+
+    def test_contexts_isolate_traffic(self):
+        # Same (src, dst, tag) on two communicators must not cross-match.
+        world = make_world(2)
+        a = world.comm_world
+        b = world.comm_world.dup()
+        got = []
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from a.send(0, 1, 8, tag=0, data="on-a")
+                yield from b.send(0, 1, 8, tag=0, data="on-b")
+            else:
+                sb = yield from b.recv(1, 0, tag=0)
+                sa = yield from a.recv(1, 0, tag=0)
+                got.extend([sb.data, sa.data])
+
+        world.run(program)
+        assert got == ["on-b", "on-a"]
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        world = make_world(8)
+        assignments = [(r % 2, r) for r in range(8)]
+        parts = world.comm_world.split(assignments)
+        assert sorted(parts) == [0, 1]
+        assert parts[0].ranks == [0, 2, 4, 6]
+        assert parts[1].ranks == [1, 3, 5, 7]
+
+    def test_split_key_orders_ranks(self):
+        world = make_world(4)
+        assignments = [(0, -r) for r in range(4)]  # reverse order
+        parts = world.comm_world.split(assignments)
+        assert parts[0].ranks == [3, 2, 1, 0]
+
+    def test_split_undefined_color_excluded(self):
+        world = make_world(4)
+        assignments = [(0, 0), (-1, 0), (0, 1), (-1, 0)]
+        parts = world.comm_world.split(assignments)
+        assert parts[0].ranks == [0, 2]
+
+    def test_split_wrong_arity(self):
+        world = make_world(4)
+        with pytest.raises(MpiError):
+            world.comm_world.split([(0, 0)])
+
+
+class TestRankView:
+    def test_view_binds_rank(self):
+        world = make_world(4)
+        v = world.comm_world.view(2)
+        assert v.rank == 2
+        assert v.size == 4
+
+    def test_view_rejects_bad_rank(self):
+        world = make_world(4)
+        with pytest.raises(MpiError):
+            world.comm_world.view(4)
+
+    def test_of_rebinds_subcommunicator(self):
+        world = make_world(8)
+        sub = world.comm_world.create([1, 3, 5])
+        v = world.comm_world.view(3)
+        sv = v.of(sub)
+        assert sv.rank == 1
+        assert sv.size == 3
+        assert world.comm_world.view(0).of(sub) is None
+
+    def test_communication_within_subcomm(self):
+        world = make_world(4)
+        sub = world.comm_world.create([2, 3])
+        got = []
+
+        def program(comm):
+            s = comm.of(sub)
+            if s is None:
+                return
+                yield  # pragma: no cover
+            if s.rank == 0:
+                yield from s.send(1, nbytes=8, data="sub")
+            else:
+                status = yield from s.recv(0)
+                got.append((status.data, status.source))
+
+        world.run(program)
+        assert got == [("sub", 0)]
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize(
+        "n,ndims,expected",
+        [
+            (12, 2, (4, 3)),
+            (8, 3, (2, 2, 2)),
+            (24, 3, (4, 3, 2)),
+            (7, 2, (7, 1)),
+        ],
+    )
+    def test_balanced(self, n, ndims, expected):
+        assert dims_create(n, ndims) == expected
+
+    def test_fixed_dimension_respected(self):
+        assert dims_create(12, 2, [3, 0]) == (3, 4)
+
+    def test_impossible_constraint_rejected(self):
+        with pytest.raises(MpiError):
+            dims_create(12, 2, [5, 0])
+
+    def test_fully_fixed_must_match(self):
+        assert dims_create(6, 2, [2, 3]) == (2, 3)
+        with pytest.raises(MpiError):
+            dims_create(7, 2, [2, 3])
+
+    def test_validation(self):
+        with pytest.raises(MpiError):
+            dims_create(0, 2)
+        with pytest.raises(MpiError):
+            dims_create(4, 0)
+        with pytest.raises(MpiError):
+            dims_create(4, 2, [-1, 0])
+
+
+class TestCartComm:
+    def test_coords_roundtrip(self):
+        world = make_world(12)
+        cart = CartComm(world.comm_world, (3, 4))
+        for r in range(12):
+            assert cart.rank_at(cart.coords(r)) == r
+
+    def test_dims_must_cover_size(self):
+        world = make_world(8)
+        with pytest.raises(MpiError):
+            CartComm(world.comm_world, (3, 3))
+
+    def test_periodic_shift_wraps(self):
+        world = make_world(8)
+        cart = CartComm(world.comm_world, (2, 4), periodic=True)
+        src, dst = cart.shift(0, dim=1, disp=1)
+        assert dst == 1
+        assert src == 3  # wraps around row 0
+
+    def test_nonperiodic_shift_has_nulls(self):
+        world = make_world(8)
+        cart = CartComm(world.comm_world, (2, 4), periodic=False)
+        src, dst = cart.shift(0, dim=0, disp=1)
+        assert src is None  # no row above
+        assert dst == 4
+
+    def test_mixed_periodicity(self):
+        world = make_world(8)
+        cart = CartComm(world.comm_world, (2, 4), periodic=(False, True))
+        src, dst = cart.shift(3, dim=1, disp=1)
+        assert dst == 0
+        src, dst = cart.shift(3, dim=0, disp=1)
+        assert dst == 7
+        assert src is None
+
+    def test_halo_exchange_runs(self):
+        # 2-D Cartesian sendrecv in both directions (the b_eff detail
+        # pattern) completes without deadlock.
+        world = make_world(12)
+        cart = CartComm(world.comm_world, (3, 4), periodic=True)
+        done = []
+
+        def program(comm):
+            for dim in range(2):
+                src, dst = cart.shift(comm.rank, dim)
+                yield from comm.sendrecv(dst, send_nbytes=1024, src=src)
+            done.append(comm.rank)
+
+        world.run(program)
+        assert sorted(done) == list(range(12))

@@ -1,0 +1,126 @@
+"""Direct unit tests for the message-matching engine."""
+
+import pytest
+
+from repro.mpi.core import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Matcher,
+    MpiError,
+    Request,
+    Status,
+    _RecvRecord,
+    _SendRecord,
+)
+from repro.sim import SimEvent, Simulator
+
+
+def make_send(sim, src=0, tag=0, nbytes=10, data=None):
+    arrival = SimEvent(sim)
+    req = Request("send", SimEvent(sim))
+    return _SendRecord(
+        src=src, tag=tag, nbytes=nbytes, data=data, arrival=arrival, request=req
+    ), arrival
+
+
+def make_recv(sim, src=ANY_SOURCE, tag=ANY_TAG, capacity=None):
+    req = Request("recv", SimEvent(sim))
+    return _RecvRecord(src=src, tag=tag, capacity=capacity, request=req), req
+
+
+class TestMatcher:
+    def test_unexpected_then_post(self):
+        sim = Simulator()
+        m = Matcher()
+        send, arrival = make_send(sim, src=3, tag=7, data="x")
+        m.offer(send)
+        assert len(m.unexpected) == 1
+        recv, req = make_recv(sim, src=3, tag=7)
+        m.post(recv)
+        assert len(m.unexpected) == 0
+        arrival.trigger(None)
+        sim.run()
+        assert req.done
+        assert req.status == Status(source=3, tag=7, nbytes=10, data="x")
+
+    def test_post_then_offer(self):
+        sim = Simulator()
+        m = Matcher()
+        recv, req = make_recv(sim)
+        m.post(recv)
+        send, arrival = make_send(sim, src=1, tag=5)
+        m.offer(send)
+        assert len(m.posted) == 0
+        arrival.trigger(None)
+        sim.run()
+        assert req.status.source == 1
+
+    def test_fifo_among_unexpected(self):
+        sim = Simulator()
+        m = Matcher()
+        s1, a1 = make_send(sim, src=0, tag=0, data="first")
+        s2, a2 = make_send(sim, src=0, tag=0, data="second")
+        m.offer(s1)
+        m.offer(s2)
+        recv, req = make_recv(sim, src=0, tag=0)
+        m.post(recv)
+        a1.trigger(None)
+        a2.trigger(None)
+        sim.run()
+        assert req.status.data == "first"
+
+    def test_tag_mismatch_skips(self):
+        sim = Simulator()
+        m = Matcher()
+        s1, _a1 = make_send(sim, src=0, tag=1, data="wrong")
+        s2, a2 = make_send(sim, src=0, tag=2, data="right")
+        m.offer(s1)
+        m.offer(s2)
+        recv, req = make_recv(sim, src=0, tag=2)
+        m.post(recv)
+        a2.trigger(None)
+        sim.run()
+        assert req.status.data == "right"
+        assert len(m.unexpected) == 1  # the tag-1 message still waits
+
+    def test_source_wildcard_matches_any(self):
+        sim = Simulator()
+        m = Matcher()
+        send, arrival = make_send(sim, src=9, tag=3)
+        m.offer(send)
+        recv, req = make_recv(sim, src=ANY_SOURCE, tag=3)
+        m.post(recv)
+        arrival.trigger(None)
+        sim.run()
+        assert req.status.source == 9
+
+    def test_truncation_raises_at_bind(self):
+        sim = Simulator()
+        m = Matcher()
+        send, _arrival = make_send(sim, nbytes=100)
+        m.offer(send)
+        recv, _req = make_recv(sim, capacity=10)
+        with pytest.raises(MpiError, match="truncation"):
+            m.post(recv)
+
+    def test_rendezvous_start_called_on_match(self):
+        sim = Simulator()
+        m = Matcher()
+        started = []
+        send, _arrival = make_send(sim)
+        send.rendezvous_start = lambda: started.append(True)
+        recv, _req = make_recv(sim)
+        m.post(recv)
+        m.offer(send)
+        assert started == [True]
+        assert send.rendezvous_start is None  # consumed exactly once
+
+
+class TestRequest:
+    def test_test_probe(self):
+        sim = Simulator()
+        req = Request("send", SimEvent(sim))
+        assert not req.test()
+        req.event.trigger(None)
+        assert req.test()
+        assert req.done

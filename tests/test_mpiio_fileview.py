@@ -1,0 +1,98 @@
+"""Tests for file views."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpiio import ContiguousView, StridedView
+
+
+class TestContiguousView:
+    def test_identity(self):
+        v = ContiguousView()
+        assert v.map_bytes(0, 100) == [(0, 100)]
+
+    def test_displacement(self):
+        v = ContiguousView(disp=50)
+        assert v.map_bytes(10, 20) == [(60, 80)]
+
+    def test_zero_bytes(self):
+        assert ContiguousView().map_bytes(5, 0) == []
+
+    def test_extent(self):
+        assert ContiguousView(10).extent_of(100) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContiguousView(-1)
+        with pytest.raises(ValueError):
+            ContiguousView().map_bytes(-1, 10)
+        with pytest.raises(ValueError):
+            ContiguousView().map_bytes(0, -1)
+
+
+class TestStridedView:
+    def test_pattern_type0_interleave(self):
+        # process 1 of 4, chunks of 10: disp=10, block=10, stride=40
+        v = StridedView(disp=10, block=10, stride=40)
+        assert v.map_bytes(0, 30) == [(10, 20), (50, 60), (90, 100)]
+
+    def test_partial_blocks(self):
+        v = StridedView(disp=0, block=10, stride=100)
+        assert v.map_bytes(5, 10) == [(5, 10), (100, 105)]
+
+    def test_mid_block_start(self):
+        v = StridedView(disp=0, block=10, stride=30)
+        assert v.map_bytes(13, 5) == [(33, 38)]
+
+    def test_stride_equals_block_coalesces(self):
+        v = StridedView(disp=0, block=10, stride=10)
+        assert v.map_bytes(0, 35) == [(0, 35)]
+
+    def test_extent_of(self):
+        v = StridedView(disp=0, block=10, stride=40)
+        assert v.extent_of(0) == 0
+        assert v.extent_of(10) == 10
+        assert v.extent_of(15) == 45
+        assert v.extent_of(20) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StridedView(-1, 10, 40)
+        with pytest.raises(ValueError):
+            StridedView(0, 0, 40)
+        with pytest.raises(ValueError):
+            StridedView(0, 10, 5)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(0, 50),     # disp
+        st.integers(1, 20),     # block
+        st.integers(0, 30),     # stride slack
+        st.integers(0, 100),    # position
+        st.integers(0, 200),    # nbytes
+    )
+    def test_mapping_properties(self, disp, block, slack, position, nbytes):
+        v = StridedView(disp, block, block + slack)
+        extents = v.map_bytes(position, nbytes)
+        # total size preserved
+        assert sum(e - s for s, e in extents) == nbytes
+        # extents ordered, disjoint, and non-adjacent-or-coalesced
+        for (s1, e1), (s2, e2) in zip(extents, extents[1:]):
+            assert e1 < s2 or (e1 <= s2)
+            assert e1 != s2  # adjacency must have been coalesced
+        # all extents land inside view blocks
+        for s, e in extents:
+            assert s >= disp
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 20), st.integers(0, 30), st.integers(1, 100))
+    def test_disjoint_ranks_interleave_without_overlap(self, block, extra, n):
+        # Two ranks with pattern-type-0 views never overlap.
+        stride = 2 * block
+        v0 = StridedView(0, block, stride)
+        v1 = StridedView(block, block, stride)
+        e0 = v0.map_bytes(0, n)
+        e1 = v1.map_bytes(0, n)
+        bytes0 = {b for s, e in e0 for b in range(s, e)}
+        bytes1 = {b for s, e in e1 for b in range(s, e)}
+        assert not (bytes0 & bytes1)

@@ -1,0 +1,94 @@
+"""Tests for the timing-jitter model and the max-over-repetitions rationale."""
+
+import pytest
+
+from repro.beff import MeasurementConfig, run_beff
+from repro.net import Fabric, NetParams
+from repro.sim import Process, Simulator
+from repro.topology import Torus
+from repro.util import MB
+
+
+def make_fabric(jitter=0.0, seed=1):
+    sim = Simulator()
+    return Fabric(
+        sim, Torus((2,), link_bw=100 * MB),
+        NetParams(latency=100e-6, jitter=jitter),
+        jitter_seed=seed,
+    )
+
+
+def one_transfer_time(fabric, nbytes=1024):
+    done = []
+
+    def prog():
+        yield fabric.transfer_event(0, 1, nbytes)
+        done.append(fabric.sim.now)
+
+    Process(fabric.sim, prog())
+    fabric.sim.run_to_completion()
+    return done[0]
+
+
+class TestJitterModel:
+    def test_zero_jitter_is_exact(self):
+        t1 = one_transfer_time(make_fabric(0.0))
+        t2 = one_transfer_time(make_fabric(0.0))
+        assert t1 == t2
+
+    def test_jitter_perturbs_latency(self):
+        base = one_transfer_time(make_fabric(0.0))
+        jittered = one_transfer_time(make_fabric(0.3))
+        assert jittered != base
+        # bounded by the jitter fraction of the latency
+        assert abs(jittered - base) <= 0.3 * 100e-6 * 1.001
+
+    def test_jitter_deterministic_per_seed(self):
+        a = one_transfer_time(make_fabric(0.3, seed=7))
+        b = one_transfer_time(make_fabric(0.3, seed=7))
+        c = one_transfer_time(make_fabric(0.3, seed=8))
+        assert a == b
+        assert a != c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetParams(jitter=-0.1)
+        with pytest.raises(ValueError):
+            NetParams(jitter=1.0)
+
+
+class TestMaxOverRepetitionsRationale:
+    def test_jitter_makes_repetitions_differ(self):
+        def factory():
+            sim = Simulator()
+            return Fabric(
+                sim, Torus((2,), link_bw=300 * MB),
+                NetParams(latency=20e-6, jitter=0.2),
+            )
+
+        config = MeasurementConfig(methods=("nonblocking",), repetitions=3)
+        result = run_beff(factory, 512 * MB, config)
+        by_key = {}
+        for r in result.records:
+            by_key.setdefault((r.pattern, r.size), []).append(r.bandwidth)
+        spread = [
+            (max(v) - min(v)) / max(v) for v in by_key.values() if len(v) == 3
+        ]
+        # small messages are latency-dominated: jitter must show up
+        assert max(spread) > 0.01
+
+    def test_max_over_reps_filters_noise_upward(self):
+        # with jitter, the 3-rep max (the paper's rule) is >= any
+        # single repetition's value — the point of taking the maximum
+        def factory():
+            sim = Simulator()
+            return Fabric(
+                sim, Torus((2,), link_bw=300 * MB),
+                NetParams(latency=20e-6, jitter=0.2),
+            )
+
+        config3 = MeasurementConfig(methods=("nonblocking",), repetitions=3)
+        result3 = run_beff(factory, 512 * MB, config3)
+        config1 = MeasurementConfig(methods=("nonblocking",), repetitions=1)
+        result1 = run_beff(factory, 512 * MB, config1)
+        assert result3.b_eff >= result1.b_eff * 0.999

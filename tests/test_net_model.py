@@ -1,0 +1,193 @@
+"""Tests for the Fabric transfer cost model."""
+
+import pytest
+
+from repro.net import Fabric, NetParams
+from repro.sim import Process, Simulator, Sleep
+from repro.topology import ClusteredSMP, Crossbar, Torus
+from repro.util import MB
+
+
+def make_fabric(topo, **params):
+    sim = Simulator()
+    fabric = Fabric(sim, topo, NetParams(**params))
+    return sim, fabric
+
+
+class TestNetParamsValidation:
+    def test_defaults_valid(self):
+        NetParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency": -1.0},
+            {"per_hop_latency": -1e-9},
+            {"intra_node_latency": -1.0},
+            {"rendezvous_latency": -1.0},
+            {"eager_threshold": -1},
+            {"copy_bw": 0.0},
+            {"copy_penalty": 0.0},
+            {"copy_penalty": 1.5},
+            {"msg_rate_cap": -5.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            NetParams(**kwargs)
+
+
+class TestLatency:
+    def test_inter_node_latency_plus_hops(self):
+        topo = Torus((8,), link_bw=100 * MB)
+        _, fabric = make_fabric(topo, latency=10e-6, per_hop_latency=1e-6)
+        r = topo.route(0, 3)  # 3 hops
+        assert fabric.startup_latency(r) == pytest.approx(13e-6)
+
+    def test_intra_node_latency(self):
+        topo = ClusteredSMP(2, 2, membus_bw=100 * MB, nic_bw=10 * MB)
+        _, fabric = make_fabric(topo, latency=10e-6, intra_node_latency=2e-6)
+        assert fabric.startup_latency(topo.route(0, 1)) == pytest.approx(2e-6)
+
+    def test_eager_classification(self):
+        _, fabric = make_fabric(Torus((2,), link_bw=MB), eager_threshold=4096)
+        assert fabric.is_eager(4096)
+        assert not fabric.is_eager(4097)
+
+
+class TestTransferTiming:
+    def test_single_transfer_latency_plus_bandwidth(self):
+        sim, fabric = make_fabric(
+            Torus((2,), link_bw=100.0), latency=1.0, per_hop_latency=0.0
+        )
+        done = []
+
+        def prog():
+            yield fabric.transfer_event(0, 1, 100)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert done == [pytest.approx(2.0)]  # 1 s latency + 100/100 s
+
+    def test_msg_rate_cap_applies(self):
+        sim, fabric = make_fabric(
+            Torus((2,), link_bw=1000.0), latency=0.0, msg_rate_cap=10.0
+        )
+        done = []
+
+        def prog():
+            yield fabric.transfer_event(0, 1, 100)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert done == [pytest.approx(10.0)]
+
+    def test_intra_node_copy_halving(self):
+        # copy_bw=100, penalty 0.5 -> intra-node message runs at 50 B/s.
+        topo = ClusteredSMP(1, 2, membus_bw=10000.0, nic_bw=10000.0)
+        sim, fabric = make_fabric(
+            topo, intra_node_latency=0.0, copy_bw=100.0, copy_penalty=0.5
+        )
+        done = []
+
+        def prog():
+            yield fabric.transfer_event(0, 1, 100)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert done == [pytest.approx(2.0)]
+
+    def test_self_message_is_local_copy(self):
+        topo = Crossbar(2, port_bw=1000.0)
+        sim, fabric = make_fabric(topo, intra_node_latency=1.0, copy_bw=100.0)
+        done = []
+
+        def prog():
+            yield fabric.transfer_event(0, 0, 100)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        # latency 1.0 + 100 bytes at 50 B/s (copy halving) = 3.0
+        assert done == [pytest.approx(3.0)]
+
+    def test_concurrent_transfers_share_links(self):
+        sim, fabric = make_fabric(Torus((2,), link_bw=100.0), latency=0.0)
+        topo = fabric.topology
+        done = {}
+
+        def prog(tag):
+            yield fabric.transfer_event(0, 1, 100)
+            done[tag] = sim.now
+
+        Process(sim, prog("a"))
+        Process(sim, prog("b"))
+        sim.run_to_completion()
+        # both cross tx0 (and the same fabric link): share 100 B/s
+        assert done["a"] == pytest.approx(2.0)
+        assert done["b"] == pytest.approx(2.0)
+
+    def test_staggered_transfers(self):
+        sim, fabric = make_fabric(Torus((2,), link_bw=100.0), latency=0.0)
+        done = {}
+
+        def first():
+            yield fabric.transfer_event(0, 1, 100)
+            done["first"] = sim.now
+
+        def second():
+            yield Sleep(0.5)
+            yield fabric.transfer_event(0, 1, 50)
+            done["second"] = sim.now
+
+        Process(sim, first())
+        Process(sim, second())
+        sim.run_to_completion()
+        # 0-0.5 s: first alone (50 B). 0.5-1.5: share 50/50 (first +50 done at 1.5;
+        # second +50 done at 1.5).
+        assert done["first"] == pytest.approx(1.5)
+        assert done["second"] == pytest.approx(1.5)
+
+    def test_zero_byte_message_costs_latency_only(self):
+        sim, fabric = make_fabric(Torus((2,), link_bw=100.0), latency=1.0)
+        done = []
+
+        def prog():
+            yield fabric.transfer_event(0, 1, 0)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert done == [pytest.approx(1.0)]
+
+    def test_negative_size_rejected(self):
+        _, fabric = make_fabric(Torus((2,), link_bw=100.0))
+        with pytest.raises(ValueError):
+            fabric.transfer_event(0, 1, -1)
+
+    def test_statistics(self):
+        sim, fabric = make_fabric(Torus((2,), link_bw=100.0))
+
+        def prog():
+            yield fabric.transfer_event(0, 1, 10)
+            yield fabric.transfer_event(1, 0, 20)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert fabric.messages_sent == 2
+        assert fabric.bytes_sent == 30
+
+    def test_transfer_generator_form(self):
+        sim, fabric = make_fabric(Torus((2,), link_bw=100.0), latency=0.0)
+        done = []
+
+        def prog():
+            yield from fabric.transfer(0, 1, 100)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert done == [pytest.approx(1.0)]

@@ -1,0 +1,175 @@
+"""Tests for the write-behind buffer cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pfs import BufferCache
+
+
+class TestWrite:
+    def test_absorbs_within_capacity(self):
+        c = BufferCache(100)
+        out = c.write("f", 0, 60)
+        assert (out.in_place, out.absorbed, out.overflow) == (0, 60, 0)
+        assert c.used == 60
+        assert c.dirty_total == 60
+
+    def test_overflow_when_full(self):
+        c = BufferCache(100)
+        c.write("f", 0, 100)
+        out = c.write("f", 100, 150)
+        assert out.absorbed == 0
+        assert out.overflow == 50
+        assert c.used == 100
+
+    def test_rewrite_in_place_needs_no_space(self):
+        c = BufferCache(100)
+        c.write("f", 0, 100)
+        out = c.write("f", 20, 80)
+        assert out.in_place == 60
+        assert out.absorbed == 0
+        assert out.overflow == 0
+        assert c.used == 100
+
+    def test_dirty_bytes_pinned_against_eviction(self):
+        c = BufferCache(100)
+        c.write("f", 0, 100)  # all dirty
+        out = c.write("g", 0, 50)
+        assert out.absorbed == 0  # nothing evictable
+        assert out.overflow == 50
+
+    def test_clean_bytes_evicted_for_new_writes(self):
+        c = BufferCache(100)
+        c.write("f", 0, 100)
+        while c.drain_next(1 << 20):
+            pass  # all clean now
+        out = c.write("g", 0, 50)
+        assert out.absorbed == 50
+        assert c.cached_bytes("f") == 50
+
+    def test_zero_length(self):
+        c = BufferCache(10)
+        out = c.write("f", 5, 5)
+        assert out == type(out)(0, 0, 0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            BufferCache(10).write("f", 5, 0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferCache(-1)
+
+
+class TestDrain:
+    def test_drain_marks_clean_keeps_cached(self):
+        c = BufferCache(100)
+        c.write("f", 0, 60)
+        got = c.drain_next(100)
+        assert got == ("f", 0, 60)
+        assert c.dirty_total == 0
+        assert c.cached_bytes("f") == 60
+
+    def test_drain_respects_chunk_size(self):
+        c = BufferCache(100)
+        c.write("f", 0, 100)
+        assert c.drain_next(30) == ("f", 0, 30)
+        assert c.drain_next(30) == ("f", 30, 60)
+        assert c.dirty_bytes("f") == 40
+
+    def test_drain_empty_returns_none(self):
+        assert BufferCache(10).drain_next(5) is None
+
+    def test_drain_bad_chunk(self):
+        with pytest.raises(ValueError):
+            BufferCache(10).drain_next(0)
+
+    def test_redirty_after_drain(self):
+        c = BufferCache(100)
+        c.write("f", 0, 50)
+        c.drain_next(100)
+        out = c.write("f", 0, 50)
+        assert out.in_place == 50
+        assert c.dirty_bytes("f") == 50
+
+
+class TestRead:
+    def test_hits_and_gaps(self):
+        c = BufferCache(100)
+        c.write("f", 10, 40)
+        hit, gaps = c.read_hits("f", 0, 50)
+        assert hit == 30
+        assert gaps == [(0, 10), (40, 50)]
+
+    def test_unknown_file_all_miss(self):
+        c = BufferCache(100)
+        hit, gaps = c.read_hits("nope", 0, 10)
+        assert hit == 0
+        assert gaps == [(0, 10)]
+
+    def test_insert_clean_caches_fetched_data(self):
+        c = BufferCache(100)
+        assert c.insert_clean("f", 0, 40) == 40
+        hit, gaps = c.read_hits("f", 0, 40)
+        assert hit == 40 and gaps == []
+        assert c.dirty_total == 0
+
+    def test_insert_clean_bounded_by_capacity(self):
+        c = BufferCache(50)
+        c.write("f", 0, 50)  # dirty, pinned
+        assert c.insert_clean("g", 0, 30) == 0
+
+    def test_insert_clean_evicts_clean(self):
+        c = BufferCache(50)
+        c.insert_clean("f", 0, 50)
+        assert c.insert_clean("g", 0, 30) == 30
+        assert c.used == 50
+
+
+class TestInvalidate:
+    def test_invalidate_frees_space(self):
+        c = BufferCache(100)
+        c.write("f", 0, 80)
+        c.invalidate_file("f")
+        assert c.used == 0
+        assert c.dirty_total == 0
+        assert c.cached_bytes("f") == 0
+
+    def test_invalidate_unknown_is_noop(self):
+        BufferCache(10).invalidate_file("ghost")
+
+
+class TestInvariantsProperty:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["write", "drain", "insert", "read"]),
+                st.sampled_from(["a", "b"]),
+                st.integers(0, 150),
+                st.integers(1, 60),
+            ),
+            max_size=30,
+        ),
+        st.integers(30, 120),
+    )
+    def test_accounting_invariants(self, operations, capacity):
+        c = BufferCache(capacity)
+        for op, fid, start, length in operations:
+            if op == "write":
+                out = c.write(fid, start, start + length)
+                assert out.in_place + out.absorbed + out.overflow == length
+            elif op == "drain":
+                c.drain_next(16)
+            elif op == "insert":
+                c.insert_clean(fid, start, start + length)
+            else:
+                hit, gaps = c.read_hits(fid, start, start + length)
+                assert hit + sum(e - s for s, e in gaps) == length
+            # core invariants
+            assert 0 <= c.used <= capacity
+            assert c.dirty_total <= c.used
+            for f in ("a", "b"):
+                assert c.dirty_bytes(f) <= c.cached_bytes(f)
+            total = sum(c.cached_bytes(f) for f in ("a", "b"))
+            assert total == c.used

@@ -1,0 +1,183 @@
+"""Unit + model-based property tests for IntervalSet."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pfs import IntervalSet
+
+
+class TestAdd:
+    def test_single(self):
+        s = IntervalSet()
+        assert s.add(0, 10) == 10
+        assert s.intervals() == [(0, 10)]
+        assert s.total == 10
+
+    def test_disjoint(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(20, 30)
+        assert s.intervals() == [(0, 10), (20, 30)]
+
+    def test_overlap_merges(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        assert s.add(5, 15) == 5
+        assert s.intervals() == [(0, 15)]
+
+    def test_adjacent_coalesces(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(10, 20)
+        assert s.intervals() == [(0, 20)]
+        assert len(s) == 1
+
+    def test_spanning_add_merges_many(self):
+        s = IntervalSet()
+        for i in range(5):
+            s.add(i * 10, i * 10 + 5)
+        s.add(0, 100)
+        assert s.intervals() == [(0, 100)]
+
+    def test_duplicate_add_adds_nothing(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        assert s.add(2, 8) == 0
+
+    def test_empty_add(self):
+        s = IntervalSet()
+        assert s.add(5, 5) == 0
+        assert not s
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet().add(10, 0)
+
+
+class TestRemove:
+    def test_exact(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        assert s.remove(0, 10) == 10
+        assert not s
+
+    def test_middle_splits(self):
+        s = IntervalSet()
+        s.add(0, 30)
+        assert s.remove(10, 20) == 10
+        assert s.intervals() == [(0, 10), (20, 30)]
+
+    def test_left_trim(self):
+        s = IntervalSet()
+        s.add(10, 30)
+        assert s.remove(0, 20) == 10
+        assert s.intervals() == [(20, 30)]
+
+    def test_remove_nothing(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        assert s.remove(20, 30) == 0
+        assert s.remove(10, 10) == 0
+
+    def test_remove_across_intervals(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(20, 30)
+        s.add(40, 50)
+        assert s.remove(5, 45) == 20
+        assert s.intervals() == [(0, 5), (45, 50)]
+
+    def test_adjacent_boundary_untouched(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        assert s.remove(10, 20) == 0
+        assert s.intervals() == [(0, 10)]
+
+    def test_inverted_rejected(self):
+        s = IntervalSet()
+        with pytest.raises(ValueError):
+            s.remove(5, 0)
+
+
+class TestQueries:
+    def test_coverage(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(20, 30)
+        assert s.coverage(5, 25) == 10
+        assert s.coverage(10, 20) == 0
+        assert s.coverage(0, 30) == 20
+        assert s.coverage(30, 10) == 0
+
+    def test_gaps(self):
+        s = IntervalSet()
+        s.add(10, 20)
+        s.add(30, 40)
+        assert s.gaps(0, 50) == [(0, 10), (20, 30), (40, 50)]
+        assert s.gaps(10, 20) == []
+        assert s.gaps(12, 18) == []
+        assert s.gaps(15, 35) == [(20, 30)]
+
+    def test_contains(self):
+        s = IntervalSet()
+        s.add(0, 100)
+        assert s.contains(10, 90)
+        assert s.contains(0, 100)
+        assert not s.contains(0, 101)
+
+    def test_first(self):
+        s = IntervalSet()
+        assert s.first() is None
+        s.add(20, 30)
+        s.add(5, 10)
+        assert s.first() == (5, 10)
+
+    def test_clear(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.clear()
+        assert not s
+        assert s.total == 0
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.integers(0, 200),
+        st.integers(0, 200),
+    ),
+    max_size=40,
+)
+
+
+class TestModelBased:
+    @settings(max_examples=200, deadline=None)
+    @given(ops, st.integers(0, 200), st.integers(0, 200))
+    def test_matches_naive_set_of_bytes(self, operations, qa, qb):
+        s = IntervalSet()
+        model: set[int] = set()
+        for op, a, b in operations:
+            lo, hi = min(a, b), max(a, b)
+            if op == "add":
+                added = s.add(lo, hi)
+                new = set(range(lo, hi)) - model
+                assert added == len(new)
+                model |= set(range(lo, hi))
+            else:
+                removed = s.remove(lo, hi)
+                gone = set(range(lo, hi)) & model
+                assert removed == len(gone)
+                model -= set(range(lo, hi))
+        assert s.total == len(model)
+        lo, hi = min(qa, qb), max(qa, qb)
+        assert s.coverage(lo, hi) == len(model & set(range(lo, hi)))
+        # gaps partition the uncovered bytes exactly
+        gap_bytes = set()
+        for gs, ge in s.gaps(lo, hi):
+            gap_bytes |= set(range(gs, ge))
+        assert gap_bytes == set(range(lo, hi)) - model
+        # structural invariants: sorted, disjoint, non-adjacent
+        ivs = s.intervals()
+        for (s1, e1), (s2, e2) in zip(ivs, ivs[1:]):
+            assert s1 < e1
+            assert e1 < s2

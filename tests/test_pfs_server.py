@@ -1,0 +1,264 @@
+"""Tests for the I/O server service loop and disk model."""
+
+import pytest
+
+from repro.pfs.server import IORequest, IOServer, ServerParams
+from repro.sim import Process, Simulator, Sleep
+from repro.util import KB, MB
+
+
+def make_server(**over):
+    params = dict(
+        disk_bw=100.0,  # tiny numbers for easy arithmetic
+        ingest_bw=1000.0,
+        seek_time=1.0,
+        request_overhead=0.5,
+        disk_block=10,
+        cache_bytes=1000,
+        drain_chunk=100,
+    )
+    params.update(over)
+    sim = Simulator()
+    return sim, IOServer(sim, ServerParams(**params))
+
+
+def run_client(sim, gen):
+    done = []
+
+    def wrapper():
+        result = yield from gen
+        done.append((sim.now, result))
+
+    Process(sim, wrapper())
+    sim.run_to_completion()
+    return done[0][0]
+
+
+class TestValidation:
+    def test_request_kinds(self):
+        with pytest.raises(ValueError):
+            IORequest("append", "f", ((0, 10),))
+        with pytest.raises(ValueError):
+            IORequest("write", "f", ((10, 0),))
+
+    def test_params(self):
+        with pytest.raises(ValueError):
+            ServerParams(0, 1, 0, 0, 1, 0)
+        with pytest.raises(ValueError):
+            ServerParams(1, 1, -1, 0, 1, 0)
+        with pytest.raises(ValueError):
+            ServerParams(1, 1, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            ServerParams(1, 1, 0, 0, 1, -5)
+
+
+class TestWriteService:
+    def test_cached_write_at_ingest_speed(self):
+        sim, server = make_server()
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((0, 100),)))
+
+        t = run_client(sim, client())
+        # overhead 0.5 + 100/1000 ingest = 0.6
+        assert t == pytest.approx(0.6)
+
+    def test_overflow_write_pays_disk_time(self):
+        sim, server = make_server(cache_bytes=50)
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((0, 100),)))
+
+        t = run_client(sim, client())
+        # 0.5 + 50/1000 cache + seek 1.0 + 50/100 disk = 2.05
+        assert t == pytest.approx(2.05)
+
+    def test_appending_misaligned_write_pays_no_rmw(self):
+        # An initial (appending) write never needs the old block, no
+        # matter how misaligned its edges are.
+        sim, server = make_server()
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((3, 27),)))
+
+        t = run_client(sim, client())
+        # overhead 0.5 + 24 bytes at ingest 1000 = 0.524; no disk reads
+        assert t == pytest.approx(0.524)
+        assert server.bytes_from_disk == 0
+
+    def test_misaligned_overwrite_pays_rmw(self):
+        # Overwriting *existing* data with misaligned edges fetches the
+        # containing blocks (unless cached).
+        sim, server = make_server(cache_bytes=0)
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((0, 100),)))
+            # edges 23 and 57 cut into existing data; blocks uncached
+            yield server.submit(IORequest("write", "f", ((23, 57),)))
+
+        t = run_client(sim, client())
+        # first: 0.5 + seek 1 + 100/100 = 2.5 (cache_bytes=0 -> disk)
+        # second: 0.5 + rmw [20,30): seek+0.1, rmw [50,60): seek+0.1
+        #         + overflow write 34 bytes: seek + 0.34
+        assert t == pytest.approx(2.5 + 0.5 + 1.1 + 1.1 + 1.34)
+        assert server.bytes_from_disk == 20
+
+    def test_cached_block_avoids_rmw(self):
+        sim, server = make_server()
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((0, 100),)))
+            yield server.submit(IORequest("write", "f", ((23, 57),)))
+
+        run_client(sim, client())
+        # everything stayed in cache; overwrite needed no disk reads
+        assert server.bytes_from_disk == 0
+
+    def test_unaligned_penalty_applied_to_writes(self):
+        sim, server = make_server(unaligned_penalty=2.0, sector=10)
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((0, 100),)))   # aligned
+            yield server.submit(IORequest("write", "f", ((103, 207),)))  # not
+
+        t = run_client(sim, client())
+        # aligned: 0.6; misaligned: 0.5 + 2.0 + 104/1000
+        assert t == pytest.approx(0.6 + 2.604)
+
+    def test_unaligned_penalty_halved_for_reads(self):
+        sim, server = make_server(unaligned_penalty=2.0, sector=10, cache_bytes=0)
+
+        def client():
+            yield server.submit(IORequest("read", "f", ((3, 103),)))
+
+        t = run_client(sim, client())
+        # 0.5 + penalty/2 + seek 1 + 100/100
+        assert t == pytest.approx(0.5 + 1.0 + 1.0 + 1.0)
+
+    def test_unaligned_params_validated(self):
+        with pytest.raises(ValueError):
+            make_server(unaligned_penalty=-1.0)
+        with pytest.raises(ValueError):
+            make_server(sector=0)
+
+    def test_aligned_write_has_no_rmw(self):
+        sim, server = make_server()
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((0, 20),)))
+
+        run_client(sim, client())
+        assert server.bytes_from_disk == 0
+
+    def test_fifo_ordering(self):
+        sim, server = make_server()
+        times = {}
+
+        def client(tag, delay):
+            yield Sleep(delay)
+            yield server.submit(IORequest("write", "f", ((tag * 100, tag * 100 + 100),)))
+            times[tag] = sim.now
+
+        Process(sim, client(0, 0.0))
+        Process(sim, client(1, 0.0))
+        sim.run_to_completion()
+        assert times[1] == pytest.approx(times[0] + 0.6)
+
+
+class TestDrainAndSync:
+    def test_idle_server_drains_dirty_bytes(self):
+        sim, server = make_server()
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((0, 200),)))
+
+        run_client(sim, client())
+        assert server.bytes_to_disk == 200
+        assert server.cache.dirty_total == 0
+
+    def test_sync_waits_for_drain(self):
+        sim, server = make_server()
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((0, 200),)))
+            yield server.sync("f")
+
+        t = run_client(sim, client())
+        # service 0.5+0.2=0.7; then drain 2 chunks of 100:
+        # chunk1 seek 1 + 1.0, chunk2 contiguous 1.0 -> done at 0.7+3.0=3.7
+        assert t == pytest.approx(3.7)
+
+    def test_sync_immediate_when_clean(self):
+        sim, server = make_server()
+
+        def client():
+            yield server.sync("f")
+
+        t = run_client(sim, client())
+        assert t == pytest.approx(0.0)
+
+    def test_sync_covers_queued_writes(self):
+        # sync posted while a write request is still queued must wait.
+        sim, server = make_server()
+        t = {}
+
+        def writer():
+            yield server.submit(IORequest("write", "f", ((0, 100),)))
+            t["write"] = sim.now
+
+        def syncer():
+            ev = server.sync("f")
+            yield ev
+            t["sync"] = sim.now
+
+        Process(sim, writer())
+        Process(sim, syncer())
+        sim.run_to_completion()
+        assert t["sync"] >= t["write"]
+        assert server.cache.dirty_total == 0
+
+
+class TestReadService:
+    def test_cold_read_from_disk(self):
+        sim, server = make_server()
+
+        def client():
+            yield server.submit(IORequest("read", "f", ((0, 100),)))
+
+        t = run_client(sim, client())
+        # 0.5 + seek 1 + 100/100 = 2.5
+        assert t == pytest.approx(2.5)
+        assert server.bytes_from_disk == 100
+
+    def test_cached_read_at_ingest_speed(self):
+        sim, server = make_server()
+
+        def client():
+            yield server.submit(IORequest("write", "f", ((0, 100),)))
+            yield server.submit(IORequest("read", "f", ((0, 100),)))
+
+        t = run_client(sim, client())
+        # write 0.6, read 0.5 + 100/1000 = 0.6 -> 1.2
+        assert t == pytest.approx(1.2)
+        assert server.bytes_from_disk == 0
+
+    def test_sequential_reads_seek_once(self):
+        sim, server = make_server(cache_bytes=0)
+
+        def client():
+            yield server.submit(IORequest("read", "f", ((0, 100),)))
+            yield server.submit(IORequest("read", "f", ((100, 200),)))
+
+        run_client(sim, client())
+        assert server.seeks == 1
+
+    def test_interleaved_files_seek_every_time(self):
+        sim, server = make_server(cache_bytes=0)
+
+        def client():
+            yield server.submit(IORequest("read", "f", ((0, 100),)))
+            yield server.submit(IORequest("read", "g", ((0, 100),)))
+            yield server.submit(IORequest("read", "f", ((100, 200),)))
+
+        run_client(sim, client())
+        assert server.seeks == 3

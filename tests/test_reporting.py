@@ -1,0 +1,135 @@
+"""Tests for reporting formatters and the CLI."""
+
+import pytest
+
+from repro.beff import MeasurementConfig
+from repro.beffio import BeffIOConfig, build_patterns
+from repro.cli import main_beff, main_beffio
+from repro.machines import cray_t3e_900, nec_sx5
+from repro.reporting import (
+    beff_protocol,
+    beffio_pattern_table,
+    beffio_summary,
+    figure1_rows,
+    figure3_series,
+    figure5_rows,
+    table1,
+    table2,
+)
+from repro.util import MB
+
+FAST = MeasurementConfig(methods=("nonblocking",), max_looplength=1, backend="analytic")
+FAST_IO = BeffIOConfig(T=0.8, pattern_types=(0, 2))
+
+
+@pytest.fixture(scope="module")
+def beff_result():
+    return cray_t3e_900().run_beff(4, FAST)
+
+
+@pytest.fixture(scope="module")
+def beffio_result():
+    return cray_t3e_900().run_beffio(2, FAST_IO)
+
+
+class TestTable1AndFigure1:
+    def test_table1_renders(self, beff_result):
+        spec = cray_t3e_900()
+        out = table1([(spec, beff_result, 330 * MB)]).render()
+        assert "Cray T3E/900" in out
+        assert "330" in out
+        assert "b_eff" in out
+
+    def test_table1_without_pingpong(self, beff_result):
+        out = table1([(cray_t3e_900(), beff_result, None)]).render()
+        assert "Cray T3E/900" in out
+
+    def test_figure1_rows(self, beff_result):
+        rows = figure1_rows([(cray_t3e_900(), beff_result)])
+        assert len(rows) == 1
+        name, bf = rows[0]
+        assert "(4)" in name
+        assert bf > 0
+
+
+class TestTable2:
+    def test_all_rows_rendered(self):
+        pats = build_patterns(256 * MB)
+        out = table2(pats).render()
+        assert ":=l" in out
+        assert "1 kB+8" in out
+        assert "fill" in out
+        assert out.count("\n") >= 44  # 43 rows + header + sep
+
+
+class TestIOFormatters:
+    def test_figure3_series_sorted(self, beffio_result):
+        rows = figure3_series([beffio_result])
+        assert rows[0][0] == 2
+        assert all(v >= 0 for v in rows[0][1:])
+
+    def test_pattern_table(self, beffio_result):
+        out = beffio_pattern_table(beffio_result, "write").render()
+        assert "MB/s" in out
+        assert "chunk (l)" in out
+
+    def test_figure5_rows(self, beffio_result):
+        rows = figure5_rows([("Cray T3E/900", beffio_result)])
+        assert rows == [("Cray T3E/900", 2, pytest.approx(beffio_result.b_eff_io / MB))]
+
+    def test_beffio_summary(self, beffio_result):
+        out = beffio_summary(beffio_result)
+        assert "b_eff_io" in out
+        assert "write" in out and "read" in out
+
+
+class TestProtocol:
+    def test_protocol_contains_aggregates(self, beff_result):
+        out = beff_protocol(beff_result, max_rows=5)
+        assert "logavg ring patterns" in out
+        assert "b_eff " in out
+
+    def test_protocol_row_cap(self, beff_result):
+        short = beff_protocol(beff_result, max_rows=3)
+        full = beff_protocol(beff_result)
+        assert len(full) > len(short)
+
+
+class TestCLI:
+    def test_beff_list(self, capsys):
+        assert main_beff(["--machine", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "t3e" in out and "sx5" in out
+
+    def test_beff_run(self, capsys):
+        code = main_beff(
+            ["--machine", "t3e", "--procs", "2", "--backend", "analytic",
+             "--methods", "nonblocking"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "b_eff" in out
+
+    def test_beff_detail(self, capsys):
+        code = main_beff(
+            ["--machine", "sx5", "--procs", "2", "--backend", "analytic",
+             "--methods", "nonblocking", "--detail"]
+        )
+        assert code == 0
+        assert "ping-pong" in capsys.readouterr().out
+
+    def test_beffio_run(self, capsys):
+        code = main_beffio(
+            ["--machine", "t3e", "--procs", "2", "--T", "0.5", "--types", "0,2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "b_eff_io" in out
+
+    def test_beffio_pattern_table(self, capsys):
+        code = main_beffio(
+            ["--machine", "t3e", "--procs", "2", "--T", "0.5", "--types", "0",
+             "--pattern-table"]
+        )
+        assert code == 0
+        assert "chunk (l)" in capsys.readouterr().out

@@ -1,0 +1,200 @@
+"""Tests for max-min fair fluid flow network."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import FlowNetwork, Process, SimEvent, Simulator
+from repro.util import MB
+
+
+def run_flows(flows, capacities):
+    """Helper: start flows (route, nbytes, start_time) and return finish times."""
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    links = [net.add_link(c) for c in capacities]
+    finishes = {}
+
+    def starter(idx, route, nbytes, start):
+        if start:
+            from repro.sim import Sleep
+
+            yield Sleep(start)
+        ev = net.start_flow([links[i] for i in route], nbytes)
+        yield ev
+        finishes[idx] = sim.now
+
+    for idx, (route, nbytes, start) in enumerate(flows):
+        Process(sim, starter(idx, route, nbytes, start))
+    sim.run_to_completion()
+    return finishes
+
+
+class TestSingleFlow:
+    def test_full_capacity(self):
+        finishes = run_flows([(([0]), 100.0, 0.0)], [10.0])
+        assert finishes[0] == pytest.approx(10.0)
+
+    def test_bottleneck_is_slowest_link(self):
+        finishes = run_flows([(([0, 1]), 100.0, 0.0)], [10.0, 5.0])
+        assert finishes[0] == pytest.approx(20.0)
+
+    def test_zero_bytes_completes_immediately(self):
+        finishes = run_flows([(([0]), 0.0, 0.0)], [10.0])
+        assert finishes[0] == pytest.approx(0.0)
+
+    def test_empty_route_completes_immediately(self):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        done = []
+
+        def prog():
+            yield net.start_flow([], 1000.0)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert done == [0.0]
+
+    def test_rate_cap_limits_single_flow(self):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        link = net.add_link(100.0)
+        done = []
+
+        def prog():
+            yield net.start_flow([link], 100.0, rate_cap=10.0)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert done == [pytest.approx(10.0)]
+
+    def test_unknown_link_rejected(self):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        with pytest.raises(KeyError):
+            net.start_flow([99], 10.0)
+
+    def test_negative_bytes_rejected(self):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        net.add_link(1.0)
+        with pytest.raises(ValueError):
+            net.start_flow([0], -1.0)
+
+    def test_bad_capacity_rejected(self):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        with pytest.raises(ValueError):
+            net.add_link(0.0)
+        with pytest.raises(ValueError):
+            net.add_link(float("inf"))
+
+
+class TestSharing:
+    def test_two_equal_flows_share_link(self):
+        # Two 100-byte flows over one 10 B/s link: each gets 5 B/s.
+        finishes = run_flows([([0], 100.0, 0.0), ([0], 100.0, 0.0)], [10.0])
+        assert finishes[0] == pytest.approx(20.0)
+        assert finishes[1] == pytest.approx(20.0)
+
+    def test_late_flow_halves_the_rate(self):
+        # Flow A alone for 5 s at 10 B/s (50 bytes done), then B (50 bytes)
+        # arrives; both run at 5 B/s for 10 s and finish together at t=15.
+        finishes = run_flows([([0], 100.0, 0.0), ([0], 50.0, 5.0)], [10.0])
+        assert finishes[1] == pytest.approx(15.0)
+        assert finishes[0] == pytest.approx(15.0)
+
+    def test_disjoint_flows_do_not_interact(self):
+        finishes = run_flows([([0], 100.0, 0.0), ([1], 100.0, 0.0)], [10.0, 10.0])
+        assert finishes[0] == pytest.approx(10.0)
+        assert finishes[1] == pytest.approx(10.0)
+
+    def test_max_min_unequal_paths(self):
+        # Flow A uses links 0+1, flow B uses link 1 only, flow C uses link 0 only.
+        # caps: link0=10, link1=4. Progressive filling:
+        # bottleneck link1 share 2 -> A,B fixed at 2. link0 residual 8 -> C gets 8.
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        l0, l1 = net.add_link(10.0), net.add_link(4.0)
+        done = {}
+
+        def prog(tag, route, nbytes):
+            yield net.start_flow(route, nbytes)
+            done[tag] = sim.now
+
+        Process(sim, prog("A", [l0, l1], 20.0))
+        Process(sim, prog("B", [l1], 20.0))
+        Process(sim, prog("C", [l0], 80.0))
+        sim.run_to_completion()
+        assert done["A"] == pytest.approx(10.0)
+        assert done["B"] == pytest.approx(10.0)
+        assert done["C"] == pytest.approx(10.0)
+
+    def test_released_bandwidth_redistributed(self):
+        # Two flows share a 10 B/s link. B is short (25 bytes).
+        # Phase 1: both at 5 B/s until B done at t=5. A then runs at 10 B/s.
+        # A: 100 bytes = 25 at 5 B/s (5 s) + 75 at 10 B/s (7.5 s) -> 12.5 s.
+        finishes = run_flows([([0], 100.0, 0.0), ([0], 25.0, 0.0)], [10.0])
+        assert finishes[1] == pytest.approx(5.0)
+        assert finishes[0] == pytest.approx(12.5)
+
+    def test_many_symmetric_flows(self):
+        n = 32
+        finishes = run_flows([([0], 10.0, 0.0) for _ in range(n)], [10.0])
+        for i in range(n):
+            assert finishes[i] == pytest.approx(n * 1.0)
+
+
+class TestCounters:
+    def test_bytes_completed_counts_total_bytes(self):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        link = net.add_link(10.0)
+
+        def prog():
+            yield net.start_flow([link], 30.0)
+            yield net.start_flow([link], 12.0)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert net.bytes_completed == pytest.approx(42.0)
+        assert net.flows_completed == 2
+        assert net.active_flows == 0
+
+    def test_private_cap_links_are_cleaned_up(self):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        link = net.add_link(10.0)
+        before = net.num_links
+
+        def prog():
+            yield net.start_flow([link], 10.0, rate_cap=5.0)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert net.num_links == before
+
+
+class TestConservationProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # route choice
+                st.floats(min_value=1.0, max_value=1000.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_all_flows_complete_and_order_is_sane(self, specs):
+        routes = {0: [0], 1: [1], 2: [0, 1]}
+        flows = [(routes[r], nbytes, start) for r, nbytes, start in specs]
+        finishes = run_flows(flows, [7.0, 11.0])
+        assert len(finishes) == len(flows)
+        for idx, (route, nbytes, start) in enumerate(flows):
+            # lower bound: cannot beat full bottleneck capacity
+            cap = min(7.0 if 0 in route else 1e18, 11.0 if 1 in route else 1e18)
+            assert finishes[idx] >= start + nbytes / cap - 1e-6

@@ -1,0 +1,194 @@
+"""Tests for coroutine processes, Sleep, SimEvent, wait_all."""
+
+import pytest
+
+from repro.sim import Process, SimEvent, Simulator, Sleep, wait_all
+
+
+class TestSleep:
+    def test_sleep_advances_time(self):
+        sim = Simulator()
+        times = []
+
+        def prog():
+            yield Sleep(1.0)
+            times.append(sim.now)
+            yield Sleep(2.5)
+            times.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert times == [1.0, 3.5]
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-1.0)
+
+    def test_zero_sleep_allowed(self):
+        sim = Simulator()
+
+        def prog():
+            yield Sleep(0.0)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+
+
+class TestSimEvent:
+    def test_trigger_resumes_waiter_with_value(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        def firer():
+            yield Sleep(2.0)
+            ev.trigger("payload")
+
+        Process(sim, waiter())
+        Process(sim, firer())
+        sim.run_to_completion()
+        assert got == ["payload"]
+        assert sim.now == 2.0
+
+    def test_wait_on_already_triggered_event_returns_immediately(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        ev.trigger(42)
+        got = []
+
+        def prog():
+            yield Sleep(1.0)
+            got.append((yield ev))
+            got.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert got == [42, 1.0]
+
+    def test_multiple_waiters_all_resume(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        got = []
+
+        def waiter(tag):
+            value = yield ev
+            got.append((tag, value, sim.now))
+
+        for i in range(3):
+            Process(sim, waiter(i))
+
+        def firer():
+            yield Sleep(1.0)
+            ev.trigger("x")
+
+        Process(sim, firer())
+        sim.run_to_completion()
+        assert got == [(0, "x", 1.0), (1, "x", 1.0), (2, "x", 1.0)]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        ev.trigger()
+        with pytest.raises(RuntimeError):
+            ev.trigger()
+
+
+class TestDelegation:
+    def test_yield_from_subroutine(self):
+        sim = Simulator()
+        results = []
+
+        def sub(x):
+            yield Sleep(1.0)
+            return x * 2
+
+        def prog():
+            value = yield from sub(21)
+            results.append((value, sim.now))
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert results == [(42, 1.0)]
+
+    def test_process_result_and_done_event(self):
+        sim = Simulator()
+
+        def prog():
+            yield Sleep(1.0)
+            return "done-value"
+
+        p = Process(sim, prog())
+        watched = []
+
+        def watcher():
+            value = yield p.done_event
+            watched.append(value)
+
+        Process(sim, watcher())
+        sim.run_to_completion()
+        assert p.finished
+        assert p.result == "done-value"
+        assert watched == ["done-value"]
+
+    def test_invalid_yield_raises_typeerror(self):
+        sim = Simulator()
+
+        def prog():
+            yield "not a primitive"
+
+        Process(sim, prog(), name="bad")
+        with pytest.raises(TypeError, match="bad"):
+            sim.run()
+
+
+class TestWaitAll:
+    def test_wait_all_completes_at_last_trigger(self):
+        sim = Simulator()
+        evs = [SimEvent(sim) for _ in range(3)]
+        got = []
+
+        def prog():
+            values = yield from wait_all(evs)
+            got.append((values, sim.now))
+
+        Process(sim, prog())
+        for i, (ev, t) in enumerate(zip(evs, [3.0, 1.0, 2.0])):
+            sim.schedule(t, lambda ev=ev, i=i: ev.trigger(i))
+        sim.run_to_completion()
+        assert got == [([0, 1, 2], 3.0)]
+
+    def test_wait_all_empty(self):
+        sim = Simulator()
+        got = []
+
+        def prog():
+            values = yield from wait_all([])
+            got.append(values)
+            yield Sleep(0.0)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert got == [[]]
+
+
+class TestDeterminism:
+    def test_two_identical_runs_produce_identical_traces(self):
+        def build():
+            sim = Simulator()
+            trace = []
+
+            def prog(tag, delay):
+                yield Sleep(delay)
+                trace.append((tag, sim.now))
+                yield Sleep(delay)
+                trace.append((tag, sim.now))
+
+            for tag in range(8):
+                Process(sim, prog(tag, 0.5 + 0.25 * (tag % 3)))
+            sim.run_to_completion()
+            return trace
+
+        assert build() == build()

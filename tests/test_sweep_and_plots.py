@@ -1,0 +1,75 @@
+"""Tests for the partition sweep API and ASCII chart renderers."""
+
+import pytest
+
+from repro.beffio import BeffIOConfig
+from repro.beffio.sweep import OFFICIAL_MINIMUM_T, SweepResult, run_sweep
+from repro.machines import cray_t3e_900
+from repro.reporting.plots import log_bar_chart, multi_series_chart
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        spec = cray_t3e_900()
+        cfg = BeffIOConfig(T=0.8, pattern_types=(0, 2))
+        return run_sweep(spec, [4, 2], cfg)
+
+    def test_partitions_sorted_and_deduped(self, sweep):
+        assert [r.nprocs for r in sweep.results] == [2, 4]
+
+    def test_system_value_is_max(self, sweep):
+        values = sweep.partition_values()
+        assert sweep.system_b_eff_io == max(values.values())
+        assert sweep.best_partition in values
+
+    def test_official_flag(self, sweep):
+        assert not sweep.official  # T=0.8 << 15 min
+        assert OFFICIAL_MINIMUM_T == 900.0
+
+    def test_machine_name(self, sweep):
+        assert sweep.machine == "Cray T3E/900"
+
+    def test_empty_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(cray_t3e_900(), [])
+
+
+class TestLogBarChart:
+    def test_ratios_map_to_length(self):
+        out = log_bar_chart([("a", 1.0), ("b", 10.0), ("c", 100.0)], width=21)
+        lines = out.splitlines()
+        bars = [line.split("|")[1].count("#") for line in lines]
+        # equal ratios -> equal increments
+        assert bars[1] - bars[0] == bars[2] - bars[1]
+
+    def test_zero_value_renders_dash(self):
+        out = log_bar_chart([("a", 10.0), ("none", 0.0)])
+        assert "-" in out.splitlines()[1]
+
+    def test_title(self):
+        out = log_bar_chart([("a", 1.0)], title="Paper Fig. X")
+        assert out.splitlines()[0] == "Paper Fig. X"
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            log_bar_chart([("a", 0.0)])
+
+    def test_single_value(self):
+        out = log_bar_chart([("only", 42.0)])
+        assert "42.00" in out
+
+
+class TestMultiSeriesChart:
+    def test_blocks_per_series(self):
+        out = multi_series_chart(
+            ["1 kB", "32 kB", "1 MB"],
+            {"type 0": [50.0, 52.0, 55.0], "type 2": [2.0, 20.0, 80.0]},
+        )
+        assert "-- type 0 --" in out
+        assert "-- type 2 --" in out
+        assert "1 kB" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            multi_series_chart(["a"], {"s": [1.0, 2.0]})

@@ -1,0 +1,198 @@
+"""Tests for crossbar, clustered SMP, and fat-tree topologies."""
+
+import pytest
+
+from repro.sim import FlowNetwork, Process, Simulator
+from repro.topology import ClusteredSMP, Crossbar, FatTree
+
+
+def attach(topo):
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    topo.attach(net)
+    return sim, net, topo
+
+
+class TestCrossbar:
+    def test_single_node_semantics(self):
+        _, _, topo = attach(Crossbar(8, port_bw=100.0))
+        assert topo.num_nodes == 1
+        assert topo.node_of(5) == 0
+        r = topo.route(0, 1)
+        assert r.intra_node
+        assert len(r.links) == 2
+
+    def test_backplane_shared(self):
+        sim, net, topo = attach(Crossbar(4, port_bw=100.0, backplane_bw=100.0))
+        finish = {}
+
+        def send(tag, src, dst):
+            yield net.start_flow(list(topo.route(src, dst).links), 100.0)
+            finish[tag] = sim.now
+
+        Process(sim, send("a", 0, 1))
+        Process(sim, send("b", 2, 3))
+        sim.run_to_completion()
+        # both flows share the 100 B/s backplane -> 2 s not 1 s
+        assert finish["a"] == pytest.approx(2.0)
+
+    def test_no_backplane_nonblocking(self):
+        sim, net, topo = attach(Crossbar(4, port_bw=100.0))
+        finish = {}
+
+        def send(tag, src, dst):
+            yield net.start_flow(list(topo.route(src, dst).links), 100.0)
+            finish[tag] = sim.now
+
+        Process(sim, send("a", 0, 1))
+        Process(sim, send("b", 2, 3))
+        sim.run_to_completion()
+        assert finish["a"] == pytest.approx(1.0)
+        assert finish["b"] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, 1.0)
+        with pytest.raises(ValueError):
+            Crossbar(2, -1.0)
+        with pytest.raises(ValueError):
+            Crossbar(2, 1.0, backplane_bw=0.0)
+
+    def test_double_attach_rejected(self):
+        topo = Crossbar(2, 1.0)
+        sim = Simulator()
+        topo.attach(FlowNetwork(sim))
+        with pytest.raises(RuntimeError):
+            topo.attach(FlowNetwork(sim))
+
+
+class TestClusteredSMP:
+    def test_sequential_placement(self):
+        topo = ClusteredSMP(4, 8, membus_bw=1000.0, nic_bw=100.0)
+        assert topo.node_of(0) == 0
+        assert topo.node_of(7) == 0
+        assert topo.node_of(8) == 1
+        assert topo.num_nodes == 4
+        assert topo.nprocs == 32
+
+    def test_round_robin_placement(self):
+        topo = ClusteredSMP(4, 8, membus_bw=1000.0, nic_bw=100.0, placement="round-robin")
+        assert topo.node_of(0) == 0
+        assert topo.node_of(1) == 1
+        assert topo.node_of(4) == 0
+        assert topo.node_of(5) == 1
+
+    def test_intra_node_route_skips_nic(self):
+        _, _, topo = attach(ClusteredSMP(2, 4, membus_bw=1000.0, nic_bw=100.0))
+        r = topo.route(0, 1)
+        assert r.intra_node
+        assert r.hops == 0
+        assert len(r.links) == 3  # tx, membus, rx
+
+    def test_inter_node_route_crosses_nics(self):
+        _, _, topo = attach(ClusteredSMP(2, 4, membus_bw=1000.0, nic_bw=100.0))
+        r = topo.route(0, 4)
+        assert not r.intra_node
+        assert len(r.links) == 6  # tx, mem, nicO, nicI, mem, rx
+
+    def test_fabric_link_optional(self):
+        _, _, topo = attach(
+            ClusteredSMP(2, 2, membus_bw=1000.0, nic_bw=100.0, fabric_bw=150.0)
+        )
+        r = topo.route(0, 2)
+        assert len(r.links) == 7
+
+    def test_placement_changes_ring_locality(self):
+        # Ring rank i -> i+1: sequential keeps 3 of 4 hops in-node;
+        # round-robin makes every hop cross nodes.
+        seq = ClusteredSMP(2, 4, membus_bw=1000.0, nic_bw=100.0)
+        rr = ClusteredSMP(2, 4, membus_bw=1000.0, nic_bw=100.0, placement="round-robin")
+        attach(seq)
+        attach(rr)
+        seq_cross = sum(
+            not seq.route(i, (i + 1) % 8).intra_node for i in range(8)
+        )
+        rr_cross = sum(not rr.route(i, (i + 1) % 8).intra_node for i in range(8))
+        assert seq_cross == 2
+        assert rr_cross == 8
+
+    def test_nic_contention_round_robin(self):
+        sim, net, topo = attach(
+            ClusteredSMP(2, 2, membus_bw=10000.0, nic_bw=100.0, placement="round-robin")
+        )
+        finish = {}
+
+        def send(tag, src, dst):
+            yield net.start_flow(list(topo.route(src, dst).links), 100.0)
+            finish[tag] = sim.now
+
+        # ranks 0,2 on node0; 1,3 on node1. 0->1 and 2->3 share node0 nic_out.
+        Process(sim, send("a", 0, 1))
+        Process(sim, send("b", 2, 3))
+        sim.run_to_completion()
+        assert finish["a"] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusteredSMP(0, 1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ClusteredSMP(1, 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ClusteredSMP(1, 1, 1.0, 1.0, placement="zigzag")
+
+
+class TestFatTree:
+    def test_switch_assignment(self):
+        topo = FatTree(16, radix=4, downlink_bw=100.0)
+        assert topo.num_switches == 4
+        assert topo.switch_of(0) == 0
+        assert topo.switch_of(15) == 3
+
+    def test_same_switch_short_route(self):
+        _, _, topo = attach(FatTree(8, radix=4, downlink_bw=100.0))
+        r = topo.route(0, 1)
+        assert r.hops == 1
+        assert len(r.links) == 2
+
+    def test_cross_switch_route(self):
+        _, _, topo = attach(FatTree(8, radix=4, downlink_bw=100.0))
+        r = topo.route(0, 4)
+        assert r.hops == 3
+        assert len(r.links) == 4
+
+    def test_oversubscription_throttles_cross_traffic(self):
+        sim, net, topo = attach(
+            FatTree(8, radix=4, downlink_bw=100.0, oversubscription=4.0)
+        )
+        finish = {}
+
+        def send(tag, src, dst):
+            yield net.start_flow(list(topo.route(src, dst).links), 100.0)
+            finish[tag] = sim.now
+
+        # 4 hosts of switch 0 all send to switch 1: uplink = 4*100/4 = 100 shared.
+        for i in range(4):
+            Process(sim, send(i, i, 4 + i))
+        sim.run_to_completion()
+        for i in range(4):
+            assert finish[i] == pytest.approx(4.0)
+
+    def test_full_bisection_no_throttle(self):
+        sim, net, topo = attach(FatTree(8, radix=4, downlink_bw=100.0))
+        finish = {}
+
+        def send(tag, src, dst):
+            yield net.start_flow(list(topo.route(src, dst).links), 100.0)
+            finish[tag] = sim.now
+
+        for i in range(4):
+            Process(sim, send(i, i, 4 + i))
+        sim.run_to_completion()
+        for i in range(4):
+            assert finish[i] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FatTree(4, radix=0, downlink_bw=1.0)
+        with pytest.raises(ValueError):
+            FatTree(4, radix=2, downlink_bw=1.0, oversubscription=0.5)

@@ -1,0 +1,197 @@
+"""Tests for the torus topology and its routing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import FlowNetwork, Simulator
+from repro.topology import Torus
+from repro.topology.torus import balanced_dims
+
+
+def make(dims, link_bw=100.0, nic_bw=None):
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    topo = Torus(dims, link_bw, nic_bw)
+    topo.attach(net)
+    return sim, net, topo
+
+
+class TestCoords:
+    def test_roundtrip(self):
+        _, _, topo = make((2, 3, 4))
+        for node in range(24):
+            assert topo.node_at(topo.coords(node)) == node
+
+    def test_row_major_order(self):
+        _, _, topo = make((2, 3, 4))
+        assert topo.coords(0) == (0, 0, 0)
+        assert topo.coords(1) == (0, 0, 1)
+        assert topo.coords(4) == (0, 1, 0)
+        assert topo.coords(12) == (1, 0, 0)
+
+    def test_bad_coords_rejected(self):
+        _, _, topo = make((2, 2))
+        with pytest.raises(ValueError):
+            topo.node_at((2, 0))
+        with pytest.raises(ValueError):
+            topo.node_at((0, 0, 0))
+
+
+class TestRouting:
+    def test_self_route_empty(self):
+        _, _, topo = make((4,))
+        r = topo.route(2, 2)
+        assert r.links == ()
+        assert r.hops == 0
+        assert r.intra_node
+
+    def test_neighbor_is_one_hop(self):
+        _, _, topo = make((4, 4))
+        r = topo.route(0, 1)
+        assert r.hops == 1
+        assert not r.intra_node
+        # tx + 1 fabric + rx
+        assert len(r.links) == 3
+
+    def test_wraparound_shortest_path(self):
+        _, _, topo = make((8,))
+        # 0 -> 7 should wrap backwards: 1 hop, not 7.
+        assert topo.route(0, 7).hops == 1
+
+    def test_hops_match_distance(self):
+        _, _, topo = make((3, 4))
+        for s in range(12):
+            for d in range(12):
+                assert topo.route(s, d).hops == topo.distance(s, d)
+
+    def test_route_before_attach_fails(self):
+        topo = Torus((4,), 10.0)
+        with pytest.raises(RuntimeError):
+            topo.route(0, 1)
+
+    def test_out_of_range_rejected(self):
+        _, _, topo = make((4,))
+        with pytest.raises(IndexError):
+            topo.route(0, 4)
+
+    def test_dim_of_extent_one_never_routed(self):
+        _, _, topo = make((1, 4))
+        # only the extent-4 dimension produces fabric links
+        assert all(topo.route(s, d).hops <= 2 for s in range(4) for d in range(4))
+
+    def test_opposite_directions_use_distinct_links(self):
+        _, _, topo = make((4,))
+        fwd = topo.route(0, 1).links[1]
+        bwd = topo.route(1, 0).links[1]
+        assert fwd != bwd
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 23), st.integers(0, 23))
+    def test_route_is_valid_chain(self, src, dst):
+        _, net, topo = make((2, 3, 4))
+        r = topo.route(src, dst)
+        for link_id in r.links:
+            net.link(link_id)  # raises if unknown
+
+    def test_ring_neighbors_one_hop_in_1d(self):
+        _, _, topo = make((8,))
+        for i in range(8):
+            assert topo.route(i, (i + 1) % 8).hops == 1
+
+
+class TestContentionThroughTorus:
+    def test_two_messages_share_a_middle_link(self):
+        # 1-D torus of 5: route 0->2 and 1->3 both cross link 1->2.
+        sim, net, topo = make((5,), link_bw=10.0)
+        from repro.sim import Process
+
+        finish = {}
+
+        def send(tag, src, dst, nbytes):
+            ev = net.start_flow(list(topo.route(src, dst).links), nbytes)
+            yield ev
+            finish[tag] = sim.now
+
+        Process(sim, send("a", 0, 2, 100.0))
+        Process(sim, send("b", 1, 3, 100.0))
+        sim.run_to_completion()
+        # shared link 1->2 at 10 B/s split two ways -> 20 s each
+        assert finish["a"] == pytest.approx(20.0)
+        assert finish["b"] == pytest.approx(20.0)
+
+    def test_disjoint_ring_neighbors_full_speed(self):
+        sim, net, topo = make((4,), link_bw=10.0)
+        from repro.sim import Process
+
+        finish = {}
+
+        def send(tag, src, dst, nbytes):
+            ev = net.start_flow(list(topo.route(src, dst).links), nbytes)
+            yield ev
+            finish[tag] = sim.now
+
+        for i in range(4):
+            Process(sim, send(i, i, (i + 1) % 4, 100.0))
+        sim.run_to_completion()
+        for i in range(4):
+            assert finish[i] == pytest.approx(10.0)
+
+
+class TestMeshVariant:
+    def make_mesh(self, dims):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        topo = Torus(dims, 100.0, periodic=False)
+        topo.attach(net)
+        return topo
+
+    def test_no_wraparound(self):
+        topo = self.make_mesh((8,))
+        assert topo.route(0, 7).hops == 7  # torus would take 1
+
+    def test_distance_unwrapped(self):
+        topo = self.make_mesh((8,))
+        assert topo.distance(0, 7) == 7
+        assert topo.distance(3, 5) == 2
+
+    def test_hops_match_distance(self):
+        topo = self.make_mesh((3, 3))
+        for s in range(9):
+            for d in range(9):
+                assert topo.route(s, d).hops == topo.distance(s, d)
+
+    def test_mesh_ring_ends_pay_full_path(self):
+        # a ring over mesh ranks: the 7->0 closing message crosses the
+        # whole machine — contention a torus avoids
+        topo = self.make_mesh((8,))
+        assert topo.route(7, 0).hops == 7
+        assert topo.route(6, 7).hops == 1
+
+
+class TestBalancedDims:
+    @pytest.mark.parametrize(
+        "n,ndims,expected",
+        [
+            (8, 3, (2, 2, 2)),
+            (24, 3, (4, 3, 2)),
+            (512, 3, (8, 8, 8)),
+            (16, 2, (4, 4)),
+            (7, 2, (7, 1)),
+            (1, 3, (1, 1, 1)),
+            (64, 3, (4, 4, 4)),
+        ],
+    )
+    def test_factorizations(self, n, ndims, expected):
+        assert balanced_dims(n, ndims) == expected
+
+    @given(st.integers(1, 2000), st.integers(1, 4))
+    def test_product_preserved(self, n, ndims):
+        import math
+
+        assert math.prod(balanced_dims(n, ndims)) == n
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            balanced_dims(0)
+        with pytest.raises(ValueError):
+            balanced_dims(4, 0)

@@ -1,0 +1,144 @@
+"""Tests for the event tracer and the bandwidth-over-size curve."""
+
+import pytest
+
+from repro.beff import MeasurementConfig, run_beff
+from repro.mpi import World
+from repro.net import Fabric, NetParams
+from repro.pfs import FileSystem, PFSConfig
+from repro.reporting.tables import bandwidth_curve
+from repro.sim import Process, Simulator
+from repro.sim.trace import TraceEvent, Tracer
+from repro.topology import Torus
+from repro.util import KB, MB
+
+
+class TestTracer:
+    def test_records_events(self):
+        t = Tracer()
+        t.record(1.0, "msg", 0, 1, 100)
+        t.record(2.0, "io-write", 0, None, 200)
+        assert t.count() == 2
+        assert t.count("msg") == 1
+        assert t.bytes_moved() == 300
+        assert t.bytes_moved("io-write") == 200
+
+    def test_limit_drops_but_counts(self):
+        t = Tracer(limit=2)
+        for i in range(5):
+            t.record(float(i), "msg", 0, 1, 1)
+        assert len(t.events) == 2
+        assert t.dropped == 3
+        assert t.count() == 5
+
+    def test_message_matrix(self):
+        t = Tracer()
+        t.record(0.0, "msg", 0, 1, 1)
+        t.record(0.0, "msg", 0, 1, 1)
+        t.record(0.0, "msg", 1, 0, 1)
+        t.record(0.0, "io-read", 7, None, 1)
+        assert t.message_matrix() == {(0, 1): 2, (1, 0): 1}
+
+    def test_summary_and_clear(self):
+        t = Tracer()
+        t.record(0.0, "msg", 0, 1, 64)
+        out = t.summary()
+        assert "1 events recorded" in out
+        assert "msg" in out
+        t.clear()
+        assert t.count() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(limit=0)
+
+
+class TestFabricTracing:
+    def test_transfers_are_traced(self):
+        sim = Simulator()
+        tracer = Tracer()
+        fabric = Fabric(
+            sim, Torus((2,), link_bw=100 * MB), NetParams(), tracer=tracer
+        )
+
+        def prog():
+            yield fabric.transfer_event(0, 1, 4096)
+            yield fabric.transfer_event(1, 0, 128)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert tracer.count("msg") == 2
+        assert tracer.bytes_moved("msg") == 4096 + 128
+        assert tracer.message_matrix() == {(0, 1): 1, (1, 0): 1}
+
+    def test_mpi_barrier_message_count(self):
+        # dissemination barrier on 8 ranks: 8 * ceil(log2 8) messages
+        sim = Simulator()
+        tracer = Tracer()
+        fabric = Fabric(
+            sim, Torus((8,), link_bw=100 * MB), NetParams(), tracer=tracer
+        )
+        world = World(fabric)
+
+        def program(comm):
+            yield from comm.barrier()
+
+        world.run(program)
+        assert tracer.count("msg") == 8 * 3
+
+
+class TestFilesystemTracing:
+    def test_io_calls_traced(self):
+        sim = Simulator()
+        tracer = Tracer()
+        fs = FileSystem(sim, PFSConfig(
+            num_servers=2, stripe_unit=64 * KB, disk_bw=50 * MB,
+            ingest_bw=500 * MB, seek_time=0.0, request_overhead=0.0,
+            disk_block=4 * KB, cache_bytes=16 * MB, client_bw=100 * MB,
+            server_net_bw=100 * MB, call_overhead=0.0,
+        ), tracer=tracer)
+        f = fs.open("t")
+
+        def prog():
+            yield from fs.write(0, f, 0, MB)
+            yield from fs.read(0, f, 0, MB)
+
+        Process(sim, prog())
+        sim.run_to_completion()
+        assert tracer.count("io-write") == 1
+        assert tracer.count("io-read") == 1
+        assert tracer.bytes_moved("io-write") == MB
+
+
+class TestBandwidthCurve:
+    @pytest.fixture(scope="class")
+    def result(self):
+        def factory():
+            sim = Simulator()
+            return Fabric(
+                sim, Torus((4,), link_bw=300 * MB),
+                NetParams(latency=10e-6, msg_rate_cap=300 * MB),
+            )
+
+        return run_beff(
+            factory, 512 * MB,
+            MeasurementConfig(methods=("nonblocking",), backend="analytic"),
+        )
+
+    def test_curve_renders_all_sizes(self, result):
+        out = bandwidth_curve(result, "ring-1")
+        assert "1 B" in out
+        assert "4 MB" in out  # Lmax of 512 MB/proc
+        assert out.count("\n") == 21  # title + 21 rows
+
+    def test_curve_is_monotone_ish(self, result):
+        # bandwidth grows with message size (latency amortization)
+        from repro.beff.analysis import best_bandwidths
+
+        best = best_bandwidths(result.records)
+        values = [best[("ring-1", s)] for s in result.sizes]
+        assert values[-1] > values[0] * 50
+
+    def test_unknown_pattern_rejected(self, result):
+        with pytest.raises(KeyError):
+            bandwidth_curve(result, "ring-99")

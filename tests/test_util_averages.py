@@ -1,0 +1,126 @@
+"""Unit and property tests for the averaging rules of b_eff / b_eff_io."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import geometric_mean, logavg, weighted_average, weighted_logavg
+
+positive = st.floats(min_value=1e-6, max_value=1e12, allow_nan=False, allow_infinity=False)
+
+
+class TestLogavg:
+    def test_single_value(self):
+        assert logavg([5.0]) == pytest.approx(5.0)
+
+    def test_two_values_is_sqrt_of_product(self):
+        assert logavg([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_paper_two_step_structure(self):
+        # b_eff = logavg(logavg(rings), logavg(randoms)): rings and
+        # randoms are weighted equally regardless of their counts.
+        rings = [10.0, 10.0, 10.0, 10.0]
+        randoms = [40.0]
+        combined = logavg([logavg(rings), logavg(randoms)])
+        assert combined == pytest.approx(20.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            logavg([])
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            logavg([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            logavg([1.0, -2.0])
+
+    def test_geometric_mean_alias(self):
+        assert geometric_mean([2.0, 8.0]) == logavg([2.0, 8.0])
+
+    @given(st.lists(positive, min_size=1, max_size=30))
+    def test_between_min_and_max(self, values):
+        avg = logavg(values)
+        assert min(values) * (1 - 1e-9) <= avg <= max(values) * (1 + 1e-9)
+
+    @given(st.lists(positive, min_size=1, max_size=30), positive)
+    def test_scale_invariance(self, values, scale):
+        # logavg(c * v) == c * logavg(v): the average is unit-consistent.
+        scaled = logavg([scale * v for v in values])
+        assert scaled == pytest.approx(scale * logavg(values), rel=1e-9)
+
+    @given(st.lists(positive, min_size=1, max_size=30))
+    def test_at_most_arithmetic_mean(self, values):
+        # AM-GM inequality: a sanity invariant of the definition.
+        assert logavg(values) <= sum(values) / len(values) * (1 + 1e-9)
+
+
+class TestWeightedLogavg:
+    def test_equal_weights_match_logavg(self):
+        vals = [2.0, 4.0, 8.0]
+        assert weighted_logavg(vals, [1, 1, 1]) == pytest.approx(logavg(vals))
+
+    def test_zero_weight_ignores_value(self):
+        assert weighted_logavg([5.0, 123.0], [1.0, 0.0]) == pytest.approx(5.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_logavg([1.0], [1.0, 2.0])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            weighted_logavg([1.0, 2.0], [1.0, -1.0])
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_logavg([1.0], [0.0])
+
+
+class TestWeightedAverage:
+    def test_beff_io_access_method_weights(self):
+        # 25 % write, 25 % rewrite, 50 % read (paper Sec. 5.1).
+        write, rewrite, read = 100.0, 120.0, 200.0
+        expected = 0.25 * write + 0.25 * rewrite + 0.5 * read
+        assert weighted_average([write, rewrite, read], [1, 1, 2]) == pytest.approx(expected)
+
+    def test_double_weighting_of_scatter_type(self):
+        # type 0 double weighted among 5 pattern types -> 6 weight units.
+        types = [60.0, 30.0, 30.0, 30.0, 30.0]
+        expected = (2 * 60.0 + 30.0 * 4) / 6
+        assert weighted_average(types, [2, 1, 1, 1, 1]) == pytest.approx(expected)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            weighted_average([], [])
+
+    @given(st.lists(positive, min_size=1, max_size=20))
+    def test_uniform_weights_are_arithmetic_mean(self, values):
+        avg = weighted_average(values, [1.0] * len(values))
+        assert avg == pytest.approx(sum(values) / len(values))
+
+    @given(
+        st.lists(
+            st.tuples(
+                positive,
+                # zero weights or sanely-scaled ones; subnormal weights
+                # only probe float rounding, not the averaging rule
+                st.one_of(st.just(0.0), st.floats(min_value=1e-3, max_value=10.0)),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_bounded_by_extremes(self, pairs):
+        values = [p[0] for p in pairs]
+        weights = [p[1] for p in pairs]
+        if sum(weights) <= 0:
+            weights[0] = 1.0
+        avg = weighted_average(values, weights)
+        assert min(values) * (1 - 1e-9) <= avg <= max(values) * (1 + 1e-9)
+
+    def test_logavg_leq_weighted_average_same_weights(self):
+        values = [1.0, 10.0, 100.0]
+        weights = [2.0, 1.0, 1.0]
+        assert weighted_logavg(values, weights) <= weighted_average(values, weights)

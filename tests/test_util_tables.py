@@ -1,0 +1,48 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.util import Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["system", "b_eff"], title="Table 1")
+        t.add_row("Cray T3E", 19919)
+        t.add_row("NEC SX-5", 5439)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "Table 1"
+        assert "system" in lines[1] and "b_eff" in lines[1]
+        # all data lines have equal width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_none_renders_empty(self):
+        t = Table(["a", "b"])
+        t.add_row(None, 1)
+        assert t.rows[0][0] == ""
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_extend(self):
+        t = Table(["a"])
+        t.extend([[1], [2], [3]])
+        assert len(t.rows) == 3
+
+    def test_no_title_header_first(self):
+        t = Table(["col"])
+        t.add_row("x")
+        assert t.render().splitlines()[0].strip() == "col"
+
+    def test_str_matches_render(self):
+        t = Table(["col"])
+        t.add_row("value")
+        assert str(t) == t.render()

@@ -1,0 +1,109 @@
+"""Unit tests for byte/bandwidth unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import KB, MB, GB, format_bandwidth, format_bytes, format_time, parse_size
+
+
+class TestConstants:
+    def test_binary_convention(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+        assert GB == 1024**3
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("1", 1),
+            ("8B", 8),
+            ("1kB", KB),
+            ("1 kB", KB),
+            ("32kB", 32 * KB),
+            ("1MB", MB),
+            ("2 MB", 2 * MB),
+            ("1.5MB", int(1.5 * MB)),
+            ("1GB", GB),
+            ("4k", 4 * KB),
+            ("1m", MB),
+            ("1KiB", KB),
+            ("1MiB", MB),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_rounds(self):
+        assert parse_size(10.6) == 10
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots of bytes")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            parse_size(True)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_roundtrip_ints(self, n):
+        assert parse_size(n) == n
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "0 B"),
+            (1, "1 B"),
+            (8, "8 B"),
+            (KB, "1 kB"),
+            (32 * KB, "32 kB"),
+            (MB, "1 MB"),
+            (2 * MB, "2 MB"),
+            (GB, "1 GB"),
+            (int(1.5 * MB), "1.5 MB"),
+        ],
+    )
+    def test_paper_style(self, nbytes, expected):
+        assert format_bytes(nbytes) == expected
+
+    def test_negative(self):
+        assert format_bytes(-MB) == "-1 MB"
+
+
+class TestFormatBandwidth:
+    def test_table1_style_integers(self):
+        assert format_bandwidth(330 * MB) == "330 MB/s"
+
+    def test_small_values_keep_precision(self):
+        assert format_bandwidth(0.5 * MB) == "0.500 MB/s"
+
+    def test_mid_values_one_decimal(self):
+        assert format_bandwidth(4.25 * MB) == "4.2 MB/s"
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (2.5e-6, "2.5 us"),
+            (2.5e-3, "2.50 ms"),
+            (3.2, "3.20 s"),
+            (900, "15.0 min"),
+        ],
+    )
+    def test_units(self, seconds, expected):
+        assert format_time(seconds) == expected
+
+    def test_negative(self):
+        assert format_time(-1.0) == "-1.00 s"

@@ -8,6 +8,7 @@ simulation scale, prints it, and archives the text under
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -19,6 +20,18 @@ def record(name: str, text: str) -> None:
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_json(name: str, payload: dict) -> None:
+    """Archive a machine-readable result block as ``<name>.json``.
+
+    Perf-regression harnesses (e.g. ``BENCH_fluid.json``) commit these
+    files so later PRs can diff before/after numbers.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(f"\n===== {name}.json =====\n{text}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(text + "\n")
 
 
 def once(benchmark, fn):

@@ -60,7 +60,15 @@ def _capped_maxmin(
 
 
 class RoundModel:
-    """Prices message phases on one fabric."""
+    """Prices message phases on one fabric.
+
+    All pattern-derived structure is memoised: routes per rank pair,
+    the ring message lists and alltoallv stride table per pattern, and
+    the final :meth:`round_time` per (pattern, size, method).
+    Repetition loops and parameter sweeps therefore pay for each
+    distinct allocation once (``CommPattern`` is a frozen dataclass,
+    so patterns hash by value and equal patterns share cache lines).
+    """
 
     def __init__(self, fabric: Fabric) -> None:
         self.fabric = fabric
@@ -70,6 +78,10 @@ class RoundModel:
             for link_id in range(fabric.flows.num_links)
         }
         self._route_cache: dict[tuple[int, int], Route] = {}
+        self._round_cache: dict[tuple[CommPattern, int, str], float] = {}
+        self._ring_messages_cache: dict[CommPattern, tuple[list, list, list]] = {}
+        #: pattern -> (stride -> [(src, dst, messages-per-neighbor)])
+        self._stride_cache: dict[CommPattern, dict[int, list[tuple[int, int, int]]]] = {}
 
     def _route(self, src: int, dst: int) -> Route:
         key = (src, dst)
@@ -114,6 +126,9 @@ class RoundModel:
 
     def _ring_messages(self, pattern: CommPattern) -> tuple[list, list, list]:
         """(leftward, rightward, two_ring_pairs) message lists."""
+        cached = self._ring_messages_cache.get(pattern)
+        if cached is not None:
+            return cached
         leftward, rightward, pairs = [], [], []
         for ring in pattern.rings:
             k = len(ring)
@@ -126,9 +141,17 @@ class RoundModel:
                 else:
                     leftward.append((rank, left))
                     rightward.append((rank, right))
+        self._ring_messages_cache[pattern] = (leftward, rightward, pairs)
         return leftward, rightward, pairs
 
     def round_time(self, pattern: CommPattern, nbytes: int, method: str) -> float:
+        key = (pattern, nbytes, method)
+        cached = self._round_cache.get(key)
+        if cached is None:
+            cached = self._round_cache[key] = self._round_time(pattern, nbytes, method)
+        return cached
+
+    def _round_time(self, pattern: CommPattern, nbytes: int, method: str) -> float:
         if method == "nonblocking":
             left, right, pairs = self._ring_messages(pattern)
             msgs = [(s, d, nbytes) for s, d in left + right + pairs]
@@ -143,21 +166,33 @@ class RoundModel:
             return self._alltoallv_time(pattern, nbytes)
         raise ValueError(f"unknown method {method!r}")
 
-    def _alltoallv_time(self, pattern: CommPattern, nbytes: int) -> float:
-        """Pairwise exchange: n-1 steps; data only at neighbor strides."""
+    def _alltoallv_strides(
+        self, pattern: CommPattern
+    ) -> dict[int, list[tuple[int, int, int]]]:
+        """stride -> [(src, dst, neighbor multiplicity)]; size-independent."""
+        cached = self._stride_cache.get(pattern)
+        if cached is not None:
+            return cached
         n = pattern.nprocs
         by_stride: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
-        sizes: dict[tuple[int, int], int] = defaultdict(int)
+        counts: dict[tuple[int, int], int] = defaultdict(int)
         for ring in pattern.rings:
             k = len(ring)
             for i, rank in enumerate(ring):
-                sizes[(rank, ring[(i - 1) % k])] += nbytes
-                sizes[(rank, ring[(i + 1) % k])] += nbytes
-        for (src, dst), total in sizes.items():
+                counts[(rank, ring[(i - 1) % k])] += 1
+                counts[(rank, ring[(i + 1) % k])] += 1
+        for (src, dst), mult in counts.items():
             stride = (dst - src) % n
             if stride == 0:
                 continue  # self message: local copy, negligible here
-            by_stride[stride].append((src, dst, total))
+            by_stride[stride].append((src, dst, mult))
+        self._stride_cache[pattern] = by_stride
+        return by_stride
+
+    def _alltoallv_time(self, pattern: CommPattern, nbytes: int) -> float:
+        """Pairwise exchange: n-1 steps; data only at neighbor strides."""
+        n = pattern.nprocs
+        by_stride = self._alltoallv_strides(pattern)
         # every step pays at least one sendrecv latency; steps whose
         # stride carries data additionally pay the transfer
         empty_route = self._route(0, 1 % n) if n > 1 else None
@@ -168,7 +203,8 @@ class RoundModel:
         for step in range(1, n):
             msgs = by_stride.get(step)
             if msgs:
-                total += max(self.phase_time(msgs), base_latency)
+                phase = [(src, dst, mult * nbytes) for src, dst, mult in msgs]
+                total += max(self.phase_time(phase), base_latency)
             else:
                 total += base_latency
         return total

@@ -175,24 +175,29 @@ def _run_analytic(
 ) -> list[MeasurementRecord]:
     model = RoundModel(fabric)
     records: list[MeasurementRecord] = []
+    # Same (pattern, size, method, repetition) schedule as the DES
+    # backend; RoundModel memoises per (pattern, size, method), so the
+    # repeated measurements (the model is noiseless — they are
+    # identical by construction) cost one allocation, not R.
     for pattern in patterns:
         for size in sizes:
             for method in config.methods:
-                elapsed = model.round_time(pattern, size, method)
-                if elapsed <= 0:
-                    raise RuntimeError(
-                        f"zero-time round: {pattern.name} L={size} {method}"
+                for rep in range(config.repetitions):
+                    elapsed = model.round_time(pattern, size, method)
+                    if elapsed <= 0:
+                        raise RuntimeError(
+                            f"zero-time round: {pattern.name} L={size} {method}"
+                        )
+                    records.append(
+                        MeasurementRecord(
+                            pattern=pattern.name,
+                            kind=pattern.kind,
+                            size=size,
+                            method=method,
+                            repetition=rep,
+                            looplength=1,
+                            time=elapsed,
+                            bandwidth=size * pattern.messages_per_iteration / elapsed,
+                        )
                     )
-                records.append(
-                    MeasurementRecord(
-                        pattern=pattern.name,
-                        kind=pattern.kind,
-                        size=size,
-                        method=method,
-                        repetition=0,
-                        looplength=1,
-                        time=elapsed,
-                        bandwidth=size * pattern.messages_per_iteration / elapsed,
-                    )
-                )
     return records

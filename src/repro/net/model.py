@@ -77,14 +77,22 @@ class Fabric:
         params: NetParams,
         jitter_seed: int = 20010423,
         tracer=None,
+        fluid_mode: str = "incremental",
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.params = params
         #: optional repro.sim.trace.Tracer recording every transfer
         self.tracer = tracer
-        self.flows = FlowNetwork(sim)
+        #: "incremental" (batched, component-local allocation) or
+        #: "reference" (seed full-oracle reallocation per event); see
+        #: repro.sim.fluid — results agree, only wall-clock differs
+        self.fluid_mode = fluid_mode
+        self.flows = FlowNetwork(sim, mode=fluid_mode)
         topology.attach(self.flows)
+        #: (src, dst) -> Route; benchmark loops re-send the same pairs
+        #: thousands of times, so routing is computed once per pair
+        self._route_cache: dict[tuple[int, int], Route] = {}
         self._jitter_rng = None
         if params.jitter > 0.0:
             from repro.sim.randomness import RandomStreams
@@ -101,6 +109,14 @@ class Fabric:
         return latency * factor
 
     # -- cost queries -----------------------------------------------------
+
+    def route(self, src: int, dst: int) -> Route:
+        """Cached topology route from ``src`` to ``dst``."""
+        key = (src, dst)
+        route = self._route_cache.get(key)
+        if route is None:
+            route = self._route_cache[key] = self.topology.route(src, dst)
+        return route
 
     def startup_latency(self, route: Route) -> float:
         """Latency before the first byte moves (no rendezvous handshake)."""
@@ -134,7 +150,7 @@ class Fabric:
         """
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes!r}")
-        route = self.topology.route(src, dst)
+        route = self.route(src, dst)
         done = SimEvent(self.sim, name=f"xfer:{src}->{dst}:{nbytes}")
         latency = self._jittered(self.startup_latency(route))
         self.messages_sent += 1

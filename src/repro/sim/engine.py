@@ -24,11 +24,19 @@ class Simulator:
     clock.
     """
 
+    __slots__ = ("_now", "_seq", "_heap", "_live", "processes")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: list[tuple[float, int, Callable[[], None] | None]] = []
-        self._cancelled: set[int] = set()
+        #: heap entries are mutable [time, seq, callback] triples so a
+        #: cancellation can null the callback in place; ``_live`` maps a
+        #: pending handle to its entry and is the *only* per-handle
+        #: state, so firing or cancelling a handle leaves nothing behind
+        #: (the seed kept cancelled seqs in a set forever when the
+        #: handle had already fired).
+        self._heap: list[list] = []
+        self._live: dict[int, list] = {}
         #: live processes registered by :class:`repro.sim.process.Process`
         self.processes: list = []
 
@@ -46,7 +54,9 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+        entry = [self._now + delay, self._seq, callback]
+        heapq.heappush(self._heap, entry)
+        self._live[self._seq] = entry
         return self._seq
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> int:
@@ -55,13 +65,14 @@ class Simulator:
 
     def cancel(self, handle: int) -> None:
         """Cancel a previously scheduled event (no-op if already fired)."""
-        self._cancelled.add(handle)
+        entry = self._live.pop(handle, None)
+        if entry is not None:
+            entry[2] = None
 
     def peek(self) -> float | None:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._heap and self._heap[0][1] in self._cancelled:
-            _, seq, _ = heapq.heappop(self._heap)
-            self._cancelled.discard(seq)
+        while self._heap and self._heap[0][2] is None:
+            heapq.heappop(self._heap)
         if not self._heap:
             return None
         return self._heap[0][0]
@@ -70,11 +81,10 @@ class Simulator:
         """Execute the next event.  Returns False if the queue is empty."""
         while self._heap:
             time, seq, callback = heapq.heappop(self._heap)
-            if seq in self._cancelled:
-                self._cancelled.discard(seq)
+            if callback is None:
                 continue
+            del self._live[seq]
             self._now = time
-            assert callback is not None
             callback()
             return True
         return False

@@ -1,4 +1,4 @@
-"""Max-min fair fluid-flow network.
+"""Max-min fair fluid-flow network (incremental engine).
 
 Concurrent message transfers are modelled as *flows*: a flow has a
 route (a list of link ids), a byte count, and — at any instant — a
@@ -12,12 +12,37 @@ benchmark: when every process communicates at once, flows share
 links, per-flow bandwidth drops, and the drop depends on the
 topology and on where the communication partners sit — exactly the
 effect the paper's ring vs. random comparison measures.
+
+The engine comes in two modes:
+
+``incremental`` (default)
+    The production path.  Membership changes are *batched*: flows
+    started (or finished) at the same virtual instant are absorbed
+    into one zero-delay "allocation pending" flush, so the N
+    simultaneous ``start_flow`` calls that follow a barrier trigger
+    one allocation, not N.  Each flush re-solves only the connected
+    component of links the changed flows touch (max-min fairness
+    decomposes exactly over link-connected components), using cached
+    per-link member tables and live member *counts* instead of the
+    reference solver's per-round membership rescans.  Progress
+    settling charges per-link byte counters from per-link aggregate
+    rates maintained on membership change, and completions pop from a
+    min-heap of finish times instead of a scan over all flows.
+
+``reference``
+    The seed behaviour, kept as the correctness (and wall-clock
+    "before") oracle: every membership change immediately re-runs the
+    pure :func:`maxmin_allocate` over *all* active flows, settling
+    walks every flow's route, and the completion timer scans every
+    flow.  ``benchmarks/test_bench_fluid_scaling.py`` asserts the two
+    modes agree to float precision and records their speed ratio.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.engine import Simulator
 from repro.sim.process import SimEvent
@@ -26,6 +51,8 @@ from repro.sim.process import SimEvent
 _EPS_BYTES = 1e-3
 #: slack when completing flows at a shared finish instant
 _EPS_TIME = 1e-12
+
+_MODES = ("incremental", "reference")
 
 
 def maxmin_allocate(
@@ -36,9 +63,10 @@ def maxmin_allocate(
 
     ``capacities`` maps link id -> bytes/s; each route is the tuple of
     link ids one flow crosses.  Returns one rate per route.  A flow
-    with an empty route gets ``math.inf``.  This is the static core of
-    :class:`FlowNetwork` and is also used directly by the analytic
-    round model of b_eff (``repro.beff.analytic``).
+    with an empty route gets ``math.inf``.  This is the *reference
+    oracle* for :class:`FlowNetwork`'s incremental solver and is also
+    used directly by the analytic round model of b_eff
+    (``repro.beff.analytic``).
     """
     rates = [0.0] * len(routes)
     residual = {}
@@ -84,7 +112,7 @@ def maxmin_allocate(
     return rates
 
 
-@dataclass
+@dataclass(slots=True)
 class Link:
     """A unidirectional capacity shared by the flows routed across it."""
 
@@ -96,7 +124,7 @@ class Link:
             raise ValueError(f"link capacity must be finite and positive: {self.capacity!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Flow:
     """An in-flight transfer; internal bookkeeping for FlowNetwork."""
 
@@ -109,7 +137,6 @@ class Flow:
     finish_time: float = math.inf
     private_link: int | None = None
     meta: object = None
-    _dirty: bool = field(default=False, repr=False)
 
 
 class FlowNetwork:
@@ -118,11 +145,39 @@ class FlowNetwork:
     Links are created once (usually by a :mod:`repro.topology` builder)
     and flows come and go as messages are transferred.  A single
     pending "next completion" timer is maintained; any membership
-    change settles progress and recomputes the allocation.
+    change settles progress and recomputes the allocation — batched
+    and component-local in ``incremental`` mode, immediate and global
+    in ``reference`` mode (see the module docstring).
     """
 
-    def __init__(self, sim: Simulator) -> None:
+    __slots__ = (
+        "sim",
+        "mode",
+        "_incremental",
+        "_links",
+        "_next_link_id",
+        "_flows",
+        "_next_flow_id",
+        "_last_settle",
+        "_timer",
+        "bytes_completed",
+        "flows_completed",
+        "link_bytes",
+        "_members",
+        "_link_rate",
+        "_dirty_links",
+        "_flush_handle",
+        "_finish_heap",
+        "allocations",
+        "flows_solved",
+    )
+
+    def __init__(self, sim: Simulator, mode: str = "incremental") -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown fluid mode {mode!r}; expected one of {_MODES}")
         self.sim = sim
+        self.mode = mode
+        self._incremental = mode == "incremental"
         self._links: dict[int, Link] = {}
         self._next_link_id = 0
         self._flows: dict[int, Flow] = {}
@@ -134,6 +189,19 @@ class FlowNetwork:
         self.flows_completed = 0
         #: bytes carried per link (hot-link analysis)
         self.link_bytes: dict[int, float] = {}
+        #: link id -> {flow_id: None} of flows crossing it (insertion order)
+        self._members: dict[int, dict[int, None]] = {}
+        #: link id -> aggregate allocated rate of its member flows
+        self._link_rate: dict[int, float] = {}
+        #: links whose membership changed since the last flush
+        self._dirty_links: set[int] = set()
+        #: pending zero-delay allocation flush (batches same-instant changes)
+        self._flush_handle: int | None = None
+        #: lazy min-heap of (finish_time, flow_id); stale entries skipped
+        self._finish_heap: list[tuple[float, int]] = []
+        #: observability: solver invocations and flows re-solved
+        self.allocations = 0
+        self.flows_solved = 0
 
     # -- links ---------------------------------------------------------
 
@@ -199,10 +267,36 @@ class FlowNetwork:
             meta=meta,
         )
         self._next_flow_id += 1
-        self._settle()
-        self._flows[flow.flow_id] = flow
-        self._reallocate()
+        if self._incremental:
+            # Rates only matter once time advances, so joining flows can
+            # wait for the end-of-instant flush; N simultaneous starts
+            # then cost one allocation.
+            self._flows[flow.flow_id] = flow
+            for link_id in full_route:
+                self._members.setdefault(link_id, {})[flow.flow_id] = None
+            self._dirty_links.update(full_route)
+            self._request_flush()
+        else:
+            # seed behaviour: settle + immediate full reallocation (the
+            # member table is an incremental-mode structure; the
+            # reference solver rebuilds membership from scratch)
+            self._settle()
+            self._flows[flow.flow_id] = flow
+            self._reallocate_reference()
         return event
+
+    def current_rates(self) -> dict[int, float]:
+        """Allocated rate per active flow id (forces any pending flush).
+
+        Test/inspection hook: in incremental mode rates assigned at
+        the current instant may still be pending in the batched flush;
+        this applies them first so the returned allocation is exactly
+        what the next time advance will use.
+        """
+        if self._flush_handle is not None:
+            self.sim.cancel(self._flush_handle)
+            self._flush()
+        return {fid: flow.rate for fid, flow in self._flows.items()}
 
     # -- internals -----------------------------------------------------
 
@@ -210,47 +304,190 @@ class FlowNetwork:
         """Advance every active flow's remaining bytes to the current time."""
         now = self.sim.now
         dt = now - self._last_settle
-        if dt > 0.0:
+        self._last_settle = now
+        if dt <= 0.0:
+            return
+        link_bytes = self.link_bytes
+        if not self._incremental:
             for flow in self._flows.values():
                 moved = min(flow.rate * dt, flow.remaining)
                 flow.remaining -= moved
                 if moved > 0.0:
                     for link_id in flow.route:
-                        self.link_bytes[link_id] = (
-                            self.link_bytes.get(link_id, 0.0) + moved
-                        )
-        self._last_settle = now
+                        link_bytes[link_id] = link_bytes.get(link_id, 0.0) + moved
+            return
+        # Charge links from the cached aggregate rates (O(active links)
+        # instead of O(flows x route length)) ...
+        for link_id, rate in self._link_rate.items():
+            if rate > 0.0:
+                link_bytes[link_id] = link_bytes.get(link_id, 0.0) + rate * dt
+        # ... then advance flows, refunding the (float-slop) overshoot of
+        # any flow that ran out of bytes before the interval ended.
+        for flow in self._flows.values():
+            moved = flow.rate * dt
+            if moved >= flow.remaining:
+                excess = moved - flow.remaining
+                flow.remaining = 0.0
+                if excess > 0.0:
+                    for link_id in flow.route:
+                        link_bytes[link_id] -= excess
+            else:
+                flow.remaining -= moved
 
-    def _reallocate(self) -> None:
-        """Progressive-filling max-min allocation + completion timer."""
+    def _request_flush(self) -> None:
+        if self._flush_handle is None:
+            self._flush_handle = self.sim.schedule(0.0, self._flush)
+
+    def _flush(self) -> None:
+        """Apply batched membership changes: re-solve the affected component.
+
+        Max-min fairness decomposes over connected components of the
+        flow/link sharing graph, so only flows reachable (via shared
+        links) from a dirty link can see their rate change; everyone
+        else keeps rate and finish time untouched.
+        """
+        self._flush_handle = None
+        self._settle()
+        dirty, self._dirty_links = self._dirty_links, set()
+        members = self._members
+        if not self._flows:
+            self._link_rate.clear()
+            self._arm_timer()
+            return
+        # Affected component: BFS links <-> member flows from the dirty set.
+        comp_links: list[int] = []
+        seen_links: set[int] = set()
+        comp_flows: list[int] = []
+        seen_flows: set[int] = set()
+        stack = sorted(link_id for link_id in dirty if link_id in members)
+        while stack:
+            link_id = stack.pop()
+            if link_id in seen_links:
+                continue
+            seen_links.add(link_id)
+            comp_links.append(link_id)
+            for fid in members[link_id]:
+                if fid not in seen_flows:
+                    seen_flows.add(fid)
+                    comp_flows.append(fid)
+                    for other in self._flows[fid].route:
+                        if other not in seen_links:
+                            stack.append(other)
+        if comp_flows:
+            comp_flows.sort()
+            rates = self._solve_component(comp_flows)
+            now = self.sim.now
+            heap = self._finish_heap
+            for fid in comp_flows:
+                flow = self._flows[fid]
+                rate = rates[fid]
+                flow.rate = rate
+                if rate <= 0.0 or math.isinf(rate):  # pragma: no cover - defensive
+                    flow.finish_time = math.inf
+                    continue
+                if flow.remaining <= _EPS_BYTES:
+                    flow.finish_time = now
+                else:
+                    flow.finish_time = now + flow.remaining / rate
+                heapq.heappush(heap, (flow.finish_time, fid))
+            flows = self._flows
+            link_rate = self._link_rate
+            for link_id in comp_links:
+                total = sum(flows[fid].rate for fid in members[link_id])
+                if total > 0.0:
+                    link_rate[link_id] = total
+                else:  # pragma: no cover - defensive
+                    link_rate.pop(link_id, None)
+        self._arm_timer()
+
+    def _solve_component(self, flow_ids: list[int]) -> dict[int, float]:
+        """Progressive filling over one component, with cached counts.
+
+        Same arithmetic as :func:`maxmin_allocate` (identical bottleneck
+        divisions and residual subtractions in the same per-link order)
+        but the per-round ``sum(1 for i in members if i in unfixed)``
+        rescans are replaced by live member counts maintained as flows
+        are fixed.
+        """
+        self.allocations += 1
+        self.flows_solved += len(flow_ids)
+        flows = self._flows
+        links = self._links
+        members = self._members
+        residual: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for fid in flow_ids:
+            for link_id in flows[fid].route:
+                if link_id in residual:
+                    counts[link_id] += 1
+                else:
+                    residual[link_id] = links[link_id].capacity
+                    counts[link_id] = 1
+        rates: dict[int, float] = {}
+        unfixed = dict.fromkeys(flow_ids)
+        while unfixed:
+            bottleneck = math.inf
+            for link_id, count in counts.items():
+                if count == 0:
+                    continue
+                share = residual[link_id] / count
+                if share < bottleneck:
+                    bottleneck = share
+            if math.isinf(bottleneck):  # pragma: no cover - defensive
+                for fid in unfixed:
+                    rates[fid] = math.inf
+                break
+            tol = bottleneck * (1.0 + 1e-12)
+            newly_fixed: list[int] = []
+            for link_id, count in counts.items():
+                if count == 0:
+                    continue
+                if residual[link_id] / count <= tol:
+                    for fid in members[link_id]:
+                        if fid in unfixed:
+                            newly_fixed.append(fid)
+                            del unfixed[fid]
+            for fid in newly_fixed:
+                rates[fid] = bottleneck
+                for link_id in flows[fid].route:
+                    residual[link_id] = max(0.0, residual[link_id] - bottleneck)
+                    counts[link_id] -= 1
+        return rates
+
+    def _arm_timer(self) -> None:
+        """(Re)schedule the single completion timer from the finish heap."""
         if self._timer is not None:
             self.sim.cancel(self._timer)
             self._timer = None
-        if not self._flows:
+        heap = self._finish_heap
+        flows = self._flows
+        while heap:
+            finish, fid = heap[0]
+            flow = flows.get(fid)
+            if flow is None or flow.finish_time != finish:
+                heapq.heappop(heap)  # stale: flow gone or re-allocated
+                continue
+            delay = finish - self.sim.now
+            self._timer = self.sim.schedule(delay if delay > 0.0 else 0.0, self._on_timer)
             return
 
-        flows = list(self._flows.values())
-        capacities = {
-            link_id: self._links[link_id].capacity
-            for flow in flows
-            for link_id in flow.route
-        }
-        rates = maxmin_allocate(capacities, [flow.route for flow in flows])
-        for flow, rate in zip(flows, rates):
-            flow.rate = rate
-
-        # Completion times and the single pending timer.
-        now = self.sim.now
-        earliest = math.inf
-        for flow in self._flows.values():
-            if flow.rate <= 0.0:  # pragma: no cover - defensive
-                flow.finish_time = math.inf
-                continue
-            flow.finish_time = now + flow.remaining / flow.rate
-            if flow.finish_time < earliest:
-                earliest = flow.finish_time
-        if not math.isinf(earliest):
-            self._timer = self.sim.schedule(earliest - now, self._on_timer)
+    def _retire(self, flow: Flow) -> None:
+        """Remove a completed flow from all bookkeeping tables."""
+        del self._flows[flow.flow_id]
+        if self._incremental:
+            for link_id in flow.route:
+                entry = self._members.get(link_id)
+                if entry is not None:
+                    entry.pop(flow.flow_id, None)
+                    if not entry:
+                        del self._members[link_id]
+                        self._link_rate.pop(link_id, None)
+                self._dirty_links.add(link_id)
+        if flow.private_link is not None:
+            del self._links[flow.private_link]
+            self._dirty_links.discard(flow.private_link)
+        self.bytes_completed += flow.total_bytes
+        self.flows_completed += 1
 
     def hottest_links(self, top: int = 10) -> list[tuple[str, float]]:
         """The most-trafficked links as (name, bytes), descending.
@@ -274,17 +511,76 @@ class FlowNetwork:
         self._timer = None
         self._settle()
         now = self.sim.now
-        done = [
-            f
-            for f in self._flows.values()
-            if f.remaining <= _EPS_BYTES or f.finish_time <= now + _EPS_TIME
-        ]
-        for flow in done:
-            del self._flows[flow.flow_id]
-            if flow.private_link is not None:
-                del self._links[flow.private_link]
-            self.bytes_completed += flow.total_bytes
-            self.flows_completed += 1
-        self._reallocate()
+        if not self._incremental:
+            done = [
+                f
+                for f in self._flows.values()
+                if f.remaining <= _EPS_BYTES or f.finish_time <= now + _EPS_TIME
+            ]
+            for flow in done:
+                self._retire(flow)
+            self._reallocate_reference()
+            for flow in done:
+                flow.event.trigger(now)
+            return
+        heap = self._finish_heap
+        flows = self._flows
+        done: list[Flow] = []
+        while heap:
+            finish, fid = heap[0]
+            flow = flows.get(fid)
+            if flow is None or flow.finish_time != finish:
+                heapq.heappop(heap)
+                continue
+            if finish <= now + _EPS_TIME or flow.remaining <= _EPS_BYTES:
+                heapq.heappop(heap)
+                # retire immediately so a duplicate heap entry for this
+                # flow (same finish time pushed by two flushes) reads as
+                # stale rather than completing the flow twice
+                self._retire(flow)
+                done.append(flow)
+            else:
+                break
+        if done:
+            # Batch the departures (and any flows the resumed waiters
+            # start at this instant) into one allocation flush.
+            self._request_flush()
+        else:  # pragma: no cover - stale timer
+            self._arm_timer()
         for flow in done:
             flow.event.trigger(now)
+
+    # -- reference (seed) path -----------------------------------------
+
+    def _reallocate_reference(self) -> None:
+        """Seed behaviour: full-network oracle allocation + flow scan."""
+        if self._timer is not None:
+            self.sim.cancel(self._timer)
+            self._timer = None
+        if not self._flows:
+            return
+        self.allocations += 1
+        self.flows_solved += len(self._flows)
+
+        flows = list(self._flows.values())
+        capacities = {
+            link_id: self._links[link_id].capacity
+            for flow in flows
+            for link_id in flow.route
+        }
+        rates = maxmin_allocate(capacities, [flow.route for flow in flows])
+        for flow, rate in zip(flows, rates):
+            flow.rate = rate
+
+        # Completion times and the single pending timer.
+        now = self.sim.now
+        earliest = math.inf
+        for flow in self._flows.values():
+            if flow.rate <= 0.0:  # pragma: no cover - defensive
+                flow.finish_time = math.inf
+                continue
+            flow.finish_time = now + flow.remaining / flow.rate
+            if flow.finish_time < earliest:
+                earliest = flow.finish_time
+        if not math.isinf(earliest):
+            self._timer = self.sim.schedule(earliest - now, self._on_timer)

@@ -89,6 +89,35 @@ class TestCancel:
         sim.cancel(h)
         assert sim.peek() == 2.0
 
+    def test_cancel_after_fire_leaves_no_state(self):
+        # regression: the seed kept every post-fire cancelled seq in a
+        # set forever, so long-running simulations leaked memory
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(100)]
+        sim.run()
+        for h in handles:
+            sim.cancel(h)
+        assert sim._live == {}
+        assert sim._heap == []
+
+    def test_cancelled_pending_event_is_dropped_when_reached(self):
+        sim = Simulator()
+        for _ in range(50):
+            sim.cancel(sim.schedule(1.0, lambda: None))
+        sim.run()
+        assert sim._live == {}
+        assert sim._heap == []
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(h)
+        sim.cancel(h)
+        sim.run()
+        assert fired == []
+        assert sim._live == {}
+
 
 class TestRunBounds:
     def test_run_until_stops_clock_at_bound(self):

@@ -1,0 +1,157 @@
+"""b_eff_io engine scaling: fast path vs. reference wall-clock + fidelity.
+
+The perf-regression harness for the fast-path b_eff_io engine (cached
+collective decompositions, O(1) interval accounting, steady-state
+repetition fast-forward).  It runs a representative partition — 16
+processes against an 8-server, 1 MB-stripe parallel file system with a
+scaled-down scheduled time — in both engine modes, asserts the fast
+path is at least 5x faster with *bit-identical* aggregates, measures
+(without a hard bar) the speedup on the full pattern table including
+the non-wellformed rows, and commits everything to
+``benchmarks/results/BENCH_beffio.json`` so future PRs can't silently
+regress the speedup.
+
+Two findings this harness documents:
+
+* The headline run uses ``wellformed_only=True``.  The paper's
+  non-wellformed rows (sizes like 1 MB + 8 bytes) advance the file
+  per repetition by an offset that is not a multiple of the stripe
+  period, so their per-server request streams rotate with periods far
+  beyond what the steady-state detector can window — they resist
+  fast-forwarding for the same structural reason the paper singles
+  them out as a separate family.  The full-table run is reported
+  alongside for honesty; its speedup is real but smaller.
+* Fidelity is exact equality, not approx: a skip only ever replaces
+  repetitions the detector proved periodic and re-verified by trial
+  replay, so fast and reference runs must agree to the last bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from benchmarks._harness import once, record, record_json
+from repro.beffio import BeffIOConfig, run_beffio
+from repro.mpi import World
+from repro.net import Fabric, NetParams
+from repro.pfs import FileSystem, PFSConfig
+from repro.sim import Simulator
+from repro.topology import Torus
+from repro.util import KB, MB
+
+#: target of the ISSUE's acceptance criterion
+REQUIRED_SPEEDUP = 5.0
+
+#: the representative partition: 16 procs, 8 servers, 1 MB stripes
+NPROCS = 16
+MEMORY_PER_PROC = 64 * MB
+#: scaled-down scheduled time (the official 900 s would take minutes
+#: even on the fast path; the speedup ratio is stable in T)
+HEADLINE_T = 600.0
+FULL_TABLE_T = 120.0
+
+
+def _env_factory(nprocs: int = NPROCS):
+    def make():
+        sim = Simulator()
+        fabric = Fabric(
+            sim, Torus((nprocs,), link_bw=1000 * MB),
+            NetParams(latency=5e-6, msg_rate_cap=500 * MB),
+        )
+        world = World(fabric)
+        fs = FileSystem(
+            sim,
+            PFSConfig(
+                num_servers=8,
+                stripe_unit=1 * MB,
+                disk_bw=100 * MB,
+                ingest_bw=800 * MB,
+                seek_time=2e-3,
+                request_overhead=1e-4,
+                disk_block=4 * KB,
+                cache_bytes=512 * MB,
+                client_bw=400 * MB,
+                server_net_bw=400 * MB,
+                call_overhead=3e-5,
+            ),
+        )
+        return world, fs
+
+    return make
+
+
+@dataclass
+class ModeResult:
+    wall_s: float
+    b_eff_io: float
+    pattern_runs: tuple
+
+
+def _run_mode(mode: str, **config_kwargs) -> ModeResult:
+    config = BeffIOConfig(mode=mode, **config_kwargs)
+    t0 = time.perf_counter()
+    result = run_beffio(_env_factory(), MEMORY_PER_PROC, config)
+    wall = time.perf_counter() - t0
+    return ModeResult(
+        wall_s=wall,
+        b_eff_io=result.b_eff_io,
+        pattern_runs=tuple(result.pattern_runs),
+    )
+
+
+def _compare(name: str, **config_kwargs) -> dict:
+    ref = _run_mode("reference", **config_kwargs)
+    fast = _run_mode("fast", **config_kwargs)
+    # bit-identical aggregates: exact equality, no tolerance
+    assert fast.b_eff_io == ref.b_eff_io, name
+    assert fast.pattern_runs == ref.pattern_runs, name
+    return {
+        "name": name,
+        "procs": NPROCS,
+        "T": config_kwargs["T"],
+        "reference_wall_s": round(ref.wall_s, 3),
+        "fast_wall_s": round(fast.wall_s, 3),
+        "speedup": round(ref.wall_s / fast.wall_s, 2),
+        "b_eff_io_MBps": round(ref.b_eff_io / MB, 3),
+        "bit_identical": True,
+    }
+
+
+def run_beffio_scaling() -> dict:
+    headline = _compare(
+        "wellformed-type0",
+        T=HEADLINE_T, pattern_types=(0,), wellformed_only=True,
+    )
+    full = _compare(
+        "full-table-type0",
+        T=FULL_TABLE_T, pattern_types=(0,),
+    )
+    return {"headline": headline, "full_table": full}
+
+
+@pytest.mark.benchmark(group="beffio-scaling")
+def test_beffio_scaling(benchmark):
+    payload = once(benchmark, run_beffio_scaling)
+    record_json("BENCH_beffio", payload)
+    lines = [
+        f"{'run':>18s} {'T':>6s} {'reference':>11s} {'fast':>9s} {'speedup':>8s}"
+        f" {'b_eff_io':>11s}"
+    ]
+    for row in (payload["headline"], payload["full_table"]):
+        lines.append(
+            f"{row['name']:>18s} {row['T']:6.0f} {row['reference_wall_s']:10.2f}s"
+            f" {row['fast_wall_s']:8.2f}s {row['speedup']:7.2f}x"
+            f" {row['b_eff_io_MBps']:8.2f} MB/s"
+        )
+    record("beffio_scaling", "\n".join(lines))
+
+    # the ISSUE's acceptance bar: >= 5x on the representative run,
+    # with bit-identical aggregates (asserted inside _compare)
+    assert payload["headline"]["speedup"] >= REQUIRED_SPEEDUP, payload["headline"]
+    # the full table (non-wellformed rows included) must still not be
+    # slower on the fast path — the detector's bookkeeping has to pay
+    # for itself even when most patterns never arm
+    assert payload["full_table"]["speedup"] >= 1.0, payload["full_table"]

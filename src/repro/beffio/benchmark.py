@@ -28,8 +28,10 @@ from repro.beffio.patterns import (
     mpart_for,
     patterns_of_type,
 )
+from repro.beffio.fastforward import FFSession
 from repro.beffio.scheduler import (
     collective_timed_loop,
+    counted_loop,
     geometric_timed_loop,
     local_timed_loop,
     pattern_time,
@@ -51,7 +53,17 @@ class BeffIOConfig:
     #: official numbers; scaled-down values preserve the shapes)
     T: float = 900.0
     pattern_types: tuple[int, ...] = (0, 1, 2, 3, 4)
-    #: False = MPI_File_sync only publishes (paper semantics);
+    #: run only the wellformed (power-of-two sized) rows of Table 2;
+    #: each pattern keeps its own T/3 * U/sum(U) schedule share, the
+    #: non-wellformed rows simply do not run.  The paper reports the
+    #: two families separately, and they behave very differently under
+    #: the fast path: a non-wellformed repetition advances the file by
+    #: an offset that is not a multiple of the stripe period, so its
+    #: per-server request stream rotates with a period usually far
+    #: beyond :data:`repro.beffio.fastforward.MAX_PERIOD`
+    wellformed_only: bool = False
+    #: False = MPI_File_sync only publishes (**paper semantics**, the
+    #: Sec. 5.4 caveat; also the default of ``mpiio.file.open_file``);
     #: True = sync waits for disk writeback
     sync_drains: bool = False
     cb_buffer: int = 4 * MB
@@ -66,6 +78,10 @@ class BeffIOConfig:
     termination: str = "per-iteration"
     #: seed for the random access pattern extension (type 5)
     random_seed: int = 20010423
+    #: "fast" arms the steady-state repetition fast-forward (see
+    #: :mod:`repro.beffio.fastforward`); "reference" simulates every
+    #: repetition event for event — the bit-identity oracle
+    mode: str = "fast"
 
     def __post_init__(self) -> None:
         if self.T <= 0:
@@ -81,6 +97,8 @@ class BeffIOConfig:
             raise ValueError("cb_buffer must be >= 1")
         if self.termination not in ("per-iteration", "geometric"):
             raise ValueError(f"unknown termination {self.termination!r}")
+        if self.mode not in ("fast", "reference"):
+            raise ValueError(f"unknown mode {self.mode!r}")
 
 
 @dataclass(frozen=True)
@@ -134,6 +152,8 @@ class _RunState:
         self.segment_size: int | None = None
         self.pattern_runs: list[PatternRun] = []
         self.type_results: list[TypeResult] = []
+        #: fast-forward context (None in reference mode)
+        self.ff_session: FFSession | None = None
 
 
 def run_beffio(
@@ -151,6 +171,8 @@ def run_beffio(
     if 5 in config.pattern_types:
         patterns = patterns + extension_patterns(memory_per_proc)
     state = _RunState()
+    if config.mode == "fast":
+        state.ff_session = FFSession(world, fs)
     singleton_comms = [comm.create([r]) for r in range(n)]
 
     def program(rank_comm):
@@ -188,6 +210,10 @@ def _partition_pass(comm, fs, patterns, config, state, singleton_comms, mpart):
     for method in ACCESS_METHODS:
         for ptype in config.pattern_types:
             tp_patterns = patterns_of_type(patterns, ptype)
+            if config.wellformed_only:
+                tp_patterns = [
+                    p for p in tp_patterns if p.wellformed or p.fill_segment
+                ]
             if ptype in (3, 4, 5) and state.segment_size is None:
                 state.segment_size = estimate_segment_size(
                     state.pattern_runs,
@@ -357,25 +383,41 @@ def _run_pattern(comm, handles, p: IOPattern, method, config, state, base):
         if written is not None:
             max_reps = written if max_reps is None else min(max_reps, written)
 
+    # -- the fast-forward controller (shared across the loop's ranks) --------
+    # The random type never settles into a shift-periodic orbit, the
+    # geometric loop already amortizes its termination rounds, and
+    # short capped loops are not worth the tracking — all of those run
+    # plain.  Reference mode disables the whole machinery.
+    geometric = collective and not p.fill_segment and config.termination == "geometric"
+    ff = None
+    session = state.ff_session
+    if (
+        session is not None
+        and p.pattern_type != 5
+        and not geometric
+        and (max_reps is None or max_reps >= 8)
+    ):
+        ff_kind = (
+            "count" if p.fill_segment else ("collective" if collective else "local")
+        )
+        ff = session.loop_for((method, p.number), handles, n, ff_kind)
+
     # -- the timed loop --------------------------------------------------------
     t_end = (comm.wtime() + pattern_time(config.T, p.U, SUM_U)) if p.U > 0 else comm.wtime()
     t_start = comm.wtime()
     if max_reps == 0:
         reps = 0
     elif p.fill_segment:
-        reps = 0
-        for _ in range(max_reps):
-            yield from body()
-            reps += 1
+        reps = yield from counted_loop(comm, body, max_reps, ff=ff)
     elif collective:
-        loop = (
-            geometric_timed_loop
-            if config.termination == "geometric"
-            else collective_timed_loop
-        )
-        reps = yield from loop(comm, t_end, body, max_reps)
+        if geometric:
+            reps = yield from geometric_timed_loop(comm, t_end, body, max_reps)
+        else:
+            reps = yield from collective_timed_loop(comm, t_end, body, max_reps, ff=ff)
     else:
-        reps = yield from local_timed_loop(comm, t_end, body, max_reps)
+        reps = yield from local_timed_loop(comm, t_end, body, max_reps, ff=ff)
+    if ff is not None:
+        ff.finish()
     if method != "read":
         yield from _sync_pattern(handles, comm)
     local_time = comm.wtime() - t_start

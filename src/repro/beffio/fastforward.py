@@ -1,0 +1,829 @@
+"""Steady-state repetition fast-forward for the b_eff_io timed loops.
+
+A b_eff_io pattern repeats one access for its scheduled time slice —
+thousands of bit-identical repetitions once the system settles into a
+periodic orbit.  This module detects that orbit *exactly* and replays
+the remaining repetitions analytically instead of through the event
+engine, preserving bit-identical results.
+
+Exactness argument
+------------------
+All discrete state (file pointers, cached byte sets, disk positions,
+statistics) evolves by integer arithmetic; one repetition shifts it by
+a constant byte offset ``sigma`` per file.  All float state is virtual
+*time*.  Within one floating-point binade ``[2^p, 2^(p+1))`` every
+float is a multiple of the grid unit ``u = 2^(p-53)``; the difference
+``d`` of two same-binade boundary times is therefore an exact multiple
+of ``u``, and adding ``d`` to any same-binade float is *exact* (no
+rounding).  Hence if the discrete state is shift-periodic and one
+repetition's boundary times advance by ``d``, the whole event cascade
+of the next repetition is the previous one translated by exactly
+``d`` — every intermediate addition re-rounds identically.  Skipping
+``k`` repetitions is then: shift the discrete state by ``k*sigma``
+(replaying the recorded buffer-cache operations), advance the tracked
+floats by ``k*d`` on the integer grid, and wake each rank at its
+extrapolated boundary instant (``SleepUntil`` lands the float
+verbatim).  Skips are capped so no tracked float crosses its binade,
+no shifted extent crosses a stripe-unit boundary and no server cache
+crosses its dirty-capacity threshold — events that would change the
+orbit; and before any rank commits, the whole cache replay is
+dry-run on cloned caches so an outcome regime change (eviction
+patterns are not shift-periodic) shortens the skip to the verified
+prefix.  A shortened skip simply resumes real simulation, which
+re-detects the new orbit.
+
+Detection requires three consecutive quiescent repetition boundaries
+(no queued requests, no active network flows) whose buffer-cache
+operation logs are shift-equivariant, whose integer state deltas are
+constant and whose boundary times form an exact arithmetic
+progression.  Anything aperiodic — the random pattern type, staggered
+noncollective ranks, drain phases, cache-fill transients — fails a
+check and the loop just keeps simulating.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.pfs.cache import BufferCache
+from repro.pfs.intervals import IntervalSet
+
+#: consecutive verified macro-repetition boundaries before arming a skip
+WINDOW = 3
+#: minimum macro-repetitions a skip must cover to be worth arming
+MIN_SKIP = 3
+#: repetitions of safety margin kept below binade/capacity thresholds
+MARGIN = 2
+#: largest super-period tried for orbit detection: a repetition whose
+#: file-pointer advance is not a multiple of the stripe period (the
+#: paper's non-wellformed "+8" sizes) rotates through stripe phases,
+#: so its per-server request stream is periodic only over
+#: ``period / gcd(advance mod period, period)`` repetitions; the
+#: detector treats that many consecutive repetitions as one
+#: *macro-repetition* and runs the identical machinery on the
+#: concatenated operation logs
+MAX_PERIOD = 64
+
+
+# ---------------------------------------------------------------------------
+# exact float-grid arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _grid_delta(v0: float, v1: float, v2: float):
+    """Per-repetition delta of three boundary samples, or None.
+
+    Returns ``(d, e)`` with ``d = v1 - v0 = v2 - v1`` exactly and all
+    three samples in the same binade (unit ``2**e``), which makes the
+    subtraction and any further same-binade additions of ``d`` exact.
+    """
+    if not (v0 <= v1 <= v2):
+        return None
+    d = v1 - v0
+    if v2 - v1 != d:
+        return None
+    if d == 0.0:
+        return (0.0, 0)
+    if v0 <= 0.0 or math.frexp(v0)[1] != math.frexp(v2)[1]:
+        return None
+    e = math.frexp(v2)[1] - 53
+    k = math.ldexp(d, -e)
+    if k != int(k):  # pragma: no cover - same-binade diffs are on-grid
+        return None
+    return (d, e)
+
+
+def _advance(x: float, d: float, e: int, steps: int) -> float:
+    """``x + steps*d`` computed exactly on the binade grid ``2**e``."""
+    if steps == 0 or d == 0.0:
+        return x
+    kx = int(math.ldexp(x, -e))
+    kd = int(math.ldexp(d, -e))
+    return math.ldexp(kx + steps * kd, e)
+
+
+def _steps_in_binade(x: float, d: float, e: int) -> int:
+    """How many ``+d`` steps keep ``x`` strictly inside its binade."""
+    if d == 0.0:
+        return 1 << 62
+    kx = int(math.ldexp(x, -e))
+    kd = int(math.ldexp(d, -e))
+    return max(0, ((1 << 53) - 1 - kx) // kd)
+
+
+# ---------------------------------------------------------------------------
+# discrete-state helpers
+# ---------------------------------------------------------------------------
+
+
+def _op_shift(prev_ops, cur_ops, sigmas) -> bool:
+    """Check ``cur_ops`` is ``prev_ops`` shifted per-file; fill ``sigmas``."""
+    if len(prev_ops) != len(cur_ops):
+        return False
+    for p, c in zip(prev_ops, cur_ops):
+        if p[0] != c[0] or p[1] != c[1] or p[0] == "invalidate_file":
+            return False
+        if p[4:] != c[4:]:  # operation outcomes must repeat verbatim
+            return False
+        sig = c[2] - p[2]
+        if c[3] - p[3] != sig or sig < 0:
+            return False
+        fid = p[1]
+        if sigmas.setdefault(fid, sig) != sig:
+            return False
+    return True
+
+
+def _tree_delta(a, b):
+    """Element-wise ``b - a`` over a tuple tree; None on shape mismatch."""
+    if isinstance(a, tuple):
+        if not isinstance(b, tuple) or len(a) != len(b):
+            return None
+        out = []
+        for x, y in zip(a, b):
+            d = _tree_delta(x, y)
+            if d is None:
+                return None
+            out.append(d)
+        return tuple(out)
+    return b - a
+
+
+def _disk_pos_delta(a, b):
+    if a == b:
+        return ("same",)
+    if a is not None and b is not None and a[0] == b[0] and b[1] >= a[1]:
+        return ("shift", b[1] - a[1])
+    return None
+
+
+def _clone_set(s: IntervalSet) -> IntervalSet:
+    c = IntervalSet()
+    c._starts = list(s._starts)
+    c._ends = list(s._ends)
+    c._total = s._total
+    return c
+
+
+def _clone_cache(cache: BufferCache) -> BufferCache:
+    """Deep-copy a buffer cache for the arm-time trial replay."""
+    clone = BufferCache(cache.capacity)
+    for fid in cache._file_order:
+        clone._file_order.append(fid)
+        clone._cached[fid] = _clone_set(cache._cached[fid])
+        clone._dirty[fid] = _clone_set(cache._dirty[fid])
+    clone.used = cache.used
+    clone._clean_hint = dict(cache._clean_hint)
+    return clone
+
+
+def _first_alignment(x: int, sig: int, m: int):
+    """Smallest ``k >= 1`` with ``(x + k*sig) % m == 0``, or None.
+
+    Solves ``k*sig ≡ -x (mod m)`` exactly; None means the point never
+    lands on the alignment grid under any number of shifts.
+    """
+    g = math.gcd(sig, m)
+    if x % g:
+        return None
+    p = m // g
+    k = (-(x // g) * pow((sig // g) % p, -1, p)) % p
+    return k if k >= 1 else p
+
+
+def _replay_rep(cache: BufferCache, ops, sigmas, k: int) -> bool:
+    """Replay one repetition's recorded ops shifted by ``k`` periods.
+
+    Returns False as soon as any operation's outcome deviates from the
+    recording — the signal that the orbit breaks at that repetition.
+    """
+    for op in ops:
+        meth, fid, s, e = op[0], op[1], op[2], op[3]
+        if meth == "request":  # sentinel, no cache action
+            continue
+        off = sigmas[fid] * k
+        if meth == "write":
+            out = cache.write(fid, s + off, e + off)
+            if (out.in_place, out.absorbed, out.overflow) != op[4:]:
+                return False
+        elif meth == "read":  # pure; verifies hit count and gap shape
+            hit, gaps = cache.read_hits(fid, s + off, e + off)
+            rel = tuple((gs - s - off, ge - s - off) for gs, ge in gaps)
+            if (hit, rel) != op[4:]:
+                return False
+        elif meth == "insert_clean":
+            if cache.insert_clean(fid, s + off, e + off) != op[4]:
+                return False
+        else:  # drain_next
+            if cache.drain_next(e - s) != (fid, s + off, e + off):
+                return False
+    return True
+
+
+class FFSession:
+    """Per-partition fast-forward context shared by every rank."""
+
+    def __init__(self, world, fs) -> None:
+        self.sim = world.sim
+        self.fabric = world.fabric
+        self.fs = fs
+        self.loops: dict[object, LoopFF] = {}
+
+    def loop_for(self, key, handles, nranks: int, kind: str) -> "LoopFF":
+        ff = self.loops.get(key)
+        if ff is None:
+            ff = self.loops[key] = LoopFF(self, handles, nranks, kind)
+        return ff
+
+
+class LoopFF:
+    """Steady-state detector and skip coordinator for one timed loop.
+
+    One instance is shared by all ranks of the loop (the simulated
+    ranks are coroutines of one process, so plain attribute state is
+    the rendezvous).  ``kind`` selects the termination model:
+
+    * ``"collective"`` — barrier + root-clock decision + bcast per
+      repetition (``collective_timed_loop``).
+    * ``"local"`` — each rank checks its own clock
+      (``local_timed_loop``); a skip arms only when every rank would
+      stop after the same repetition.
+    * ``"count"`` — a fixed repetition count, no clock
+      (``counted_loop`` / the fill-segment loops).
+    """
+
+    def __init__(self, session: FFSession, handles, nranks: int, kind: str) -> None:
+        self.session = session
+        self.n = nranks
+        self.kind = kind
+        hkind, obj = handles
+        self.iofiles = list(obj) if hkind == "per-rank" else [obj]
+        self.pfsfiles = [io.pfsfile for io in self.iofiles]
+        self.file_ids = [pf.file_id for pf in self.pfsfiles]
+        self.servers = session.fs.servers
+        self._oplogs: list[list] = []
+        for srv in self.servers:
+            log: list = []
+            srv.cache.oplog = log
+            self._oplogs.append(log)
+        self._records: list[dict] = []
+        self._cur: dict | None = None
+        self.t_end: float | None = None
+        self.max_reps: int | None = None
+        self.plan: dict | None = None
+        self.dead = False
+        self._finished = 0
+
+    # -- per-repetition reporting (called from the loops) ------------------
+
+    def _record_for(self, rep: int) -> dict:
+        cur = self._cur
+        if cur is None or cur["rep"] != rep:
+            cur = self._cur = {
+                "rep": rep,
+                "alpha": [None] * self.n,
+                "beta": [None] * self.n,
+                "chi": None,
+                "count": 0,
+            }
+        return cur
+
+    def body_end(self, rank: int, rep: int, t: float) -> None:
+        if not self.dead:
+            self._record_for(rep)["alpha"][rank] = t
+
+    def decision(self, rep: int, t: float, t_end: float, max_reps) -> None:
+        if self.dead:
+            return
+        self._record_for(rep)["chi"] = t
+        self.t_end = t_end
+        self.max_reps = max_reps
+
+    def round_end(self, rank: int, rep: int, t: float) -> None:
+        if self.dead:
+            return
+        cur = self._record_for(rep)
+        cur["beta"][rank] = t
+        cur["count"] += 1
+        if cur["count"] == self.n:
+            self._complete_cut(cur)
+
+    def local_boundary(self, rank, rep, t, t_end, max_reps) -> None:
+        if self.dead:
+            return
+        if self.t_end is not None and self.t_end != t_end:
+            self.dead = True
+            self._detach()
+            return
+        self.t_end = t_end
+        cur = self._record_for(rep)
+        cur["alpha"][rank] = t
+        cur["beta"][rank] = t
+        cur.setdefault("max_reps", {})[rank] = max_reps
+        cur["count"] += 1
+        if cur["count"] == self.n:
+            self._complete_cut(cur)
+
+    def counted_boundary(self, rank, rep, t, max_reps) -> None:
+        self.local_boundary(rank, rep, t, math.inf, max_reps)
+
+    def finish(self) -> None:
+        """A rank's loop ended; detach the op logs once all have."""
+        self._finished += 1
+        if self._finished == self.n:
+            self.dead = True
+            self._detach()
+
+    def _detach(self) -> None:
+        for srv in self.servers:
+            if srv.cache.oplog is not None:
+                srv.cache.oplog = None
+
+    # -- cut bookkeeping ---------------------------------------------------
+
+    def _quiescent(self) -> bool:
+        for srv in self.servers:
+            if srv._queue or srv._wakeup is None:
+                return False
+        return (
+            not self.session.fs.io_net._flows
+            and not self.session.fabric.flows._flows
+        )
+
+    def _scalars(self):
+        per_server = []
+        for srv in self.servers:
+            cache = srv.cache
+            order = tuple(cache._file_order)
+            per_server.append((
+                srv.requests_served,
+                srv.bytes_to_disk,
+                srv.bytes_from_disk,
+                srv.seeks,
+                cache.used,
+                cache.dirty_total,
+                tuple(srv._high_water.get(fid, 0) for fid in self.file_ids),
+                order,  # a new file appearing breaks the tree shape
+                tuple(cache.dirty_bytes(fid) for fid in order),
+            ))
+        files = tuple(pf.size for pf in self.pfsfiles)
+        fps = tuple(
+            tuple(io._fp) + (io._shared_fp, io.bytes_written, io.bytes_read)
+            for io in self.iofiles
+        )
+        return (tuple(per_server), files, fps)
+
+    def _complete_cut(self, cur: dict) -> None:
+        if self.plan is not None:
+            # keep the in-flight record: the remaining ranks still
+            # verify it in poll(); _apply clears it
+            return
+        self._cur = None
+        cur["ops"] = [list(log) for log in self._oplogs]
+        for log in self._oplogs:
+            log.clear()
+        cur["scalars"] = self._scalars()
+        cur["disk_pos"] = [srv._disk_pos for srv in self.servers]
+        cur["ndb"] = [srv._no_drain_before for srv in self.servers]
+        cur["quiet"] = self._quiescent()
+        self._records.append(cur)
+        if len(self._records) > WINDOW * MAX_PERIOD:
+            self._records.pop(0)
+        for q in self._period_candidates():
+            if self._try_arm(q):
+                break
+
+    def _period_candidates(self):
+        """Super-periods worth trying at this cut: 1 plus the stripe
+        rotation period of the observed request stream.
+
+        One repetition advances each file's access region by a constant
+        ``d`` (read off the lowest logged operation offset of the last
+        two cuts); the per-server slice shapes repeat after
+        ``P / gcd(d mod P, P)`` repetitions, where ``P`` is the stripe
+        period.  ``lcm`` over files, capped at :data:`MAX_PERIOD`.
+        """
+        if len(self._records) < 2:
+            return (1,)
+        period = self.session.fs._split_period
+        mins: list[dict] = [{}, {}]
+        for m, rec in zip(mins, self._records[-2:]):
+            for ops in rec["ops"]:
+                for op in ops:
+                    fid, s = op[1], op[2]
+                    if fid not in m or s < m[fid]:
+                        m[fid] = s
+        q = 1
+        for fid, s1 in mins[1].items():
+            s0 = mins[0].get(fid)
+            if s0 is None or s1 <= s0:
+                continue
+            r = (s1 - s0) % period
+            if r:
+                q = math.lcm(q, period // math.gcd(r, period))
+                if q > MAX_PERIOD:
+                    return (1,)
+        return (1,) if q == 1 else (1, q)
+
+    # -- arming ------------------------------------------------------------
+
+    def _try_arm(self, q: int) -> bool:
+        """Try to arm a skip with super-period ``q`` (macro-repetition =
+        ``q`` consecutive repetitions); True when a plan was armed."""
+        recs = self._records
+        if len(recs) < WINDOW * q:
+            return False
+        window = recs[-WINDOW * q:]
+        V = window[-1]["rep"]
+        if [r["rep"] for r in window] != list(range(V - WINDOW * q + 1, V + 1)):
+            return False
+        # the three macro cuts: reps V-2q, V-q and V
+        c0, c1, c2 = window[q - 1], window[2 * q - 1], window[3 * q - 1]
+        if not (c0["quiet"] and c1["quiet"] and c2["quiet"]):
+            return False
+        # cheap integer check first: constant scalar deltas between the
+        # macro cuts gate the expensive log concatenation below
+        delta = _tree_delta(c1["scalars"], c2["scalars"])
+        if delta is None or _tree_delta(c0["scalars"], c1["scalars"]) != delta:
+            return False
+        # discrete state: concatenated per-macro-block operation logs
+        # shift-equivariant, same shift in both window pairs
+        nsrv = len(self.servers)
+        B = [
+            [
+                [op for r in window[i * q:(i + 1) * q] for op in r["ops"][s]]
+                for s in range(nsrv)
+            ]
+            for i in range(WINDOW)
+        ]
+        sig01: dict = {}
+        sig12: dict = {}
+        for o0, o1, o2 in zip(B[0], B[1], B[2]):
+            if not _op_shift(o0, o1, sig01) or not _op_shift(o1, o2, sig12):
+                return False
+        if sig01 != sig12:
+            return False
+        # Sector/block alignment decisions must provably repeat under
+        # every shift of the skip (they feed the per-request penalty
+        # and the read-modify-write gate, i.e. timing the replay does
+        # not re-check).  The exact modular analysis caps the skip at
+        # the first macro-repetition where any decision could change.
+        align_cap = self._alignment_cap(sig12, B[2], delta)
+        if align_cap <= 0:
+            return False
+        # A shift that is not a multiple of the stripe period will
+        # eventually carry an access into the next stripe unit — a
+        # different server and split shape, invisible inside the
+        # window.  Cap the skip so every shifted extent stays inside
+        # the stripe unit it currently occupies.
+        unit = self.session.fs.config.stripe_unit
+        period = self.session.fs._split_period
+        unit_cap = 1 << 62
+        for ops in B[2]:
+            for op in ops:
+                if op[0] == "request":  # sentinel, not an extent
+                    continue
+                sig = sig12[op[1]]
+                if sig == 0 or sig % period == 0:
+                    continue
+                end = op[3]
+                unit_end = ((end - 1) // unit + 1) * unit if end > 0 else unit
+                unit_cap = min(unit_cap, (unit_end - end) // sig)
+        dpos = [_disk_pos_delta(a, b) for a, b in zip(c1["disk_pos"], c2["disk_pos"])]
+        if None in dpos or dpos != [
+            _disk_pos_delta(a, b) for a, b in zip(c0["disk_pos"], c1["disk_pos"])
+        ]:
+            return False
+        # float state: exact arithmetic progressions at the macro cuts
+        alpha_tr, beta_tr = [], []
+        for r in range(self.n):
+            ta = _grid_delta(c0["alpha"][r], c1["alpha"][r], c2["alpha"][r])
+            tb = _grid_delta(c0["beta"][r], c1["beta"][r], c2["beta"][r])
+            if ta is None or tb is None:
+                return False
+            alpha_tr.append(ta)
+            beta_tr.append(tb)
+        ndb_tr = []
+        for v0, v1, v2 in zip(c0["ndb"], c1["ndb"], c2["ndb"]):
+            t = _grid_delta(v0, v1, v2)
+            if t is None:
+                return False
+            ndb_tr.append(t)
+        # last lattice repetition the skip may land on; the remaining
+        # repetitions and the real termination always run live
+        T = self._termination(window, V, q)
+        if T is None:
+            return False
+        # caps: binade crossings and cache dirty-capacity crossings,
+        # all counted in macro-repetitions
+        cap = min(
+            min(_steps_in_binade(c2["alpha"][r], *alpha_tr[r]) for r in range(self.n)),
+            min(_steps_in_binade(c2["beta"][r], *beta_tr[r]) for r in range(self.n)),
+            min(
+                _steps_in_binade(v, *t)
+                for v, t in zip(c2["ndb"], ndb_tr)
+            ),
+        ) - MARGIN
+        if self.kind == "collective":
+            tchi = _grid_delta(c0["chi"], c1["chi"], c2["chi"])
+            if tchi is None:
+                return False
+            cap = min(cap, _steps_in_binade(c2["chi"], *tchi) - MARGIN)
+        cap = min(cap, unit_cap - MARGIN, align_cap - MARGIN)
+        for srv, srv_delta, srv_now in zip(self.servers, delta[0], c2["scalars"][0]):
+            d_dirty = srv_delta[5]
+            if d_dirty > 0:
+                # growing dirty set: stop before write-behind overflows
+                dirty_now = srv.cache.dirty_total
+                cap = min(cap, (srv.cache.capacity - dirty_now) // d_dirty - MARGIN)
+            # a shrinking per-file dirty backlog (background drains
+            # outrunning writes) runs out mid-skip and changes the
+            # drain pattern: stop before any backlog empties
+            for fid, dd, dnow in zip(srv_now[7], srv_delta[8], srv_now[8]):
+                if dd < 0:
+                    cap = min(cap, dnow // (-dd) - MARGIN)
+        T = min(T, V + cap * q)
+        j = (T - V) // q - 1  # skipped macro-repetitions
+        if j < MIN_SKIP:
+            return False
+        # Dry-run the whole replay on cloned caches before any rank
+        # commits to sleeping: eviction walks older files' cached data
+        # in a pattern that is *not* shift-periodic, so an overwrite or
+        # read can land on a differently-evicted region mid-skip and
+        # change outcome (and hence timing) — provable only by
+        # replaying.  Shorten the skip to the verified prefix.
+        m = self._trial_replay(sig12, B[2], j)
+        if m < j + 1:
+            T = V + m * q
+            j = m - 1
+            if j < MIN_SKIP:
+                return False
+        self.plan = {
+            "from_rep": V + q,
+            "T": T,
+            "mode": "resume",
+            "q": q,
+            "j": j,
+            "targets": [
+                _advance(c2["beta"][r], *beta_tr[r], (T - V) // q)
+                for r in range(self.n)
+            ],
+            "pred_alpha": [
+                _advance(c2["alpha"][r], *alpha_tr[r], 1) for r in range(self.n)
+            ],
+            "pred_beta": [
+                _advance(c2["beta"][r], *beta_tr[r], 1) for r in range(self.n)
+            ],
+            "sigmas": sig12,
+            "ops": B[2],
+            "delta": delta,
+            "dpos": dpos,
+            "ndb_tr": ndb_tr,
+            "engaged": 0,
+        }
+        return True
+
+    def _trial_replay(self, sigmas, per_server_ops, j: int) -> int:
+        """Verify shifts ``1 .. j+1`` of the recorded ops on cache clones.
+
+        Shift 1 is the repetition that will run live between arming and
+        engagement; shifts ``2 .. j+1`` are the ones :meth:`_apply`
+        replays for real.  Returns how many leading shifts repeat their
+        recorded outcomes on every server (``j + 1`` when all do).
+        """
+        valid = j + 1
+        for srv, ops in zip(self.servers, per_server_ops):
+            if not ops or valid < 1:
+                continue
+            cache = _clone_cache(srv.cache)
+            for k in range(1, valid + 1):
+                if not _replay_rep(cache, ops, sigmas, k):
+                    valid = k - 1
+                    break
+        return valid
+
+    def _alignment_cap(self, sig12, per_server_ops, delta) -> int:
+        """Largest ``T - V`` for which every alignment decision repeats.
+
+        Two server-side decisions depend on byte positions, not cache
+        content, so the trial replay cannot re-check them:
+
+        * the per-request "non-wellformed" penalty — ``any`` extent
+          endpoint off the sector grid (the request sentinels carry the
+          grouping);
+        * the read-modify-write gate per write-extent edge —
+          ``edge % disk_block == 0 or edge >= high_water``.
+
+        Both are exact integer questions under a uniform shift
+        ``sigma`` per repetition: endpoints move on an arithmetic
+        progression mod sector/block, and the edge-vs-high-water
+        comparison drifts by ``sigma - d_high`` per repetition.  The
+        returned cap is the last shift count before any decision could
+        flip; ``<= 0`` rejects arming outright.
+        """
+        params = self.servers[0].params
+        sector, block = params.sector, params.disk_block
+        fidx = {fid: i for i, fid in enumerate(self.file_ids)}
+        cap = 1 << 62
+        for si, (srv, ops) in enumerate(zip(self.servers, per_server_ops)):
+            dhigh = delta[0][si][6]
+            for op in ops:
+                meth, fid = op[0], op[1]
+                sig = sig12[fid]
+                if meth == "request":
+                    if sig % sector == 0:
+                        continue  # every residue preserved
+                    if not op[5]:
+                        return -1  # well-formed now, misaligned at k=1
+                    # flag stays True unless *all* endpoints align at
+                    # the same shift; equal first-alignment shifts mean
+                    # equal residues mod the alignment period
+                    ks = set()
+                    never = False
+                    for rs, re_ in op[6]:
+                        if never:
+                            break
+                        for x in (op[2] + rs, op[2] + re_):
+                            k = _first_alignment(x, sig, sector)
+                            if k is None:
+                                never = True
+                                break
+                            ks.add(k)
+                    if never or len(ks) != 1:
+                        continue
+                    cap = min(cap, ks.pop() - 1)
+                elif meth == "write":
+                    high = srv._high_water.get(fid, 0)
+                    rho = dhigh[fidx[fid]] - sig  # drift of high vs edges
+                    for edge in (op[2], op[3]):
+                        aligned = edge % block == 0
+                        above = edge >= high
+                        if aligned or above:  # no RMW read at this edge
+                            if above:
+                                if rho > 0 and not (aligned and sig % block == 0):
+                                    # high-water outruns the edge: an RMW
+                                    # read appears once it drops below
+                                    cap = min(cap, (edge - high) // rho)
+                            elif sig % block:
+                                return -1  # alignment breaks at k=1 below high
+                        else:  # RMW read happened here in the window
+                            if sig % block:
+                                ka = _first_alignment(edge, sig, block)
+                                if ka is not None:
+                                    cap = min(cap, ka - 1)
+                            if rho < 0:
+                                # the edge climbs past high-water and the
+                                # RMW read disappears
+                                kb = (high - edge + (-rho) - 1) // (-rho)
+                                cap = min(cap, kb - 1)
+        return cap
+
+    def _termination(self, window, V, q: int):
+        """Largest safe lattice repetition ``V + m*q`` to land on, or None.
+
+        The skip always resumes live simulation at the landing
+        repetition, so the only obligation is that no *skipped*
+        repetition would have terminated the loop: the landing point
+        must sit strictly before the first repetition whose decision
+        fires — a clock crossing ``t_end`` at any intra-period phase,
+        or a ``max_reps`` cap.  Clocks are monotone, so a phase sample
+        that has not crossed ``t_end`` proves no earlier repetition of
+        that phase crossed it either; checking every phase of the
+        super-period covers the repetitions between lattice cuts.
+        """
+        def lattice(limit):
+            if limit - V < q:
+                return None
+            return V + int((limit - V) // q) * q
+
+        limit = math.inf
+        caps = [
+            v
+            for rec in window
+            for v in rec.get("max_reps", {}).values()
+            if v is not None and v is not math.inf
+        ]
+        if self.kind == "collective" and self.max_reps is not None:
+            caps.append(self.max_reps)
+        if caps:
+            limit = min(caps) - 1
+        if self.kind == "count":
+            return lattice(limit) if limit is not math.inf else None
+        if self.t_end is None:
+            return None
+        for p in range(q):
+            rec0, rec1, rec2 = window[p], window[q + p], window[2 * q + p]
+            base = rec2["rep"]
+            if self.kind == "collective":
+                if rec2["chi"] is None:
+                    return None
+                samples = [(rec0["chi"], rec1["chi"], rec2["chi"])]
+            else:  # local: every rank decides on its own clock
+                samples = [
+                    (rec0["alpha"][r], rec1["alpha"][r], rec2["alpha"][r])
+                    for r in range(self.n)
+                ]
+            for v0, v1, v2 in samples:
+                t = _grid_delta(v0, v1, v2)
+                if t is None:
+                    return None
+                F = self._first_crossing(v2, t, self.t_end, base, q)
+                if F is not None:
+                    limit = min(limit, F - 1)
+                # untracked intermediate-phase clocks must not change
+                # binade either, or the translated cascade re-rounds
+                limit = min(limit, base + (_steps_in_binade(v2, *t) - MARGIN) * q)
+        if limit is math.inf:
+            return None
+        return lattice(limit)
+
+    @staticmethod
+    def _first_crossing(x: float, track, t_end: float, base: int, stride: int = 1):
+        """Smallest repetition ``base + m*stride`` (``m >= 1``) whose
+        clock sample reaches ``t_end``; None if the clock stands still."""
+        d, e = track
+        if d == 0.0:
+            return None
+        kx = int(math.ldexp(x, -e))
+        kd = int(math.ldexp(d, -e))
+        kt = math.ceil(math.ldexp(t_end, -e))  # exact: ldexp only rescales
+        s = -((kx - kt) // kd)  # ceil((kt - kx) / kd)
+        return base + max(1, s) * stride
+
+    # -- engagement (called from the loops at each boundary) ---------------
+
+    def poll(self, rank: int, reps: int):
+        """At a loop boundary: None to keep simulating, or the skip
+        ``(wake_time, final_reps, terminal)`` for this rank."""
+        plan = self.plan
+        if plan is None or self.dead or reps != plan["from_rep"]:
+            return None
+        cur = self._cur
+        if (
+            cur is None
+            or cur["rep"] != reps
+            or cur["alpha"][rank] != plan["pred_alpha"][rank]
+            or cur["beta"][rank] != plan["pred_beta"][rank]
+        ):
+            raise RuntimeError(
+                "b_eff_io fast-forward: verified steady state diverged; "
+                "this is a bug in the periodicity guards"
+            )
+        plan["engaged"] += 1
+        if plan["engaged"] == self.n:
+            self._apply(plan)
+        return (plan["targets"][rank], plan["T"], plan["mode"] != "resume")
+
+    # -- state application -------------------------------------------------
+
+    def _apply(self, plan: dict) -> None:
+        j = plan["j"]
+        sigmas = plan["sigmas"]
+        if not self._quiescent():  # pragma: no cover - guarded by arming
+            raise RuntimeError("b_eff_io fast-forward: skip from non-quiescent state")
+        # replay the recorded cache operations for each skipped
+        # repetition: repetition V+1 ran for real, so shifts start at 2
+        for srv, ops in zip(self.servers, plan["ops"]):
+            cache = srv.cache
+            cache.oplog = None
+            for k in range(2, j + 2):
+                if not _replay_rep(cache, ops, sigmas, k):
+                    # pragma: no cover - every shift was proven by the
+                    # arm-time trial on cloned caches
+                    raise RuntimeError(
+                        "b_eff_io fast-forward: cache replay diverged"
+                    )
+        # integer state advances linearly
+        srv_d, files_d, fps_d = plan["delta"]
+        for srv, sd, dp, ndb in zip(
+            self.servers, srv_d, plan["dpos"], plan["ndb_tr"]
+        ):
+            dreq, dtod, dfromd, dseek, _dused, _ddirty, dhigh, _order, _dbyfid = sd
+            srv.requests_served += j * dreq
+            srv.bytes_to_disk += j * dtod
+            srv.bytes_from_disk += j * dfromd
+            srv.seeks += j * dseek
+            # cache.used / dirty_total advance through the replay above
+            for fid, dh in zip(self.file_ids, dhigh):
+                if dh:
+                    srv._high_water[fid] = srv._high_water.get(fid, 0) + j * dh
+            if dp[0] == "shift" and dp[1]:
+                fid_now, off_now = srv._disk_pos
+                srv._disk_pos = (fid_now, off_now + j * dp[1])
+            srv._no_drain_before = _advance(srv._no_drain_before, *ndb, j)
+        for pf, ds in zip(self.pfsfiles, files_d):
+            pf.size += j * ds
+        for io, df in zip(self.iofiles, fps_d):
+            dsh, dbw, dbr = df[-3], df[-2], df[-1]
+            for r, d in enumerate(df[:-3]):
+                io._fp[r] += j * d
+            io._shared_fp += j * dsh
+            io.bytes_written += j * dbw
+            io.bytes_read += j * dbr
+        self._records.clear()
+        self._cur = None
+        self.plan = None
+        if plan["mode"] == "resume":
+            for srv, log in zip(self.servers, self._oplogs):
+                log.clear()
+                srv.cache.oplog = log

@@ -16,19 +16,41 @@ the initial-write pass, and by U=0 patterns which run exactly once).
 
 from __future__ import annotations
 
+from repro.sim.process import SleepUntil
+
 #: decision payload size of the termination broadcast (one flag byte)
 DECISION_BYTES = 1
 
 
-def collective_timed_loop(comm, t_end: float, body, max_reps: int | None = None):
+def collective_timed_loop(comm, t_end: float, body, max_reps: int | None = None,
+                          ff=None):
     """Generator: repeat collective ``body()`` until the root's clock
-    passes ``t_end``; returns the number of repetitions."""
+    passes ``t_end``; returns the number of repetitions.
+
+    ``ff`` (a :class:`repro.beffio.fastforward.LoopFF`) observes each
+    repetition boundary; once it has proven the loop periodic it
+    answers ``poll`` with a skip and the rank jumps — bit-exactly — to
+    its terminal boundary instant instead of simulating the remaining
+    repetitions.  ``ff=None`` (reference mode) leaves the loop as the
+    paper describes it, event for event.
+    """
     if max_reps is not None and max_reps < 1:
         raise ValueError("max_reps must be >= 1")
     reps = 0
     while True:
+        if ff is not None:
+            skip = ff.poll(comm.rank, reps)
+            if skip is not None:
+                target, final, terminal = skip
+                yield SleepUntil(target)
+                reps = final
+                if terminal:
+                    break
+                continue
         yield from body()
         reps += 1
+        if ff is not None:
+            ff.body_end(comm.rank, reps, comm.wtime())
         if max_reps is not None and reps >= max_reps:
             break
         # Termination: barrier, then the root's decision is broadcast.
@@ -36,24 +58,66 @@ def collective_timed_loop(comm, t_end: float, body, max_reps: int | None = None)
         decision = None
         if comm.rank == 0:
             decision = comm.wtime() >= t_end
+            if ff is not None:
+                ff.decision(reps, comm.wtime(), t_end, max_reps)
         decision = yield from comm.bcast(root=0, nbytes=DECISION_BYTES, data=decision)
+        if ff is not None:
+            ff.round_end(comm.rank, reps, comm.wtime())
         if decision:
             break
     return reps
 
 
-def local_timed_loop(comm, t_end: float, body, max_reps: int | None = None):
+def local_timed_loop(comm, t_end: float, body, max_reps: int | None = None,
+                     ff=None):
     """Generator: repeat noncollective ``body()`` against the local clock."""
     if max_reps is not None and max_reps < 1:
         raise ValueError("max_reps must be >= 1")
     reps = 0
     while True:
+        if ff is not None:
+            skip = ff.poll(comm.rank, reps)
+            if skip is not None:
+                target, final, terminal = skip
+                yield SleepUntil(target)
+                reps = final
+                if terminal:
+                    break
+                continue
         yield from body()
         reps += 1
+        if ff is not None:
+            ff.local_boundary(comm.rank, reps, comm.wtime(), t_end, max_reps)
         if max_reps is not None and reps >= max_reps:
             break
         if comm.wtime() >= t_end:
             break
+    return reps
+
+
+def counted_loop(comm, body, max_reps: int, ff=None):
+    """Generator: repeat ``body()`` exactly ``max_reps`` times.
+
+    The fill-segment loops use this instead of a bare ``for`` so the
+    fast-forward can skip their steady state too.
+    """
+    if max_reps < 0:
+        raise ValueError("max_reps must be >= 0")
+    reps = 0
+    while reps < max_reps:
+        if ff is not None:
+            skip = ff.poll(comm.rank, reps)
+            if skip is not None:
+                target, final, terminal = skip
+                yield SleepUntil(target)
+                reps = final
+                if terminal:
+                    break
+                continue
+        yield from body()
+        reps += 1
+        if ff is not None:
+            ff.counted_boundary(comm.rank, reps, comm.wtime(), max_reps)
     return reps
 
 

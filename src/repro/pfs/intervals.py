@@ -3,6 +3,15 @@
 The cache and the file allocation maps track byte ranges as
 half-open intervals [start, end).  This container keeps them sorted,
 disjoint, and coalesced, with the usual set operations.
+
+Mutations maintain a running byte count, so :attr:`total` is O(1) and
+``add``/``remove`` return their deltas without re-summing the set
+(the seed recomputed an O(n) sum twice per mutation).  Queries walk
+the interval arrays by index instead of slicing copies of the tails.
+Every *effective* mutation (one that changes membership) bumps
+:attr:`mutation_epoch`, which lets observers — the b_eff_io
+steady-state detector — check "nothing changed" across a window in
+O(1) instead of snapshotting the set.
 """
 
 from __future__ import annotations
@@ -13,11 +22,14 @@ from bisect import bisect_left, bisect_right
 class IntervalSet:
     """A set of bytes represented as disjoint half-open intervals."""
 
-    __slots__ = ("_starts", "_ends")
+    __slots__ = ("_starts", "_ends", "_total", "mutation_epoch")
 
     def __init__(self) -> None:
         self._starts: list[int] = []
         self._ends: list[int] = []
+        self._total = 0
+        #: bumped on every effective mutation (delta != 0)
+        self.mutation_epoch = 0
 
     # -- mutation ---------------------------------------------------------
 
@@ -27,18 +39,29 @@ class IntervalSet:
             raise ValueError(f"inverted interval [{start}, {end})")
         if end == start:
             return 0
-        before = self.total
         # indices of intervals overlapping or adjacent to [start, end)
         lo = bisect_left(self._ends, start)
         hi = bisect_right(self._starts, end)
         if lo < hi:
-            start = min(start, self._starts[lo])
-            end = max(end, self._ends[hi - 1])
+            # bytes already covered by the absorbed intervals
+            absorbed = 0
+            starts = self._starts
+            ends = self._ends
+            for i in range(lo, hi):
+                absorbed += ends[i] - starts[i]
+            start = min(start, starts[lo])
+            end = max(end, ends[hi - 1])
+            added = (end - start) - absorbed
+        else:
+            added = end - start
         del self._starts[lo:hi]
         del self._ends[lo:hi]
         self._starts.insert(lo, start)
         self._ends.insert(lo, end)
-        return self.total - before
+        if added:
+            self._total += added
+            self.mutation_epoch += 1
+        return added
 
     def remove(self, start: int, end: int) -> int:
         """Delete [start, end); returns the number of bytes removed."""
@@ -46,17 +69,21 @@ class IntervalSet:
             raise ValueError(f"inverted interval [{start}, {end})")
         if end == start or not self._starts:
             return 0
-        before = self.total
         lo = bisect_right(self._ends, start)
         hi = bisect_left(self._starts, end)
         if lo >= hi:
             return 0
+        starts = self._starts
+        ends = self._ends
+        removed = 0
+        for i in range(lo, hi):
+            removed += min(ends[i], end) - max(starts[i], start)
         left_keep = None
         right_keep = None
-        if self._starts[lo] < start:
-            left_keep = (self._starts[lo], start)
-        if self._ends[hi - 1] > end:
-            right_keep = (end, self._ends[hi - 1])
+        if starts[lo] < start:
+            left_keep = (starts[lo], start)
+        if ends[hi - 1] > end:
+            right_keep = (end, ends[hi - 1])
         del self._starts[lo:hi]
         del self._ends[lo:hi]
         insert_at = lo
@@ -67,29 +94,40 @@ class IntervalSet:
         if right_keep is not None:
             self._starts.insert(insert_at, right_keep[0])
             self._ends.insert(insert_at, right_keep[1])
-        return before - self.total
+        if removed:
+            self._total -= removed
+            self.mutation_epoch += 1
+        return removed
 
     def clear(self) -> None:
+        if self._starts:
+            self.mutation_epoch += 1
         self._starts.clear()
         self._ends.clear()
+        self._total = 0
 
     # -- queries ----------------------------------------------------------
 
     @property
     def total(self) -> int:
-        """Total bytes covered."""
-        return sum(e - s for s, e in zip(self._starts, self._ends))
+        """Total bytes covered (O(1))."""
+        return self._total
 
     def coverage(self, start: int, end: int) -> int:
         """Bytes of [start, end) that are covered."""
         if end <= start:
             return 0
         covered = 0
-        lo = bisect_right(self._ends, start)
-        for s, e in zip(self._starts[lo:], self._ends[lo:]):
+        starts = self._starts
+        ends = self._ends
+        n = len(starts)
+        i = bisect_right(ends, start)
+        while i < n:
+            s = starts[i]
             if s >= end:
                 break
-            covered += min(e, end) - max(s, start)
+            covered += min(ends[i], end) - max(s, start)
+            i += 1
         return covered
 
     def gaps(self, start: int, end: int) -> list[tuple[int, int]]:
@@ -98,13 +136,20 @@ class IntervalSet:
             return []
         out = []
         cursor = start
-        lo = bisect_right(self._ends, start)
-        for s, e in zip(self._starts[lo:], self._ends[lo:]):
+        starts = self._starts
+        ends = self._ends
+        n = len(starts)
+        i = bisect_right(ends, start)
+        while i < n:
+            s = starts[i]
             if s >= end:
                 break
             if s > cursor:
                 out.append((cursor, s))
-            cursor = max(cursor, e)
+            e = ends[i]
+            if e > cursor:
+                cursor = e
+            i += 1
         if cursor < end:
             out.append((cursor, end))
         return out

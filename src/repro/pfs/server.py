@@ -89,6 +89,12 @@ class IOServer:
         self._high_water: dict[object, int] = {}
         self._wakeup: SimEvent | None = None
         self._sync_waiters: list[tuple[object, SimEvent]] = []
+        #: no background writeback before this instant (last foreground
+        #: service end + drain_delay).  An attribute — not a loop
+        #: local — so the b_eff_io fast path can read and patch it when
+        #: it skips repetitions analytically; the idle wait below
+        #: re-checks it on every wake-up, making stale timers harmless.
+        self._no_drain_before = 0.0
         #: statistics
         self.bytes_to_disk = 0
         self.bytes_from_disk = 0
@@ -128,7 +134,6 @@ class IOServer:
 
     def _run(self):
         params = self.params
-        no_drain_before = 0.0
         while True:
             if self._queue:
                 request, done = self._queue.popleft()
@@ -138,17 +143,20 @@ class IOServer:
                 self.requests_served += 1
                 done.trigger(self.sim.now)
                 self._check_sync_waiters()
-                no_drain_before = self.sim.now + params.drain_delay
+                self._no_drain_before = self.sim.now + params.drain_delay
             elif self.cache.dirty_total > 0:
                 # Writeback waits out the idle delay — interruptibly,
                 # so foreground requests arriving meanwhile are served
                 # first — then yields once more so same-instant
                 # submissions win the disk over the background drain.
-                wait = no_drain_before - self.sim.now
-                if wait > 0:
+                # The wake-up lands on _no_drain_before *exactly*
+                # (schedule_abs) and the deadline is re-read after the
+                # wake, so a fast-forward moving it further out just
+                # causes another wait.
+                if self.sim.now < self._no_drain_before:
                     wakeup = self._wakeup = SimEvent(self.sim, name=f"{self.name}.delay")
-                    self.sim.schedule(
-                        wait,
+                    self.sim.schedule_abs(
+                        self._no_drain_before,
                         lambda ev=wakeup: None if ev.triggered else ev.trigger(None),
                     )
                     yield wakeup
@@ -236,6 +244,17 @@ class IOServer:
         params = self.params
         t = params.request_overhead
         misaligned = self._is_sector_misaligned(request)
+        if self.cache.oplog is not None and request.extents:
+            # request sentinel for the b_eff_io fast path: the alignment
+            # penalty is per *request* (any misaligned extent), so the
+            # extent grouping and the flag must be visible in the log;
+            # extents are recorded relative to the first start, which
+            # compares shift-invariantly across repetitions
+            s0 = request.extents[0][0]
+            self.cache.oplog.append((
+                "request", request.file_id, s0, s0, request.kind, misaligned,
+                tuple((s - s0, e - s0) for s, e in request.extents),
+            ))
         if request.kind == "write":
             if misaligned:
                 t += params.unaligned_penalty

@@ -15,7 +15,7 @@ The kernel is intentionally small and dependency-free:
 """
 
 from repro.sim.engine import Simulator, DeadlockError
-from repro.sim.process import Process, SimEvent, Sleep, on_trigger, wait_all
+from repro.sim.process import Process, SimEvent, Sleep, SleepUntil, on_trigger, wait_all
 from repro.sim.fluid import FlowNetwork, Flow, Link, maxmin_allocate
 from repro.sim.trace import TraceEvent, Tracer
 
@@ -25,6 +25,7 @@ __all__ = [
     "Process",
     "SimEvent",
     "Sleep",
+    "SleepUntil",
     "on_trigger",
     "wait_all",
     "FlowNetwork",

@@ -63,6 +63,25 @@ class Simulator:
         """Run ``callback`` at absolute virtual ``time`` (>= now)."""
         return self.schedule(time - self._now, callback)
 
+    def schedule_abs(self, time: float, callback: Callable[[], None]) -> int:
+        """Run ``callback`` at *exactly* the absolute float ``time``.
+
+        Unlike :meth:`schedule_at` — which round-trips through a delay
+        and may land an ulp off ``time`` after ``now + (time - now)``
+        re-rounds — the heap entry carries ``time`` verbatim.  The
+        b_eff_io fast path depends on this to make wake-ups land on
+        bit-exact extrapolated instants.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time!r} < now={self._now!r})"
+            )
+        self._seq += 1
+        entry = [time, self._seq, callback]
+        heapq.heappush(self._heap, entry)
+        self._live[self._seq] = entry
+        return self._seq
+
     def cancel(self, handle: int) -> None:
         """Cancel a previously scheduled event (no-op if already fired)."""
         entry = self._live.pop(handle, None)

@@ -33,6 +33,19 @@ class Sleep:
             raise ValueError(f"negative sleep duration: {self.duration!r}")
 
 
+@dataclass(frozen=True)
+class SleepUntil:
+    """Primitive: suspend until *exactly* absolute virtual ``time``.
+
+    Dispatches through :meth:`Simulator.schedule_abs`, so the process
+    resumes at the given float verbatim rather than at
+    ``now + (time - now)`` — the bit-exact landing the b_eff_io
+    fast-forward needs.
+    """
+
+    time: float
+
+
 class SimEvent:
     """One-shot event carrying a value.
 
@@ -141,6 +154,8 @@ class Process:
             return
         if isinstance(command, Sleep):
             self.sim.schedule(command.duration, lambda: self._step(None))
+        elif isinstance(command, SleepUntil):
+            self.sim.schedule_abs(command.time, lambda: self._step(None))
         elif isinstance(command, SimEvent):
             if command.triggered:
                 self._resume_later(command.value)
@@ -148,8 +163,9 @@ class Process:
                 command._waiters.append(self)
         else:
             raise TypeError(
-                f"process {self.name!r} yielded {command!r}; only Sleep and "
-                "SimEvent are valid primitives (did you forget 'yield from'?)"
+                f"process {self.name!r} yielded {command!r}; only Sleep, "
+                "SleepUntil and SimEvent are valid primitives (did you "
+                "forget 'yield from'?)"
             )
 
     def __repr__(self) -> str:

@@ -41,7 +41,7 @@ class TestComputeAndIOInterleaved:
         collective checkpoint write — the workload b_eff_io's intro
         motivates."""
         world, fs = make_env(4)
-        f = IOFile(world.comm_world, fs, "checkpoint")
+        f = IOFile(world.comm_world, fs, "checkpoint", sync_drains=True)
         finished = []
 
         def program(comm):
@@ -58,7 +58,7 @@ class TestComputeAndIOInterleaved:
         world.run(program)
         assert sorted(finished) == [0, 1, 2, 3]
         assert f.pfsfile.size == 4 * MB
-        assert fs.total_dirty == 0  # sync_drains defaults to True
+        assert fs.total_dirty == 0  # sync_drains=True waits for writeback
 
     def test_io_and_messages_share_virtual_time(self):
         # A rank doing I/O and a rank doing communication advance the

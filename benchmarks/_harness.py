@@ -9,9 +9,28 @@ simulation scale, prints it, and archives the text under
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _write_atomic(path: pathlib.Path, text: str) -> None:
+    """temp + ``os.replace`` so an interrupted bench never tears a file."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def record(name: str, text: str) -> None:
@@ -19,7 +38,7 @@ def record(name: str, text: str) -> None:
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _write_atomic(RESULTS_DIR / f"{name}.txt", text + "\n")
 
 
 def record_json(name: str, payload: dict) -> None:
@@ -31,7 +50,7 @@ def record_json(name: str, payload: dict) -> None:
     text = json.dumps(payload, indent=2, sort_keys=True)
     print(f"\n===== {name}.json =====\n{text}")
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.json").write_text(text + "\n")
+    _write_atomic(RESULTS_DIR / f"{name}.json", text + "\n")
 
 
 def once(benchmark, fn):

@@ -10,10 +10,12 @@ arithmetic mean over the 21-value ladder (equidistant abscissa).
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from collections.abc import Iterable
 
 from repro.beff.measurement import MeasurementRecord
+from repro.faults.validity import VALID, RunValidity
 from repro.util import logavg
 
 
@@ -100,6 +102,86 @@ def aggregate(records: list[MeasurementRecord], num_sizes: int, lmax: int) -> di
         "logavg_ring": logavg(by_kind["ring"]),
         "logavg_random": logavg(by_kind["random"]),
     }
+
+
+def aggregate_partial(
+    records: list[MeasurementRecord],
+    num_sizes: int,
+    lmax: int,
+    expected: dict[str, str],
+    skipped: tuple[str, ...] = (),
+    flagged: tuple[str, ...] = (),
+    failure: str = "",
+) -> tuple[dict, RunValidity]:
+    """Best-effort :func:`aggregate` over an incomplete measurement set.
+
+    ``expected`` maps every scheduled pattern name to its kind; a
+    pattern missing any of its ``num_sizes`` best values counts as
+    skipped.  Every b_eff pattern is an *averaged* component, so any
+    skipped pattern makes the aggregates incomputable (``nan``) and
+    the run ``invalid`` — but the per-pattern partials of complete
+    patterns survive, bit-identical to what :func:`aggregate` would
+    have produced for them.  A structurally complete set that was
+    merely ``flagged`` (over budget) or interrupted after the last
+    record (``failure``) is ``degraded`` with exact aggregates.
+    """
+    nan = math.nan
+    best = best_bandwidths(records)
+    sums: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    for (pattern, _size), bw in best.items():
+        sums[pattern] += bw
+        counts[pattern] += 1
+    # per-pattern values in record (schedule) order, complete patterns only
+    per_pattern = {
+        pattern: sums[pattern] / num_sizes
+        for pattern in sums
+        if counts[pattern] == num_sizes and pattern in expected
+    }
+    missing = tuple(p for p in expected if p not in per_pattern)
+
+    by_kind: dict[str, list[float]] = defaultdict(list)
+    for pattern, value in per_pattern.items():
+        by_kind[expected[pattern]].append(value)
+    at_lmax_by_kind: dict[str, list[float]] = defaultdict(list)
+    have_lmax = set()
+    for (pattern, size), bw in best.items():
+        if size == lmax and pattern in expected:
+            at_lmax_by_kind[expected[pattern]].append(bw)
+            have_lmax.add(pattern)
+
+    complete = not missing
+    ring_patterns = {p for p, k in expected.items() if k == "ring"}
+    agg = {
+        "b_eff": two_step_logavg(by_kind) if complete else nan,
+        "b_eff_at_lmax": (
+            two_step_logavg(at_lmax_by_kind)
+            if have_lmax >= set(expected)
+            else nan
+        ),
+        "ring_only_at_lmax": (
+            logavg(at_lmax_by_kind["ring"])
+            if ring_patterns and have_lmax >= ring_patterns
+            else nan
+        ),
+        "per_pattern": dict(per_pattern),
+        "logavg_ring": logavg(by_kind["ring"]) if by_kind.get("ring") else nan,
+        "logavg_random": logavg(by_kind["random"]) if by_kind.get("random") else nan,
+    }
+
+    all_skipped = tuple(dict.fromkeys(tuple(skipped) + missing))
+    if all_skipped:
+        state = "invalid"
+    elif flagged or failure:
+        state = "degraded"
+    else:
+        state = "valid"
+    validity = (
+        VALID
+        if state == "valid"
+        else RunValidity(state, skipped=all_skipped, flagged=tuple(flagged), reason=failure)
+    )
+    return agg, validity
 
 
 def balance_factor(b_eff_bytes_per_s: float, rmax_flops: float) -> float:

@@ -17,8 +17,11 @@ from repro.beff.measurement import MeasurementConfig, MeasurementRecord
 from repro.beff.methods import step
 from repro.beff.patterns import CommPattern, make_patterns
 from repro.beff.sizes import NUM_SIZES, lmax_for, message_sizes
+from repro.faults.inject import FaultInjector
+from repro.faults.validity import VALID, RunValidity
 from repro.mpi.comm import World
 from repro.net.model import Fabric
+from repro.sim.engine import DeadlockError, EventBudgetError
 from repro.sim.randomness import RandomStreams
 from repro.util import MB
 
@@ -39,6 +42,9 @@ class BeffResult:
     per_pattern: dict[str, float]
     logavg_ring: float
     logavg_random: float
+    #: trustworthiness of the aggregates (resilient runs may skip or
+    #: flag patterns); ``valid`` for an undisturbed complete run
+    validity: RunValidity = VALID
 
     @property
     def b_eff_per_proc(self) -> float:
@@ -96,10 +102,22 @@ def run_beff(
 
     if config.backend == "analytic":
         records = _run_analytic(fabric, patterns, sizes, config)
+        skipped: tuple[str, ...] = ()
+        flagged: tuple[str, ...] = ()
+        failure = ""
     else:
-        records = _run_des(fabric, patterns, sizes, config)
+        records, skipped, flagged, failure = _run_des(fabric, patterns, sizes, config)
 
-    agg = analysis.aggregate(records, NUM_SIZES, lmax)
+    if skipped or flagged or failure:
+        expected = {p.name: p.kind for p in patterns}
+        agg, validity = analysis.aggregate_partial(
+            records, NUM_SIZES, lmax, expected,
+            skipped=skipped, flagged=flagged, failure=failure,
+        )
+    else:
+        # undisturbed path: the exact seed aggregation, bit-identical
+        agg = analysis.aggregate(records, NUM_SIZES, lmax)
+        validity = VALID
     return BeffResult(
         nprocs=nprocs,
         memory_per_proc=memory_per_proc,
@@ -113,6 +131,7 @@ def run_beff(
         per_pattern=agg["per_pattern"],
         logavg_ring=agg["logavg_ring"],
         logavg_random=agg["logavg_random"],
+        validity=validity,
     )
 
 
@@ -121,14 +140,24 @@ def _run_des(
     patterns: list[CommPattern],
     sizes: list[int],
     config: MeasurementConfig,
-) -> list[MeasurementRecord]:
+) -> tuple[list[MeasurementRecord], tuple[str, ...], tuple[str, ...], str]:
     world = World(fabric)
     records: list[MeasurementRecord] = []
+    skipped: list[str] = []
+    flagged: list[str] = []
+    failure = ""
+
+    if config.faults:
+        injector = FaultInjector(config.faults)
+        injector.attach(fabric.sim, fabric=fabric)
+
+    budget = config.pattern_budget
 
     def program(comm):
         prev_iteration_time: float | None = None
         for pattern in patterns:
-            for size in sizes:
+            pattern_time = 0.0
+            for size_index, size in enumerate(sizes):
                 looplength = config.next_looplength(prev_iteration_time)
                 for method in config.methods:
                     for rep in range(config.repetitions):
@@ -143,6 +172,8 @@ def _run_des(
                                 f"zero-time measurement: {pattern.name} L={size} {method}"
                             )
                         prev_iteration_time = elapsed / looplength
+                        if budget is not None:
+                            pattern_time += elapsed
                         if comm.rank == 0:
                             bandwidth = (
                                 size
@@ -162,9 +193,25 @@ def _run_des(
                                     bandwidth=bandwidth,
                                 )
                             )
+                # ``pattern_time`` sums allreduced maxima, so it is
+                # identical on every rank and the skip decision is
+                # collective without extra messages (the clean-path
+                # schedule is untouched).
+                if budget is not None and pattern_time > budget:
+                    if comm.rank == 0:
+                        if size_index + 1 < len(sizes):
+                            skipped.append(pattern.name)
+                        else:
+                            flagged.append(pattern.name)
+                    break
 
-    world.run(program)
-    return records
+    try:
+        world.run(program, max_events=config.event_budget)
+    except (DeadlockError, EventBudgetError) as exc:
+        if not (config.faults or config.event_budget):
+            raise
+        failure = f"{type(exc).__name__}: {exc}"
+    return records, tuple(skipped), tuple(flagged), failure
 
 
 def _run_analytic(

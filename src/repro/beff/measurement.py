@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.beff.methods import METHODS
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,14 @@ class MeasurementConfig:
     loop_time_min: float = 2.5e-3
     loop_time_max: float = 5e-3
     backend: str = "des"  # "des" | "analytic"
+    #: fault plan injected into the simulated machine (DES backend
+    #: only); None/empty leaves every number bit-identical
+    faults: FaultPlan | None = None
+    #: per-pattern simulated-seconds budget; a pattern exceeding it is
+    #: abandoned (skip-and-flag), never allowed to stall the run
+    pattern_budget: float | None = None
+    #: hard cap on simulation events (never-hang guard under faults)
+    event_budget: int | None = None
 
     def __post_init__(self) -> None:
         if not self.methods:
@@ -41,6 +50,12 @@ class MeasurementConfig:
             raise ValueError("need 0 < loop_time_min < loop_time_max")
         if self.backend not in ("des", "analytic"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.faults and self.backend != "des":
+            raise ValueError("fault injection requires the des backend")
+        if self.pattern_budget is not None and self.pattern_budget <= 0:
+            raise ValueError("pattern_budget must be positive when given")
+        if self.event_budget is not None and self.event_budget < 1:
+            raise ValueError("event_budget must be >= 1 when given")
 
     @property
     def loop_time_target(self) -> float:

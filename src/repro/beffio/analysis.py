@@ -10,8 +10,10 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+from repro.faults.validity import VALID, RunValidity
 from repro.util import weighted_average
 
 ACCESS_METHODS = ("write", "rewrite", "read")
@@ -57,6 +59,52 @@ def partition_value(method_values: dict[str, float]) -> float:
     values = [method_values[m] for m in ACCESS_METHODS]
     weights = [METHOD_WEIGHTS[m] for m in ACCESS_METHODS]
     return weighted_average(values, weights)
+
+
+def aggregate_partial(
+    type_results: list[TypeResult],
+    expected: list[tuple[str, int]],
+    flagged: tuple[str, ...] = (),
+    failure: str = "",
+) -> tuple[dict[str, float], float, RunValidity]:
+    """Best-effort (method values, b_eff_io, validity) of a faulted run.
+
+    ``expected`` lists every (access method, pattern type) pair the
+    configuration scheduled.  Both aggregation steps — the per-method
+    type average and the 1/1/2 method weighting — are *averages*, so a
+    missing pair makes its method value (and hence b_eff_io) ``nan``
+    and the run ``invalid``; surviving method values are exactly what
+    :func:`method_value` computes from complete methods.  A complete
+    but ``flagged`` (over-budget) run keeps exact values and is merely
+    ``degraded``.
+    """
+    present = {(t.method, t.pattern_type) for t in type_results}
+    missing = [pair for pair in expected if pair not in present]
+    skipped = tuple(f"{m}/t{pt}" for m, pt in missing)
+    method_values: dict[str, float] = {}
+    for method in ACCESS_METHODS:
+        wanted = {pt for m, pt in expected if m == method}
+        per = [
+            t for t in type_results
+            if t.method == method and t.pattern_type in wanted
+        ]
+        if wanted and {t.pattern_type for t in per} >= wanted:
+            method_values[method] = method_value(per)
+        else:
+            method_values[method] = math.nan
+    if missing or any(math.isnan(v) for v in method_values.values()):
+        beffio = math.nan
+    else:
+        beffio = partition_value(method_values)
+    if skipped:
+        validity = RunValidity(
+            "invalid", skipped=skipped, flagged=tuple(flagged), reason=failure
+        )
+    elif flagged or failure:
+        validity = RunValidity("degraded", flagged=tuple(flagged), reason=failure)
+    else:
+        validity = VALID
+    return method_values, beffio, validity
 
 
 def cache_rule(nbytes_per_method: dict[str, int], cache_bytes: int,

@@ -36,6 +36,10 @@ from repro.beffio.scheduler import (
     local_timed_loop,
     pattern_time,
 )
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.validity import VALID, RunValidity
+from repro.sim.engine import DeadlockError, EventBudgetError
 from repro.sim.randomness import RandomStreams
 from repro.beffio.segments import estimate_segment_size
 from repro.mpi.comm import World
@@ -82,6 +86,15 @@ class BeffIOConfig:
     #: :mod:`repro.beffio.fastforward`); "reference" simulates every
     #: repetition event for event — the bit-identity oracle
     mode: str = "fast"
+    #: fault plan injected into the simulated machine; a non-empty
+    #: plan forces reference-mode loops (mid-run fault transitions
+    #: break the fast-forward's periodicity proofs)
+    faults: FaultPlan | None = None
+    #: per-pattern simulated-seconds cap; caps each timed loop's
+    #: deadline and flags patterns that still overran (skip-and-flag)
+    pattern_budget: float | None = None
+    #: hard cap on simulation events (never-hang guard under faults)
+    event_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.T <= 0:
@@ -99,6 +112,10 @@ class BeffIOConfig:
             raise ValueError(f"unknown termination {self.termination!r}")
         if self.mode not in ("fast", "reference"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.pattern_budget is not None and self.pattern_budget <= 0:
+            raise ValueError("pattern_budget must be positive when given")
+        if self.event_budget is not None and self.event_budget < 1:
+            raise ValueError("event_budget must be >= 1 when given")
 
 
 @dataclass(frozen=True)
@@ -114,6 +131,8 @@ class PatternRun:
     reps: int  # loop repetitions (max across processes)
     nbytes: int  # transferred bytes, total across processes
     time: float  # loop duration, max across processes
+    #: the loop overran its configured pattern budget (skip-and-flag)
+    over_budget: bool = False
 
     @property
     def bandwidth(self) -> float:
@@ -130,6 +149,9 @@ class BeffIOResult:
     type_results: list[TypeResult]
     method_values: dict[str, float]
     b_eff_io: float  # bytes/s for this partition
+    #: trustworthiness of the aggregates (resilient runs may lose
+    #: whole pattern types); ``valid`` for an undisturbed complete run
+    validity: RunValidity = VALID
 
     def type_result(self, method: str, ptype: int) -> TypeResult:
         for t in self.type_results:
@@ -171,8 +193,13 @@ def run_beffio(
     if 5 in config.pattern_types:
         patterns = patterns + extension_patterns(memory_per_proc)
     state = _RunState()
-    if config.mode == "fast":
+    # Mid-run fault transitions break the fast-forward's loop
+    # periodicity proofs, so a non-empty plan forces reference loops.
+    if config.mode == "fast" and not config.faults:
         state.ff_session = FFSession(world, fs)
+    if config.faults:
+        injector = FaultInjector(config.faults)
+        injector.attach(world.sim, fabric=world.fabric, fs=fs)
     singleton_comms = [comm.create([r]) for r in range(n)]
 
     def program(rank_comm):
@@ -180,13 +207,33 @@ def run_beffio(
             rank_comm, fs, patterns, config, state, singleton_comms, mpart
         )
 
-    world.run(program)
+    failure = ""
+    try:
+        world.run(program, max_events=config.event_budget)
+    except (DeadlockError, EventBudgetError) as exc:
+        if not (config.faults or config.event_budget):
+            raise
+        failure = f"{type(exc).__name__}: {exc}"
 
-    method_values = {}
-    for method in ACCESS_METHODS:
-        per_method = [t for t in state.type_results if t.method == method]
-        method_values[method] = analysis.method_value(per_method)
-    beffio = analysis.partition_value(method_values)
+    flagged = tuple(
+        f"{r.method}/t{r.pattern_type}/p{r.number}"
+        for r in state.pattern_runs
+        if r.over_budget
+    )
+    expected = [(m, pt) for m in ACCESS_METHODS for pt in config.pattern_types]
+    complete = {(t.method, t.pattern_type) for t in state.type_results} >= set(expected)
+    if complete and not flagged and not failure:
+        # undisturbed path: the exact seed aggregation, bit-identical
+        method_values = {}
+        for method in ACCESS_METHODS:
+            per_method = [t for t in state.type_results if t.method == method]
+            method_values[method] = analysis.method_value(per_method)
+        beffio = analysis.partition_value(method_values)
+        validity = VALID
+    else:
+        method_values, beffio, validity = analysis.aggregate_partial(
+            state.type_results, expected, flagged=flagged, failure=failure
+        )
     return BeffIOResult(
         nprocs=n,
         T=config.T,
@@ -196,6 +243,7 @@ def run_beffio(
         type_results=state.type_results,
         method_values=method_values,
         b_eff_io=beffio,
+        validity=validity,
     )
 
 
@@ -403,7 +451,17 @@ def _run_pattern(comm, handles, p: IOPattern, method, config, state, base):
         ff = session.loop_for((method, p.number), handles, n, ff_kind)
 
     # -- the timed loop --------------------------------------------------------
-    t_end = (comm.wtime() + pattern_time(config.T, p.U, SUM_U)) if p.U > 0 else comm.wtime()
+    # The budget caps the loop's own deadline (the root still decides
+    # termination collectively, so the schedule stays matched); a
+    # pattern that overruns anyway — one slow body, a U=0 single shot —
+    # is flagged from the allreduced loop time below.
+    if p.U > 0:
+        share = pattern_time(config.T, p.U, SUM_U)
+        if config.pattern_budget is not None and share > config.pattern_budget:
+            share = config.pattern_budget
+        t_end = comm.wtime() + share
+    else:
+        t_end = comm.wtime()
     t_start = comm.wtime()
     if max_reps == 0:
         reps = 0
@@ -433,6 +491,8 @@ def _run_pattern(comm, handles, p: IOPattern, method, config, state, base):
             # file region consumed: all ranks interleave reps*L each
             state.write_extent[p.number] = comm.size * reps * p.L
     if rank == 0:
+        # ``max_time`` is allreduced, so the flag is rank-independent.
+        over = config.pattern_budget is not None and max_time > config.pattern_budget
         return PatternRun(
             method=method,
             number=p.number,
@@ -443,5 +503,6 @@ def _run_pattern(comm, handles, p: IOPattern, method, config, state, base):
             reps=max_reps_seen,
             nbytes=total_bytes,
             time=max_time,
+            over_budget=over,
         )
     return None

@@ -4,18 +4,51 @@ The paper defines the b_eff_io *of a system* as the maximum over any
 partition's value (with a scheduled time of at least 15 minutes for
 official numbers).  This module sweeps partitions and applies that
 rule, which is also exactly what Figs. 3 and 5 plot.
+
+Sweeps are resilient and resumable:
+
+* With ``journal=<dir>``, each partition's result is written
+  atomically the moment it completes; ``resume=True`` loads the
+  completed partitions (bit-identically — see
+  :mod:`repro.beffio.journal`) and runs only the missing ones.
+* A crashed or failing worker is retried up to ``retries`` times;
+  when retries are exhausted the failure surfaces as
+  :class:`SweepWorkerError` carrying the partition's configuration.
+* Partitions whose resilient run produced ``nan`` (invalid) are
+  excluded from the system maximum; the sweep's ``validity`` merges
+  the partitions' states.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import math
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from repro.beffio import analysis
 from repro.beffio.benchmark import BeffIOConfig, BeffIOResult
+from repro.beffio.journal import SweepJournal, config_fingerprint
+from repro.faults.validity import VALID, RunValidity, merge
 
 #: the official minimum scheduled time (15 minutes)
 OFFICIAL_MINIMUM_T = 900.0
+
+#: test/CI hook: when set to an integer k, the sweep parent raises
+#: after journaling its k-th partition — equivalent (for resume
+#: purposes) to killing the process there, because partition writes
+#: are atomic
+CRASH_AFTER_ENV = "REPRO_SWEEP_CRASH_AFTER"
+
+
+class SweepWorkerError(RuntimeError):
+    """A partition run failed after exhausting its retries.
+
+    The message names the machine, the partition size, and the
+    configuration that failed; the original exception is chained as
+    ``__cause__``.
+    """
 
 
 @dataclass(frozen=True)
@@ -27,6 +60,10 @@ class SweepResult:
     system_b_eff_io: float
     best_partition: int
     official: bool  # True when every run satisfied T >= 15 min
+    #: worst-case partition validity (a single invalid partition does
+    #: not poison the system value — it is excluded from the max —
+    #: but it does demote the sweep)
+    validity: RunValidity = VALID
 
     def partition_values(self) -> dict[int, float]:
         return {r.nprocs: r.b_eff_io for r in self.results}
@@ -63,45 +100,182 @@ def _run_partition(key: str, nprocs: int, config: BeffIOConfig) -> BeffIOResult:
     return get_machine(key).run_beffio(nprocs, config)
 
 
-def run_sweep(spec, partitions, config: BeffIOConfig | None = None,
-              jobs: int = 1) -> SweepResult:
+def _describe(machine: str, nprocs: int, config: BeffIOConfig) -> str:
+    return (
+        f"partition nprocs={nprocs} on machine {machine!r} "
+        f"(T={config.T}, types={config.pattern_types}, mode={config.mode!r}, "
+        f"faults={'yes' if config.faults else 'no'})"
+    )
+
+
+class _Retry:
+    """Per-partition attempt counter shared by both execution paths."""
+
+    def __init__(self, machine: str, config: BeffIOConfig, retries: int, backoff: float):
+        self.machine = machine
+        self.config = config
+        self.retries = retries
+        self.backoff = backoff
+        self.attempts: dict[int, int] = {}
+
+    def failed(self, nprocs: int, exc: BaseException) -> None:
+        """Count a failure; raise :class:`SweepWorkerError` past the limit."""
+        n = self.attempts.get(nprocs, 0) + 1
+        self.attempts[nprocs] = n
+        if n > self.retries:
+            raise SweepWorkerError(
+                f"{_describe(self.machine, nprocs, self.config)} failed "
+                f"after {n} attempt(s): {type(exc).__name__}: {exc}"
+            ) from exc
+        if self.backoff > 0:
+            time.sleep(self.backoff * n)
+
+
+def run_sweep(
+    spec,
+    partitions,
+    config: BeffIOConfig | None = None,
+    jobs: int = 1,
+    journal: str | SweepJournal | None = None,
+    resume: bool = False,
+    retries: int = 0,
+    backoff: float = 0.0,
+) -> SweepResult:
     """Run b_eff_io over several partition sizes of one machine.
 
     ``spec`` is a :class:`repro.machines.MachineSpec` or a machine
     registry key; ``partitions`` an iterable of process counts.
     Returns the per-partition results and the system value (max over
-    partitions).  ``official`` reports whether the scheduled time
-    satisfied the paper's 15-minute rule.
+    partitions that produced a number).  ``official`` reports whether
+    the scheduled time satisfied the paper's 15-minute rule.
 
     ``jobs > 1`` runs partitions concurrently in worker processes.
     Every partition is an independent simulation from a fresh
     environment, so the results are bit-identical to a serial sweep —
     the workers only change wall-clock time.
+
+    ``journal`` (a directory path) makes the sweep crash-safe: each
+    partition is persisted atomically when it completes, and
+    ``resume=True`` replays completed partitions bit-identically
+    instead of re-running them.  ``retries``/``backoff`` bound how
+    often a crashed or failing partition is re-attempted before
+    :class:`SweepWorkerError` is raised.
     """
     partitions = sorted(set(partitions))
     if not partitions:
         raise ValueError("need at least one partition size")
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if resume and journal is None:
+        raise ValueError("resume=True needs a journal")
     config = config or BeffIOConfig()
-    if jobs > 1 and len(partitions) > 1:
-        key = spec if isinstance(spec, str) else _registry_key(spec)
-        with ProcessPoolExecutor(max_workers=min(jobs, len(partitions))) as pool:
-            results = tuple(
-                pool.map(_run_partition, [key] * len(partitions), partitions,
-                         [config] * len(partitions))
+    machine_name = spec if isinstance(spec, str) else spec.name
+
+    jr = SweepJournal(journal) if isinstance(journal, (str, os.PathLike)) else journal
+    done: dict[int, BeffIOResult] = {}
+    if jr is not None:
+        fingerprint = config_fingerprint(machine_name, config)
+        if resume:
+            jr.check(machine_name, fingerprint)
+            done = {
+                n: r for n, r in jr.completed().items() if n in set(partitions)
+            }
+        else:
+            jr.start(machine_name, fingerprint)
+
+    crash_after = os.environ.get(CRASH_AFTER_ENV)
+    crash_after = int(crash_after) if crash_after else None
+    fresh = 0
+
+    def finish(result: BeffIOResult) -> None:
+        nonlocal fresh
+        done[result.nprocs] = result
+        if jr is not None:
+            jr.record(result, machine_name)
+        fresh += 1
+        if crash_after is not None and fresh >= crash_after:
+            raise RuntimeError(
+                f"injected sweep crash after {fresh} partition(s) "
+                f"({CRASH_AFTER_ENV}={crash_after})"
             )
+
+    remaining = [n for n in partitions if n not in done]
+    retry = _Retry(machine_name, config, retries, backoff)
+    if jobs > 1 and len(remaining) > 1:
+        key = spec if isinstance(spec, str) else _registry_key(spec)
+        _run_parallel(key, remaining, config, jobs, retry, finish)
         spec = _resolve(spec)
     else:
         spec = _resolve(spec)
-        results = tuple(spec.run_beffio(n, config) for n in partitions)
+        for n in remaining:
+            while True:
+                try:
+                    result = spec.run_beffio(n, config)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    retry.failed(n, exc)
+                    continue
+                finish(result)
+                break
+
+    results = tuple(done[n] for n in partitions)
     values = {r.nprocs: r.b_eff_io for r in results}
-    system = analysis.system_value(values)
-    best = max(values, key=values.get)
+    finite = {n: v for n, v in values.items() if not math.isnan(v)}
+    if finite:
+        system = max(finite.values())
+        best = max(finite, key=finite.get)
+    else:
+        system = math.nan
+        best = partitions[0]
     return SweepResult(
-        machine=spec.name,
+        machine=spec.name if not isinstance(spec, str) else machine_name,
         results=results,
         system_b_eff_io=system,
         best_partition=best,
         official=config.T >= OFFICIAL_MINIMUM_T,
+        validity=merge([r.validity for r in results]),
     )
+
+
+def _run_parallel(key, remaining, config, jobs, retry: _Retry, finish) -> None:
+    """Fan partitions over worker processes; journal as each completes.
+
+    A :class:`BrokenProcessPool` (worker killed mid-run) poisons every
+    in-flight future, so the pool is rebuilt and the unfinished
+    partitions resubmitted — each broken partition consumes one retry.
+    """
+    todo = set(remaining)
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(remaining)))
+    try:
+        while todo:
+            futures = {
+                pool.submit(_run_partition, key, n, config): n for n in sorted(todo)
+            }
+            broken = False
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    n = futures[fut]
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool as exc:
+                        retry.failed(n, exc)
+                        broken = True
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:
+                        retry.failed(n, exc)
+                    else:
+                        todo.discard(n)
+                        finish(result)
+                if broken:
+                    break
+            if broken and todo:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=min(jobs, len(todo)))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

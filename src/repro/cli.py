@@ -13,10 +13,14 @@ import sys
 
 from repro.beff import MeasurementConfig, run_detail
 from repro.beffio import BeffIOConfig
+from repro.faults import FaultPlan
 from repro.machines import MACHINES, get_machine
 from repro.reporting import beff_protocol, beffio_pattern_table, beffio_summary
-from repro.reporting.export import to_json
+from repro.reporting.export import to_json, write_json_atomic
 from repro.util import MB
+
+#: exit code when a sweep partition fails after exhausting retries
+EXIT_SWEEP_WORKER_FAILED = 3
 
 
 def _machine_arg(parser: argparse.ArgumentParser) -> None:
@@ -26,6 +30,33 @@ def _machine_arg(parser: argparse.ArgumentParser) -> None:
         help=f"machine key or 'list' (default t3e; known: {', '.join(sorted(MACHINES))})",
     )
     parser.add_argument("--procs", type=int, default=8, help="number of MPI processes")
+
+
+def _fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", type=int, metavar="SEED", default=None,
+        help="inject the deterministic severity-profile fault plan built "
+             "from this seed (see repro.faults.FaultPlan.severity_profile)",
+    )
+    parser.add_argument(
+        "--fault-severity", type=float, default=0.5, metavar="S",
+        help="fault severity in [0, 1] for --faults (0 = no faults; default 0.5)",
+    )
+
+
+def _fault_plan(args, spec, horizon: float) -> FaultPlan | None:
+    if args.faults is None:
+        return None
+    num_servers = spec.pfs.num_servers if spec.pfs is not None else 0
+    return FaultPlan.severity_profile(
+        args.faults, horizon, args.fault_severity,
+        nprocs=args.procs, num_servers=num_servers,
+    )
+
+
+def _print_validity(validity) -> None:
+    if not validity.ok:
+        print(f"validity: {validity.describe()}")
 
 
 def _resolve_machine(args) -> object | None:
@@ -56,18 +87,25 @@ def main_beff(argv: list[str] | None = None) -> int:
                         help="also run the non-averaged detail patterns")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the result as JSON (SKaMPI-style export)")
+    _fault_args(parser)
     args = parser.parse_args(argv)
     spec = _resolve_machine(args)
     if spec is None:
         return 0
+    # fault windows are placed against a nominal 1-second horizon (the
+    # whole-run link/straggler degradations are horizon-independent)
+    plan = _fault_plan(args, spec, horizon=1.0)
+    if plan is not None and args.backend != "des":
+        parser.error("--faults requires --backend des")
     config = MeasurementConfig(
         methods=tuple(args.methods.split(",")),
         backend=args.backend,
+        faults=plan,
     )
     result = spec.run_beff(args.procs, config)
     if args.json:
-        with open(args.json, "w") as fh:
-            fh.write(to_json(result, machine=args.machine))
+        write_json_atomic(args.json, to_json(result, machine=args.machine))
+    _print_validity(result.validity)
     print(beff_protocol(result, max_rows=None if args.full_protocol else 24))
     if not args.full_protocol:
         print(f"({len(result.records)} records total; --full-protocol to see all)")
@@ -84,7 +122,9 @@ def main_beff(argv: list[str] | None = None) -> int:
 
 def main_beffio(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro-beffio", description="effective I/O bandwidth benchmark (simulated)"
+        prog="repro-beffio", description="effective I/O bandwidth benchmark (simulated)",
+        epilog="exit codes: 0 success, 2 usage error, "
+               f"{EXIT_SWEEP_WORKER_FAILED} sweep partition failed after retries",
     )
     _machine_arg(parser)
     parser.add_argument("--T", type=float, default=30.0,
@@ -108,7 +148,23 @@ def main_beffio(argv: list[str] | None = None) -> int:
                              "are identical to a serial sweep)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the result as JSON (SKaMPI-style export)")
+    parser.add_argument("--pattern-budget", type=float, default=None, metavar="SECONDS",
+                        help="per-pattern simulated-time budget; overrunning "
+                             "patterns are capped and flagged (skip-and-flag)")
+    parser.add_argument("--journal", metavar="DIR",
+                        help="crash-safe sweep journal directory (per-partition "
+                             "results are written atomically as they complete)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a killed sweep from --journal, replaying "
+                             "completed partitions bit-identically")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-attempts per failed sweep partition before "
+                             "giving up with exit code "
+                             f"{EXIT_SWEEP_WORKER_FAILED}")
+    _fault_args(parser)
     args = parser.parse_args(argv)
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
     spec = _resolve_machine(args)
     if spec is None:
         return 0
@@ -117,24 +173,33 @@ def main_beffio(argv: list[str] | None = None) -> int:
         pattern_types=tuple(int(t) for t in args.types.split(",")),
         termination=args.termination,
         mode=args.mode,
+        faults=_fault_plan(args, spec, horizon=args.T),
+        pattern_budget=args.pattern_budget,
     )
     if args.partitions:
-        from repro.beffio.sweep import run_sweep
+        from repro.beffio.sweep import SweepWorkerError, run_sweep
 
-        sweep = run_sweep(
-            args.machine, [int(n) for n in args.partitions.split(",")],
-            config, jobs=args.jobs,
-        )
+        try:
+            sweep = run_sweep(
+                args.machine, [int(n) for n in args.partitions.split(",")],
+                config, jobs=args.jobs,
+                journal=args.journal, resume=args.resume, retries=args.retries,
+            )
+        except SweepWorkerError as exc:
+            print(f"repro-beffio: {exc}", file=sys.stderr)
+            return EXIT_SWEEP_WORKER_FAILED
         for r in sweep.results:
-            print(f"{r.nprocs:6d} procs  b_eff_io = {r.b_eff_io / MB:10.2f} MB/s")
+            print(f"{r.nprocs:6d} procs  b_eff_io = {r.b_eff_io / MB:10.2f} MB/s"
+                  f"{'' if r.validity.ok else '  [' + r.validity.state + ']'}")
+        _print_validity(sweep.validity)
         print(f"system b_eff_io = {sweep.system_b_eff_io / MB:.2f} MB/s "
               f"(best partition: {sweep.best_partition} procs"
               f"{', official' if sweep.official else ''})")
         return 0
     result = spec.run_beffio(args.procs, config)
     if args.json:
-        with open(args.json, "w") as fh:
-            fh.write(to_json(result, machine=args.machine))
+        write_json_atomic(args.json, to_json(result, machine=args.machine))
+    _print_validity(result.validity)
     print(beffio_summary(result))
     if args.pattern_table:
         for method in ("write", "rewrite", "read"):

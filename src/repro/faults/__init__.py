@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the simulated benchmarks.
+
+* :mod:`repro.faults.plan` — declarative, seed-deterministic
+  :class:`FaultPlan` (link degradation/outage, straggler ranks, PFS
+  server crash/recovery, jitter bursts);
+* :mod:`repro.faults.inject` — :class:`FaultInjector`, which turns a
+  plan into scheduled apply/revert events on a live machine;
+* :mod:`repro.faults.validity` — the ``valid`` / ``degraded`` /
+  ``invalid`` result taxonomy resilient runs report.
+
+See ``docs/robustness.md`` for the fault model and its semantics.
+"""
+
+from repro.faults.inject import OUTAGE_FLOOR, FaultInjector
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    JitterBurst,
+    LinkFault,
+    ServerCrash,
+    Straggler,
+)
+from repro.faults.validity import STATES, VALID, RunValidity, merge
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "JitterBurst",
+    "LinkFault",
+    "OUTAGE_FLOOR",
+    "RunValidity",
+    "STATES",
+    "ServerCrash",
+    "Straggler",
+    "VALID",
+    "merge",
+]

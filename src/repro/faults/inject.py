@@ -1,0 +1,225 @@
+"""Turns a :class:`FaultPlan` into scheduled apply/revert callbacks.
+
+The injector is attached once, before any rank process is spawned, so
+its events get the lowest sequence numbers at each instant — fault
+transitions at time *t* are applied before benchmark events at *t*,
+deterministically.  All state the hot-path hooks consult (straggler
+factors, active jitter amplitude) is a plain dict/float updated by
+those callbacks; the hooks never compare times.
+
+Attachment is zero-cost for untouched machinery: a fabric whose
+``faults`` attribute is ``None`` (the default) pays one attribute
+check per message, and an attached injector whose windows never open
+applies no multiplier and draws no randomness, so an empty (or
+never-overlapping) plan leaves every benchmark number bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.faults.plan import FaultPlan, JitterBurst, LinkFault, ServerCrash, Straggler
+from repro.sim.randomness import RandomStreams
+
+#: outage links keep this fraction of their capacity — the fluid
+#: engine needs finite positive capacities; 1e-9 stalls transfers for
+#: the outage window (they resume at full speed on revert) without
+#: breaking the allocator's invariants
+OUTAGE_FLOOR = 1e-9
+
+
+class _LinkState:
+    """Pristine capacity + active degradation factors of one link."""
+
+    __slots__ = ("net", "link_id", "base", "factors")
+
+    def __init__(self, net, link_id: int, base: float) -> None:
+        self.net = net
+        self.link_id = link_id
+        self.base = base
+        self.factors: list[float] = []
+
+    def reprice(self) -> None:
+        capacity = self.base
+        for f in self.factors:
+            capacity *= f
+        self.net.set_capacity(self.link_id, capacity)
+
+
+class FaultInjector:
+    """Applies one plan to one simulated machine."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: (id(net), link_id) -> _LinkState shared by overlapping faults
+        self._link_states: dict[tuple[int, int], _LinkState] = {}
+        #: rank -> list of active slowdown factors (stacked windows multiply)
+        self._straggler: dict[int, list[float]] = {}
+        #: amplitudes of currently open jitter bursts
+        self._jitter: list[float] = []
+        self._jitter_rng = RandomStreams(plan.seed).stream("faults.burst")
+        #: transition log for tests/observability: (time, description)
+        self.transitions: list[tuple[float, str]] = []
+        self._attached = False
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, sim, fabric=None, fs=None) -> None:
+        """Resolve selectors and schedule every apply/revert event.
+
+        ``fabric`` is a :class:`repro.net.model.Fabric` (or None for
+        I/O-only scenarios); ``fs`` a
+        :class:`repro.pfs.filesystem.FileSystem` (or None when the
+        plan has no server faults).
+        """
+        if self._attached:
+            raise RuntimeError("injector already attached")
+        self._attached = True
+        self.sim = sim
+        if self.plan.needs_filesystem() and fs is None:
+            raise ValueError("plan contains server faults but no filesystem given")
+        for event in self.plan.events:
+            if isinstance(event, LinkFault):
+                self._wire_link(sim, event, fabric, fs)
+            elif isinstance(event, Straggler):
+                self._wire_straggler(sim, event, fabric)
+            elif isinstance(event, ServerCrash):
+                self._wire_server(sim, event, fs)
+            elif isinstance(event, JitterBurst):
+                self._wire_jitter(sim, event)
+            else:  # pragma: no cover - plan validation prevents this
+                raise TypeError(f"unknown fault event {event!r}")
+        if fabric is not None:
+            fabric.faults = self
+
+    def _log(self, text: str) -> None:
+        self.transitions.append((self.sim.now, text))
+
+    @staticmethod
+    def _at(sim, time: float, callback) -> None:
+        """Schedule a transition; an infinite time means "never"."""
+        if not math.isinf(time):
+            sim.schedule_abs(time, callback)
+
+    # -- link faults ------------------------------------------------------
+
+    def _resolve_links(self, selector, fabric, fs) -> list[tuple[object, int]]:
+        nets = []
+        if fabric is not None:
+            nets.append((fabric.flows, fabric.topology))
+        if fs is not None:
+            nets.append((fs.io_net, None))
+        if not nets:
+            raise ValueError("link fault needs a fabric or a filesystem")
+        if isinstance(selector, int):
+            net, topo = nets[0]
+            if topo is not None:
+                ids = topo.links_matching("")
+            else:
+                ids = net.link_ids()
+            if not ids:
+                raise ValueError("no links to select from")
+            return [(net, ids[selector % len(ids)])]
+        out = []
+        for net, topo in nets:
+            finder = topo.links_matching if topo is not None else net.find_links
+            out.extend((net, link_id) for link_id in finder(selector))
+        if not out:
+            raise ValueError(f"link selector {selector!r} matched no links")
+        return out
+
+    def _wire_link(self, sim, event: LinkFault, fabric, fs) -> None:
+        targets = self._resolve_links(event.selector, fabric, fs)
+        factor = max(event.factor, OUTAGE_FLOOR)
+        # Pristine capacities are captured at attach time and links are
+        # always re-priced as base * product(active factors), so
+        # overlapping windows stack and every revert restores the
+        # original float bit-exactly.
+        states = [self._link_states.setdefault(
+            (id(net), link_id), _LinkState(net, link_id, net.link(link_id).capacity)
+        ) for net, link_id in targets]
+
+        def apply() -> None:
+            for st in states:
+                st.factors.append(factor)
+                st.reprice()
+            self._log(f"link x{len(targets)} -> {event.factor:g}")
+
+        def revert() -> None:
+            for st in states:
+                st.factors.remove(factor)
+                st.reprice()
+            self._log(f"link x{len(targets)} restored")
+
+        self._at(sim, event.t_start, apply)
+        self._at(sim, event.t_end, revert)
+
+    # -- stragglers -------------------------------------------------------
+
+    def _wire_straggler(self, sim, event: Straggler, fabric) -> None:
+        if fabric is None:
+            raise ValueError("straggler fault needs a fabric")
+        rank = event.rank % fabric.topology.nprocs
+
+        def apply() -> None:
+            self._straggler.setdefault(rank, []).append(event.slowdown)
+            self._log(f"rank {rank} straggling x{event.slowdown:g}")
+
+        def revert() -> None:
+            factors = self._straggler.get(rank)
+            if factors:
+                factors.remove(event.slowdown)
+                if not factors:
+                    del self._straggler[rank]
+            self._log(f"rank {rank} recovered")
+
+        self._at(sim, event.t_start, apply)
+        self._at(sim, event.t_end, revert)
+
+    # -- server crashes ---------------------------------------------------
+
+    def _wire_server(self, sim, event: ServerCrash, fs) -> None:
+        server = fs.servers[event.server % len(fs.servers)]
+
+        def crash() -> None:
+            lost = server.inject_crash(event.t_recover, lose_cache=event.lose_cache)
+            self._log(f"{server.name} crashed (lost {lost} cached bytes)")
+            if not math.isinf(event.t_recover):
+                self._at(sim, event.t_recover, lambda: self._log(f"{server.name} recovered"))
+
+        self._at(sim, event.t_crash, crash)
+
+    # -- jitter bursts ----------------------------------------------------
+
+    def _wire_jitter(self, sim, event: JitterBurst) -> None:
+        def apply() -> None:
+            self._jitter.append(event.amplitude)
+            self._log(f"jitter burst {event.amplitude:g}")
+
+        def revert() -> None:
+            self._jitter.remove(event.amplitude)
+            self._log("jitter burst over")
+
+        self._at(sim, event.t_start, apply)
+        self._at(sim, event.t_end, revert)
+
+    # -- hot-path hooks ---------------------------------------------------
+
+    def adjust_latency(self, src: int, dst: int, latency: float) -> float:
+        """Fabric hook: inflate a message's startup latency.
+
+        Applies the active straggler factors of both endpoints and, in
+        a jitter burst, a one-sided noise draw from the injector's own
+        stream.  With no active window this returns ``latency``
+        unchanged without consuming randomness.
+        """
+        stragglers = self._straggler
+        if stragglers:
+            for factors in (stragglers.get(src), stragglers.get(dst)):
+                if factors:
+                    for f in factors:
+                        latency *= f
+        if self._jitter:
+            amp = max(self._jitter)
+            latency *= 1.0 + amp * float(self._jitter_rng.uniform(0.0, 1.0))
+        return latency

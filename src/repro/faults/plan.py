@@ -1,0 +1,248 @@
+"""Declarative, seed-deterministic fault plans.
+
+A :class:`FaultPlan` is a value object: a tuple of fault events with
+absolute simulated times.  It never touches the simulator itself —
+:class:`repro.faults.inject.FaultInjector` turns a plan into
+scheduled apply/revert callbacks.  Two plans built from the same seed
+and arguments are *equal* (frozen dataclasses compare by value), and
+because every consumer of randomness downstream draws from named
+:class:`repro.sim.randomness.RandomStreams`, the same plan applied to
+the same machine yields bit-identical benchmark results.
+
+Selector conventions (resolved at attach time, so a plan is portable
+across partition sizes):
+
+* ``LinkFault.selector``: an ``int`` picks the k-th fabric link
+  (modulo the link count); a ``str`` selects every link whose name
+  contains the substring (``""`` selects all links, compute fabric
+  and I/O network alike).
+* ``Straggler.rank`` and ``ServerCrash.server`` are taken modulo the
+  attached world's process / server count.
+
+``t_end`` (or ``t_recover``) may be ``math.inf``: the fault is never
+reverted — the *unrecoverable* case the resilient runners must turn
+into a flagged partial result instead of a hang.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.randomness import RandomStreams
+
+
+def _check_window(t_start: float, t_end: float) -> None:
+    if t_start < 0:
+        raise ValueError(f"fault window starts in the past: {t_start!r}")
+    if not t_end > t_start:
+        raise ValueError(f"empty fault window [{t_start!r}, {t_end!r})")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade (0 < factor < 1) or cut (factor == 0) matching links."""
+
+    selector: int | str
+    t_start: float
+    t_end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.t_end)
+        if not (0.0 <= self.factor <= 1.0):
+            raise ValueError(f"link factor must be in [0, 1], got {self.factor!r}")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Multiplicative slowdown of one rank's message startup latency."""
+
+    rank: int
+    t_start: float
+    t_end: float
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.t_end)
+        if self.slowdown < 1.0:
+            raise ValueError(f"straggler slowdown must be >= 1, got {self.slowdown!r}")
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """One PFS server crashes (losing its volatile cache) and recovers.
+
+    Requests already accepted keep their queue slots and are serviced
+    after recovery; ``t_recover == inf`` models a dead server — client
+    calls touching it block forever, which the benchmark layer must
+    surface as an invalid partial result via deadlock detection.
+    """
+
+    server: int
+    t_crash: float
+    t_recover: float
+    lose_cache: bool = True
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_crash, self.t_recover)
+
+
+@dataclass(frozen=True)
+class JitterBurst:
+    """Window of extra per-message latency noise (relative amplitude)."""
+
+    t_start: float
+    t_end: float
+    amplitude: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.t_end)
+        if not (0.0 < self.amplitude):
+            raise ValueError(f"jitter amplitude must be > 0, got {self.amplitude!r}")
+
+
+FaultEvent = LinkFault | Straggler | ServerCrash | JitterBurst
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events plus the injector seed.
+
+    ``seed`` feeds the injector's own random stream (burst jitter
+    draws), keeping fault noise independent of the benchmark's
+    pattern permutations.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        return cls()
+
+    def needs_filesystem(self) -> bool:
+        return any(isinstance(e, ServerCrash) for e in self.events)
+
+    def signature(self) -> tuple:
+        """A hashable, order-stable fingerprint of the schedule."""
+        return (self.seed,) + tuple(
+            (type(e).__name__,) + tuple(getattr(e, f.name) for f in _fields(e))
+            for e in self.events
+        )
+
+    # -- deterministic generators ---------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        duration: float,
+        *,
+        nprocs: int = 0,
+        num_servers: int = 0,
+        severity: float = 0.5,
+        n_link: int = 1,
+        n_straggler: int = 1,
+        n_server: int | None = None,
+        n_jitter: int = 1,
+    ) -> "FaultPlan":
+        """A random but fully seed-determined schedule over ``duration``.
+
+        Same (seed, arguments) always produce an *equal* plan.  Event
+        severity scales with ``severity`` in [0, 1]: window lengths,
+        degradation depth, straggler slowdown and jitter amplitude all
+        grow with it; ``severity >= 0.5`` turns the first link fault
+        into a full outage.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if not (0.0 <= severity <= 1.0):
+            raise ValueError("severity must be in [0, 1]")
+        if n_server is None:
+            n_server = 1 if num_servers > 0 else 0
+        if n_server > 0 and num_servers <= 0:
+            raise ValueError("server crashes need num_servers > 0")
+        streams = RandomStreams(seed)
+        events: list[FaultEvent] = []
+
+        def window(rng, scale: float = 1.0) -> tuple[float, float]:
+            start = float(rng.uniform(0.05, 0.6)) * duration
+            length = float(rng.uniform(0.05, 0.25)) * duration
+            length *= (0.5 + severity) * scale
+            return start, start + max(length, duration * 1e-3)
+
+        rng = streams.stream("faults.link")
+        for i in range(n_link):
+            start, end = window(rng)
+            outage = i == 0 and severity >= 0.5
+            factor = 0.0 if outage else max(0.05, 1.0 - 0.9 * severity * float(rng.uniform(0.5, 1.0)))
+            events.append(LinkFault(int(rng.integers(0, 1 << 16)), start, end, factor))
+        rng = streams.stream("faults.straggler")
+        for _ in range(n_straggler):
+            start, end = window(rng)
+            rank = int(rng.integers(0, max(1, nprocs)))
+            events.append(Straggler(rank, start, end, 1.0 + 7.0 * severity * float(rng.uniform(0.5, 1.0))))
+        rng = streams.stream("faults.server")
+        for _ in range(n_server):
+            start, end = window(rng, scale=0.5)
+            events.append(ServerCrash(int(rng.integers(0, num_servers)), start, end))
+        rng = streams.stream("faults.jitter")
+        for _ in range(n_jitter):
+            start, end = window(rng)
+            events.append(JitterBurst(start, end, max(0.01, severity) * float(rng.uniform(0.5, 1.5))))
+        events.sort(key=lambda e: (e.t_start if not isinstance(e, ServerCrash) else e.t_crash,
+                                   type(e).__name__))
+        return cls(events=tuple(events), seed=seed)
+
+    @classmethod
+    def severity_profile(
+        cls,
+        seed: int,
+        horizon: float,
+        severity: float,
+        *,
+        nprocs: int = 0,
+        num_servers: int = 0,
+    ) -> "FaultPlan":
+        """The systematic degradation sweep used by ``--faults``.
+
+        One whole-run degradation of *every* link to ``1 - 0.9 * s``
+        of its capacity, one straggler rank at ``1 + 4 s`` slowdown,
+        one mid-run server crash whose outage lasts ``0.2 s * horizon``
+        (when an I/O subsystem exists), and a jitter burst of
+        amplitude ``s`` over the middle third — a monotone fault load
+        suitable for a "b_eff vs. severity" table.  ``severity == 0``
+        yields the empty plan.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if not (0.0 <= severity <= 1.0):
+            raise ValueError("severity must be in [0, 1]")
+        if severity == 0.0:
+            return cls(seed=seed)
+        rng = RandomStreams(seed).stream("faults.profile")
+        events: list[FaultEvent] = [
+            LinkFault("", 0.0, math.inf, 1.0 - 0.9 * severity),
+        ]
+        if nprocs > 0:
+            events.append(
+                Straggler(int(rng.integers(0, nprocs)), 0.0, math.inf, 1.0 + 4.0 * severity)
+            )
+        if num_servers > 0:
+            t_crash = 0.25 * horizon
+            events.append(
+                ServerCrash(int(rng.integers(0, num_servers)), t_crash,
+                            t_crash + 0.2 * severity * horizon)
+            )
+        events.append(JitterBurst(horizon / 3.0, 2.0 * horizon / 3.0, severity))
+        return cls(events=tuple(events), seed=seed)
+
+
+def _fields(e) -> tuple:
+    import dataclasses
+
+    return dataclasses.fields(e)

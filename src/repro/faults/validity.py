@@ -1,0 +1,96 @@
+"""Result validity states for resilient benchmark runs.
+
+The paper's aggregation rules imply a simple taxonomy once a run can
+lose patterns: a value produced from *every* scheduled averaged
+component is ``valid``; a value whose averaged components all ran but
+some were flagged (over budget, measured under active faults that
+stalled them) is ``degraded``; and a value missing an averaged
+component is ``invalid`` — the single number cannot be quoted, only
+the surviving per-pattern partials can.  A skipped *non-averaged*
+component (a detail pattern, an optional extension) never invalidates
+the aggregate; it only flags the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: the three validity states, from best to worst
+STATES = ("valid", "degraded", "invalid")
+
+
+@dataclass(frozen=True)
+class RunValidity:
+    """How trustworthy one benchmark aggregate is.
+
+    ``skipped``
+        averaged components that produced no (complete) measurement;
+        any entry here forces ``state == "invalid"``.
+    ``flagged``
+        components that ran but exceeded their budget or were
+        otherwise degraded; they keep the aggregate computable but
+        demote it to ``degraded``.
+    ``reason``
+        free-text cause (the caught exception, "pattern budget
+        exceeded", ...).
+    """
+
+    state: str
+    skipped: tuple[str, ...] = ()
+    flagged: tuple[str, ...] = ()
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.state not in STATES:
+            raise ValueError(f"unknown validity state {self.state!r}")
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "valid"
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.state == "valid":
+            return "valid"
+        parts = [self.state]
+        if self.skipped:
+            parts.append(f"skipped={list(self.skipped)}")
+        if self.flagged:
+            parts.append(f"flagged={list(self.flagged)}")
+        if self.reason:
+            parts.append(self.reason)
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "skipped": list(self.skipped),
+            "flagged": list(self.flagged),
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunValidity":
+        return cls(
+            state=d["state"],
+            skipped=tuple(d.get("skipped", ())),
+            flagged=tuple(d.get("flagged", ())),
+            reason=d.get("reason", ""),
+        )
+
+
+#: the validity of an undisturbed run
+VALID = RunValidity("valid")
+
+
+def merge(parts: list[RunValidity]) -> RunValidity:
+    """Combine component validities (worst state wins)."""
+    if not parts:
+        return VALID
+    worst = max(parts, key=lambda v: STATES.index(v.state))
+    if worst.state == "valid":
+        return VALID
+    skipped = tuple(s for v in parts for s in v.skipped)
+    flagged = tuple(f for v in parts for f in v.flagged)
+    reasons = "; ".join(sorted({v.reason for v in parts if v.reason}))
+    return RunValidity(worst.state, skipped=skipped, flagged=flagged, reason=reasons)

@@ -45,10 +45,19 @@ class World:
             procs.append(Process(self.sim, gen, name=f"rank{rank}"))
         return procs
 
-    def run(self, factory: Callable[["RankComm"], Generator]) -> list[object]:
-        """Spawn all ranks, run to completion, return per-rank results."""
+    def run(
+        self,
+        factory: Callable[["RankComm"], Generator],
+        max_events: int | None = None,
+    ) -> list[object]:
+        """Spawn all ranks, run to completion, return per-rank results.
+
+        ``max_events`` bounds the simulation (fault-injected runs use
+        it as a never-hang guard); exhausting it raises
+        :class:`repro.sim.engine.EventBudgetError`.
+        """
         procs = self.spawn(factory)
-        self.sim.run_to_completion()
+        self.sim.run_to_completion(max_events=max_events)
         return [p.result for p in procs]
 
 

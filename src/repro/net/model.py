@@ -98,6 +98,10 @@ class Fabric:
             from repro.sim.randomness import RandomStreams
 
             self._jitter_rng = RandomStreams(jitter_seed).stream("fabric.jitter")
+        #: attached repro.faults.inject.FaultInjector, or None (the
+        #: default) — kept None-checked on the hot path so undisturbed
+        #: runs pay one attribute test per message
+        self.faults = None
         #: transfer statistics
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -152,7 +156,10 @@ class Fabric:
             raise ValueError(f"negative message size: {nbytes!r}")
         route = self.route(src, dst)
         done = SimEvent(self.sim, name=f"xfer:{src}->{dst}:{nbytes}")
-        latency = self._jittered(self.startup_latency(route))
+        latency = self.startup_latency(route)
+        if self.faults is not None:
+            latency = self.faults.adjust_latency(src, dst, latency)
+        latency = self._jittered(latency)
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if self.tracer is not None:

@@ -256,6 +256,25 @@ class BufferCache:
             return (file_id, start, end)
         return None
 
+    def drop_all(self) -> int:
+        """Volatile-loss crash model: forget everything, dirty included.
+
+        Returns the number of cached bytes lost.  Unlike
+        :meth:`invalidate_file` this also discards *dirty* bytes —
+        data the clients believe is written but that never reached
+        disk, exactly what a server crash with a volatile buffer cache
+        loses.
+        """
+        lost = self.used
+        if self.oplog is not None:
+            self.oplog.append(("drop_all", None, 0, 0, lost))
+        self._cached.clear()
+        self._dirty.clear()
+        self._file_order.clear()
+        self._clean_hint.clear()
+        self.used = 0
+        return lost
+
     def invalidate_file(self, file_id: object) -> None:
         """Drop every cached byte of a file (e.g. on delete)."""
         if self.oplog is not None:

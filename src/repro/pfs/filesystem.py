@@ -132,6 +132,16 @@ class FileSystem:
             for server in self.servers:
                 server.cache.invalidate_file(f.file_id)
 
+    def find_links(self, pattern: str) -> list[int]:
+        """Ids of I/O-network links whose name contains ``pattern``.
+
+        Fault-plan selector hook; client links exist lazily, so a plan
+        targeting ``"cli."`` only degrades clients created before
+        attach (fault plans are attached after world construction, by
+        which point the benchmark layer has opened its clients).
+        """
+        return self.io_net.find_links(pattern)
+
     # -- striping ------------------------------------------------------------
 
     def server_of(self, offset: int) -> int:

@@ -12,12 +12,13 @@ behind the paper's T-dependent b_eff_io results.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
 from repro.pfs.cache import BufferCache
 from repro.sim.engine import Simulator
-from repro.sim.process import Process, SimEvent, Sleep
+from repro.sim.process import Process, SimEvent, Sleep, SleepUntil
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,10 @@ class IOServer:
         #: it skips repetitions analytically; the idle wait below
         #: re-checks it on every wake-up, making stale timers harmless.
         self._no_drain_before = 0.0
+        #: crash injection: the service loop idles until this instant
+        #: (``math.inf`` = dead forever).  Requests already mid-service
+        #: complete — the crash boundary is request granularity.
+        self._down_until = 0.0
         #: statistics
         self.bytes_to_disk = 0
         self.bytes_from_disk = 0
@@ -126,6 +131,31 @@ class IOServer:
             req.kind == "write" and req.file_id == file_id for req, _ev in self._queue
         )
 
+    # -- fault injection ------------------------------------------------------
+
+    def inject_crash(self, t_recover: float, lose_cache: bool = True) -> int:
+        """Crash this server now; it resumes service at ``t_recover``.
+
+        With ``lose_cache`` the volatile buffer cache is dropped —
+        dirty bytes the clients believe written never reach disk.
+        ``t_recover == math.inf`` models a dead server: queued and
+        future requests are never serviced, so clients waiting on them
+        block and the run surfaces a :class:`~repro.sim.engine.DeadlockError`
+        instead of hanging.  Returns the cached bytes lost.
+        """
+        if t_recover < self.sim.now:
+            raise ValueError(f"t_recover {t_recover!r} is in the past")
+        lost = self.cache.drop_all() if lose_cache else 0
+        self._disk_pos = None  # recovery starts with a cold disk head
+        self._down_until = t_recover
+        if lose_cache:
+            # dropped dirty bytes satisfy sync waiters (the data is
+            # gone, not pending) — matching a real fsync-after-crash
+            self._check_sync_waiters()
+        if not math.isinf(t_recover):
+            self.sim.schedule_abs(t_recover, self._kick)
+        return lost
+
     # -- service loop ---------------------------------------------------------
 
     def _kick(self) -> None:
@@ -135,6 +165,14 @@ class IOServer:
     def _run(self):
         params = self.params
         while True:
+            if self.sim.now < self._down_until:
+                if math.isinf(self._down_until):
+                    # dead server: block this (daemon) loop forever; the
+                    # queue drains and client waiters deadlock-detect
+                    yield SimEvent(self.sim, name=f"{self.name}.dead")
+                    continue  # pragma: no cover - event never triggers
+                yield SleepUntil(self._down_until)
+                continue
             if self._queue:
                 request, done = self._queue.popleft()
                 duration = self._service(request)

@@ -9,13 +9,46 @@ stable JSON schema for both benchmarks.
 from __future__ import annotations
 
 import json
+import os
+import pathlib
+import tempfile
 from dataclasses import asdict
 
 from repro.beff.benchmark import BeffResult
-from repro.beffio.benchmark import BeffIOResult
+from repro.beffio.analysis import TypeResult
+from repro.beffio.benchmark import BeffIOResult, PatternRun
+from repro.faults.validity import VALID, RunValidity
 
 #: schema version written into every export
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+
+def write_json_atomic(path: str | pathlib.Path, payload, indent: int | None = 2) -> None:
+    """Write JSON so a crash leaves either the old file or the new one.
+
+    The payload (a JSON-compatible object, or a pre-serialized string)
+    is written to a temporary file in the target's directory and moved
+    into place with ``os.replace`` — atomic on POSIX, and same-
+    filesystem by construction.  The sweep journal and every CLI
+    ``--json`` export go through this.
+    """
+    path = pathlib.Path(path)
+    text = payload if isinstance(payload, str) else json.dumps(payload, indent=indent)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or ".", prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def beff_to_dict(result: BeffResult, machine: str | None = None) -> dict:
@@ -37,6 +70,7 @@ def beff_to_dict(result: BeffResult, machine: str | None = None) -> dict:
         "logavg_ring": result.logavg_ring,
         "logavg_random": result.logavg_random,
         "per_pattern": dict(result.per_pattern),
+        "validity": result.validity.to_dict(),
         "records": [asdict(r) for r in result.records],
     }
 
@@ -52,6 +86,7 @@ def beffio_to_dict(result: BeffIOResult, machine: str | None = None) -> dict:
         "mpart": result.mpart,
         "segment_size": result.segment_size,
         "b_eff_io": result.b_eff_io,
+        "validity": result.validity.to_dict(),
         "method_values": dict(result.method_values),
         "type_results": [
             {
@@ -68,6 +103,42 @@ def beffio_to_dict(result: BeffIOResult, machine: str | None = None) -> dict:
             {**asdict(r), "bandwidth": r.bandwidth} for r in result.pattern_runs
         ],
     }
+
+
+def beffio_from_dict(d: dict) -> BeffIOResult:
+    """Rebuild a :class:`BeffIOResult` from :func:`beffio_to_dict` output.
+
+    The sweep journal resumes through this; every float survives the
+    JSON round trip bit-exactly (``repr``-based serialization), so a
+    resumed sweep is bit-identical to an uninterrupted one.
+    """
+    type_results = [
+        TypeResult(
+            method=t["method"],
+            pattern_type=t["pattern_type"],
+            nbytes=t["nbytes"],
+            time=t["time"],
+            reps=t["reps"],
+        )
+        for t in d["type_results"]
+    ]
+    pattern_runs = []
+    for r in d["pattern_runs"]:
+        fields = dict(r)
+        fields.pop("bandwidth", None)  # derived property, not a field
+        pattern_runs.append(PatternRun(**fields))
+    validity = RunValidity.from_dict(d["validity"]) if "validity" in d else VALID
+    return BeffIOResult(
+        nprocs=d["nprocs"],
+        T=d["T"],
+        mpart=d["mpart"],
+        segment_size=d["segment_size"],
+        pattern_runs=pattern_runs,
+        type_results=type_results,
+        method_values=dict(d["method_values"]),
+        b_eff_io=d["b_eff_io"],
+        validity=validity,
+    )
 
 
 def to_json(result: BeffResult | BeffIOResult, machine: str | None = None,

@@ -14,7 +14,7 @@ The kernel is intentionally small and dependency-free:
   concurrent transfers with progressive-filling max-min fairness.
 """
 
-from repro.sim.engine import Simulator, DeadlockError
+from repro.sim.engine import Simulator, DeadlockError, EventBudgetError
 from repro.sim.process import Process, SimEvent, Sleep, SleepUntil, on_trigger, wait_all
 from repro.sim.fluid import FlowNetwork, Flow, Link, maxmin_allocate
 from repro.sim.trace import TraceEvent, Tracer
@@ -22,6 +22,7 @@ from repro.sim.trace import TraceEvent, Tracer
 __all__ = [
     "Simulator",
     "DeadlockError",
+    "EventBudgetError",
     "Process",
     "SimEvent",
     "Sleep",

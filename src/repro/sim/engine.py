@@ -16,6 +16,17 @@ class DeadlockError(RuntimeError):
     """Raised when the event queue drains while processes are still blocked."""
 
 
+class EventBudgetError(RuntimeError):
+    """Raised when a guarded run exhausts its event budget with work pending.
+
+    This is the engine-level "never hang" guard for fault-injected
+    runs: a fault that keeps the simulation spinning (instead of
+    deadlocking, which :meth:`Simulator.run_to_completion` already
+    detects) trips the budget and surfaces as a flagged partial
+    result rather than an unbounded loop.
+    """
+
+
 class Simulator:
     """Virtual-time discrete-event scheduler.
 
@@ -130,15 +141,23 @@ class Simulator:
         if until is not None and until > self._now:
             self._now = until
 
-    def run_to_completion(self) -> None:
+    def run_to_completion(self, max_events: int | None = None) -> None:
         """Run until the queue drains; raise if any process is still blocked.
 
         This is the entry point the benchmarks use: a blocked process
         after the queue drains means an MPI message was never matched
         or an I/O completion was lost — a genuine deadlock in the
-        simulated program.
+        simulated program.  ``max_events`` bounds the run: exhausting
+        it with events still pending raises :class:`EventBudgetError`
+        (the guard resilient fault-injected runs use to turn a
+        runaway simulation into a flagged result).
         """
-        self.run()
+        self.run(max_events=max_events)
+        if max_events is not None and self.peek() is not None:
+            raise EventBudgetError(
+                f"event budget of {max_events} exhausted at t={self._now:g} "
+                "with events still pending"
+            )
         stuck = [p for p in self.processes if not p.finished and not p.daemon]
         if stuck:
             names = ", ".join(str(p) for p in stuck[:8])

@@ -215,6 +215,44 @@ class FlowNetwork:
     def link(self, link_id: int) -> Link:
         return self._links[link_id]
 
+    def set_capacity(self, link_id: int, capacity: float) -> None:
+        """Change a link's capacity mid-run (fault injection hook).
+
+        In-flight flows are settled at the current instant and the
+        allocation is recomputed — component-local and batched with
+        any other same-instant changes in ``incremental`` mode,
+        immediately and globally in ``reference`` mode, so both modes
+        see the new capacity from the same virtual time onwards.
+        """
+        if not (capacity > 0.0) or math.isinf(capacity):
+            raise ValueError(f"link capacity must be finite and positive: {capacity!r}")
+        link = self._links[link_id]
+        if link.capacity == capacity:
+            return
+        if self._incremental:
+            link.capacity = capacity
+            self._dirty_links.add(link_id)
+            self._request_flush()
+        else:
+            self._settle()
+            link.capacity = capacity
+            self._reallocate_reference()
+
+    def link_ids(self) -> list[int]:
+        """All public (non-private-cap) link ids, ascending."""
+        return sorted(
+            link_id for link_id, link in self._links.items()
+            if not link.name.startswith("cap:")
+        )
+
+    def find_links(self, pattern: str) -> list[int]:
+        """Ids of public links whose name contains ``pattern``, ascending."""
+        return sorted(
+            link_id
+            for link_id, link in self._links.items()
+            if not link.name.startswith("cap:") and pattern in link.name
+        )
+
     @property
     def num_links(self) -> int:
         return len(self._links)

@@ -69,6 +69,16 @@ class Topology(ABC):
         self._check_proc(proc)
         return proc
 
+    def links_matching(self, pattern: str) -> list[int]:
+        """Ids of this topology's links whose name contains ``pattern``.
+
+        ``""`` matches every link.  Fault plans resolve their link
+        selectors through this, so a plan written against link-name
+        substrings ("torus", "x0") is portable across sizes.
+        """
+        self._check_attached()
+        return self.net.find_links(pattern)
+
     @property
     def num_nodes(self) -> int:
         """Number of physical nodes (== nprocs unless overridden)."""

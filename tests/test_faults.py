@@ -1,0 +1,314 @@
+"""Deterministic fault plans and the injector's bit-exactness guarantees.
+
+The fault subsystem's core contract is twofold: the *same seed* always
+produces the *same schedule* (and hence bit-equal degraded benchmark
+results), and an *empty or never-opening* plan leaves every benchmark
+number bit-identical to an undisturbed run.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.beff import MeasurementConfig, run_beff
+from repro.faults import (
+    OUTAGE_FLOOR,
+    FaultInjector,
+    FaultPlan,
+    JitterBurst,
+    LinkFault,
+    ServerCrash,
+    Straggler,
+)
+from repro.net import Fabric, NetParams
+from repro.sim import FlowNetwork, Process, Simulator
+from repro.topology import Torus
+from repro.util import MB
+
+MEM = 512 * MB  # per-proc memory -> Lmax = 4 MB
+FAST = dict(methods=("sendrecv", "nonblocking"), max_looplength=1)
+
+
+def torus_factory(n, link_bw=300 * MB):
+    def make():
+        sim = Simulator()
+        return Fabric(sim, Torus((n,), link_bw=link_bw), NetParams(latency=10e-6))
+
+    return make
+
+
+def make_fabric(n=4):
+    sim = Simulator()
+    fabric = Fabric(sim, Torus((n,), link_bw=100 * MB), NetParams())
+    return sim, fabric
+
+
+class TestPlanDeterminism:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_generate_same_seed_same_schedule(self, seed):
+        kwargs = dict(nprocs=8, num_servers=4)
+        p1 = FaultPlan.generate(seed, 10.0, **kwargs)
+        p2 = FaultPlan.generate(seed, 10.0, **kwargs)
+        assert p1 == p2
+        assert p1.signature() == p2.signature()
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_severity_profile_same_seed_same_schedule(self, seed):
+        p1 = FaultPlan.severity_profile(seed, 30.0, 0.75, nprocs=4, num_servers=2)
+        p2 = FaultPlan.severity_profile(seed, 30.0, 0.75, nprocs=4, num_servers=2)
+        assert p1 == p2
+
+    def test_generate_events_sorted_by_start(self):
+        plan = FaultPlan.generate(7, 10.0, nprocs=8, num_servers=4, n_link=3)
+        starts = [
+            e.t_crash if isinstance(e, ServerCrash) else e.t_start
+            for e in plan.events
+        ]
+        assert starts == sorted(starts)
+
+    def test_severity_zero_is_empty_plan(self):
+        plan = FaultPlan.severity_profile(3, 10.0, 0.0, nprocs=4)
+        assert plan == FaultPlan(seed=3)
+        assert not plan  # falsy: skips injector attachment entirely
+
+    def test_needs_filesystem(self):
+        assert FaultPlan(events=(ServerCrash(0, 1.0, 2.0),)).needs_filesystem()
+        assert not FaultPlan(events=(LinkFault(0, 1.0, 2.0, 0.5),)).needs_filesystem()
+
+
+class TestPlanValidation:
+    def test_link_factor_range(self):
+        with pytest.raises(ValueError, match="factor"):
+            LinkFault(0, 1.0, 2.0, 1.5)
+
+    def test_straggler_slowdown_at_least_one(self):
+        with pytest.raises(ValueError, match="slowdown"):
+            Straggler(0, 1.0, 2.0, 0.5)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="empty fault window"):
+            JitterBurst(2.0, 2.0, 0.5)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="past"):
+            LinkFault(0, -1.0, 2.0, 0.5)
+
+    def test_infinite_end_allowed(self):
+        ServerCrash(0, 1.0, math.inf)  # the unrecoverable case
+
+    def test_jitter_amplitude_positive(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            JitterBurst(1.0, 2.0, 0.0)
+
+
+class TestInjectorLinks:
+    def test_degrade_then_restore_exact_capacity(self):
+        sim, fabric = make_fabric()
+        link_id = fabric.topology.links_matching("")[0]
+        base = fabric.flows.link(link_id).capacity
+        inj = FaultInjector(FaultPlan(events=(LinkFault(0, 1.0, 2.0, 0.5),)))
+        inj.attach(sim, fabric=fabric)
+        sim.run(until=1.5)
+        assert fabric.flows.link(link_id).capacity == base * 0.5
+        sim.run(until=3.0)
+        # bit-exact restore, not approximately equal
+        assert fabric.flows.link(link_id).capacity == base
+
+    def test_overlapping_windows_stack_multiplicatively(self):
+        sim, fabric = make_fabric()
+        link_id = fabric.topology.links_matching("")[0]
+        base = fabric.flows.link(link_id).capacity
+        plan = FaultPlan(events=(
+            LinkFault(0, 1.0, 3.0, 0.5),
+            LinkFault(0, 2.0, 4.0, 0.5),
+        ))
+        FaultInjector(plan).attach(sim, fabric=fabric)
+        sim.run(until=2.5)
+        assert fabric.flows.link(link_id).capacity == base * 0.25
+        sim.run(until=3.5)
+        assert fabric.flows.link(link_id).capacity == base * 0.5
+        sim.run(until=5.0)
+        assert fabric.flows.link(link_id).capacity == base
+
+    def test_outage_keeps_positive_floor_capacity(self):
+        sim, fabric = make_fabric()
+        link_id = fabric.topology.links_matching("")[0]
+        base = fabric.flows.link(link_id).capacity
+        FaultInjector(FaultPlan(events=(LinkFault(0, 1.0, 2.0, 0.0),))).attach(
+            sim, fabric=fabric
+        )
+        sim.run(until=1.5)
+        cap = fabric.flows.link(link_id).capacity
+        assert cap > 0  # the fluid engine needs positive capacities
+        assert cap == pytest.approx(base * OUTAGE_FLOOR)
+        sim.run(until=3.0)
+        assert fabric.flows.link(link_id).capacity == base
+
+    def test_empty_string_selector_hits_every_link(self):
+        sim, fabric = make_fabric()
+        ids = fabric.topology.links_matching("")
+        bases = {i: fabric.flows.link(i).capacity for i in ids}
+        FaultInjector(FaultPlan(events=(LinkFault("", 1.0, 2.0, 0.5),))).attach(
+            sim, fabric=fabric
+        )
+        sim.run(until=1.5)
+        for i in ids:
+            assert fabric.flows.link(i).capacity == bases[i] * 0.5
+
+    def test_unmatched_selector_raises_at_attach(self):
+        sim, fabric = make_fabric()
+        inj = FaultInjector(
+            FaultPlan(events=(LinkFault("no-such-link-xyz", 1.0, 2.0, 0.5),))
+        )
+        with pytest.raises(ValueError, match="matched no links"):
+            inj.attach(sim, fabric=fabric)
+
+    def test_server_fault_without_filesystem_rejected(self):
+        sim, fabric = make_fabric()
+        inj = FaultInjector(FaultPlan(events=(ServerCrash(0, 1.0, 2.0),)))
+        with pytest.raises(ValueError, match="filesystem"):
+            inj.attach(sim, fabric=fabric)
+
+    def test_double_attach_rejected(self):
+        sim, fabric = make_fabric()
+        inj = FaultInjector(FaultPlan())
+        inj.attach(sim, fabric=fabric)
+        with pytest.raises(RuntimeError, match="already attached"):
+            inj.attach(sim, fabric=fabric)
+
+    def test_transitions_are_logged(self):
+        sim, fabric = make_fabric()
+        inj = FaultInjector(FaultPlan(events=(LinkFault(0, 1.0, 2.0, 0.5),)))
+        inj.attach(sim, fabric=fabric)
+        sim.run(until=3.0)
+        times = [t for t, _ in inj.transitions]
+        assert times == [1.0, 2.0]
+
+
+class TestInjectorLatencyHooks:
+    def test_straggler_inflates_latency_only_in_window(self):
+        sim, fabric = make_fabric()
+        inj = FaultInjector(FaultPlan(events=(Straggler(1, 1.0, 2.0, 3.0),)))
+        inj.attach(sim, fabric=fabric)
+        lat = 1e-6
+        assert inj.adjust_latency(0, 1, lat) == lat  # window not open yet
+        sim.run(until=1.5)
+        assert inj.adjust_latency(0, 1, lat) == lat * 3.0  # dst straggling
+        assert inj.adjust_latency(1, 2, lat) == lat * 3.0  # src straggling
+        assert inj.adjust_latency(0, 2, lat) == lat  # uninvolved pair
+        sim.run(until=3.0)
+        assert inj.adjust_latency(0, 1, lat) == lat  # exact after revert
+
+    def test_jitter_only_inside_burst_and_bounded(self):
+        sim, fabric = make_fabric()
+        inj = FaultInjector(FaultPlan(events=(JitterBurst(1.0, 2.0, 0.5),), seed=9))
+        inj.attach(sim, fabric=fabric)
+        lat = 1e-6
+        # outside the burst: exact pass-through, no randomness consumed
+        assert inj.adjust_latency(0, 1, lat) == lat
+        sim.run(until=1.5)
+        draws = [inj.adjust_latency(0, 1, lat) for _ in range(8)]
+        assert all(lat <= d <= lat * 1.5 for d in draws)
+        assert len(set(draws)) > 1  # actually random within the burst
+        sim.run(until=3.0)
+        assert inj.adjust_latency(0, 1, lat) == lat
+
+
+class TestSetCapacity:
+    @pytest.mark.parametrize("mode", ["incremental", "reference"])
+    def test_midflow_change_slows_remaining_bytes(self, mode):
+        sim = Simulator()
+        net = FlowNetwork(sim, mode=mode)
+        link = net.add_link(10.0)
+        done = []
+
+        def prog():
+            yield net.start_flow([link], 100.0)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.schedule_abs(5.0, lambda: net.set_capacity(link, 5.0))
+        sim.run_to_completion()
+        # 50 bytes at 10 B/s, then 50 bytes at 5 B/s
+        assert done[0] == pytest.approx(15.0)
+
+    @pytest.mark.parametrize("mode", ["incremental", "reference"])
+    def test_restore_speeds_back_up(self, mode):
+        sim = Simulator()
+        net = FlowNetwork(sim, mode=mode)
+        link = net.add_link(10.0)
+        done = []
+
+        def prog():
+            yield net.start_flow([link], 100.0)
+            done.append(sim.now)
+
+        Process(sim, prog())
+        sim.schedule_abs(2.0, lambda: net.set_capacity(link, 5.0))
+        sim.schedule_abs(6.0, lambda: net.set_capacity(link, 10.0))
+        sim.run_to_completion()
+        # 20 bytes fast + 20 bytes slow + 60 bytes fast
+        assert done[0] == pytest.approx(12.0)
+
+    def test_invalid_capacities_rejected(self):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        link = net.add_link(10.0)
+        with pytest.raises(ValueError):
+            net.set_capacity(link, 0.0)
+        with pytest.raises(ValueError):
+            net.set_capacity(link, math.inf)
+
+    def test_link_ids_and_find_links(self):
+        _, fabric = make_fabric()
+        net = fabric.flows
+        ids = net.link_ids()
+        assert ids  # a torus has physical links
+        assert net.find_links("") == ids
+        assert net.find_links("no-such-name-xyz") == []
+
+
+class TestBitIdentity:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_beff(torus_factory(4), MEM, MeasurementConfig(**FAST))
+
+    def test_empty_plan_is_bit_identical(self, baseline):
+        cfg = MeasurementConfig(**FAST, faults=FaultPlan.empty())
+        res = run_beff(torus_factory(4), MEM, cfg)
+        assert res.b_eff == baseline.b_eff
+        assert res.per_pattern == baseline.per_pattern
+        assert res.records == baseline.records
+        assert res.validity.ok
+
+    def test_never_opening_plan_is_bit_identical(self, baseline):
+        # windows far past the end of the run: the injector is attached
+        # and scheduled, but no window ever opens during measurement
+        plan = FaultPlan(events=(
+            LinkFault(0, 1e6, 1e6 + 1.0, 0.5),
+            Straggler(0, 1e6, 1e6 + 1.0, 4.0),
+            JitterBurst(1e6, 1e6 + 1.0, 0.5),
+        ))
+        res = run_beff(torus_factory(4), MEM, MeasurementConfig(**FAST, faults=plan))
+        assert res.b_eff == baseline.b_eff
+        assert res.records == baseline.records
+        assert res.validity.ok
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=3, deadline=None)
+    def test_same_seed_bit_equal_degraded_results(self, seed):
+        p1 = FaultPlan.severity_profile(seed, 1.0, 0.6, nprocs=4)
+        p2 = FaultPlan.severity_profile(seed, 1.0, 0.6, nprocs=4)
+        assert p1 == p2
+        r1 = run_beff(torus_factory(4), MEM, MeasurementConfig(**FAST, faults=p1))
+        r2 = run_beff(torus_factory(4), MEM, MeasurementConfig(**FAST, faults=p2))
+        assert r1.b_eff == r2.b_eff
+        assert r1.records == r2.records
+
+    def test_faults_degrade_bandwidth(self, baseline):
+        plan = FaultPlan.severity_profile(11, 1.0, 0.6, nprocs=4)
+        res = run_beff(torus_factory(4), MEM, MeasurementConfig(**FAST, faults=plan))
+        assert res.b_eff < baseline.b_eff

@@ -1,0 +1,270 @@
+"""Graceful degradation: budgets, partial aggregation, never hanging.
+
+A resilient benchmark run must always *terminate with a verdict*: an
+over-budget pattern is skipped and flagged, an unrecoverable fault
+(dead PFS server, exhausted event budget) yields an ``invalid``
+partial result carrying the cause — never a hang, never a silent
+wrong number.
+"""
+
+import math
+
+import pytest
+
+from repro.beff import MeasurementConfig, run_beff
+from repro.beff import analysis as beff_analysis
+from repro.beff.measurement import MeasurementRecord
+from repro.beffio import BeffIOConfig
+from repro.beffio import analysis as io_analysis
+from repro.beffio.analysis import ACCESS_METHODS, TypeResult
+from repro.faults import VALID, FaultPlan, RunValidity, ServerCrash, merge
+from repro.machines import cray_t3e_900
+from repro.mpiio.gate import CollectiveGate
+from repro.net import Fabric, NetParams
+from repro.sim import EventBudgetError, Process, Simulator, Sleep
+from repro.topology import Torus
+from repro.util import MB
+
+MEM = 512 * MB
+FAST = dict(methods=("sendrecv",), max_looplength=1)
+
+
+def torus_factory(n):
+    def make():
+        sim = Simulator()
+        return Fabric(sim, Torus((n,), link_bw=300 * MB), NetParams(latency=10e-6))
+
+    return make
+
+
+class TestEventBudget:
+    def test_exhaustion_raises_event_budget_error(self):
+        sim = Simulator()
+
+        def prog():
+            for _ in range(100):
+                yield Sleep(1.0)
+
+        Process(sim, prog())
+        with pytest.raises(EventBudgetError, match="budget"):
+            sim.run_to_completion(max_events=5)
+
+    def test_sufficient_budget_completes_normally(self):
+        sim = Simulator()
+        ticks = []
+
+        def prog():
+            for _ in range(3):
+                yield Sleep(1.0)
+            ticks.append(sim.now)
+
+        Process(sim, prog())
+        sim.run_to_completion(max_events=1000)
+        assert ticks == [3.0]
+
+
+class TestBeffDegradation:
+    def test_tiny_pattern_budget_invalidates(self):
+        cfg = MeasurementConfig(**FAST, pattern_budget=1e-12)
+        res = run_beff(torus_factory(4), MEM, cfg)
+        assert res.validity.state == "invalid"
+        assert not res.validity.ok
+        assert res.validity.skipped  # names the abandoned patterns
+        assert math.isnan(res.b_eff)
+        assert "skipped" in res.validity.describe()
+
+    def test_event_budget_reports_invalid_with_cause(self):
+        cfg = MeasurementConfig(**FAST, event_budget=500)
+        res = run_beff(torus_factory(4), MEM, cfg)
+        assert res.validity.state == "invalid"
+        assert "EventBudgetError" in res.validity.reason
+        assert math.isnan(res.b_eff)
+
+    def test_clean_run_is_valid(self):
+        res = run_beff(torus_factory(4), MEM, MeasurementConfig(**FAST))
+        assert res.validity is VALID
+
+
+class TestBeffIODegradation:
+    def test_dead_server_reports_invalid_not_hang(self):
+        # an unrecoverable server crash blocks every client touching it;
+        # the resilient runner must convert the deadlock into an
+        # invalid partial result (and do so promptly)
+        spec = cray_t3e_900()
+        plan = FaultPlan(events=(ServerCrash(0, 0.1, math.inf),), seed=1)
+        cfg = BeffIOConfig(T=0.8, pattern_types=(0,), faults=plan)
+        res = spec.run_beffio(4, cfg)
+        assert res.validity.state == "invalid"
+        assert math.isnan(res.b_eff_io)
+        assert "DeadlockError" in res.validity.reason
+
+    def test_recovered_server_crash_stays_valid(self):
+        spec = cray_t3e_900()
+        plan = FaultPlan(events=(ServerCrash(0, 0.1, 0.3),), seed=1)
+        cfg = BeffIOConfig(T=0.8, pattern_types=(0,), faults=plan)
+        res = spec.run_beffio(4, cfg)
+        assert res.validity.ok
+        assert res.b_eff_io > 0
+
+    def test_pattern_budget_flags_degraded(self):
+        spec = cray_t3e_900()
+        cfg = BeffIOConfig(T=0.8, pattern_types=(0,), pattern_budget=1e-6)
+        res = spec.run_beffio(4, cfg)
+        assert res.validity.state == "degraded"
+        assert res.validity.flagged
+        assert any(r.over_budget for r in res.pattern_runs)
+        assert not math.isnan(res.b_eff_io)  # flagged, but still computable
+
+    def test_event_budget_reports_invalid_with_cause(self):
+        spec = cray_t3e_900()
+        cfg = BeffIOConfig(T=0.8, pattern_types=(0,), event_budget=2000)
+        res = spec.run_beffio(4, cfg)
+        assert res.validity.state == "invalid"
+        assert "EventBudgetError" in res.validity.reason
+        assert math.isnan(res.b_eff_io)
+
+
+def rec(pattern, kind, size, bw):
+    return MeasurementRecord(
+        pattern=pattern, kind=kind, size=size, method="sendrecv",
+        repetition=0, looplength=1, time=1.0, bandwidth=bw,
+    )
+
+
+class TestBeffAggregatePartial:
+    EXPECTED = {"ring-a": "ring", "rand-b": "random"}
+
+    def complete_records(self):
+        return [
+            rec("ring-a", "ring", 1, 100.0), rec("ring-a", "ring", 2, 200.0),
+            rec("rand-b", "random", 1, 50.0), rec("rand-b", "random", 2, 80.0),
+        ]
+
+    def test_complete_set_is_valid_and_matches_aggregate(self):
+        records = self.complete_records()
+        agg, validity = beff_analysis.aggregate_partial(records, 2, 2, self.EXPECTED)
+        full = beff_analysis.aggregate(records, 2, 2)
+        assert validity is VALID
+        assert agg == full
+
+    def test_missing_pattern_invalidates_but_keeps_partials(self):
+        records = self.complete_records()[:2]  # rand-b never ran
+        agg, validity = beff_analysis.aggregate_partial(
+            records, 2, 2, self.EXPECTED, skipped=("rand-b",)
+        )
+        assert validity.state == "invalid"
+        assert "rand-b" in validity.skipped
+        assert math.isnan(agg["b_eff"])
+        assert agg["per_pattern"] == {"ring-a": 150.0}
+
+    def test_half_measured_pattern_counts_as_skipped(self):
+        records = self.complete_records()[:3]  # rand-b missing one size
+        agg, validity = beff_analysis.aggregate_partial(records, 2, 2, self.EXPECTED)
+        assert validity.state == "invalid"
+        assert "rand-b" in validity.skipped
+        assert "rand-b" not in agg["per_pattern"]
+
+    def test_flagged_complete_set_is_degraded_with_exact_values(self):
+        records = self.complete_records()
+        agg, validity = beff_analysis.aggregate_partial(
+            records, 2, 2, self.EXPECTED, flagged=("ring-a",)
+        )
+        assert validity.state == "degraded"
+        assert agg == beff_analysis.aggregate(records, 2, 2)
+
+    def test_failure_reason_is_carried(self):
+        agg, validity = beff_analysis.aggregate_partial(
+            self.complete_records(), 2, 2, self.EXPECTED, failure="EventBudgetError: x"
+        )
+        assert validity.state == "degraded"
+        assert validity.reason == "EventBudgetError: x"
+
+
+def tr(method, pt, nbytes=100, time=1.0):
+    return TypeResult(method=method, pattern_type=pt, nbytes=nbytes, time=time, reps=1)
+
+
+class TestBeffIOAggregatePartial:
+    EXPECTED = [(m, 0) for m in ACCESS_METHODS]
+
+    def test_complete_set_is_valid(self):
+        results = [tr(m, 0) for m in ACCESS_METHODS]
+        mv, beffio, validity = io_analysis.aggregate_partial(results, self.EXPECTED)
+        assert validity is VALID
+        assert beffio == pytest.approx(100.0)
+
+    def test_missing_method_type_pair_invalidates(self):
+        results = [tr("write", 0), tr("rewrite", 0)]  # read never ran
+        mv, beffio, validity = io_analysis.aggregate_partial(results, self.EXPECTED)
+        assert validity.state == "invalid"
+        assert any("read" in s for s in validity.skipped)
+        assert math.isnan(mv["read"])
+        assert math.isnan(beffio)
+        # surviving methods keep their exact values
+        assert mv["write"] == pytest.approx(100.0)
+
+    def test_flagged_complete_set_is_degraded(self):
+        results = [tr(m, 0) for m in ACCESS_METHODS]
+        mv, beffio, validity = io_analysis.aggregate_partial(
+            results, self.EXPECTED, flagged=("write/t0/p1",)
+        )
+        assert validity.state == "degraded"
+        assert beffio == pytest.approx(100.0)
+
+
+class TestValidityMerge:
+    def test_empty_and_all_valid_merge_to_valid(self):
+        assert merge([]) is VALID
+        assert merge([VALID, VALID]) is VALID
+
+    def test_worst_state_wins(self):
+        degraded = RunValidity("degraded", flagged=("x",))
+        invalid = RunValidity("invalid", skipped=("y",), reason="boom")
+        assert merge([VALID, degraded]).state == "degraded"
+        merged = merge([degraded, invalid, VALID])
+        assert merged.state == "invalid"
+        assert "x" in merged.flagged and "y" in merged.skipped
+        assert "boom" in merged.reason
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            RunValidity("bogus")
+
+
+class TestGateCrashes:
+    """A rank or gate action dying must surface loudly, never deadlock."""
+
+    def test_action_exception_propagates(self):
+        sim = Simulator()
+        gate = CollectiveGate(sim, 2, name="g")
+
+        def action(contribs):
+            yield Sleep(0.1)
+            raise RuntimeError("action crashed")
+
+        def rank(r):
+            yield from gate.arrive(r, r, action)
+
+        Process(sim, rank(0))
+        Process(sim, rank(1))
+        with pytest.raises(RuntimeError, match="action crashed"):
+            sim.run_to_completion()
+
+    def test_rank_crash_before_gate_raises_not_hangs(self):
+        sim = Simulator()
+        gate = CollectiveGate(sim, 2, name="g")
+
+        def action(contribs):
+            yield Sleep(0.1)
+            return sum(contribs.values())
+
+        def rank(r):
+            yield Sleep(0.05)
+            if r == 1:
+                raise RuntimeError("rank died before the collective")
+            yield from gate.arrive(r, r, action)
+
+        Process(sim, rank(0))
+        Process(sim, rank(1))
+        with pytest.raises(RuntimeError, match="rank died"):
+            sim.run_to_completion()

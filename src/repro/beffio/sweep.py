@@ -23,14 +23,25 @@ from __future__ import annotations
 
 import math
 import os
+import pathlib
+import re
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
 
 from repro.beffio.benchmark import BeffIOConfig, BeffIOResult
 from repro.beffio.journal import SweepJournal, config_fingerprint
 from repro.faults.validity import VALID, RunValidity, merge
+
+if TYPE_CHECKING:
+    from repro.machines.spec import MachineSpec
+
+#: a machine registry key, or a resolved spec
+MachineLike = Union[str, "MachineSpec"]
 
 #: the official minimum scheduled time (15 minutes)
 OFFICIAL_MINIMUM_T = 900.0
@@ -45,10 +56,38 @@ CRASH_AFTER_ENV = "REPRO_SWEEP_CRASH_AFTER"
 class SweepWorkerError(RuntimeError):
     """A partition run failed after exhausting its retries.
 
-    The message names the machine, the partition size, and the
-    configuration that failed; the original exception is chained as
-    ``__cause__``.
+    The message names the machine, the partition size, the
+    configuration that failed *and the failing source frame*; the
+    original exception is chained as ``__cause__`` and the worker's
+    full formatted traceback is kept on ``worker_traceback`` so the
+    CLI's exit-code-3 report can show where the worker died, not just
+    which partition it was running.
     """
+
+    def __init__(self, message: str, worker_traceback: str = "") -> None:
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
+
+
+def _failure_site(exc: BaseException) -> str:
+    """``file:line in function`` of the deepest frame that raised ``exc``.
+
+    For exceptions re-raised out of a :class:`ProcessPoolExecutor`
+    worker the parent-side traceback only shows executor internals;
+    the worker's real frames travel as a ``_RemoteTraceback`` cause
+    string, so those are parsed in preference.
+    """
+    cause = exc.__cause__
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        found = re.findall(r'File "([^"]+)", line (\d+), in (\S+)', str(cause))
+        if found:
+            path, line, func = found[-1]
+            return f"{pathlib.Path(path).name}:{line} in {func}"
+    frames = traceback.extract_tb(exc.__traceback__)
+    if not frames:
+        return "no traceback available"
+    last = frames[-1]
+    return f"{pathlib.Path(last.filename).name}:{last.lineno} in {last.name}"
 
 
 @dataclass(frozen=True)
@@ -69,7 +108,7 @@ class SweepResult:
         return {r.nprocs: r.b_eff_io for r in self.results}
 
 
-def _resolve(spec):
+def _resolve(spec: MachineLike) -> "MachineSpec":
     """A machine key resolves through the registry; specs pass through."""
     if isinstance(spec, str):
         from repro.machines import get_machine
@@ -78,7 +117,7 @@ def _resolve(spec):
     return spec
 
 
-def _registry_key(spec) -> str:
+def _registry_key(spec: "MachineSpec") -> str:
     """Find the registry key of a spec (required to ship it to workers:
     a :class:`MachineSpec` holds environment-factory closures, so only
     the key crosses the process boundary)."""
@@ -125,18 +164,22 @@ class _Retry:
         if n > self.retries:
             raise SweepWorkerError(
                 f"{_describe(self.machine, nprocs, self.config)} failed "
-                f"after {n} attempt(s): {type(exc).__name__}: {exc}"
+                f"after {n} attempt(s) at {_failure_site(exc)}: "
+                f"{type(exc).__name__}: {exc}",
+                worker_traceback="".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ),
             ) from exc
         if self.backoff > 0:
             time.sleep(self.backoff * n)
 
 
 def run_sweep(
-    spec,
-    partitions,
+    spec: MachineLike,
+    partitions: Iterable[int],
     config: BeffIOConfig | None = None,
     jobs: int = 1,
-    journal: str | SweepJournal | None = None,
+    journal: str | os.PathLike[str] | SweepJournal | None = None,
     resume: bool = False,
     retries: int = 0,
     backoff: float = 0.0,
@@ -179,9 +222,10 @@ def run_sweep(
         fingerprint = config_fingerprint(machine_name, config)
         if resume:
             jr.check(machine_name, fingerprint)
-            done = {
-                n: r for n, r in jr.completed().items() if n in set(partitions)
-            }
+            # hoisted: a comprehension condition re-evaluates its
+            # expression per row, so build the membership set once
+            wanted = frozenset(partitions)
+            done = {n: r for n, r in jr.completed().items() if n in wanted}
         else:
             jr.start(machine_name, fingerprint)
 
@@ -215,7 +259,7 @@ def run_sweep(
                     result = spec.run_beffio(n, config)
                 except (KeyboardInterrupt, SystemExit):
                     raise
-                except Exception as exc:
+                except Exception as exc:  # repro-lint: disable=REPRO005 -- retry.failed re-raises (as SweepWorkerError with the captured traceback) past the retry limit
                     retry.failed(n, exc)
                     continue
                 finish(result)
@@ -240,7 +284,14 @@ def run_sweep(
     )
 
 
-def _run_parallel(key, remaining, config, jobs, retry: _Retry, finish) -> None:
+def _run_parallel(
+    key: str,
+    remaining: list[int],
+    config: BeffIOConfig,
+    jobs: int,
+    retry: _Retry,
+    finish: Callable[[BeffIOResult], None],
+) -> None:
     """Fan partitions over worker processes; journal as each completes.
 
     A :class:`BrokenProcessPool` (worker killed mid-run) poisons every
@@ -251,14 +302,16 @@ def _run_parallel(key, remaining, config, jobs, retry: _Retry, finish) -> None:
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(remaining)))
     try:
         while todo:
-            futures = {
+            futures: dict[Future[BeffIOResult], int] = {
                 pool.submit(_run_partition, key, n, config): n for n in sorted(todo)
             }
             broken = False
             pending = set(futures)
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in finished:
+                # wait() returns a set; drain it in partition order so
+                # journal writes and retry accounting are reproducible
+                for fut in sorted(finished, key=futures.__getitem__):
                     n = futures[fut]
                     try:
                         result = fut.result()
@@ -267,7 +320,7 @@ def _run_parallel(key, remaining, config, jobs, retry: _Retry, finish) -> None:
                         broken = True
                     except (KeyboardInterrupt, SystemExit):
                         raise
-                    except Exception as exc:
+                    except Exception as exc:  # repro-lint: disable=REPRO005 -- retry.failed re-raises (as SweepWorkerError with the worker's traceback) past the retry limit
                         retry.failed(n, exc)
                     else:
                         todo.discard(n)

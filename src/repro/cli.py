@@ -21,6 +21,8 @@ from repro.util import MB
 
 #: exit code when a sweep partition fails after exhausting retries
 EXIT_SWEEP_WORKER_FAILED = 3
+#: exit code when --sanitize finds a same-time tie-break dependency
+EXIT_SANITIZER_FAILED = 4
 
 
 def _machine_arg(parser: argparse.ArgumentParser) -> None:
@@ -42,6 +44,29 @@ def _fault_args(parser: argparse.ArgumentParser) -> None:
         "--fault-severity", type=float, default=0.5, metavar="S",
         help="fault severity in [0, 1] for --faults (0 = no faults; default 0.5)",
     )
+
+
+def _sanitize_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run the nondeterminism sanitizer: re-execute the benchmark "
+             "under shuffled same-time tie-breakers (3 extra runs) and fail "
+             f"with exit code {EXIT_SANITIZER_FAILED} unless every run is "
+             "bit-identical (see docs/static-analysis.md)",
+    )
+
+
+def _sanitized_run(run, describe_result):
+    """Run ``run`` under the commutativity check; returns (result, exit)."""
+    from repro.devtools.sanitizer import check_commutativity
+
+    report = check_commutativity(
+        run, equal=lambda a, b: describe_result(a) == describe_result(b)
+    )
+    print(f"sanitizer: {report.describe()}")
+    if not report.ok:
+        return report.baseline_result, EXIT_SANITIZER_FAILED
+    return report.baseline_result, 0
 
 
 def _fault_plan(args, spec, horizon: float) -> FaultPlan | None:
@@ -88,6 +113,7 @@ def main_beff(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", metavar="PATH",
                         help="also write the result as JSON (SKaMPI-style export)")
     _fault_args(parser)
+    _sanitize_arg(parser)
     args = parser.parse_args(argv)
     spec = _resolve_machine(args)
     if spec is None:
@@ -102,7 +128,15 @@ def main_beff(argv: list[str] | None = None) -> int:
         backend=args.backend,
         faults=plan,
     )
-    result = spec.run_beff(args.procs, config)
+    if args.sanitize:
+        result, status = _sanitized_run(
+            lambda: spec.run_beff(args.procs, config),
+            lambda r: to_json(r, machine=args.machine),
+        )
+        if status:
+            return status
+    else:
+        result = spec.run_beff(args.procs, config)
     if args.json:
         write_json_atomic(args.json, to_json(result, machine=args.machine))
     _print_validity(result.validity)
@@ -162,9 +196,12 @@ def main_beffio(argv: list[str] | None = None) -> int:
                              "giving up with exit code "
                              f"{EXIT_SWEEP_WORKER_FAILED}")
     _fault_args(parser)
+    _sanitize_arg(parser)
     args = parser.parse_args(argv)
     if args.resume and not args.journal:
         parser.error("--resume requires --journal")
+    if args.sanitize and args.partitions:
+        parser.error("--sanitize checks a single partition; drop --partitions")
     spec = _resolve_machine(args)
     if spec is None:
         return 0
@@ -187,6 +224,8 @@ def main_beffio(argv: list[str] | None = None) -> int:
             )
         except SweepWorkerError as exc:
             print(f"repro-beffio: {exc}", file=sys.stderr)
+            if exc.worker_traceback:
+                print(exc.worker_traceback, file=sys.stderr, end="")
             return EXIT_SWEEP_WORKER_FAILED
         for r in sweep.results:
             print(f"{r.nprocs:6d} procs  b_eff_io = {r.b_eff_io / MB:10.2f} MB/s"
@@ -196,7 +235,15 @@ def main_beffio(argv: list[str] | None = None) -> int:
               f"(best partition: {sweep.best_partition} procs"
               f"{', official' if sweep.official else ''})")
         return 0
-    result = spec.run_beffio(args.procs, config)
+    if args.sanitize:
+        result, status = _sanitized_run(
+            lambda: spec.run_beffio(args.procs, config),
+            lambda r: to_json(r, machine=args.machine),
+        )
+        if status:
+            return status
+    else:
+        result = spec.run_beffio(args.procs, config)
     if args.json:
         write_json_atomic(args.json, to_json(result, machine=args.machine))
     _print_validity(result.validity)

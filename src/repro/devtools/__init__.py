@@ -1,0 +1,65 @@
+"""Developer tooling guarding the reproduction's determinism contracts.
+
+Every headline number this repository produces — b_eff, b_eff_io,
+the fast-vs-reference bit-identity checks, fault apply/revert
+exactness, kill+resume equality — is only meaningful because repeated
+runs are bit-for-bit reproducible.  This package holds the tooling
+that keeps it that way as the codebase grows:
+
+:mod:`repro.devtools.lint`
+    ``repro-lint``, a custom AST analyzer with determinism-focused
+    rules (unseeded randomness, wall-clock reads, unordered
+    iteration, non-atomic result writes, ...), per-line suppressions
+    and a checked-in baseline so CI fails on *new* violations only.
+
+:mod:`repro.devtools.sanitizer`
+    A runtime nondeterminism sanitizer: opt-in
+    :class:`repro.sim.engine.Simulator` instrumentation that records
+    event traces, diffs the relative order of same-timestamp events
+    between runs, and deliberately shuffles same-time tie-breakers
+    under a derived seed to *prove* that handlers commute.
+"""
+
+from typing import Any
+
+_LINT = ("LintViolation", "lint_paths", "lint_source")
+_SANITIZER = (
+    "CommutativityReport",
+    "EventRecord",
+    "EventTrace",
+    "TieDivergence",
+    "check_commutativity",
+    "check_determinism",
+    "compare_traces",
+    "sanitized",
+)
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy re-exports: importing the package must not pre-import
+    # repro.devtools.lint, or `python -m repro.devtools.lint` warns
+    # about the module already being in sys.modules.
+    if name in _LINT:
+        from repro.devtools import lint
+
+        return getattr(lint, name)
+    if name in _SANITIZER:
+        from repro.devtools import sanitizer
+
+        return getattr(sanitizer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "LintViolation",
+    "lint_paths",
+    "lint_source",
+    "CommutativityReport",
+    "EventRecord",
+    "EventTrace",
+    "TieDivergence",
+    "check_commutativity",
+    "check_determinism",
+    "compare_traces",
+    "sanitized",
+]

@@ -1,0 +1,604 @@
+"""``repro-lint``: an AST analyzer for determinism hazards.
+
+The simulator's contracts (fast == reference bit-identity, fault
+apply/revert exactness, kill+resume equality) all assume that two
+runs with the same inputs execute the same floating-point operations
+in the same order.  Nothing in Python enforces that: one unseeded
+``random.random()``, one ``time.time()``, or one iteration over a
+``set`` feeding a heap push can silently break every contract at
+once.  ``repro-lint`` statically rejects those patterns before they
+land.
+
+Rules (see ``docs/static-analysis.md`` for rationale and fixes):
+
+========  ==========================================================
+REPRO001  unseeded / module-level RNG use outside ``sim/randomness.py``
+REPRO002  wall-clock reads inside ``src/repro`` (benchmarks exempt)
+REPRO003  iteration over a set in order-sensitive position
+REPRO004  ``sum()`` / ``math.fsum()`` over an unordered iterable
+REPRO005  broad ``except`` that swallows without re-raise or validity tag
+REPRO006  mutable default argument
+REPRO007  missing ``__slots__`` on a class in a ``sim/``/``net/`` hot module
+REPRO008  non-atomic ``open(..., "w")`` / ``json.dump`` result write
+REPRO009  entropy source (``os.urandom``, ``uuid.uuid4``, ``secrets``)
+REPRO010  salted builtin ``hash()`` (varies per process)
+========  ==========================================================
+
+A violation is silenced for one line with::
+
+    risky_call()  # repro-lint: disable=REPRO001 -- why this is safe
+
+and pre-existing debt is carried by a checked-in *baseline* file
+(``repro-lint-baseline.json``): with ``--baseline``, only violations
+exceeding the recorded per-file/per-rule counts fail the run, so CI
+rejects *new* hazards without demanding an instant cleanup of old
+ones.  (This repository's baseline is empty: the codebase is clean.)
+
+Run as ``repro-lint [paths]`` (console script) or
+``python -m repro.devtools.lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import re
+import sys
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+#: rule id -> one-line summary (the full catalogue lives in the docs)
+RULES: dict[str, str] = {
+    "REPRO001": "unseeded RNG: route randomness through repro.sim.randomness.RandomStreams",
+    "REPRO002": "wall-clock read: simulated code must use Simulator.now, never host time",
+    "REPRO003": "iteration over a set is order-nondeterministic: wrap the set in sorted()",
+    "REPRO004": "float accumulation over an unordered iterable: sort before summing",
+    "REPRO005": "broad except swallows the error: re-raise or tag RunValidity",
+    "REPRO006": "mutable default argument: default to None and allocate inside",
+    "REPRO007": "hot-path class without __slots__ (use __slots__ or @dataclass(slots=True))",
+    "REPRO008": "non-atomic result write: use repro.reporting.export.write_json_atomic",
+    "REPRO009": "OS entropy source: results would differ on every run",
+    "REPRO010": "builtin hash() is salted per process: derive keys explicitly",
+}
+
+#: default location of the checked-in baseline (repository root)
+DEFAULT_BASELINE = "repro-lint-baseline.json"
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_ENTROPY = frozenset({
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "random.SystemRandom",
+})
+
+#: callables whose result does not depend on argument order, so feeding
+#: them an unordered iterable is safe (sum is *not* here: float
+#: addition does not commute bit-exactly)
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "min", "max", "any", "all", "len", "set", "frozenset",
+})
+
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:--.*)?$")
+
+
+@dataclass(frozen=True, slots=True)
+class LintViolation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _resolve(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Dotted name a call target resolves to, via the import aliases.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+    under ``import numpy as np``; a name with no imported root returns
+    ``None`` (a local object the analyzer cannot see through).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _collect_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted module/object they import."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``scope``'s nodes without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue  # nested scopes are analyzed on their own
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _set_assigned_names(scope: ast.AST) -> frozenset[str]:
+    """Names bound to a syntactic set expression within ``scope``.
+
+    Only simple ``name = set(...)`` / ``name = {a, b}`` / set
+    comprehensions are tracked — enough to catch the realistic
+    ``pending = set(items) ... for x in pending`` pattern without a
+    type checker.  A name also assigned a non-set value in the same
+    scope is dropped (it may be either at iteration time).
+    """
+    names: set[str] = set()
+    unsure: set[str] = set()
+    for node in _walk_scope(scope):
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in {"set", "frozenset"}
+        )
+        if is_set:
+            names.add(target.id)
+        else:
+            unsure.add(target.id)
+    return frozenset(names - unsure)
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-file rule engine (one instance per analyzed module)."""
+
+    def __init__(self, path: str, tree: ast.AST, source: str) -> None:
+        self.path = path
+        self.posix = pathlib.PurePath(path).as_posix()
+        self.aliases = _collect_aliases(tree)
+        self.violations: list[LintViolation] = []
+        self._func_stack: list[str] = []
+        self._set_scopes: list[frozenset[str]] = [_set_assigned_names(tree)]
+        self._parents: dict[int, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        self._suppressed = _suppressions(source)
+
+    # -- helpers -------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str | None = None) -> None:
+        line = getattr(node, "lineno", 0)
+        disabled = self._suppressed.get(line, frozenset())
+        if rule in disabled or "all" in disabled:
+            return
+        self.violations.append(
+            LintViolation(
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message or RULES[rule],
+            )
+        )
+
+    def _in_path(self, *fragments: str) -> bool:
+        return any(f in self.posix for f in fragments)
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._set_scopes)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+                return self._is_set_expr(func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def _wrapper_call(self, node: ast.AST) -> str | None:
+        """Name of the call directly consuming ``node``, if any."""
+        parent = self._parents.get(id(node))
+        if isinstance(parent, ast.Call) and node in parent.args:
+            if isinstance(parent.func, ast.Name):
+                return parent.func.id
+            return _resolve(parent.func, self.aliases)
+        return None
+
+    # -- scope tracking ------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._func_stack.append(node.name)
+        self._set_scopes.append(_set_assigned_names(node))
+        self.generic_visit(node)
+        self._set_scopes.pop()
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- REPRO006: mutable defaults ------------------------------------
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in {"list", "dict", "set", "bytearray"}
+            )
+            if mutable:
+                self._report(default, "REPRO006")
+
+    # -- REPRO007: __slots__ on hot classes ----------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._in_path("/sim/", "/net/") and not self._class_exempt(node):
+            has_slots = any(
+                (isinstance(stmt, ast.Assign)
+                 and any(isinstance(t, ast.Name) and t.id == "__slots__" for t in stmt.targets))
+                or (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "__slots__")
+                for stmt in node.body
+            )
+            if not has_slots and not _dataclass_with_slots(node):
+                self._report(
+                    node, "REPRO007",
+                    f"class {node.name!r} in a hot module has no __slots__ "
+                    "(add __slots__ or @dataclass(slots=True))",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _class_exempt(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+            if name.endswith(("Error", "Exception", "Warning")) or name in {
+                "Protocol", "NamedTuple", "TypedDict", "Enum", "IntEnum", "type",
+            }:
+                return True
+        return False
+
+    # -- REPRO005: swallowing broad handlers ---------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._broad(node.type) and not self._handler_accounts(node):
+            self._report(
+                node, "REPRO005",
+                "broad except neither re-raises nor tags RunValidity; "
+                "a fault would vanish from the result",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _broad(type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True
+        names = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        return any(getattr(n, "id", "") in {"Exception", "BaseException"} for n in names)
+
+    @staticmethod
+    def _handler_accounts(node: ast.ExceptHandler) -> bool:
+        markers = {"RunValidity", "validity", "invalid", "degraded", "flagged"}
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Raise):
+                return True
+            if isinstance(inner, ast.Name) and inner.id in markers:
+                return True
+            if isinstance(inner, ast.Attribute) and inner.attr in markers:
+                return True
+        return False
+
+    # -- iteration rules ------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension_node(self, node: ast.AST, ordered_output: bool) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            if not self._is_set_expr(gen.iter):
+                continue
+            if not ordered_output:
+                continue  # a SetComp's output order cannot be observed
+            wrapper = self._wrapper_call(node)
+            if wrapper in _ORDER_INSENSITIVE:
+                continue
+            if wrapper in {"sum", "math.fsum"}:
+                self._report(gen.iter, "REPRO004")
+            else:
+                self._report(gen.iter, "REPRO003")
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_node(node, ordered_output=True)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_node(node, ordered_output=True)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension_node(node, ordered_output=True)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension_node(node, ordered_output=False)
+        self.generic_visit(node)
+
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "enumerate"
+            and iter_node.args
+        ):
+            iter_node = iter_node.args[0]
+        if self._is_set_expr(iter_node):
+            self._report(iter_node, "REPRO003")
+
+    # -- call-target rules ----------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        resolved = _resolve(func, self.aliases)
+
+        if resolved is not None:
+            if (
+                (resolved.startswith("random.") or resolved.startswith("numpy.random."))
+                and not self.posix.endswith("sim/randomness.py")
+            ):
+                rule = "REPRO009" if resolved == "random.SystemRandom" else "REPRO001"
+                self._report(node, rule, f"{RULES[rule]} (call to {resolved})")
+            elif resolved in _WALL_CLOCK and not self._in_path(
+                "benchmarks/", "/tests/", "devtools/"
+            ):
+                self._report(node, "REPRO002", f"{RULES['REPRO002']} ({resolved})")
+            elif resolved in _ENTROPY or resolved.startswith("secrets."):
+                self._report(node, "REPRO009", f"{RULES['REPRO009']} ({resolved})")
+            elif resolved == "json.dump" and not self.posix.endswith("reporting/export.py"):
+                self._report(node, "REPRO008")
+
+        if name == "hash" and "__hash__" not in self._func_stack:
+            self._report(node, "REPRO010")
+        elif name in {"list", "tuple"} and len(node.args) == 1 and self._is_set_expr(node.args[0]):
+            self._report(node.args[0], "REPRO003")
+        elif name in {"sum"} or resolved == "math.fsum":
+            if node.args and self._is_set_expr(node.args[0]):
+                self._report(node.args[0], "REPRO004")
+        elif name == "open" and not self.posix.endswith("reporting/export.py"):
+            mode = None
+            if len(node.args) >= 2:
+                mode = node.args[1]
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    mode = kw.value
+            if (
+                isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and any(c in mode.value for c in "wax")
+            ):
+                self._report(node, "REPRO008")
+
+        if isinstance(func, ast.Attribute) and func.attr in {"write_text", "write_bytes"} \
+                and not self.posix.endswith("reporting/export.py"):
+            self._report(node, "REPRO008")
+
+        self.generic_visit(node)
+
+
+def _dataclass_with_slots(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Call):
+            target = dec.func
+            name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+            if name == "dataclass":
+                return any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in dec.keywords
+                )
+    return False
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Per-line ``# repro-lint: disable=RULE[,RULE]`` directives."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            out[lineno] = rules
+    return out
+
+
+# -- public API --------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
+    """Analyze one module's source text; returns sorted violations."""
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path, tree, source)
+    checker.visit(tree)
+    return sorted(checker.violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def lint_paths(paths: Iterable[str | pathlib.Path]) -> list[LintViolation]:
+    """Analyze every ``.py`` file under the given files/directories."""
+    files: list[pathlib.Path] = []
+    for entry in paths:
+        p = pathlib.Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    violations: list[LintViolation] = []
+    for file in files:
+        violations.extend(lint_source(file.read_text(), str(file)))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+# -- baseline ----------------------------------------------------------
+
+
+def _baseline_key(violation: LintViolation) -> str:
+    return f"{pathlib.PurePath(violation.path).as_posix()}::{violation.rule}"
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        return {}
+    data = json.loads(p.read_text())
+    entries = data.get("entries", {})
+    return {str(k): int(v) for k, v in entries.items()}
+
+def write_baseline(path: str | pathlib.Path, violations: Sequence[LintViolation]) -> None:
+    """Persist current violation counts as the new baseline (atomic)."""
+    from repro.reporting.export import write_json_atomic
+
+    counts = Counter(_baseline_key(v) for v in violations)
+    payload = {"version": 1, "entries": {k: counts[k] for k in sorted(counts)}}
+    write_json_atomic(path, payload)
+
+
+def apply_baseline(
+    violations: Sequence[LintViolation], baseline: dict[str, int]
+) -> tuple[list[LintViolation], int]:
+    """Split violations into (new, count suppressed by the baseline).
+
+    Per (file, rule) key, up to the baselined count of violations is
+    forgiven (earliest lines first — the stable choice when lines
+    shift); anything beyond it is new debt and fails the run.
+    """
+    allowance = dict(baseline)
+    fresh: list[LintViolation] = []
+    suppressed = 0
+    for violation in violations:  # already sorted by (path, line)
+        key = _baseline_key(violation)
+        if allowance.get(key, 0) > 0:
+            allowance[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(violation)
+    return fresh, suppressed
+
+
+# -- CLI ---------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism-focused AST analyzer for the repro codebase",
+        epilog="exit codes: 0 clean, 1 new violations, 2 usage error",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--baseline", nargs="?", const=DEFAULT_BASELINE, default=None, metavar="FILE",
+        help="forgive violations recorded in FILE "
+             f"(default when given without a value: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current violations into the baseline file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+
+    try:
+        violations = lint_paths(args.paths)
+    except (OSError, SyntaxError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        write_baseline(target, violations)
+        print(f"repro-lint: wrote {len(violations)} violation(s) to {target}")
+        return 0
+
+    suppressed = 0
+    if args.baseline is not None:
+        violations, suppressed = apply_baseline(violations, load_baseline(args.baseline))
+
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"repro-lint: {len(violations)} new violation(s)"
+              + (f" ({suppressed} baselined)" if suppressed else ""))
+        return 1
+    if suppressed:
+        print(f"repro-lint: clean ({suppressed} baselined violation(s) remain)")
+    else:
+        print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

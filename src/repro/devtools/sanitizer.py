@@ -1,0 +1,351 @@
+"""Runtime nondeterminism sanitizer for the event engine.
+
+Static analysis (:mod:`repro.devtools.lint`) catches the *sources* of
+nondeterminism it can see; this module catches the *symptom* it
+cannot: same-timestamp events whose handlers do not commute.  The
+engine's ``(time, tie_key, seq)`` ordering makes every run
+reproducible, but reproducible is not the same as *robust* — a
+simulation whose result depends on the FIFO order of two events at
+the same virtual instant is one refactor away from silently changing
+every published number.
+
+Two complementary checks:
+
+**Trace diffing** (:func:`compare_traces`, :func:`check_determinism`)
+    An instrumented :class:`~repro.sim.engine.Simulator` records an
+    ``(time, seq, callback-qualname)`` triple per executed event.
+    Comparing the traces of two runs pinpoints the first virtual
+    instant where the event streams diverge — between two *identical*
+    runs any divergence is a genuine nondeterminism bug (an unseeded
+    RNG, an id()-keyed dict, ...).
+
+**Tie shuffling** (:func:`check_commutativity`)
+    Re-running under a seed-derived permutation of same-time
+    tie-breakers *proves* handler commutativity: if the benchmark
+    numbers are bit-identical for every shuffle seed, no result
+    depends on arrival order within an instant.  If they differ, the
+    reported divergences name the timestamps and handlers to inspect.
+
+Instrumentation is opt-in and scoped: inside :func:`sanitized`, every
+``Simulator`` constructed anywhere (machine factories build their
+own) is instrumented; outside, the engine pays one ``is None`` test
+per event.  The environment toggle ``REPRO_TIE_SHUFFLE=<seed>``
+applies the shuffle to un-instrumented runs (e.g. an entire CLI
+invocation), and ``repro-beff --sanitize`` / ``repro-beffio
+--sanitize`` run the commutativity check end to end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim import engine as _engine
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One executed event: virtual time, schedule sequence, handler name."""
+
+    time: float
+    seq: int
+    label: str
+
+
+def _label(callback: Callable[[], None]) -> str:
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is not None:
+        return str(qualname)
+    func = getattr(callback, "func", None)  # functools.partial
+    if func is not None:
+        return f"partial({_label(func)})"
+    return type(callback).__name__
+
+
+class EventTrace:
+    """The ordered event stream of one instrumented simulator."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: list[EventRecord] = []
+
+    def append(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.records.append(EventRecord(time, seq, _label(callback)))
+
+    def groups(self) -> list[tuple[float, tuple[str, ...]]]:
+        """Consecutive same-timestamp runs as (time, handler labels)."""
+        return [
+            (time, tuple(r.label for r in records))
+            for time, records in self.record_groups()
+        ]
+
+    def record_groups(self) -> list[tuple[float, tuple[EventRecord, ...]]]:
+        """Consecutive same-timestamp runs as (time, records).
+
+        Virtual time is monotone, so grouping consecutive records
+        partitions the trace by instant; a group of length > 1 is a
+        tie the engine broke by sequence number (or by shuffle key).
+        """
+        out: list[tuple[float, tuple[EventRecord, ...]]] = []
+        batch: list[EventRecord] = []
+        current = 0.0
+        for record in self.records:
+            if batch and record.time != current:
+                out.append((current, tuple(batch)))
+                batch = []
+            current = record.time
+            batch.append(record)
+        if batch:
+            out.append((current, tuple(batch)))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass(frozen=True, slots=True)
+class TieDivergence:
+    """Two runs disagreed about the events at one virtual instant.
+
+    ``kind == "order"``: the same handlers ran in a different relative
+    order — the signature of a tie-break dependency probe.
+    ``kind == "content"``: different handlers (or counts) ran — the
+    runs' event streams genuinely forked at or before this instant.
+    """
+
+    time: float
+    before: tuple[str, ...]
+    after: tuple[str, ...]
+    kind: str
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time!r}: {self.kind} divergence — "
+            f"{list(self.before)} vs {list(self.after)}"
+        )
+
+
+def _fmt(records: tuple[EventRecord, ...]) -> tuple[str, ...]:
+    """Records as ``label#seq`` — the seq disambiguates equal labels."""
+    return tuple(f"{r.label}#{r.seq}" for r in records)
+
+
+def compare_traces(a: EventTrace, b: EventTrace) -> list[TieDivergence]:
+    """Instants where two traces disagree (see :class:`TieDivergence`).
+
+    Within an instant, events are compared as ``(seq, label)`` pairs:
+    the schedule sequence number identifies the *same* event across
+    two runs even when many tied handlers share one qualname (N
+    lambdas from one loop), so a pure permutation is always classified
+    as "order".  Comparison stops at the first *content* divergence:
+    once the event streams fork, every later difference is a
+    consequence of the first one and reporting it would only bury the
+    signal.
+    """
+    divergences: list[TieDivergence] = []
+    groups_a = a.record_groups()
+    groups_b = b.record_groups()
+    for (time_a, recs_a), (time_b, recs_b) in zip(groups_a, groups_b):
+        if time_a != time_b:
+            divergences.append(TieDivergence(time_a, _fmt(recs_a), _fmt(recs_b), "content"))
+            return divergences
+        pairs_a = [(r.seq, r.label) for r in recs_a]
+        pairs_b = [(r.seq, r.label) for r in recs_b]
+        if pairs_a == pairs_b:
+            continue
+        labels_a = sorted(r.label for r in recs_a)
+        labels_b = sorted(r.label for r in recs_b)
+        if sorted(pairs_a) == sorted(pairs_b) or labels_a == labels_b:
+            divergences.append(TieDivergence(time_a, _fmt(recs_a), _fmt(recs_b), "order"))
+        else:
+            divergences.append(TieDivergence(time_a, _fmt(recs_a), _fmt(recs_b), "content"))
+            return divergences
+    if len(groups_a) != len(groups_b):
+        longer = groups_a if len(groups_a) > len(groups_b) else groups_b
+        time, records = longer[min(len(groups_a), len(groups_b))]
+        missing: tuple[str, ...] = ()
+        labels = _fmt(records)
+        before, after = (labels, missing) if longer is groups_a else (missing, labels)
+        divergences.append(TieDivergence(time, before, after, "content"))
+    return divergences
+
+
+class SanitizerSession:
+    """Traces collected while a :func:`sanitized` region was active."""
+
+    __slots__ = ("tie_shuffle_seed", "record", "traces")
+
+    def __init__(self, tie_shuffle_seed: int | None, record: bool) -> None:
+        self.tie_shuffle_seed = tie_shuffle_seed
+        self.record = record
+        #: one EventTrace per Simulator constructed, in creation order
+        self.traces: list[EventTrace] = []
+
+    def _instrument(self, sim: Simulator) -> None:
+        recorder = None
+        if self.record:
+            trace = EventTrace()
+            self.traces.append(trace)
+            recorder = trace.append
+        sim.instrument(recorder=recorder, tie_shuffle_seed=self.tie_shuffle_seed)
+
+
+@contextlib.contextmanager
+def sanitized(
+    record: bool = True, tie_shuffle_seed: int | None = None
+) -> Iterator[SanitizerSession]:
+    """Instrument every ``Simulator`` constructed inside the block.
+
+    Yields a :class:`SanitizerSession` whose ``traces`` fill in as
+    simulators run.  Regions do not nest (the inner one would steal
+    the outer's simulators silently — fail loudly instead).
+    """
+    if _engine._instrument_hook is not None:
+        raise RuntimeError("sanitized() regions do not nest")
+    session = SanitizerSession(tie_shuffle_seed, record)
+    _engine._instrument_hook = session._instrument
+    try:
+        yield session
+    finally:
+        _engine._instrument_hook = None
+
+
+@dataclass(frozen=True, slots=True)
+class ShuffledRun:
+    """Outcome of one tie-shuffled re-run against the baseline."""
+
+    seed: int
+    result_equal: bool
+    #: per-simulator divergences vs. the baseline trace ("order" ones
+    #: are expected under a shuffle — they are the probe working; they
+    #: localize the handlers a result mismatch implicates)
+    divergences: tuple[TieDivergence, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CommutativityReport:
+    """Verdict of :func:`check_commutativity`."""
+
+    baseline_result: Any
+    runs: tuple[ShuffledRun, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every shuffled run reproduced the baseline result."""
+        return all(r.result_equal for r in self.runs)
+
+    def failing_seeds(self) -> tuple[int, ...]:
+        return tuple(r.seed for r in self.runs if not r.result_equal)
+
+    def describe(self) -> str:
+        if self.ok:
+            shuffles = len(self.runs)
+            reordered = sum(
+                1 for r in self.runs for d in r.divergences if d.kind == "order"
+            )
+            return (
+                f"commutative: {shuffles} tie-shuffled run(s) bit-identical "
+                f"({reordered} same-time reorderings exercised)"
+            )
+        lines = [f"TIE-BREAK DEPENDENCY: seeds {list(self.failing_seeds())} "
+                 "changed the result"]
+        for run in self.runs:
+            if run.result_equal:
+                continue
+            for d in run.divergences[:8]:
+                lines.append(f"  seed {run.seed}: {d.describe()}")
+        return "\n".join(lines)
+
+
+def check_commutativity(
+    run: Callable[[], Any],
+    seeds: Sequence[int] = (1, 2, 3),
+    equal: Callable[[Any, Any], bool] | None = None,
+) -> CommutativityReport:
+    """Prove (or refute) that same-time handlers commute for ``run``.
+
+    ``run`` must be self-contained: each invocation builds fresh
+    simulators (machine factories do) and returns a comparable result.
+    The baseline executes under plain FIFO tie-breaking with tracing;
+    every seed in ``seeds`` re-executes under a shuffled tie order and
+    must reproduce the baseline result exactly (``equal`` defaults to
+    ``==``; pass a custom predicate for results with NaNs).
+    """
+    if equal is None:
+        equal = lambda a, b: bool(a == b)  # noqa: E731
+    with sanitized(record=True) as baseline:
+        base_result = run()
+    runs: list[ShuffledRun] = []
+    for seed in seeds:
+        with sanitized(record=True, tie_shuffle_seed=seed) as shuffled:
+            result = run()
+        divergences: list[TieDivergence] = []
+        for base_trace, new_trace in zip(baseline.traces, shuffled.traces):
+            divergences.extend(compare_traces(base_trace, new_trace))
+        runs.append(
+            ShuffledRun(
+                seed=seed,
+                result_equal=equal(base_result, result),
+                divergences=tuple(divergences),
+            )
+        )
+    return CommutativityReport(baseline_result=base_result, runs=tuple(runs))
+
+
+@dataclass(frozen=True, slots=True)
+class DeterminismReport:
+    """Verdict of :func:`check_determinism`."""
+
+    result_equal: bool
+    divergences: tuple[TieDivergence, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.result_equal and not self.divergences
+
+    def describe(self) -> str:
+        if self.ok:
+            return "deterministic: repeated runs produced identical traces and results"
+        lines = ["NONDETERMINISM: repeated identical runs diverged"]
+        if not self.result_equal:
+            lines.append("  results differ")
+        for d in self.divergences[:8]:
+            lines.append(f"  {d.describe()}")
+        return "\n".join(lines)
+
+
+def check_determinism(
+    run: Callable[[], Any],
+    repeats: int = 2,
+    equal: Callable[[Any, Any], bool] | None = None,
+) -> DeterminismReport:
+    """Re-run ``run`` identically and demand identical traces + results.
+
+    Any divergence — order *or* content — between identical runs is a
+    real nondeterminism bug; this is the runtime complement of
+    repro-lint's REPRO001/REPRO010 rules.
+    """
+    if repeats < 2:
+        raise ValueError("need at least two runs to compare")
+    if equal is None:
+        equal = lambda a, b: bool(a == b)  # noqa: E731
+    with sanitized(record=True) as first:
+        base_result = run()
+    result_equal = True
+    divergences: list[TieDivergence] = []
+    for _ in range(repeats - 1):
+        with sanitized(record=True) as again:
+            result = run()
+        if not equal(base_result, result):
+            result_equal = False
+        for trace_a, trace_b in zip(first.traces, again.traces):
+            divergences.extend(compare_traces(trace_a, trace_b))
+        if len(first.traces) != len(again.traces):
+            divergences.append(
+                TieDivergence(0.0, ("<simulator-count>",), ("<simulator-count>",), "content")
+            )
+    return DeterminismReport(result_equal=result_equal, divergences=tuple(divergences))

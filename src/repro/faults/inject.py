@@ -17,9 +17,18 @@ never-overlapping) plan leaves every benchmark number bit-identical.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.faults.plan import FaultPlan, JitterBurst, LinkFault, ServerCrash, Straggler
 from repro.sim.randomness import RandomStreams
+
+if TYPE_CHECKING:
+    from repro.net.model import Fabric
+    from repro.pfs.filesystem import FileSystem
+    from repro.sim.engine import Simulator
+    from repro.sim.fluid import FlowNetwork
+    from repro.topology.base import Topology
 
 #: outage links keep this fraction of their capacity — the fluid
 #: engine needs finite positive capacities; 1e-9 stalls transfers for
@@ -33,7 +42,7 @@ class _LinkState:
 
     __slots__ = ("net", "link_id", "base", "factors")
 
-    def __init__(self, net, link_id: int, base: float) -> None:
+    def __init__(self, net: FlowNetwork, link_id: int, base: float) -> None:
         self.net = net
         self.link_id = link_id
         self.base = base
@@ -64,7 +73,12 @@ class FaultInjector:
 
     # -- wiring -----------------------------------------------------------
 
-    def attach(self, sim, fabric=None, fs=None) -> None:
+    def attach(
+        self,
+        sim: Simulator,
+        fabric: Fabric | None = None,
+        fs: FileSystem | None = None,
+    ) -> None:
         """Resolve selectors and schedule every apply/revert event.
 
         ``fabric`` is a :class:`repro.net.model.Fabric` (or None for
@@ -96,15 +110,17 @@ class FaultInjector:
         self.transitions.append((self.sim.now, text))
 
     @staticmethod
-    def _at(sim, time: float, callback) -> None:
+    def _at(sim: Simulator, time: float, callback: Callable[[], None]) -> None:
         """Schedule a transition; an infinite time means "never"."""
         if not math.isinf(time):
             sim.schedule_abs(time, callback)
 
     # -- link faults ------------------------------------------------------
 
-    def _resolve_links(self, selector, fabric, fs) -> list[tuple[object, int]]:
-        nets = []
+    def _resolve_links(
+        self, selector: int | str, fabric: Fabric | None, fs: FileSystem | None
+    ) -> list[tuple[FlowNetwork, int]]:
+        nets: list[tuple[FlowNetwork, Topology | None]] = []
         if fabric is not None:
             nets.append((fabric.flows, fabric.topology))
         if fs is not None:
@@ -120,7 +136,7 @@ class FaultInjector:
             if not ids:
                 raise ValueError("no links to select from")
             return [(net, ids[selector % len(ids)])]
-        out = []
+        out: list[tuple[FlowNetwork, int]] = []
         for net, topo in nets:
             finder = topo.links_matching if topo is not None else net.find_links
             out.extend((net, link_id) for link_id in finder(selector))
@@ -128,7 +144,9 @@ class FaultInjector:
             raise ValueError(f"link selector {selector!r} matched no links")
         return out
 
-    def _wire_link(self, sim, event: LinkFault, fabric, fs) -> None:
+    def _wire_link(
+        self, sim: Simulator, event: LinkFault, fabric: Fabric | None, fs: FileSystem | None
+    ) -> None:
         targets = self._resolve_links(event.selector, fabric, fs)
         factor = max(event.factor, OUTAGE_FLOOR)
         # Pristine capacities are captured at attach time and links are
@@ -156,7 +174,7 @@ class FaultInjector:
 
     # -- stragglers -------------------------------------------------------
 
-    def _wire_straggler(self, sim, event: Straggler, fabric) -> None:
+    def _wire_straggler(self, sim: Simulator, event: Straggler, fabric: Fabric | None) -> None:
         if fabric is None:
             raise ValueError("straggler fault needs a fabric")
         rank = event.rank % fabric.topology.nprocs
@@ -178,7 +196,8 @@ class FaultInjector:
 
     # -- server crashes ---------------------------------------------------
 
-    def _wire_server(self, sim, event: ServerCrash, fs) -> None:
+    def _wire_server(self, sim: Simulator, event: ServerCrash, fs: FileSystem | None) -> None:
+        assert fs is not None  # attach() rejected server faults without a filesystem
         server = fs.servers[event.server % len(fs.servers)]
 
         def crash() -> None:
@@ -191,7 +210,7 @@ class FaultInjector:
 
     # -- jitter bursts ----------------------------------------------------
 
-    def _wire_jitter(self, sim, event: JitterBurst) -> None:
+    def _wire_jitter(self, sim: Simulator, event: JitterBurst) -> None:
         def apply() -> None:
             self._jitter.append(event.amplitude)
             self._log(f"jitter burst {event.amplitude:g}")

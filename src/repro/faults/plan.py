@@ -26,8 +26,12 @@ into a flagged partial result instead of a hang.
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
 
 from repro.sim.randomness import RandomStreams
 
@@ -127,7 +131,7 @@ class FaultPlan:
     def needs_filesystem(self) -> bool:
         return any(isinstance(e, ServerCrash) for e in self.events)
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[Any, ...]:
         """A hashable, order-stable fingerprint of the schedule."""
         return (self.seed,) + tuple(
             (type(e).__name__,) + tuple(getattr(e, f.name) for f in _fields(e))
@@ -169,7 +173,7 @@ class FaultPlan:
         streams = RandomStreams(seed)
         events: list[FaultEvent] = []
 
-        def window(rng, scale: float = 1.0) -> tuple[float, float]:
+        def window(rng: np.random.Generator, scale: float = 1.0) -> tuple[float, float]:
             start = float(rng.uniform(0.05, 0.6)) * duration
             length = float(rng.uniform(0.05, 0.25)) * duration
             length *= (0.5 + severity) * scale
@@ -242,7 +246,5 @@ class FaultPlan:
         return cls(events=tuple(events), seed=seed)
 
 
-def _fields(e) -> tuple:
-    import dataclasses
-
+def _fields(e: FaultEvent) -> tuple["dataclasses.Field[Any]", ...]:
     return dataclasses.fields(e)

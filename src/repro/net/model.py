@@ -25,7 +25,7 @@ from repro.sim.process import SimEvent, on_trigger
 from repro.topology.base import Route, Topology
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetParams:
     """Cost-model constants for one machine's interconnect + MPI stack."""
 
@@ -69,6 +69,11 @@ class NetParams:
 
 class Fabric:
     """Prices and executes transfers over an attached topology."""
+
+    __slots__ = (
+        "sim", "topology", "params", "tracer", "fluid_mode", "flows",
+        "_route_cache", "_jitter_rng", "faults", "messages_sent", "bytes_sent",
+    )
 
     def __init__(
         self,

@@ -1,24 +1,35 @@
-"""I/O server: FIFO request service, disk model, background drain.
+"""I/O server: ordered request service, disk model, background drain.
 
 One server owns one disk (seek + streaming transfer + read-modify-
 write penalty for block-misaligned edges) and one slice of the
 filesystem buffer cache.  A single server process alternates between
-foreground requests (FIFO) and, when idle, draining dirty cache bytes
+foreground requests and, when idle, draining dirty cache bytes
 to disk in ``drain_chunk`` pieces — so a saturated request stream
 keeps the cache full and pushes writes to disk speed, while an idle
 period flushes the cache in the background, exactly the dynamics
 behind the paper's T-dependent b_eff_io results.
+
+Requests are serviced in arrival-time order, but arrivals at the
+*same virtual instant* are ordered by request content (kind, file,
+extents) rather than by submission call order: the service loop parks
+at the instant's tail (``yield Tail()``) before popping, so every
+same-time submit is in the heap when the choice is made.  Service
+durations depend on the disk head position and cache state the
+previous request left behind, so an order set by same-instant call
+sequence would make every b_eff_io number depend on scheduler
+tie-breaking — exactly the hazard :mod:`repro.devtools.sanitizer`
+shuffles for.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from collections import deque
 from dataclasses import dataclass
 
 from repro.pfs.cache import BufferCache
 from repro.sim.engine import Simulator
-from repro.sim.process import Process, SimEvent, Sleep, SleepUntil
+from repro.sim.process import Process, SimEvent, Sleep, SleepUntil, Tail
 
 
 @dataclass(frozen=True)
@@ -83,7 +94,12 @@ class IOServer:
         self.params = params
         self.name = name
         self.cache = BufferCache(params.cache_bytes)
-        self._queue: deque[tuple[IORequest, SimEvent]] = deque()
+        #: (arrival time, content key, submit seq, request, done event);
+        #: a heap, so same-instant arrivals pop in content order
+        self._queue: list[
+            tuple[float, tuple[str, str, tuple[tuple[int, int], ...]], int, IORequest, SimEvent]
+        ] = []
+        self._submit_seq = 0
         self._disk_pos: tuple[object, int] | None = None
         #: highest end offset ever written per file (RMW gate: only
         #: overwrites of existing data need a block read)
@@ -110,9 +126,18 @@ class IOServer:
     # -- client interface ---------------------------------------------------
 
     def submit(self, request: IORequest) -> SimEvent:
-        """Enqueue a request; the event fires when it has been serviced."""
+        """Enqueue a request; the event fires when it has been serviced.
+
+        Same-instant submissions are serviced in (kind, file, extents)
+        order regardless of which client's handler ran first, keeping
+        results invariant under same-time scheduler tie-breaking.
+        """
         done = SimEvent(self.sim, name=f"{self.name}.req")
-        self._queue.append((request, done))
+        key = (request.kind, str(request.file_id), request.extents)
+        heapq.heappush(
+            self._queue, (self.sim.now, key, self._submit_seq, request, done)
+        )
+        self._submit_seq += 1
         self._kick()
         return done
 
@@ -128,7 +153,8 @@ class IOServer:
 
     def _pending_writes(self, file_id: object) -> bool:
         return any(
-            req.kind == "write" and req.file_id == file_id for req, _ev in self._queue
+            req.kind == "write" and req.file_id == file_id
+            for _t, _key, _seq, req, _ev in self._queue
         )
 
     # -- fault injection ------------------------------------------------------
@@ -174,7 +200,13 @@ class IOServer:
                 yield SleepUntil(self._down_until)
                 continue
             if self._queue:
-                request, done = self._queue.popleft()
+                # Park at the tail of the instant before choosing: every
+                # same-time submit must be in the heap so request content
+                # (not handler interleaving) decides service order.
+                yield Tail()
+                if self.sim.now < self._down_until:
+                    continue  # crashed while parked
+                _t, _key, _seq, request, done = heapq.heappop(self._queue)
                 duration = self._service(request)
                 if duration > 0:
                     yield Sleep(duration)
@@ -185,8 +217,9 @@ class IOServer:
             elif self.cache.dirty_total > 0:
                 # Writeback waits out the idle delay — interruptibly,
                 # so foreground requests arriving meanwhile are served
-                # first — then yields once more so same-instant
-                # submissions win the disk over the background drain.
+                # first — then parks at the instant's tail so
+                # same-instant submissions win the disk over the
+                # background drain.
                 # The wake-up lands on _no_drain_before *exactly*
                 # (schedule_abs) and the deadline is re-read after the
                 # wake, so a fast-forward moving it further out just
@@ -200,7 +233,7 @@ class IOServer:
                     yield wakeup
                     self._wakeup = None
                     continue
-                yield Sleep(0.0)
+                yield Tail()
                 if self._queue:
                     continue
                 drained = self.cache.drain_next(params.drain_chunk)

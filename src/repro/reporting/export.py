@@ -23,7 +23,7 @@ from repro.faults.validity import VALID, RunValidity
 SCHEMA_VERSION = 2
 
 
-def write_json_atomic(path: str | pathlib.Path, payload, indent: int | None = 2) -> None:
+def write_json_atomic(path: str | pathlib.Path, payload: object, indent: int | None = 2) -> None:
     """Write JSON so a crash leaves either the old file or the new one.
 
     The payload (a JSON-compatible object, or a pre-serialized string)
@@ -122,7 +122,7 @@ def beffio_from_dict(d: dict) -> BeffIOResult:
         )
         for t in d["type_results"]
     ]
-    pattern_runs = []
+    pattern_runs: list[PatternRun] = []
     for r in d["pattern_runs"]:
         fields = dict(r)
         fields.pop("bandwidth", None)  # derived property, not a field

@@ -37,7 +37,7 @@ def log_bar_chart(
     hi = math.log10(vmax)
     span = max(hi - lo, 1e-9)
     label_w = max(len(label) for label, _v in rows)
-    lines = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     for label, value in rows:
@@ -71,7 +71,7 @@ def multi_series_chart(
     if not positives:
         raise ValueError("need at least one positive value")
     bounds = (min(positives), max(positives))
-    blocks = []
+    blocks: list[str] = []
     if title:
         blocks.append(title)
     for name, values in series.items():

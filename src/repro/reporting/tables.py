@@ -54,7 +54,7 @@ def figure1_rows(
     entries: Sequence[tuple[MachineSpec, BeffResult]]
 ) -> list[tuple[str, float]]:
     """Paper Fig. 1: (system, balance factor bytes/flop) per machine."""
-    rows = []
+    rows: list[tuple[str, float]] = []
     for spec, res in entries:
         rows.append((f"{spec.name} ({res.nprocs})", balance_factor(res.b_eff, spec.rmax(res.nprocs))))
     return rows
@@ -82,7 +82,7 @@ def figure3_series(
     results: Sequence[BeffIOResult],
 ) -> list[tuple[int, float, float, float, float]]:
     """Fig. 3 rows: (procs, write, rewrite, read, b_eff_io) in MB/s."""
-    rows = []
+    rows: list[tuple[int, float, float, float, float]] = []
     for res in sorted(results, key=lambda r: r.nprocs):
         rows.append(
             (
@@ -168,7 +168,7 @@ def bandwidth_curve(result: BeffResult, pattern: str) -> str:
     from repro.reporting.plots import log_bar_chart
 
     best = best_bandwidths(result.records)
-    rows = []
+    rows: list[tuple[str, float]] = []
     for size in result.sizes:
         value = best.get((pattern, size))
         if value is None:

@@ -15,7 +15,7 @@ The kernel is intentionally small and dependency-free:
 """
 
 from repro.sim.engine import Simulator, DeadlockError, EventBudgetError
-from repro.sim.process import Process, SimEvent, Sleep, SleepUntil, on_trigger, wait_all
+from repro.sim.process import Process, SimEvent, Sleep, SleepUntil, Tail, on_trigger, wait_all
 from repro.sim.fluid import FlowNetwork, Flow, Link, maxmin_allocate
 from repro.sim.trace import TraceEvent, Tracer
 
@@ -27,6 +27,7 @@ __all__ = [
     "SimEvent",
     "Sleep",
     "SleepUntil",
+    "Tail",
     "on_trigger",
     "wait_all",
     "FlowNetwork",

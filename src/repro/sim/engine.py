@@ -1,15 +1,61 @@
 """Event heap and virtual clock.
 
 The simulator is a plain binary-heap event loop.  Events are ordered
-by ``(time, sequence)`` where the sequence number is a monotonically
-increasing tiebreaker, which makes every run bit-for-bit
-deterministic regardless of callback identity or hashing.
+by ``(time, lane, tie_key, sequence)`` where, normally, ``tie_key``
+*is* the monotonically increasing sequence number — which makes every
+run bit-for-bit deterministic regardless of callback identity or
+hashing.
+
+``lane`` separates ordinary events (lane 0) from *end-of-instant*
+events (lane 1, :meth:`Simulator.schedule_tail`): a tail event runs
+only after every ordinary event at the same timestamp — including
+ones scheduled *while* the instant executes.  Subsystems that batch
+same-instant work (the fluid network's allocation flush, the I/O
+server's queue pop) use the tail lane so the batch boundary is a
+property of virtual time, not of handler arrival order.
+
+The ``tie_key`` ordering component exists for the nondeterminism sanitizer
+(:mod:`repro.devtools.sanitizer`): under an instrumented run the tie
+key is a seed-derived mix of the sequence number, which deterministically
+*permutes* the execution order of same-timestamp events (within each
+lane — a shuffled tail event still runs after every ordinary event of
+its instant) while leaving the time axis untouched.  A simulation whose results survive that
+shuffle has provably commutative same-time handlers; one whose
+results change has a latent tie-break dependency.  Instrumentation is
+opt-in (explicitly via :meth:`Simulator.instrument`, globally via the
+sanitizer's context manager, or by the ``REPRO_TIE_SHUFFLE``
+environment variable) and costs an un-instrumented run nothing but
+one ``is None`` test per scheduled event.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
 from collections.abc import Callable
+from typing import Any
+
+import heapq
+
+#: hook installed by repro.devtools.sanitizer: called with every new
+#: Simulator so a sanitized region can instrument engines it never
+#: sees constructed (machine factories build their own).  None when no
+#: sanitizer context is active.
+_instrument_hook: Callable[["Simulator"], None] | None = None
+
+#: environment toggle: when set to an integer, every Simulator shuffles
+#: same-time tie-breakers under that seed (see the sanitizer docs)
+TIE_SHUFFLE_ENV = "REPRO_TIE_SHUFFLE"
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(seed: int, seq: int) -> int:
+    """SplitMix64-style avalanche of (seed, seq) — a deterministic,
+    hash-salt-free permutation key for same-time event shuffling."""
+    z = (seq + 0x9E3779B97F4A7C15 * (seed + 1)) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
 
 
 class DeadlockError(RuntimeError):
@@ -35,26 +81,64 @@ class Simulator:
     clock.
     """
 
-    __slots__ = ("_now", "_seq", "_heap", "_live", "processes")
+    __slots__ = ("_now", "_seq", "_heap", "_live", "processes",
+                 "_tie_seed", "_recorder")
 
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        #: heap entries are mutable [time, seq, callback] triples so a
-        #: cancellation can null the callback in place; ``_live`` maps a
-        #: pending handle to its entry and is the *only* per-handle
-        #: state, so firing or cancelling a handle leaves nothing behind
-        #: (the seed kept cancelled seqs in a set forever when the
-        #: handle had already fired).
-        self._heap: list[list] = []
-        self._live: dict[int, list] = {}
+        #: heap entries are mutable [time, lane, tie_key, seq, callback]
+        #: quintuples so a cancellation can null the callback in place;
+        #: ``_live`` maps a pending handle to its entry and is the
+        #: *only* per-handle state, so firing or cancelling a handle
+        #: leaves nothing behind (the seed kept cancelled seqs in a set
+        #: forever when the handle had already fired).
+        self._heap: list[list[Any]] = []
+        self._live: dict[int, list[Any]] = {}
         #: live processes registered by :class:`repro.sim.process.Process`
-        self.processes: list = []
+        self.processes: list[Any] = []
+        #: sanitizer state: None = plain FIFO tie-breaking (tie_key == seq)
+        self._tie_seed: int | None = None
+        #: sanitizer trace sink: callback(time, seq, event_callback)
+        self._recorder: Callable[[float, int, Callable[[], None]], None] | None = None
+        if _instrument_hook is not None:
+            _instrument_hook(self)
+        elif TIE_SHUFFLE_ENV in os.environ:
+            self._tie_seed = int(os.environ[TIE_SHUFFLE_ENV])
+
+    def instrument(
+        self,
+        recorder: Callable[[float, int, Callable[[], None]], None] | None = None,
+        tie_shuffle_seed: int | None = None,
+    ) -> None:
+        """Opt into sanitizer instrumentation (see the module docstring).
+
+        ``recorder`` is invoked as ``recorder(time, seq, callback)``
+        for every executed event; ``tie_shuffle_seed`` deterministically
+        permutes the execution order of same-timestamp events.  Must be
+        called before any event is scheduled — re-keying a live heap
+        would corrupt its ordering.
+        """
+        if self._heap or self._seq:
+            raise RuntimeError("cannot instrument a simulator with scheduled events")
+        if recorder is not None:
+            self._recorder = recorder
+        if tie_shuffle_seed is not None:
+            self._tie_seed = tie_shuffle_seed
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def _push(self, time: float, callback: Callable[[], None], lane: int = 0) -> int:
+        self._seq += 1
+        seq = self._seq
+        key = seq if self._tie_seed is None else _mix64(self._tie_seed, seq)
+        entry: list[Any] = [time, lane, key, seq, callback]
+        heapq.heappush(self._heap, entry)
+        self._live[seq] = entry
+        return seq
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> int:
         """Run ``callback`` after ``delay`` seconds of virtual time.
@@ -64,11 +148,7 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        self._seq += 1
-        entry = [self._now + delay, self._seq, callback]
-        heapq.heappush(self._heap, entry)
-        self._live[self._seq] = entry
-        return self._seq
+        return self._push(self._now + delay, callback)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> int:
         """Run ``callback`` at absolute virtual ``time`` (>= now)."""
@@ -87,34 +167,46 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past (time={time!r} < now={self._now!r})"
             )
-        self._seq += 1
-        entry = [time, self._seq, callback]
-        heapq.heappush(self._heap, entry)
-        self._live[self._seq] = entry
-        return self._seq
+        return self._push(time, callback)
+
+    def schedule_tail(self, callback: Callable[[], None]) -> int:
+        """Run ``callback`` at the *tail* of the current instant.
+
+        The callback fires at the current virtual time, but only after
+        every ordinary event scheduled for this instant has run —
+        including events those handlers schedule with zero delay.
+        Batching subsystems use this so "everything that happens at
+        time t" is a well-defined set before they act on it, making
+        the batch boundary invariant under same-time tie-breaking
+        (tail events shuffle only among themselves under the
+        sanitizer).  Returns a handle usable with :meth:`cancel`.
+        """
+        return self._push(self._now, callback, lane=1)
 
     def cancel(self, handle: int) -> None:
         """Cancel a previously scheduled event (no-op if already fired)."""
         entry = self._live.pop(handle, None)
         if entry is not None:
-            entry[2] = None
+            entry[4] = None
 
     def peek(self) -> float | None:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._heap and self._heap[0][2] is None:
+        while self._heap and self._heap[0][4] is None:
             heapq.heappop(self._heap)
         if not self._heap:
             return None
-        return self._heap[0][0]
+        return float(self._heap[0][0])
 
     def step(self) -> bool:
         """Execute the next event.  Returns False if the queue is empty."""
         while self._heap:
-            time, seq, callback = heapq.heappop(self._heap)
+            time, _lane, _key, seq, callback = heapq.heappop(self._heap)
             if callback is None:
                 continue
             del self._live[seq]
             self._now = time
+            if self._recorder is not None:
+                self._recorder(time, seq, callback)
             callback()
             return True
         return False

@@ -18,9 +18,10 @@ The engine comes in two modes:
 ``incremental`` (default)
     The production path.  Membership changes are *batched*: flows
     started (or finished) at the same virtual instant are absorbed
-    into one zero-delay "allocation pending" flush, so the N
-    simultaneous ``start_flow`` calls that follow a barrier trigger
-    one allocation, not N.  Each flush re-solves only the connected
+    into one end-of-instant "allocation pending" flush (the engine's
+    tail lane), so the N simultaneous ``start_flow`` calls that follow
+    a barrier trigger one allocation, not N — however the instant's
+    handlers interleave.  Each flush re-solves only the connected
     component of links the changed flows touch (max-min fairness
     decomposes exactly over link-connected components), using cached
     per-link member tables and live member *counts* instead of the
@@ -69,7 +70,7 @@ def maxmin_allocate(
     (``repro.beff.analytic``).
     """
     rates = [0.0] * len(routes)
-    residual = {}
+    residual: dict[int, float] = {}
     link_members: dict[int, list[int]] = {}
     unfixed: set[int] = set()
     for idx, route in enumerate(routes):
@@ -91,7 +92,7 @@ def maxmin_allocate(
             if share < bottleneck:
                 bottleneck = share
         if math.isinf(bottleneck):  # pragma: no cover - defensive
-            for i in unfixed:
+            for i in sorted(unfixed):
                 rates[i] = math.inf
             break
         tol = bottleneck * (1.0 + 1e-12)
@@ -373,8 +374,12 @@ class FlowNetwork:
                 flow.remaining -= moved
 
     def _request_flush(self) -> None:
+        # Tail lane: the flush runs after *every* ordinary event of the
+        # current instant, so one allocation absorbs all of the
+        # instant's membership changes no matter how its handlers were
+        # interleaved (same-time tie-breaking included).
         if self._flush_handle is None:
-            self._flush_handle = self.sim.schedule(0.0, self._flush)
+            self._flush_handle = self.sim.schedule_tail(self._flush)
 
     def _flush(self) -> None:
         """Apply batched membership changes: re-solve the affected component.
@@ -535,7 +540,7 @@ class FlowNetwork:
         placement saturates).
         """
         ranked = sorted(self.link_bytes.items(), key=lambda kv: -kv[1])
-        out = []
+        out: list[tuple[str, float]] = []
         for link_id, nbytes in ranked:
             link = self._links.get(link_id)
             if link is None or link.name.startswith("cap:"):

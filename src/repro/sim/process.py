@@ -4,6 +4,8 @@ A simulated program is a Python generator.  It performs blocking
 simulated operations by yielding *primitives*:
 
 * ``Sleep(duration)`` — advance virtual time.
+* ``Tail()`` — park until the tail of the current instant: every
+  ordinary event at the current timestamp runs first.
 * :class:`SimEvent` — park until someone calls :meth:`SimEvent.trigger`;
   the trigger value becomes the result of the ``yield``.
 
@@ -16,13 +18,13 @@ scheduling (FIFO resumption via the engine's sequence numbers).
 
 from __future__ import annotations
 
-from collections.abc import Generator, Iterable
+from collections.abc import Callable, Generator, Iterable
 from dataclasses import dataclass
 
 from repro.sim.engine import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sleep:
     """Primitive: suspend the yielding process for ``duration`` seconds."""
 
@@ -33,7 +35,20 @@ class Sleep:
             raise ValueError(f"negative sleep duration: {self.duration!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
+class Tail:
+    """Primitive: suspend until the tail of the current instant.
+
+    The process resumes at the same virtual time, after every ordinary
+    event scheduled for this instant — including zero-delay events
+    those handlers add (see :meth:`Simulator.schedule_tail`).  Service
+    loops yield this before consuming a request queue so that the set
+    of same-instant arrivals is complete, and their *content* — not
+    the scheduler's tie-breaking — decides service order.
+    """
+
+
+@dataclass(frozen=True, slots=True)
 class SleepUntil:
     """Primitive: suspend until *exactly* absolute virtual ``time``.
 
@@ -79,20 +94,20 @@ class SimEvent:
         return f"<SimEvent {self.name!r} {state}>"
 
 
-def wait_all(events: Iterable[SimEvent]) -> Generator:
+def wait_all(events: Iterable[SimEvent]) -> Generator[SimEvent, object, list[object]]:
     """Wait until every event in ``events`` has triggered.
 
     Returns the list of event values in input order.  Because events
     stay triggered, waiting on them one after another completes at the
     time of the last trigger — exactly a wait-all.
     """
-    values = []
+    values: list[object] = []
     for ev in events:
         values.append((yield ev))
     return values
 
 
-def on_trigger(event: SimEvent, callback) -> None:
+def on_trigger(event: SimEvent, callback: Callable[[object], object]) -> None:
     """Invoke ``callback(value)`` when ``event`` triggers.
 
     If the event has already triggered, the callback runs at the
@@ -111,7 +126,7 @@ class _CallbackWaiter:
 
     __slots__ = ("sim", "callback")
 
-    def __init__(self, sim: Simulator, callback) -> None:
+    def __init__(self, sim: Simulator, callback: Callable[[object], object]) -> None:
         self.sim = sim
         self.callback = callback
 
@@ -125,7 +140,11 @@ class Process:
     __slots__ = ("sim", "name", "_gen", "finished", "result", "done_event", "daemon")
 
     def __init__(
-        self, sim: Simulator, gen: Generator, name: str = "proc", daemon: bool = False
+        self,
+        sim: Simulator,
+        gen: Generator[object, object, object],
+        name: str = "proc",
+        daemon: bool = False,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -156,6 +175,8 @@ class Process:
             self.sim.schedule(command.duration, lambda: self._step(None))
         elif isinstance(command, SleepUntil):
             self.sim.schedule_abs(command.time, lambda: self._step(None))
+        elif isinstance(command, Tail):
+            self.sim.schedule_tail(lambda: self._step(None))
         elif isinstance(command, SimEvent):
             if command.triggered:
                 self._resume_later(command.value)
@@ -164,8 +185,8 @@ class Process:
         else:
             raise TypeError(
                 f"process {self.name!r} yielded {command!r}; only Sleep, "
-                "SleepUntil and SimEvent are valid primitives (did you "
-                "forget 'yield from'?)"
+                "SleepUntil, Tail and SimEvent are valid primitives (did "
+                "you forget 'yield from'?)"
             )
 
     def __repr__(self) -> str:

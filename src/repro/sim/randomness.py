@@ -15,6 +15,8 @@ import numpy as np
 class RandomStreams:
     """Factory of independent, reproducible ``numpy`` generators."""
 
+    __slots__ = ("master_seed",)
+
     def __init__(self, master_seed: int = 20010423) -> None:
         # Default seed: the IPPS 2001 conference date, purely a constant.
         self.master_seed = int(master_seed)

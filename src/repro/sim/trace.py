@@ -17,7 +17,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded event."""
 
@@ -30,6 +30,8 @@ class TraceEvent:
 
 class Tracer:
     """Bounded event recorder with simple aggregations."""
+
+    __slots__ = ("limit", "events", "dropped")
 
     def __init__(self, limit: int | None = 100_000) -> None:
         if limit is not None and limit < 1:

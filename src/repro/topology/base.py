@@ -77,6 +77,7 @@ class Topology(ABC):
         substrings ("torus", "x0") is portable across sizes.
         """
         self._check_attached()
+        assert self.net is not None
         return self.net.find_links(pattern)
 
     @property

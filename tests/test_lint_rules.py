@@ -1,0 +1,306 @@
+"""repro-lint rule fixtures: one good/bad source pair per rule.
+
+Each case feeds :func:`repro.devtools.lint.lint_source` a minimal
+snippet that *must* trip exactly the rule under test, and a sibling
+snippet applying the documented fix that must stay clean.  Suppression
+directives and the baseline machinery get their own cases, and the CLI
+is exercised end to end through :func:`main`.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import (
+    DEFAULT_BASELINE,
+    RULES,
+    LintViolation,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    main,
+    write_baseline,
+)
+
+#: a path inside the hot-module set (REPRO007 applies) but away from
+#: the per-rule exemptions (randomness.py, reporting/export.py, ...)
+HOT = "src/repro/sim/example.py"
+#: a path outside sim//net/ so class-shape rules stay quiet
+COLD = "src/repro/beff/example.py"
+
+
+def rules_hit(source, path=COLD):
+    return sorted({v.rule for v in lint_source(textwrap.dedent(source), path)})
+
+
+# -- one (bad, good) pair per rule --------------------------------------
+
+CASES = {
+    "REPRO001": (
+        """
+        import random
+        x = random.random()
+        """,
+        """
+        from repro.sim.randomness import RandomStreams
+        x = RandomStreams(7).stream("pattern").random()
+        """,
+    ),
+    "REPRO002": (
+        """
+        import time
+        t0 = time.perf_counter()
+        """,
+        """
+        def measure(sim):
+            return sim.now
+        """,
+    ),
+    "REPRO003": (
+        """
+        def drain(pending):
+            ready = set(pending)
+            for item in ready:
+                item.run()
+        """,
+        """
+        def drain(pending):
+            ready = set(pending)
+            for item in sorted(ready):
+                item.run()
+        """,
+    ),
+    "REPRO004": (
+        """
+        def total(rates):
+            return sum({r * 2.0 for r in rates})
+        """,
+        """
+        def total(rates):
+            return sum(sorted(r * 2.0 for r in rates))
+        """,
+    ),
+    "REPRO005": (
+        """
+        def run(step):
+            try:
+                step()
+            except Exception:
+                pass
+        """,
+        """
+        def run(step):
+            try:
+                step()
+            except Exception as exc:
+                raise RuntimeError("step failed") from exc
+        """,
+    ),
+    "REPRO006": (
+        """
+        def collect(out=[]):
+            out.append(1)
+            return out
+        """,
+        """
+        def collect(out=None):
+            if out is None:
+                out = []
+            out.append(1)
+            return out
+        """,
+    ),
+    "REPRO008": (
+        """
+        import json
+        def export(result, path):
+            with open(path, "w") as fh:
+                json.dump(result, fh)
+        """,
+        """
+        from repro.reporting.export import write_json_atomic
+        def export(result, path):
+            write_json_atomic(path, result)
+        """,
+    ),
+    "REPRO009": (
+        """
+        import os
+        token = os.urandom(8)
+        """,
+        """
+        from repro.sim.randomness import RandomStreams
+        token = RandomStreams(7).stream("token").integers(0, 1 << 63)
+        """,
+    ),
+    "REPRO010": (
+        """
+        def stream_key(name):
+            return hash(name)
+        """,
+        """
+        class Key:
+            def __hash__(self):
+                return hash((Key, 3))
+        """,
+    ),
+}
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_rule_fires_on_bad_and_not_on_good(rule):
+    bad, good = CASES[rule]
+    assert rule in rules_hit(bad), f"{rule} missed its target pattern"
+    assert rule not in rules_hit(good), f"{rule} false positive on the fix"
+
+
+def test_repro007_requires_slots_in_hot_modules():
+    bad = """
+    class Packet:
+        def __init__(self):
+            self.size = 0
+    """
+    assert rules_hit(bad, HOT) == ["REPRO007"]
+    # either spelling of the fix is accepted
+    assert rules_hit("class Packet:\n    __slots__ = ('size',)\n", HOT) == []
+    good_dc = """
+    from dataclasses import dataclass
+    @dataclass(frozen=True, slots=True)
+    class Packet:
+        size: int
+    """
+    assert rules_hit(good_dc, HOT) == []
+    # exception classes never need __slots__
+    assert rules_hit("class BadPacket(ValueError):\n    pass\n", HOT) == []
+    # and the rule only applies to the hot sim//net/ modules
+    assert "REPRO007" not in rules_hit(bad, COLD)
+
+
+def test_rule_path_exemptions():
+    rng = "import random\nx = random.random()\n"
+    assert rules_hit(rng, "src/repro/sim/randomness.py") == []
+    clock = "import time\nt = time.time()\n"
+    assert rules_hit(clock, "benchmarks/test_bench_fluid.py") == []
+    dump = "import json\njson.dump({}, open('x', 'w'))\n"
+    assert rules_hit(dump, "src/repro/reporting/export.py") == []
+
+
+def test_order_insensitive_consumers_are_clean():
+    source = """
+    def stats(ready):
+        pending = set(ready)
+        lo = min(pending)
+        hi = max(x + 1 for x in pending)
+        n = len(pending)
+        both = sorted(pending | {0})
+        return lo, hi, n, both
+    """
+    assert rules_hit(source) == []
+
+
+def test_set_operator_and_comprehension_sources_detected():
+    source = """
+    def merge(a, b):
+        return [x for x in set(a) | set(b)]
+    """
+    assert rules_hit(source) == ["REPRO003"]
+
+
+def test_violation_render_and_locations():
+    violations = lint_source("import random\ny = random.random()\n", "m.py")
+    assert [v.rule for v in violations] == ["REPRO001"]
+    v = violations[0]
+    assert v.line == 2
+    assert v.render().startswith("m.py:2:")
+    assert "random.random" in v.message
+
+
+# -- suppressions -------------------------------------------------------
+
+
+def test_inline_suppression_silences_exactly_its_line_and_rule():
+    src = (
+        "import random\n"
+        "a = random.random()  # repro-lint: disable=REPRO001 -- test fixture\n"
+        "b = random.random()\n"
+    )
+    assert [v.line for v in lint_source(src, "m.py")] == [3]
+    # a directive for a different rule does not apply
+    wrong = "import random\nc = random.random()  # repro-lint: disable=REPRO002\n"
+    assert [v.rule for v in lint_source(wrong, "m.py")] == ["REPRO001"]
+    # disable=all silences everything on the line
+    every = "import random\nd = random.random()  # repro-lint: disable=all\n"
+    assert lint_source(every, "m.py") == []
+
+
+# -- baseline -----------------------------------------------------------
+
+
+def _violation(path, rule, line=1):
+    return LintViolation(path=path, line=line, col=1, rule=rule, message=RULES[rule])
+
+
+def test_apply_baseline_forgives_up_to_the_recorded_count():
+    violations = [
+        _violation("a.py", "REPRO001", line=1),
+        _violation("a.py", "REPRO001", line=9),
+        _violation("b.py", "REPRO003", line=2),
+    ]
+    fresh, suppressed = apply_baseline(violations, {"a.py::REPRO001": 1})
+    assert suppressed == 1
+    # the earliest line is forgiven first; the later one is new debt
+    assert [(v.path, v.line) for v in fresh] == [("a.py", 9), ("b.py", 2)]
+    fresh, suppressed = apply_baseline(violations, {})
+    assert (len(fresh), suppressed) == (3, 0)
+
+
+def test_baseline_round_trip(tmp_path):
+    target = tmp_path / "baseline.json"
+    write_baseline(target, [_violation("a.py", "REPRO001")] * 2)
+    assert load_baseline(target) == {"a.py::REPRO001": 2}
+    data = json.loads(target.read_text())
+    assert data["version"] == 1
+    assert load_baseline(tmp_path / "missing.json") == {}
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO001" in out
+
+    baseline = tmp_path / DEFAULT_BASELINE
+    assert main([str(dirty), "--write-baseline", "--baseline", str(baseline)]) == 0
+    # with the debt baselined the same tree passes ...
+    assert main([str(dirty), "--baseline", str(baseline)]) == 0
+    # ... but a *new* violation still fails
+    dirty.write_text(dirty.read_text() + "y = random.random()\n")
+    assert main([str(dirty), "--baseline", str(baseline)]) == 1
+
+    assert main(["--list-rules"]) == 0
+    assert "REPRO010" in capsys.readouterr().out
+    assert main([str(tmp_path / "nope.py")]) == 2
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "one.py").write_text("import random\nx = random.random()\n")
+    (pkg / "two.py").write_text("y = 2\n")
+    violations = lint_paths([pkg])
+    assert [v.rule for v in violations] == ["REPRO001"]
+
+
+def test_repository_is_lint_clean():
+    """The acceptance bar: repro-lint src/ is clean with an empty baseline."""
+    assert lint_paths(["src"]) == []

@@ -171,3 +171,69 @@ class TestDeadlockDetection:
         Process(sim, prog())
         sim.run_to_completion()
         assert sim.now == 1.0
+
+
+class TestTailLane:
+    def test_tail_runs_after_all_ordinary_events_of_the_instant(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule_tail(lambda: ran.append("tail"))
+        # ordinary events scheduled *after* the tail still run first ...
+        sim.schedule(0.0, lambda: ran.append("a"))
+        # ... including zero-delay events added while the instant executes
+        sim.schedule(0.0, lambda: sim.schedule(0.0, lambda: ran.append("b")))
+        sim.run()
+        assert ran == ["a", "b", "tail"]
+
+    def test_tail_does_not_leak_into_later_instants(self):
+        sim = Simulator()
+        ran = []
+
+        def first():
+            sim.schedule_tail(lambda: ran.append("tail@0"))
+            sim.schedule(1.0, lambda: ran.append("later"))
+
+        sim.schedule(0.0, first)
+        sim.run()
+        assert ran == ["tail@0", "later"]
+
+    def test_tail_is_cancellable(self):
+        sim = Simulator()
+        ran = []
+        handle = sim.schedule_tail(lambda: ran.append("tail"))
+        sim.schedule(0.0, lambda: ran.append("a"))
+        sim.cancel(handle)
+        sim.run()
+        assert ran == ["a"]
+
+    def test_tail_events_keep_schedule_order_among_themselves(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule_tail(lambda: ran.append(1))
+        sim.schedule_tail(lambda: ran.append(2))
+        sim.run()
+        assert ran == [1, 2]
+
+    def test_tail_runs_after_shuffled_ordinary_events(self):
+        from repro.sim import Tail
+
+        def order(seed):
+            sim = Simulator()
+            if seed is not None:
+                sim.instrument(tie_shuffle_seed=seed)
+            ran = []
+
+            def parker():
+                yield Tail()
+                ran.append("tail")
+
+            Process(sim, parker())
+            for i in range(5):
+                sim.schedule(0.0, lambda i=i: ran.append(i))
+            sim.run()
+            return ran
+
+        for seed in (None, 1, 2, 3):
+            ran = order(seed)
+            assert ran[-1] == "tail"
+            assert sorted(ran[:-1]) == [0, 1, 2, 3, 4]

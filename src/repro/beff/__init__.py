@@ -27,8 +27,11 @@ from repro.beff.measurement import MeasurementConfig
 from repro.beff.benchmark import BeffResult, run_beff
 from repro.beff.analysis import aggregate, balance_factor
 from repro.beff.detail import DetailRecord, run_detail
+from repro.beff.sweep import BeffSweepResult, run_sweep
 
 __all__ = [
+    "BeffSweepResult",
+    "run_sweep",
     "message_sizes",
     "lmax_for",
     "ring_pattern_sizes",

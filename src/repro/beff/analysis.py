@@ -6,16 +6,23 @@ b_eff = logavg( logavg_ringpatterns( sum_L( max_mthd( max_rep(b) )) / 21 ),
 The two-step average guarantees ring and random patterns are weighted
 equally regardless of their counts; the per-size average is a plain
 arithmetic mean over the 21-value ladder (equidistant abscissa).
+
+The formula itself lives in :mod:`repro.runtime.formulas` as a
+declarative reduction tree; this module maps
+:class:`~repro.beff.measurement.MeasurementRecord` lists onto keyed
+leaves, evaluates the tree, and keeps the legacy function surface as
+thin shims.
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from collections.abc import Iterable
 
 from repro.beff.measurement import MeasurementRecord
-from repro.faults.validity import VALID, RunValidity
+from repro.faults.validity import RunValidity, classify
+from repro.runtime.formulas import beff_at_lmax_formula, beff_formula
+from repro.runtime.reduce import Formula, Key, Reduce, evaluate, evaluate_partial
 from repro.util import logavg
 
 
@@ -31,24 +38,42 @@ def best_bandwidths(
     return best
 
 
+def _leaves(
+    records: Iterable[MeasurementRecord],
+    kinds: dict[str, str] | None = None,
+) -> list[tuple[Key, float]]:
+    """Records as formula leaves keyed (kind, pattern, size, method, rep)."""
+    return [
+        (
+            (
+                kinds.get(rec.pattern, rec.kind) if kinds is not None else rec.kind,
+                rec.pattern,
+                rec.size,
+                rec.method,
+                rec.repetition,
+            ),
+            rec.bandwidth,
+        )
+        for rec in records
+    ]
+
+
 def per_pattern_averages(
     records: Iterable[MeasurementRecord], num_sizes: int
 ) -> dict[str, float]:
     """sum_L(max_mthd(max_rep(b))) / num_sizes for every pattern."""
-    best = best_bandwidths(records)
-    sums: dict[str, float] = defaultdict(float)
-    counts: dict[str, int] = defaultdict(int)
-    for (pattern, _size), bw in best.items():
-        sums[pattern] += bw
-        counts[pattern] += 1
-    out = {}
-    for pattern, total in sums.items():
-        if counts[pattern] != num_sizes:
-            raise ValueError(
-                f"pattern {pattern!r} has {counts[pattern]} sizes, expected {num_sizes}"
-            )
-        out[pattern] = total / num_sizes
-    return out
+    formula = Formula(
+        "per_pattern",
+        (
+            Reduce("logavg", over="pattern"),
+            Reduce("mean", over="size", count=num_sizes),
+            Reduce("max", over="method"),
+            Reduce("max", over="repetition"),
+        ),
+    )
+    leaves = [(key[1:], bw) for key, bw in _leaves(records)]
+    ev = evaluate(formula, leaves)
+    return {pattern: value for (pattern,), value in ev.table("size").items()}
 
 
 def _kind_of(records: Iterable[MeasurementRecord]) -> dict[str, str]:
@@ -80,27 +105,23 @@ def aggregate(records: list[MeasurementRecord], num_sizes: int, lmax: int) -> di
         raise ValueError("no measurements to aggregate")
     kinds = _kind_of(records)
 
-    per_pattern = per_pattern_averages(records, num_sizes)
-    by_kind: dict[str, list[float]] = defaultdict(list)
-    for pattern, value in per_pattern.items():
-        by_kind[kinds[pattern]].append(value)
-    b_eff = two_step_logavg(by_kind)
+    leaves = _leaves(records, kinds)
+    ev = evaluate(beff_formula(num_sizes), leaves)
+    at_lmax_leaves = [
+        (key[:2] + key[3:], bw) for key, bw in leaves if key[2] == lmax
+    ]
+    ev_lmax = evaluate(beff_at_lmax_formula(), at_lmax_leaves)
 
-    best = best_bandwidths(records)
-    at_lmax_by_kind: dict[str, list[float]] = defaultdict(list)
-    for (pattern, size), bw in best.items():
-        if size == lmax:
-            at_lmax_by_kind[kinds[pattern]].append(bw)
-    b_eff_at_lmax = two_step_logavg(at_lmax_by_kind)
-    ring_only_at_lmax = logavg(at_lmax_by_kind["ring"])
-
+    per_pattern = {
+        pattern: value for (_kind, pattern), value in ev.table("size").items()
+    }
     return {
-        "b_eff": b_eff,
-        "b_eff_at_lmax": b_eff_at_lmax,
-        "ring_only_at_lmax": ring_only_at_lmax,
-        "per_pattern": dict(per_pattern),
-        "logavg_ring": logavg(by_kind["ring"]),
-        "logavg_random": logavg(by_kind["random"]),
+        "b_eff": ev.value,
+        "b_eff_at_lmax": ev_lmax.value,
+        "ring_only_at_lmax": ev_lmax.table("pattern")[("ring",)],
+        "per_pattern": per_pattern,
+        "logavg_ring": ev.table("pattern")[("ring",)],
+        "logavg_random": ev.table("pattern")[("random",)],
     }
 
 
@@ -126,61 +147,29 @@ def aggregate_partial(
     record (``failure``) is ``degraded`` with exact aggregates.
     """
     nan = math.nan
-    best = best_bandwidths(records)
-    sums: dict[str, float] = defaultdict(float)
-    counts: dict[str, int] = defaultdict(int)
-    for (pattern, _size), bw in best.items():
-        sums[pattern] += bw
-        counts[pattern] += 1
-    # per-pattern values in record (schedule) order, complete patterns only
-    per_pattern = {
-        pattern: sums[pattern] / num_sizes
-        for pattern in sums
-        if counts[pattern] == num_sizes and pattern in expected
-    }
-    missing = tuple(p for p in expected if p not in per_pattern)
+    components = [(kind, pattern) for pattern, kind in expected.items()]
+    leaves = _leaves(records, expected)
 
-    by_kind: dict[str, list[float]] = defaultdict(list)
-    for pattern, value in per_pattern.items():
-        by_kind[expected[pattern]].append(value)
-    at_lmax_by_kind: dict[str, list[float]] = defaultdict(list)
-    have_lmax = set()
-    for (pattern, size), bw in best.items():
-        if size == lmax and pattern in expected:
-            at_lmax_by_kind[expected[pattern]].append(bw)
-            have_lmax.add(pattern)
+    ev = evaluate_partial(beff_formula(num_sizes), leaves, components)
+    at_lmax_leaves = [
+        (key[:2] + key[3:], bw) for key, bw in leaves if key[2] == lmax
+    ]
+    ev_lmax = evaluate_partial(beff_at_lmax_formula(), at_lmax_leaves, components)
 
-    complete = not missing
-    ring_patterns = {p for p, k in expected.items() if k == "ring"}
+    per_pattern = {pattern: value for (_kind, pattern), value in ev.components.items()}
+    missing = tuple(pattern for _kind, pattern in ev.missing)
+
     agg = {
-        "b_eff": two_step_logavg(by_kind) if complete else nan,
-        "b_eff_at_lmax": (
-            two_step_logavg(at_lmax_by_kind)
-            if have_lmax >= set(expected)
-            else nan
-        ),
-        "ring_only_at_lmax": (
-            logavg(at_lmax_by_kind["ring"])
-            if ring_patterns and have_lmax >= ring_patterns
-            else nan
-        ),
-        "per_pattern": dict(per_pattern),
-        "logavg_ring": logavg(by_kind["ring"]) if by_kind.get("ring") else nan,
-        "logavg_random": logavg(by_kind["random"]) if by_kind.get("random") else nan,
+        "b_eff": ev.value,
+        "b_eff_at_lmax": ev_lmax.value,
+        "ring_only_at_lmax": ev_lmax.table("pattern").get(("ring",), nan),
+        "per_pattern": per_pattern,
+        "logavg_ring": ev.table("pattern").get(("ring",), nan),
+        "logavg_random": ev.table("pattern").get(("random",), nan),
     }
 
     all_skipped = tuple(dict.fromkeys(tuple(skipped) + missing))
-    if all_skipped:
-        state = "invalid"
-    elif flagged or failure:
-        state = "degraded"
-    else:
-        state = "valid"
-    validity = (
-        VALID
-        if state == "valid"
-        else RunValidity(state, skipped=all_skipped, flagged=tuple(flagged), reason=failure)
-    )
+    validity = classify(all_skipped, tuple(flagged), failure)
     return agg, validity
 
 

@@ -45,6 +45,8 @@ class BeffResult:
     #: trustworthiness of the aggregates (resilient runs may skip or
     #: flag patterns); ``valid`` for an undisturbed complete run
     validity: RunValidity = VALID
+    #: seed of the injected fault plan (None for undisturbed runs)
+    fault_seed: int | None = None
 
     @property
     def b_eff_per_proc(self) -> float:
@@ -132,6 +134,7 @@ def run_beff(
         logavg_ring=agg["logavg_ring"],
         logavg_random=agg["logavg_random"],
         validity=validity,
+        fault_seed=config.faults.seed if config.faults else None,
     )
 
 

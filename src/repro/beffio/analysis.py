@@ -6,6 +6,11 @@
 * partition value: 25 % initial write + 25 % rewrite + 50 % read;
 * system value: maximum over partitions (with T >= 15 min for an
   official number — we record T so callers can enforce that).
+
+The weights and the reduction structure live in
+:mod:`repro.runtime.formulas`; this module maps
+:class:`TypeResult` lists onto keyed leaves, evaluates the tree, and
+keeps the legacy function surface as thin shims.
 """
 
 from __future__ import annotations
@@ -13,13 +18,26 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.faults.validity import VALID, RunValidity
-from repro.util import weighted_average
+from repro.faults.validity import RunValidity, classify
+from repro.runtime.formulas import (
+    ACCESS_METHODS,
+    METHOD_WEIGHTS,
+    beffio_formula,
+)
+from repro.runtime.reduce import Key, evaluate, evaluate_partial, max_over, weighted_avg
 
-ACCESS_METHODS = ("write", "rewrite", "read")
-
-#: weights of the access methods in the partition value
-METHOD_WEIGHTS = {"write": 1.0, "rewrite": 1.0, "read": 2.0}
+__all__ = [
+    "ACCESS_METHODS",
+    "METHOD_WEIGHTS",
+    "TypeResult",
+    "method_value",
+    "partition_value",
+    "aggregate",
+    "aggregate_partial",
+    "cache_rule",
+    "bytes_per_method",
+    "system_value",
+]
 
 
 @dataclass(frozen=True)
@@ -39,6 +57,11 @@ class TypeResult:
         return self.nbytes / self.time
 
 
+def _leaves(type_results: list[TypeResult]) -> list[tuple[Key, float]]:
+    """Type results as formula leaves keyed (method, pattern type)."""
+    return [((t.method, t.pattern_type), t.bandwidth) for t in type_results]
+
+
 def method_value(type_results: list[TypeResult]) -> float:
     """Weighted average over pattern types; scatter type counts twice."""
     if not type_results:
@@ -46,9 +69,10 @@ def method_value(type_results: list[TypeResult]) -> float:
     methods = {t.method for t in type_results}
     if len(methods) != 1:
         raise ValueError(f"mixed access methods {methods}")
+    type_step = beffio_formula().steps[1]
     values = [t.bandwidth for t in type_results]
-    weights = [2.0 if t.pattern_type == 0 else 1.0 for t in type_results]
-    return weighted_average(values, weights)
+    weights = [type_step.weight_of(t.pattern_type) for t in type_results]
+    return weighted_avg(values, weights)
 
 
 def partition_value(method_values: dict[str, float]) -> float:
@@ -58,7 +82,14 @@ def partition_value(method_values: dict[str, float]) -> float:
         raise ValueError(f"missing access methods: {missing}")
     values = [method_values[m] for m in ACCESS_METHODS]
     weights = [METHOD_WEIGHTS[m] for m in ACCESS_METHODS]
-    return weighted_average(values, weights)
+    return weighted_avg(values, weights)
+
+
+def aggregate(type_results: list[TypeResult]) -> tuple[dict[str, float], float]:
+    """(method values, b_eff_io) of a complete, undisturbed run."""
+    ev = evaluate(beffio_formula(), _leaves(type_results))
+    method_values = {m: ev.table("type")[(m,)] for m in ACCESS_METHODS}
+    return method_values, ev.value
 
 
 def aggregate_partial(
@@ -78,33 +109,19 @@ def aggregate_partial(
     but ``flagged`` (over-budget) run keeps exact values and is merely
     ``degraded``.
     """
-    present = {(t.method, t.pattern_type) for t in type_results}
-    missing = [pair for pair in expected if pair not in present]
-    skipped = tuple(f"{m}/t{pt}" for m, pt in missing)
-    method_values: dict[str, float] = {}
-    for method in ACCESS_METHODS:
-        wanted = {pt for m, pt in expected if m == method}
-        per = [
-            t for t in type_results
-            if t.method == method and t.pattern_type in wanted
-        ]
-        if wanted and {t.pattern_type for t in per} >= wanted:
-            method_values[method] = method_value(per)
-        else:
-            method_values[method] = math.nan
-    if missing or any(math.isnan(v) for v in method_values.values()):
-        beffio = math.nan
-    else:
-        beffio = partition_value(method_values)
-    if skipped:
-        validity = RunValidity(
-            "invalid", skipped=skipped, flagged=tuple(flagged), reason=failure
-        )
-    elif flagged or failure:
-        validity = RunValidity("degraded", flagged=tuple(flagged), reason=failure)
-    else:
-        validity = VALID
-    return method_values, beffio, validity
+    expected_set = set(expected)
+    leaves = [
+        ((t.method, t.pattern_type), t.bandwidth)
+        for t in type_results
+        if (t.method, t.pattern_type) in expected_set
+    ]
+    ev = evaluate_partial(beffio_formula(), leaves, list(expected))
+    method_values = {
+        m: ev.table("type").get((m,), math.nan) for m in ACCESS_METHODS
+    }
+    skipped = tuple(f"{m}/t{pt}" for m, pt in ev.missing)
+    validity = classify(skipped, tuple(flagged), failure)
+    return method_values, ev.value, validity
 
 
 def cache_rule(nbytes_per_method: dict[str, int], cache_bytes: int,
@@ -151,4 +168,4 @@ def system_value(partition_values: dict[int, float], minimum_T: float | None = N
         }
         if not eligible:
             raise ValueError(f"no partition ran with T >= {minimum_T}")
-    return max(eligible.values())
+    return max_over(eligible.values())

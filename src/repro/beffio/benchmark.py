@@ -152,6 +152,11 @@ class BeffIOResult:
     #: trustworthiness of the aggregates (resilient runs may lose
     #: whole pattern types); ``valid`` for an undisturbed complete run
     validity: RunValidity = VALID
+    #: the engine that actually ran the loops ("fast" | "reference";
+    #: fault plans force "reference" regardless of the configured mode)
+    engine_mode: str = "fast"
+    #: seed of the injected fault plan (None for undisturbed runs)
+    fault_seed: int | None = None
 
     def type_result(self, method: str, ptype: int) -> TypeResult:
         for t in self.type_results:
@@ -224,11 +229,7 @@ def run_beffio(
     complete = {(t.method, t.pattern_type) for t in state.type_results} >= set(expected)
     if complete and not flagged and not failure:
         # undisturbed path: the exact seed aggregation, bit-identical
-        method_values = {}
-        for method in ACCESS_METHODS:
-            per_method = [t for t in state.type_results if t.method == method]
-            method_values[method] = analysis.method_value(per_method)
-        beffio = analysis.partition_value(method_values)
+        method_values, beffio = analysis.aggregate(state.type_results)
         validity = VALID
     else:
         method_values, beffio, validity = analysis.aggregate_partial(
@@ -244,6 +245,8 @@ def run_beffio(
         method_values=method_values,
         b_eff_io=beffio,
         validity=validity,
+        engine_mode="fast" if state.ff_session is not None else "reference",
+        fault_seed=config.faults.seed if config.faults else None,
     )
 
 

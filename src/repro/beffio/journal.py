@@ -1,105 +1,34 @@
-"""Crash-safe journal for resumable b_eff_io sweeps.
+"""Crash-safe journal for resumable b_eff_io sweeps (compat shim).
 
-A journal is a directory: ``manifest.json`` pins the machine and a
-fingerprint of the :class:`~repro.beffio.benchmark.BeffIOConfig`, and
-each completed partition is one ``partition_<n>.json`` written
-atomically (temp file + ``os.replace``) the moment it finishes.  A
-killed sweep therefore leaves either a complete partition file or
-none — never a torn one — and ``--resume`` replays the completed
-partitions bit-identically (JSON float serialization round-trips
-exactly) while running only the missing ones.
+The journal implementation lives in :mod:`repro.runtime.sweep` — one
+directory layout (``manifest.json`` + atomic ``partition_<n>.json``
+envelopes) shared by both benchmarks.  This module keeps the legacy
+b_eff_io import surface.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import json
-import pathlib
+from repro.beffio.benchmark import BeffIOConfig
+from repro.runtime.spec import sweep_fingerprint
+from repro.runtime.sweep import (
+    JOURNAL_SCHEMA,
+    JournalMismatchError,
+    SweepJournal,
+)
 
-from repro.beffio.benchmark import BeffIOConfig, BeffIOResult
-
-#: journal layout version
-JOURNAL_SCHEMA = 1
-
-
-class JournalMismatchError(RuntimeError):
-    """Resume attempted against a journal from a different sweep."""
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalMismatchError",
+    "SweepJournal",
+    "config_fingerprint",
+]
 
 
 def config_fingerprint(machine: str, config: BeffIOConfig) -> str:
     """Stable hash of (machine, config) pinning what a journal recorded.
 
-    ``dataclasses.asdict`` recurses into a nested
-    :class:`~repro.faults.plan.FaultPlan`, so two configs differing
-    only in their fault schedule get different fingerprints.
+    Delegates to the unified :func:`repro.runtime.spec.
+    sweep_fingerprint`, which hashes the engine mode and fault-plan
+    seed explicitly on top of the flattened config.
     """
-    payload = {"machine": machine, "config": dataclasses.asdict(config)}
-    text = json.dumps(payload, sort_keys=True, default=repr)
-    return hashlib.sha256(text.encode()).hexdigest()
-
-
-class SweepJournal:
-    """One sweep's on-disk state."""
-
-    def __init__(self, path: str | pathlib.Path) -> None:
-        self.path = pathlib.Path(path)
-
-    @property
-    def manifest_path(self) -> pathlib.Path:
-        return self.path / "manifest.json"
-
-    def partition_path(self, nprocs: int) -> pathlib.Path:
-        return self.path / f"partition_{nprocs}.json"
-
-    # -- lifecycle -----------------------------------------------------
-
-    def start(self, machine: str, fingerprint: str) -> None:
-        """Begin a fresh sweep: wipe stale partitions, pin the manifest."""
-        from repro.reporting.export import write_json_atomic
-
-        self.path.mkdir(parents=True, exist_ok=True)
-        for stale in self.path.glob("partition_*.json"):
-            stale.unlink()
-        write_json_atomic(
-            self.manifest_path,
-            {"schema": JOURNAL_SCHEMA, "machine": machine, "fingerprint": fingerprint},
-        )
-
-    def check(self, machine: str, fingerprint: str) -> None:
-        """Verify this journal belongs to (machine, config) before resuming."""
-        if not self.manifest_path.exists():
-            raise JournalMismatchError(
-                f"no journal manifest at {self.manifest_path} — nothing to resume"
-            )
-        manifest = json.loads(self.manifest_path.read_text())
-        if manifest.get("schema") != JOURNAL_SCHEMA:
-            raise JournalMismatchError(
-                f"journal schema {manifest.get('schema')!r} != {JOURNAL_SCHEMA}"
-            )
-        if manifest.get("machine") != machine or manifest.get("fingerprint") != fingerprint:
-            raise JournalMismatchError(
-                f"journal at {self.path} was written by a different sweep "
-                f"(machine {manifest.get('machine')!r}, or the config changed); "
-                "refusing to mix results"
-            )
-
-    # -- partition records ---------------------------------------------
-
-    def record(self, result: BeffIOResult, machine: str) -> None:
-        """Atomically persist one completed partition."""
-        from repro.reporting.export import beffio_to_dict, write_json_atomic
-
-        write_json_atomic(
-            self.partition_path(result.nprocs), beffio_to_dict(result, machine)
-        )
-
-    def completed(self) -> dict[int, BeffIOResult]:
-        """Load every journaled partition, keyed by process count."""
-        from repro.reporting.export import beffio_from_dict
-
-        out: dict[int, BeffIOResult] = {}
-        for path in sorted(self.path.glob("partition_*.json")):
-            result = beffio_from_dict(json.loads(path.read_text()))
-            out[result.nprocs] = result
-        return out
+    return sweep_fingerprint("b_eff_io", machine, config)

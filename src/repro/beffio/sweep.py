@@ -5,89 +5,44 @@ partition's value (with a scheduled time of at least 15 minutes for
 official numbers).  This module sweeps partitions and applies that
 rule, which is also exactly what Figs. 3 and 5 plot.
 
-Sweeps are resilient and resumable:
-
-* With ``journal=<dir>``, each partition's result is written
-  atomically the moment it completes; ``resume=True`` loads the
-  completed partitions (bit-identically — see
-  :mod:`repro.beffio.journal`) and runs only the missing ones.
-* A crashed or failing worker is retried up to ``retries`` times;
-  when retries are exhausted the failure surfaces as
-  :class:`SweepWorkerError` carrying the partition's configuration.
-* Partitions whose resilient run produced ``nan`` (invalid) are
-  excluded from the system maximum; the sweep's ``validity`` merges
-  the partitions' states.
+The orchestration — parallel partitions, crash-safe journaling,
+resume, retries — lives in the benchmark-agnostic
+:mod:`repro.runtime.sweep`; this module is the b_eff_io-flavoured
+surface over it (the :class:`SweepResult` type and the legacy
+``run_sweep`` signature).
 """
 
 from __future__ import annotations
 
-import math
 import os
-import pathlib
-import re
-import time
-import traceback
-from collections.abc import Callable, Iterable
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from collections.abc import Iterable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Union
 
 from repro.beffio.benchmark import BeffIOConfig, BeffIOResult
-from repro.beffio.journal import SweepJournal, config_fingerprint
-from repro.faults.validity import VALID, RunValidity, merge
+from repro.faults.validity import VALID, RunValidity
+from repro.runtime import sweep as _runtime
+from repro.runtime.sweep import (
+    CRASH_AFTER_ENV,
+    OFFICIAL_MINIMUM_T,
+    SweepJournal,
+    SweepWorkerError,
+)
 
 if TYPE_CHECKING:
     from repro.machines.spec import MachineSpec
 
+__all__ = [
+    "CRASH_AFTER_ENV",
+    "OFFICIAL_MINIMUM_T",
+    "MachineLike",
+    "SweepResult",
+    "SweepWorkerError",
+    "run_sweep",
+]
+
 #: a machine registry key, or a resolved spec
 MachineLike = Union[str, "MachineSpec"]
-
-#: the official minimum scheduled time (15 minutes)
-OFFICIAL_MINIMUM_T = 900.0
-
-#: test/CI hook: when set to an integer k, the sweep parent raises
-#: after journaling its k-th partition — equivalent (for resume
-#: purposes) to killing the process there, because partition writes
-#: are atomic
-CRASH_AFTER_ENV = "REPRO_SWEEP_CRASH_AFTER"
-
-
-class SweepWorkerError(RuntimeError):
-    """A partition run failed after exhausting its retries.
-
-    The message names the machine, the partition size, the
-    configuration that failed *and the failing source frame*; the
-    original exception is chained as ``__cause__`` and the worker's
-    full formatted traceback is kept on ``worker_traceback`` so the
-    CLI's exit-code-3 report can show where the worker died, not just
-    which partition it was running.
-    """
-
-    def __init__(self, message: str, worker_traceback: str = "") -> None:
-        super().__init__(message)
-        self.worker_traceback = worker_traceback
-
-
-def _failure_site(exc: BaseException) -> str:
-    """``file:line in function`` of the deepest frame that raised ``exc``.
-
-    For exceptions re-raised out of a :class:`ProcessPoolExecutor`
-    worker the parent-side traceback only shows executor internals;
-    the worker's real frames travel as a ``_RemoteTraceback`` cause
-    string, so those are parsed in preference.
-    """
-    cause = exc.__cause__
-    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
-        found = re.findall(r'File "([^"]+)", line (\d+), in (\S+)', str(cause))
-        if found:
-            path, line, func = found[-1]
-            return f"{pathlib.Path(path).name}:{line} in {func}"
-    frames = traceback.extract_tb(exc.__traceback__)
-    if not frames:
-        return "no traceback available"
-    last = frames[-1]
-    return f"{pathlib.Path(last.filename).name}:{last.lineno} in {last.name}"
 
 
 @dataclass(frozen=True)
@@ -108,72 +63,6 @@ class SweepResult:
         return {r.nprocs: r.b_eff_io for r in self.results}
 
 
-def _resolve(spec: MachineLike) -> "MachineSpec":
-    """A machine key resolves through the registry; specs pass through."""
-    if isinstance(spec, str):
-        from repro.machines import get_machine
-
-        return get_machine(spec)
-    return spec
-
-
-def _registry_key(spec: "MachineSpec") -> str:
-    """Find the registry key of a spec (required to ship it to workers:
-    a :class:`MachineSpec` holds environment-factory closures, so only
-    the key crosses the process boundary)."""
-    from repro.machines import MACHINES
-
-    for key, factory in MACHINES.items():
-        if factory().name == spec.name:
-            return key
-    raise ValueError(
-        f"machine {spec.name!r} is not in the registry; pass the machine "
-        "key (a string) to run_sweep for jobs > 1"
-    )
-
-
-def _run_partition(key: str, nprocs: int, config: BeffIOConfig) -> BeffIOResult:
-    """Worker entry: rebuild the machine in-process and run one partition."""
-    from repro.machines import get_machine
-
-    return get_machine(key).run_beffio(nprocs, config)
-
-
-def _describe(machine: str, nprocs: int, config: BeffIOConfig) -> str:
-    return (
-        f"partition nprocs={nprocs} on machine {machine!r} "
-        f"(T={config.T}, types={config.pattern_types}, mode={config.mode!r}, "
-        f"faults={'yes' if config.faults else 'no'})"
-    )
-
-
-class _Retry:
-    """Per-partition attempt counter shared by both execution paths."""
-
-    def __init__(self, machine: str, config: BeffIOConfig, retries: int, backoff: float):
-        self.machine = machine
-        self.config = config
-        self.retries = retries
-        self.backoff = backoff
-        self.attempts: dict[int, int] = {}
-
-    def failed(self, nprocs: int, exc: BaseException) -> None:
-        """Count a failure; raise :class:`SweepWorkerError` past the limit."""
-        n = self.attempts.get(nprocs, 0) + 1
-        self.attempts[nprocs] = n
-        if n > self.retries:
-            raise SweepWorkerError(
-                f"{_describe(self.machine, nprocs, self.config)} failed "
-                f"after {n} attempt(s) at {_failure_site(exc)}: "
-                f"{type(exc).__name__}: {exc}",
-                worker_traceback="".join(
-                    traceback.format_exception(type(exc), exc, exc.__traceback__)
-                ),
-            ) from exc
-        if self.backoff > 0:
-            time.sleep(self.backoff * n)
-
-
 def run_sweep(
     spec: MachineLike,
     partitions: Iterable[int],
@@ -192,143 +81,25 @@ def run_sweep(
     partitions that produced a number).  ``official`` reports whether
     the scheduled time satisfied the paper's 15-minute rule.
 
-    ``jobs > 1`` runs partitions concurrently in worker processes.
-    Every partition is an independent simulation from a fresh
-    environment, so the results are bit-identical to a serial sweep —
-    the workers only change wall-clock time.
-
-    ``journal`` (a directory path) makes the sweep crash-safe: each
-    partition is persisted atomically when it completes, and
-    ``resume=True`` replays completed partitions bit-identically
-    instead of re-running them.  ``retries``/``backoff`` bound how
-    often a crashed or failing partition is re-attempted before
-    :class:`SweepWorkerError` is raised.
+    See :func:`repro.runtime.sweep.run_sweep` for the journal/resume/
+    retry semantics (shared with b_eff).
     """
-    partitions = sorted(set(partitions))
-    if not partitions:
-        raise ValueError("need at least one partition size")
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    if retries < 0:
-        raise ValueError("retries must be >= 0")
-    if resume and journal is None:
-        raise ValueError("resume=True needs a journal")
-    config = config or BeffIOConfig()
-    machine_name = spec if isinstance(spec, str) else spec.name
-
-    jr = SweepJournal(journal) if isinstance(journal, (str, os.PathLike)) else journal
-    done: dict[int, BeffIOResult] = {}
-    if jr is not None:
-        fingerprint = config_fingerprint(machine_name, config)
-        if resume:
-            jr.check(machine_name, fingerprint)
-            # hoisted: a comprehension condition re-evaluates its
-            # expression per row, so build the membership set once
-            wanted = frozenset(partitions)
-            done = {n: r for n, r in jr.completed().items() if n in wanted}
-        else:
-            jr.start(machine_name, fingerprint)
-
-    crash_after = os.environ.get(CRASH_AFTER_ENV)
-    crash_after = int(crash_after) if crash_after else None
-    fresh = 0
-
-    def finish(result: BeffIOResult) -> None:
-        nonlocal fresh
-        done[result.nprocs] = result
-        if jr is not None:
-            jr.record(result, machine_name)
-        fresh += 1
-        if crash_after is not None and fresh >= crash_after:
-            raise RuntimeError(
-                f"injected sweep crash after {fresh} partition(s) "
-                f"({CRASH_AFTER_ENV}={crash_after})"
-            )
-
-    remaining = [n for n in partitions if n not in done]
-    retry = _Retry(machine_name, config, retries, backoff)
-    if jobs > 1 and len(remaining) > 1:
-        key = spec if isinstance(spec, str) else _registry_key(spec)
-        _run_parallel(key, remaining, config, jobs, retry, finish)
-        spec = _resolve(spec)
-    else:
-        spec = _resolve(spec)
-        for n in remaining:
-            while True:
-                try:
-                    result = spec.run_beffio(n, config)
-                except (KeyboardInterrupt, SystemExit):
-                    raise
-                except Exception as exc:  # repro-lint: disable=REPRO005 -- retry.failed re-raises (as SweepWorkerError with the captured traceback) past the retry limit
-                    retry.failed(n, exc)
-                    continue
-                finish(result)
-                break
-
-    results = tuple(done[n] for n in partitions)
-    values = {r.nprocs: r.b_eff_io for r in results}
-    finite = {n: v for n, v in values.items() if not math.isnan(v)}
-    if finite:
-        system = max(finite.values())
-        best = max(finite, key=finite.get)
-    else:
-        system = math.nan
-        best = partitions[0]
-    return SweepResult(
-        machine=spec.name if not isinstance(spec, str) else machine_name,
-        results=results,
-        system_b_eff_io=system,
-        best_partition=best,
-        official=config.T >= OFFICIAL_MINIMUM_T,
-        validity=merge([r.validity for r in results]),
+    outcome = _runtime.run_sweep(
+        "b_eff_io",
+        spec,
+        partitions,
+        config=config,
+        jobs=jobs,
+        journal=journal,
+        resume=resume,
+        retries=retries,
+        backoff=backoff,
     )
-
-
-def _run_parallel(
-    key: str,
-    remaining: list[int],
-    config: BeffIOConfig,
-    jobs: int,
-    retry: _Retry,
-    finish: Callable[[BeffIOResult], None],
-) -> None:
-    """Fan partitions over worker processes; journal as each completes.
-
-    A :class:`BrokenProcessPool` (worker killed mid-run) poisons every
-    in-flight future, so the pool is rebuilt and the unfinished
-    partitions resubmitted — each broken partition consumes one retry.
-    """
-    todo = set(remaining)
-    pool = ProcessPoolExecutor(max_workers=min(jobs, len(remaining)))
-    try:
-        while todo:
-            futures: dict[Future[BeffIOResult], int] = {
-                pool.submit(_run_partition, key, n, config): n for n in sorted(todo)
-            }
-            broken = False
-            pending = set(futures)
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                # wait() returns a set; drain it in partition order so
-                # journal writes and retry accounting are reproducible
-                for fut in sorted(finished, key=futures.__getitem__):
-                    n = futures[fut]
-                    try:
-                        result = fut.result()
-                    except BrokenProcessPool as exc:
-                        retry.failed(n, exc)
-                        broken = True
-                    except (KeyboardInterrupt, SystemExit):
-                        raise
-                    except Exception as exc:  # repro-lint: disable=REPRO005 -- retry.failed re-raises (as SweepWorkerError with the worker's traceback) past the retry limit
-                        retry.failed(n, exc)
-                    else:
-                        todo.discard(n)
-                        finish(result)
-                if broken:
-                    break
-            if broken and todo:
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = ProcessPoolExecutor(max_workers=min(jobs, len(todo)))
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+    return SweepResult(
+        machine=outcome.machine,
+        results=outcome.results,
+        system_b_eff_io=outcome.system_value,
+        best_partition=outcome.best_partition,
+        official=outcome.official,
+        validity=outcome.validity,
+    )

@@ -95,7 +95,9 @@ def _resolve_machine(args) -> object | None:
 
 def main_beff(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro-beff", description="effective bandwidth benchmark (simulated)"
+        prog="repro-beff", description="effective bandwidth benchmark (simulated)",
+        epilog="exit codes: 0 success, 2 usage error, "
+               f"{EXIT_SWEEP_WORKER_FAILED} sweep partition failed after retries",
     )
     _machine_arg(parser)
     parser.add_argument(
@@ -112,9 +114,30 @@ def main_beff(argv: list[str] | None = None) -> int:
                         help="also run the non-averaged detail patterns")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the result as JSON (SKaMPI-style export)")
+    parser.add_argument("--partitions", metavar="N,N,...",
+                        help="sweep these partition sizes instead of --procs and "
+                             "report the best b_eff (same journal/resume/retry "
+                             "contract as repro-beffio)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --partitions sweeps (results "
+                             "are identical to a serial sweep)")
+    parser.add_argument("--journal", metavar="DIR",
+                        help="crash-safe sweep journal directory (per-partition "
+                             "results are written atomically as they complete)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a killed sweep from --journal, replaying "
+                             "completed partitions bit-identically")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-attempts per failed sweep partition before "
+                             "giving up with exit code "
+                             f"{EXIT_SWEEP_WORKER_FAILED}")
     _fault_args(parser)
     _sanitize_arg(parser)
     args = parser.parse_args(argv)
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
+    if args.sanitize and args.partitions:
+        parser.error("--sanitize checks a single partition; drop --partitions")
     spec = _resolve_machine(args)
     if spec is None:
         return 0
@@ -128,6 +151,27 @@ def main_beff(argv: list[str] | None = None) -> int:
         backend=args.backend,
         faults=plan,
     )
+    if args.partitions:
+        from repro.beff.sweep import SweepWorkerError, run_sweep
+
+        try:
+            sweep = run_sweep(
+                args.machine, [int(n) for n in args.partitions.split(",")],
+                config, jobs=args.jobs,
+                journal=args.journal, resume=args.resume, retries=args.retries,
+            )
+        except SweepWorkerError as exc:
+            print(f"repro-beff: {exc}", file=sys.stderr)
+            if exc.worker_traceback:
+                print(exc.worker_traceback, file=sys.stderr, end="")
+            return EXIT_SWEEP_WORKER_FAILED
+        for r in sweep.results:
+            print(f"{r.nprocs:6d} procs  b_eff = {r.b_eff / MB:10.1f} MB/s"
+                  f"{'' if r.validity.ok else '  [' + r.validity.state + ']'}")
+        _print_validity(sweep.validity)
+        print(f"best b_eff = {sweep.best_b_eff / MB:.1f} MB/s "
+              f"(best partition: {sweep.best_partition} procs)")
+        return 0
     if args.sanitize:
         result, status = _sanitized_run(
             lambda: spec.run_beff(args.procs, config),

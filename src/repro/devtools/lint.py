@@ -22,6 +22,7 @@ REPRO007  missing ``__slots__`` on a class in a ``sim/``/``net/`` hot module
 REPRO008  non-atomic ``open(..., "w")`` / ``json.dump`` result write
 REPRO009  entropy source (``os.urandom``, ``uuid.uuid4``, ``secrets``)
 REPRO010  salted builtin ``hash()`` (varies per process)
+REPRO011  result payload serialized outside ``write_json_atomic``
 ========  ==========================================================
 
 A violation is silenced for one line with::
@@ -62,6 +63,8 @@ RULES: dict[str, str] = {
     "REPRO008": "non-atomic result write: use repro.reporting.export.write_json_atomic",
     "REPRO009": "OS entropy source: results would differ on every run",
     "REPRO010": "builtin hash() is salted per process: derive keys explicitly",
+    "REPRO011": "result payload written directly: route envelopes/results through "
+                "repro.reporting.export.write_json_atomic",
 }
 
 #: default location of the checked-in baseline (repository root)
@@ -92,6 +95,15 @@ _ORDER_INSENSITIVE = frozenset({
 _SET_METHODS = frozenset({
     "union", "intersection", "difference", "symmetric_difference",
 })
+
+#: calls whose return value is a benchmark result payload (REPRO011)
+_PAYLOAD_PRODUCERS = frozenset({
+    "to_dict", "to_json", "from_dict", "envelope_for",
+    "beff_to_dict", "beffio_to_dict",
+})
+
+#: names that mark an expression as carrying a result payload (REPRO011)
+_PAYLOAD_NAME_RE = re.compile(r"(result|envelope|payload)", re.IGNORECASE)
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:--.*)?$")
 
@@ -251,6 +263,25 @@ class _Checker(ast.NodeVisitor):
                 return parent.func.id
             return _resolve(parent.func, self.aliases)
         return None
+
+    def _is_result_payload(self, node: ast.expr) -> bool:
+        """Does this expression carry a benchmark result payload?
+
+        Heuristic: the expression calls an envelope/export serializer
+        (``to_dict``, ``to_json``, ``envelope_for``, ...) or mentions a
+        name containing ``result``/``envelope``/``payload``.
+        """
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call):
+                f = inner.func
+                callee = f.attr if isinstance(f, ast.Attribute) else getattr(f, "id", "")
+                if callee in _PAYLOAD_PRODUCERS:
+                    return True
+            elif isinstance(inner, ast.Name) and _PAYLOAD_NAME_RE.search(inner.id):
+                return True
+            elif isinstance(inner, ast.Attribute) and _PAYLOAD_NAME_RE.search(inner.attr):
+                return True
+        return False
 
     # -- scope tracking ------------------------------------------------
 
@@ -439,6 +470,17 @@ class _Checker(ast.NodeVisitor):
         if isinstance(func, ast.Attribute) and func.attr in {"write_text", "write_bytes"} \
                 and not self.posix.endswith("reporting/export.py"):
             self._report(node, "REPRO008")
+
+        # REPRO011 is independent of REPRO008's atomicity concern: even
+        # an atomic hand-rolled write of a result payload bypasses the
+        # envelope schema/validity serialization contract.
+        if not self.posix.endswith("reporting/export.py"):
+            sink = resolved == "json.dump" or (
+                isinstance(func, ast.Attribute)
+                and func.attr in {"write_text", "write_bytes"}
+            )
+            if sink and any(self._is_result_payload(a) for a in node.args):
+                self._report(node, "REPRO011")
 
         self.generic_visit(node)
 

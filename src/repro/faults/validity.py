@@ -83,6 +83,26 @@ class RunValidity:
 VALID = RunValidity("valid")
 
 
+def classify(
+    skipped: tuple[str, ...],
+    flagged: tuple[str, ...],
+    reason: str = "",
+) -> RunValidity:
+    """The one classification rule both benchmarks share.
+
+    Any skipped averaged component → ``invalid``; otherwise any flag
+    or failure reason → ``degraded``; otherwise the :data:`VALID`
+    singleton (callers test identity on the clean path).
+    """
+    if skipped:
+        return RunValidity(
+            "invalid", skipped=tuple(skipped), flagged=tuple(flagged), reason=reason
+        )
+    if flagged or reason:
+        return RunValidity("degraded", flagged=tuple(flagged), reason=reason)
+    return VALID
+
+
 def merge(parts: list[RunValidity]) -> RunValidity:
     """Combine component validities (worst state wins)."""
     if not parts:

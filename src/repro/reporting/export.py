@@ -4,6 +4,12 @@
 that can be used in the SKaMPI comparison page" and the Top Clusters
 list needs automated collection — this module provides the analog: a
 stable JSON schema for both benchmarks.
+
+Since schema 3 every payload is a serialized
+:class:`repro.runtime.envelope.ResultEnvelope`; the flat value keys of
+schema 2 are unchanged, with ``provenance`` and ``timings`` blocks
+added.  The functions here are thin shims kept for the legacy call
+surface.
 """
 
 from __future__ import annotations
@@ -12,15 +18,30 @@ import json
 import os
 import pathlib
 import tempfile
-from dataclasses import asdict
 
 from repro.beff.benchmark import BeffResult
-from repro.beffio.analysis import TypeResult
-from repro.beffio.benchmark import BeffIOResult, PatternRun
-from repro.faults.validity import VALID, RunValidity
+from repro.beffio.benchmark import BeffIOResult
+from repro.runtime.envelope import (
+    ENVELOPE_SCHEMA,
+    ResultEnvelope,
+    SchemaVersionError,
+    envelope_for,
+    result_from_envelope,
+)
 
-#: schema version written into every export
-SCHEMA_VERSION = 2
+#: schema version written into every export (alias of the envelope's)
+SCHEMA_VERSION = ENVELOPE_SCHEMA
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "write_json_atomic",
+    "beff_to_dict",
+    "beffio_to_dict",
+    "beff_from_dict",
+    "beffio_from_dict",
+    "to_json",
+]
 
 
 def write_json_atomic(path: str | pathlib.Path, payload: object, indent: int | None = 2) -> None:
@@ -53,56 +74,20 @@ def write_json_atomic(path: str | pathlib.Path, payload: object, indent: int | N
 
 def beff_to_dict(result: BeffResult, machine: str | None = None) -> dict:
     """Flatten a b_eff result to JSON-compatible primitives."""
-    return {
-        "schema": SCHEMA_VERSION,
-        "benchmark": "b_eff",
-        "machine": machine,
-        "nprocs": result.nprocs,
-        "memory_per_proc": result.memory_per_proc,
-        "lmax": result.lmax,
-        "backend": result.backend,
-        "sizes": list(result.sizes),
-        "b_eff": result.b_eff,
-        "b_eff_per_proc": result.b_eff_per_proc,
-        "b_eff_at_lmax": result.b_eff_at_lmax,
-        "b_eff_at_lmax_per_proc": result.b_eff_at_lmax_per_proc,
-        "ring_only_at_lmax": result.ring_only_at_lmax,
-        "logavg_ring": result.logavg_ring,
-        "logavg_random": result.logavg_random,
-        "per_pattern": dict(result.per_pattern),
-        "validity": result.validity.to_dict(),
-        "records": [asdict(r) for r in result.records],
-    }
+    return envelope_for(result, machine).to_dict()
 
 
 def beffio_to_dict(result: BeffIOResult, machine: str | None = None) -> dict:
     """Flatten a b_eff_io result to JSON-compatible primitives."""
-    return {
-        "schema": SCHEMA_VERSION,
-        "benchmark": "b_eff_io",
-        "machine": machine,
-        "nprocs": result.nprocs,
-        "T": result.T,
-        "mpart": result.mpart,
-        "segment_size": result.segment_size,
-        "b_eff_io": result.b_eff_io,
-        "validity": result.validity.to_dict(),
-        "method_values": dict(result.method_values),
-        "type_results": [
-            {
-                "method": t.method,
-                "pattern_type": t.pattern_type,
-                "nbytes": t.nbytes,
-                "time": t.time,
-                "reps": t.reps,
-                "bandwidth": t.bandwidth,
-            }
-            for t in result.type_results
-        ],
-        "pattern_runs": [
-            {**asdict(r), "bandwidth": r.bandwidth} for r in result.pattern_runs
-        ],
-    }
+    return envelope_for(result, machine).to_dict()
+
+
+def beff_from_dict(d: dict) -> BeffResult:
+    """Rebuild a :class:`BeffResult` from :func:`beff_to_dict` output."""
+    result = result_from_envelope(ResultEnvelope.from_dict(d))
+    if not isinstance(result, BeffResult):
+        raise ValueError(f"payload is a {d.get('benchmark')!r} result, not b_eff")
+    return result
 
 
 def beffio_from_dict(d: dict) -> BeffIOResult:
@@ -112,42 +97,13 @@ def beffio_from_dict(d: dict) -> BeffIOResult:
     JSON round trip bit-exactly (``repr``-based serialization), so a
     resumed sweep is bit-identical to an uninterrupted one.
     """
-    type_results = [
-        TypeResult(
-            method=t["method"],
-            pattern_type=t["pattern_type"],
-            nbytes=t["nbytes"],
-            time=t["time"],
-            reps=t["reps"],
-        )
-        for t in d["type_results"]
-    ]
-    pattern_runs: list[PatternRun] = []
-    for r in d["pattern_runs"]:
-        fields = dict(r)
-        fields.pop("bandwidth", None)  # derived property, not a field
-        pattern_runs.append(PatternRun(**fields))
-    validity = RunValidity.from_dict(d["validity"]) if "validity" in d else VALID
-    return BeffIOResult(
-        nprocs=d["nprocs"],
-        T=d["T"],
-        mpart=d["mpart"],
-        segment_size=d["segment_size"],
-        pattern_runs=pattern_runs,
-        type_results=type_results,
-        method_values=dict(d["method_values"]),
-        b_eff_io=d["b_eff_io"],
-        validity=validity,
-    )
+    result = result_from_envelope(ResultEnvelope.from_dict(d))
+    if not isinstance(result, BeffIOResult):
+        raise ValueError(f"payload is a {d.get('benchmark')!r} result, not b_eff_io")
+    return result
 
 
 def to_json(result: BeffResult | BeffIOResult, machine: str | None = None,
             indent: int | None = 2) -> str:
     """Serialize either benchmark's result to a JSON string."""
-    if isinstance(result, BeffResult):
-        payload = beff_to_dict(result, machine)
-    elif isinstance(result, BeffIOResult):
-        payload = beffio_to_dict(result, machine)
-    else:
-        raise TypeError(f"cannot export {type(result).__name__}")
-    return json.dumps(payload, indent=indent)
+    return json.dumps(envelope_for(result, machine).to_dict(), indent=indent)

@@ -1,0 +1,79 @@
+"""The shared benchmark runtime ("run-spine").
+
+b_eff and b_eff_io are two instances of the same idea — time-driven
+measurement followed by a fixed aggregation formula producing a single
+number — and this package is the one spine both hang on:
+
+* :mod:`repro.runtime.reduce` — declarative reduction trees:
+  composable reducers with partial/degraded aggregation handled once;
+* :mod:`repro.runtime.formulas` — the paper's aggregation formulas
+  expressed as data over those reducers;
+* :mod:`repro.runtime.spec` — the typed :class:`RunSpec` (machine,
+  nprocs, engine mode, fault plan, config fingerprint) that names one
+  benchmark run, and the unified sweep fingerprint;
+* :mod:`repro.runtime.envelope` — the versioned
+  :class:`ResultEnvelope` (values + validity + provenance + timings)
+  every export and journal record round-trips through;
+* :mod:`repro.runtime.sweep` — the benchmark-agnostic sweep
+  orchestrator: one journal, one retry policy, one worker-error path
+  for both benchmarks.
+
+The per-benchmark entry points (``repro.beff.*``, ``repro.beffio.*``)
+remain the public API; they are thin shims over this package.
+"""
+
+from repro.runtime.envelope import (
+    ENVELOPE_SCHEMA,
+    ResultEnvelope,
+    SchemaVersionError,
+    envelope_for,
+    result_from_envelope,
+)
+from repro.runtime.reduce import (
+    Evaluation,
+    Formula,
+    Reduce,
+    arith_mean,
+    evaluate,
+    evaluate_partial,
+    log_avg,
+    max_over,
+    weighted_avg,
+)
+from repro.runtime.spec import RunSpec, run_spec, sweep_fingerprint
+from repro.runtime.sweep import (
+    BenchmarkAdapter,
+    JournalMismatchError,
+    SweepJournal,
+    SweepOutcome,
+    SweepWorkerError,
+    adapter_for,
+    run_sweep,
+)
+
+__all__ = [
+    "ENVELOPE_SCHEMA",
+    "ResultEnvelope",
+    "SchemaVersionError",
+    "envelope_for",
+    "result_from_envelope",
+    "Evaluation",
+    "Formula",
+    "Reduce",
+    "arith_mean",
+    "evaluate",
+    "evaluate_partial",
+    "log_avg",
+    "max_over",
+    "weighted_avg",
+    "RunSpec",
+    "run_spec",
+    "sweep_fingerprint",
+    "BenchmarkAdapter",
+    "JournalMismatchError",
+    "SweepJournal",
+    "SweepOutcome",
+    "SweepWorkerError",
+    "adapter_for",
+    "run_sweep",
+]

@@ -1,0 +1,249 @@
+"""Versioned result envelopes: one record shape for both benchmarks.
+
+A :class:`ResultEnvelope` is the canonical machine-readable form of a
+benchmark result: the flat legacy value fields, the
+:class:`~repro.faults.validity.RunValidity`, a provenance block
+(machine, engine mode, fault seed) and deterministic timings (sums of
+*simulated* seconds, so envelopes — and hence journals and golden
+files — stay bit-identical run to run).  ``reporting.export`` and the
+sweep journal both serialize through this module.
+
+The flat dict layout of schema 2 is preserved verbatim (downstream
+tooling reads ``payload["b_eff"]`` etc.); schema 3 adds the
+``provenance`` and ``timings`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.faults.validity import VALID, RunValidity
+
+if TYPE_CHECKING:
+    from repro.beff.benchmark import BeffResult
+    from repro.beffio.benchmark import BeffIOResult
+
+#: schema version written into every envelope (and hence every export)
+ENVELOPE_SCHEMA = 3
+
+
+class SchemaVersionError(ValueError):
+    """A payload was written under a different envelope schema."""
+
+    def __init__(self, found: object, expected: int = ENVELOPE_SCHEMA) -> None:
+        super().__init__(
+            f"result payload has schema {found!r}, this build reads schema "
+            f"{expected}; re-export the result with a matching version"
+        )
+        self.found = found
+        self.expected = expected
+
+
+@dataclass(frozen=True)
+class ResultEnvelope:
+    """A benchmark result ready for export or journaling.
+
+    ``values`` holds the benchmark-specific flat fields (aggregates
+    plus raw measurement tables) exactly as schema 2 spelled them;
+    ``provenance`` names what produced them (machine, engine mode,
+    fault seed, process count); ``timings`` are simulated-time sums —
+    deterministic by construction, so round trips are bit-identical.
+    """
+
+    benchmark: str
+    values: Mapping[str, Any]
+    validity: RunValidity = VALID
+    provenance: Mapping[str, Any] = field(default_factory=dict)
+    timings: Mapping[str, float] = field(default_factory=dict)
+    schema: int = ENVELOPE_SCHEMA
+
+    def to_dict(self) -> dict:
+        """The flat JSON payload (legacy keys + provenance + timings)."""
+        return {
+            "schema": self.schema,
+            "benchmark": self.benchmark,
+            "machine": self.provenance.get("machine"),
+            **dict(self.values),
+            "validity": self.validity.to_dict(),
+            "provenance": dict(self.provenance),
+            "timings": dict(self.timings),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ResultEnvelope":
+        """Rebuild an envelope from :meth:`to_dict` output.
+
+        Raises :class:`SchemaVersionError` for any other schema —
+        silently reinterpreting an old payload is how resumed sweeps
+        mix incompatible results.
+        """
+        if d.get("schema") != ENVELOPE_SCHEMA:
+            raise SchemaVersionError(d.get("schema"))
+        values = {
+            k: v
+            for k, v in d.items()
+            if k not in ("schema", "benchmark", "machine", "validity",
+                         "provenance", "timings")
+        }
+        return cls(
+            benchmark=d["benchmark"],
+            values=values,
+            validity=RunValidity.from_dict(d["validity"]) if "validity" in d else VALID,
+            provenance=dict(d.get("provenance", {})),
+            timings=dict(d.get("timings", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+# building envelopes from result objects
+# ---------------------------------------------------------------------------
+
+
+def _beff_values(result: "BeffResult") -> dict:
+    return {
+        "nprocs": result.nprocs,
+        "memory_per_proc": result.memory_per_proc,
+        "lmax": result.lmax,
+        "backend": result.backend,
+        "sizes": list(result.sizes),
+        "b_eff": result.b_eff,
+        "b_eff_per_proc": result.b_eff_per_proc,
+        "b_eff_at_lmax": result.b_eff_at_lmax,
+        "b_eff_at_lmax_per_proc": result.b_eff_at_lmax_per_proc,
+        "ring_only_at_lmax": result.ring_only_at_lmax,
+        "logavg_ring": result.logavg_ring,
+        "logavg_random": result.logavg_random,
+        "per_pattern": dict(result.per_pattern),
+        "records": [asdict(r) for r in result.records],
+    }
+
+
+def _beffio_values(result: "BeffIOResult") -> dict:
+    return {
+        "nprocs": result.nprocs,
+        "T": result.T,
+        "mpart": result.mpart,
+        "segment_size": result.segment_size,
+        "b_eff_io": result.b_eff_io,
+        "method_values": dict(result.method_values),
+        "type_results": [
+            {
+                "method": t.method,
+                "pattern_type": t.pattern_type,
+                "nbytes": t.nbytes,
+                "time": t.time,
+                "reps": t.reps,
+                "bandwidth": t.bandwidth,
+            }
+            for t in result.type_results
+        ],
+        "pattern_runs": [
+            {**asdict(r), "bandwidth": r.bandwidth} for r in result.pattern_runs
+        ],
+    }
+
+
+def envelope_for(
+    result: "BeffResult | BeffIOResult", machine: str | None = None
+) -> ResultEnvelope:
+    """Wrap either benchmark's result object in an envelope."""
+    from repro.beff.benchmark import BeffResult
+    from repro.beffio.benchmark import BeffIOResult
+
+    if isinstance(result, BeffResult):
+        return ResultEnvelope(
+            benchmark="b_eff",
+            values=_beff_values(result),
+            validity=result.validity,
+            provenance={
+                "machine": machine,
+                "nprocs": result.nprocs,
+                "engine_mode": result.backend,
+                "fault_seed": result.fault_seed,
+            },
+            timings={"measured_s": sum(r.time for r in result.records)},
+        )
+    if isinstance(result, BeffIOResult):
+        return ResultEnvelope(
+            benchmark="b_eff_io",
+            values=_beffio_values(result),
+            validity=result.validity,
+            provenance={
+                "machine": machine,
+                "nprocs": result.nprocs,
+                "engine_mode": result.engine_mode,
+                "fault_seed": result.fault_seed,
+            },
+            timings={"measured_s": sum(t.time for t in result.type_results)},
+        )
+    raise TypeError(f"cannot export {type(result).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# rebuilding result objects from envelopes
+# ---------------------------------------------------------------------------
+
+
+def result_from_envelope(env: ResultEnvelope) -> "BeffResult | BeffIOResult":
+    """Rebuild the benchmark result object an envelope was made from.
+
+    Every float survives the JSON round trip bit-exactly (``repr``-
+    based serialization), so resumed sweeps and re-exports reproduce
+    the original run bit-identically.
+    """
+    from repro.beff.benchmark import BeffResult
+    from repro.beff.measurement import MeasurementRecord
+    from repro.beffio.analysis import TypeResult
+    from repro.beffio.benchmark import BeffIOResult, PatternRun
+
+    d = dict(env.values)
+    prov = env.provenance
+    if env.benchmark == "b_eff":
+        records = [MeasurementRecord(**r) for r in d["records"]]
+        return BeffResult(
+            nprocs=d["nprocs"],
+            memory_per_proc=d["memory_per_proc"],
+            lmax=d["lmax"],
+            sizes=list(d["sizes"]),
+            backend=d["backend"],
+            records=records,
+            b_eff=d["b_eff"],
+            b_eff_at_lmax=d["b_eff_at_lmax"],
+            ring_only_at_lmax=d["ring_only_at_lmax"],
+            per_pattern=dict(d["per_pattern"]),
+            logavg_ring=d["logavg_ring"],
+            logavg_random=d["logavg_random"],
+            validity=env.validity,
+            fault_seed=prov.get("fault_seed"),
+        )
+    if env.benchmark == "b_eff_io":
+        type_results = [
+            TypeResult(
+                method=t["method"],
+                pattern_type=t["pattern_type"],
+                nbytes=t["nbytes"],
+                time=t["time"],
+                reps=t["reps"],
+            )
+            for t in d["type_results"]
+        ]
+        pattern_runs = []
+        for r in d["pattern_runs"]:
+            fields = dict(r)
+            fields.pop("bandwidth", None)  # derived property, not a field
+            pattern_runs.append(PatternRun(**fields))
+        return BeffIOResult(
+            nprocs=d["nprocs"],
+            T=d["T"],
+            mpart=d["mpart"],
+            segment_size=d["segment_size"],
+            pattern_runs=pattern_runs,
+            type_results=type_results,
+            method_values=dict(d["method_values"]),
+            b_eff_io=d["b_eff_io"],
+            validity=env.validity,
+            engine_mode=prov.get("engine_mode", "fast"),
+            fault_seed=prov.get("fault_seed"),
+        )
+    raise ValueError(f"unknown benchmark {env.benchmark!r}")

@@ -1,0 +1,93 @@
+"""The paper's aggregation formulas, spelled as reduction trees.
+
+These are the only copies of the b_eff and b_eff_io aggregation
+structure in the codebase; ``repro.beff.analysis`` and
+``repro.beffio.analysis`` evaluate these trees instead of hand-rolling
+the folds.  Axes are ordered outermost first and leaves carry one key
+element per axis:
+
+* b_eff leaves: ``(kind, pattern, size, method, repetition)`` →
+  bandwidth;
+* b_eff_io leaves: ``(method, type)`` → pattern-type bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.reduce import Formula, Reduce
+
+#: b_eff_io access methods in canonical (schedule and fold) order
+ACCESS_METHODS: tuple[str, ...] = ("write", "rewrite", "read")
+
+#: 25 % initial write + 25 % rewrite + 50 % read (paper Sec. 5.1)
+METHOD_WEIGHTS: dict[str, float] = {"write": 1.0, "rewrite": 1.0, "read": 2.0}
+
+#: the scattering pattern type (type 0) counts twice in a method value
+SCATTER_TYPE_WEIGHT: float = 2.0
+
+#: b_eff pattern kinds in canonical order (each weighted equally)
+BEFF_KINDS: tuple[str, ...] = ("ring", "random")
+
+
+def beff_formula(num_sizes: int) -> Formula:
+    """b_eff (paper Sec. 4): logavg(kinds) ∘ logavg(patterns) ∘
+    mean(21 sizes) ∘ max(methods) ∘ max(repetitions).
+
+    The pattern step is ``loose`` under partial evaluation: the
+    per-kind logavgs stay best-effort over surviving patterns even
+    when the top-level number is already lost.
+    """
+    return Formula(
+        "b_eff",
+        (
+            Reduce("logavg", over="kind", require=BEFF_KINDS),
+            Reduce("logavg", over="pattern", partial="loose"),
+            Reduce("mean", over="size", count=num_sizes),
+            Reduce("max", over="method"),
+            Reduce("max", over="repetition"),
+        ),
+    )
+
+
+def beff_at_lmax_formula() -> Formula:
+    """The Table 1 companion columns: same two-step logavg, evaluated
+    only at the maximum message size (the size axis is filtered away
+    before evaluation).  Strict under partial evaluation — a pattern
+    with no L_max measurement voids its kind's column."""
+    return Formula(
+        "b_eff_at_lmax",
+        (
+            Reduce("logavg", over="kind", require=BEFF_KINDS),
+            Reduce("logavg", over="pattern"),
+            Reduce("max", over="method"),
+            Reduce("max", over="repetition"),
+        ),
+    )
+
+
+def beffio_formula() -> Formula:
+    """b_eff_io for one partition (paper Sec. 5.1): 1/1/2-weighted
+    mean over access methods of the type averages with the scattering
+    type double-weighted."""
+    return Formula(
+        "b_eff_io",
+        (
+            Reduce(
+                "weighted",
+                over="method",
+                weights=METHOD_WEIGHTS,
+                require=ACCESS_METHODS,
+            ),
+            Reduce(
+                "weighted",
+                over="type",
+                weights={0: SCATTER_TYPE_WEIGHT},
+                default_weight=1.0,
+            ),
+        ),
+    )
+
+
+def system_formula() -> Formula:
+    """The system-level value: maximum over partitions (invalid —
+    NaN — partitions are dropped by the sweep before this step)."""
+    return Formula("system_b_eff_io", (Reduce("max", over="partition"),))

@@ -1,0 +1,360 @@
+"""Declarative reduction trees: benchmark formulas as data.
+
+Both benchmarks aggregate keyed leaf measurements through a fixed
+stack of reductions:
+
+* b_eff (paper Sec. 4)::
+
+      logavg over kinds
+        logavg over patterns
+          arithmetic mean over the 21 sizes
+            max over methods
+              max over repetitions
+
+* b_eff_io (paper Sec. 5.1)::
+
+      weighted mean over access methods (25 % / 25 % / 50 %)
+        weighted mean over pattern types (scatter type double-weighted)
+
+A :class:`Formula` spells such a stack out as a tuple of
+:class:`Reduce` steps — outermost first, one step per key axis — and
+:func:`evaluate` folds keyed leaves through it.  The fold preserves
+leaf order inside every group and reuses the exact primitives of
+:mod:`repro.util.averages`, so results are bit-identical to the
+hand-rolled aggregation loops this layer replaced.
+
+:func:`evaluate_partial` is the single implementation of best-effort
+aggregation over an incomplete leaf set (resilient/faulted runs): a
+missing *averaged* component makes the dependent aggregates ``nan``,
+while surviving sub-aggregates keep the exact values a complete run
+would have produced.  The two benchmark ``analysis`` modules both
+delegate here instead of duplicating that logic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util import logavg, weighted_average
+
+#: a key path through the formula's axes, outermost axis first
+Key = tuple[Any, ...]
+
+
+# ---------------------------------------------------------------------------
+# primitive reducers
+# ---------------------------------------------------------------------------
+
+
+def max_over(values: Iterable[float], ignore_nan: bool = False) -> float:
+    """Maximum of ``values``; with ``ignore_nan`` drop NaNs first.
+
+    ``ignore_nan=True`` is the sweep rule: an invalid partition (NaN)
+    is excluded from the system maximum instead of poisoning it; if
+    *every* value is NaN the result is NaN.
+    """
+    vals = list(values)
+    if ignore_nan:
+        finite = [v for v in vals if not math.isnan(v)]
+        if not finite:
+            if not vals:
+                raise ValueError("max_over of empty sequence")
+            return math.nan
+        return max(finite)
+    if not vals:
+        raise ValueError("max_over of empty sequence")
+    return max(vals)
+
+
+def arith_mean(values: Sequence[float], count: int | None = None) -> float:
+    """Arithmetic mean; ``count`` pins the expected (and divisor) length.
+
+    The b_eff per-pattern average divides by the *scheduled* number of
+    sizes, so a short group must be rejected, never silently averaged
+    over fewer values.
+    """
+    if count is not None and len(values) != count:
+        raise ValueError(f"have {len(values)} values, expected {count}")
+    if not values:
+        raise ValueError("arith_mean of empty sequence")
+    return sum(values) / (count if count is not None else len(values))
+
+
+def log_avg(values: Iterable[float]) -> float:
+    """Logarithmic average (geometric mean); see :func:`repro.util.logavg`."""
+    return logavg(values)
+
+
+def weighted_avg(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean; see :func:`repro.util.weighted_average`."""
+    return weighted_average(values, weights)
+
+
+# ---------------------------------------------------------------------------
+# formulas as data
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """One reduction step: how one key axis collapses into its parent.
+
+    ``op``
+        ``"max"`` | ``"mean"`` | ``"logavg"`` | ``"weighted"``.
+    ``over``
+        the axis name this step reduces (documentation, table lookup,
+        error messages).
+    ``weights`` / ``default_weight``
+        per-child-key weights for ``op="weighted"``.
+    ``count``
+        exact child count an ``op="mean"`` group must have (the 21
+        message sizes); doubles as the divisor.
+    ``require``
+        child keys that must all be present, in canonical order (the
+        b_eff kind step requires both ``ring`` and ``random``); groups
+        are re-ordered to this sequence before reducing.
+    ``partial``
+        behaviour under :func:`evaluate_partial` for steps *above* the
+        component level: ``"strict"`` turns a group with a missing or
+        NaN expected child into NaN (the b_eff_io method values);
+        ``"loose"`` reduces whatever survived (the per-kind logavg
+        partials of b_eff).
+    """
+
+    op: str
+    over: str
+    weights: Mapping[Any, float] | None = None
+    default_weight: float = 1.0
+    count: int | None = None
+    require: tuple[Any, ...] | None = None
+    partial: str = "strict"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("max", "mean", "logavg", "weighted"):
+            raise ValueError(f"unknown reduction op {self.op!r}")
+        if self.partial not in ("strict", "loose"):
+            raise ValueError(f"unknown partial policy {self.partial!r}")
+
+    def weight_of(self, child_key: Any) -> float:
+        if self.weights is None:
+            return self.default_weight
+        return float(self.weights.get(child_key, self.default_weight))
+
+
+@dataclass(frozen=True)
+class Formula:
+    """A whole reduction tree: one :class:`Reduce` per key axis.
+
+    ``steps[0]`` is the outermost reduction (it produces the single
+    number); leaves carry one key element per step, outermost first.
+    """
+
+    name: str
+    steps: tuple[Reduce, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a formula needs at least one reduction step")
+        axes = [s.over for s in self.steps]
+        if len(set(axes)) != len(axes):
+            raise ValueError(f"duplicate axis names in {axes}")
+
+    @property
+    def axes(self) -> tuple[str, ...]:
+        return tuple(s.over for s in self.steps)
+
+    def step_index(self, axis: str) -> int:
+        for i, step in enumerate(self.steps):
+            if step.over == axis:
+                return i
+        raise KeyError(f"formula {self.name!r} has no axis {axis!r}")
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """The folded value plus every intermediate table.
+
+    ``tables[axis]`` maps each key *prefix* (the axes outside
+    ``axis``) to the value produced when ``axis`` was reduced —
+    e.g. the b_eff per-pattern averages live in ``tables["size"]``
+    keyed by ``(kind, pattern)``.
+    """
+
+    value: float
+    tables: Mapping[str, Mapping[Key, float]]
+    #: expected components that produced no complete value (partial
+    #: evaluations only; always empty for :func:`evaluate`)
+    missing: tuple[Key, ...] = ()
+    #: the surviving component values of a partial evaluation, keyed
+    #: by component key in leaf order (empty for :func:`evaluate`,
+    #: whose ``tables`` already hold every level)
+    components: Mapping[Key, float] = field(default_factory=dict)
+
+    def table(self, axis: str) -> Mapping[Key, float]:
+        return self.tables[axis]
+
+
+def _group(rows: Sequence[tuple[Key, float]]) -> dict[Key, list[tuple[Any, float]]]:
+    """Group rows by key prefix, preserving row order inside groups."""
+    groups: dict[Key, list[tuple[Any, float]]] = {}
+    for key, value in rows:
+        groups.setdefault(key[:-1], []).append((key[-1], value))
+    return groups
+
+
+def _apply(step: Reduce, prefix: Key, items: list[tuple[Any, float]]) -> float:
+    """Reduce one ordered group of (child key, value) pairs."""
+    if step.require is not None:
+        have = dict(items)
+        absent = [k for k in step.require if k not in have]
+        if absent:
+            raise ValueError(
+                f"{step.over} group {prefix!r} is missing required "
+                f"children {absent} for {step.op}"
+            )
+        items = [(k, have[k]) for k in step.require]
+    values = [v for _, v in items]
+    if step.op == "max":
+        return max_over(values)
+    if step.op == "mean":
+        if step.count is not None and len(values) != step.count:
+            raise ValueError(
+                f"{step.over} group {prefix!r} has {len(values)} values, "
+                f"expected {step.count}"
+            )
+        return arith_mean(values, count=step.count)
+    if step.op == "logavg":
+        return log_avg(values)
+    return weighted_avg(values, [step.weight_of(k) for k, _ in items])
+
+
+def evaluate(formula: Formula, leaves: Iterable[tuple[Key, float]]) -> Evaluation:
+    """Fold keyed leaves through the formula (complete-run semantics).
+
+    Every structural defect — a short ``count`` group, a missing
+    ``require`` child, an empty axis — raises :class:`ValueError`;
+    nothing is silently absorbed.  Group order follows leaf order, so
+    float folds reproduce the legacy aggregation loops bit-exactly.
+    """
+    rows: list[tuple[Key, float]] = list(leaves)
+    depth = len(formula.steps)
+    for key, _ in rows:
+        if len(key) != depth:
+            raise ValueError(
+                f"leaf key {key!r} has {len(key)} axes, formula "
+                f"{formula.name!r} has {depth}"
+            )
+    if not rows:
+        raise ValueError(f"no leaves to evaluate for formula {formula.name!r}")
+    tables: dict[str, dict[Key, float]] = {}
+    for step in reversed(formula.steps):
+        groups = _group(rows)
+        reduced = {
+            prefix: _apply(step, prefix, items) for prefix, items in groups.items()
+        }
+        tables[step.over] = reduced
+        rows = list(reduced.items())
+    return Evaluation(value=tables[formula.steps[0].over][()], tables=tables)
+
+
+# ---------------------------------------------------------------------------
+# partial (best-effort) evaluation — the one home of degraded aggregation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_partial(
+    formula: Formula,
+    leaves: Iterable[tuple[Key, float]],
+    expected: Sequence[Key],
+) -> Evaluation:
+    """Best-effort fold over an incomplete leaf set.
+
+    ``expected`` lists every *component* key the schedule planned —
+    all of the same length L, naming prefixes after the first L axes
+    (b_eff: ``(kind, pattern)``; b_eff_io: ``(method, type)``).  Axes
+    inside a component (L..end) reduce tolerantly: a group that cannot
+    complete (short ``count``, nothing measured) marks its component
+    missing instead of raising.  Axes above the component level follow
+    each step's ``partial`` policy, and the final value is NaN
+    whenever any expected component is missing — every benchmark
+    formula averages its components, so one hole makes the single
+    number incomputable while the surviving sub-aggregates stay exact.
+
+    Components present in the leaves but absent from ``expected`` are
+    dropped (an unscheduled measurement never enters an official
+    aggregate).
+    """
+    expected = list(expected)
+    if not expected:
+        raise ValueError("evaluate_partial needs at least one expected component")
+    level = len(expected[0])
+    if any(len(k) != level for k in expected):
+        raise ValueError(f"expected component keys differ in length: {expected!r}")
+    if not 0 < level <= len(formula.steps):
+        raise ValueError(
+            f"component keys of length {level} do not fit formula "
+            f"{formula.name!r} with {len(formula.steps)} axes"
+        )
+    expected_set = set(expected)
+
+    # -- inside components: tolerant reduction, failures mark the component
+    rows: list[tuple[Key, float]] = list(leaves)
+    incomplete: set[Key] = set()
+    for step in reversed(formula.steps[level:]):
+        groups = _group(rows)
+        reduced: dict[Key, float] = {}
+        for prefix, items in groups.items():
+            try:
+                reduced[prefix] = _apply(step, prefix, items)
+            except ValueError:
+                incomplete.add(prefix[:level])
+        rows = list(reduced.items())
+
+    components = {
+        key: value
+        for key, value in rows
+        if key in expected_set and key not in incomplete
+    }
+    missing = tuple(k for k in expected if k not in components)
+
+    # -- above components: per-step partial policy
+    tables: dict[str, dict[Key, float]] = {}
+    rows = list(components.items())
+    for i in range(level - 1, -1, -1):
+        step = formula.steps[i]
+        groups = _group(rows)
+        reduced = {}
+        prefixes = list(dict.fromkeys(k[: i] for k in expected))
+        for prefix in prefixes:
+            if step.require is not None:
+                wanted = [prefix + (child,) for child in step.require]
+            else:
+                wanted = list(
+                    dict.fromkeys(k[: i + 1] for k in expected if k[:i] == prefix)
+                )
+            items = groups.get(prefix, [])
+            have = {prefix + (child,): v for child, v in items}
+            if step.partial == "strict":
+                complete = all(
+                    w in have and not math.isnan(have[w]) for w in wanted
+                ) and bool(wanted)
+                if complete:
+                    reduced[prefix] = _apply(step, prefix, items)
+                else:
+                    reduced[prefix] = math.nan
+            else:  # loose: reduce what survived
+                alive = [(c, v) for c, v in items if not math.isnan(v)]
+                reduced[prefix] = (
+                    _apply(step, prefix, alive) if alive else math.nan
+                )
+        tables[step.over] = reduced
+        rows = list(reduced.items())
+
+    top = tables[formula.steps[0].over].get((), math.nan)
+    value = math.nan if missing else top
+    return Evaluation(
+        value=value, tables=tables, missing=missing, components=components
+    )

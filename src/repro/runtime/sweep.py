@@ -1,0 +1,548 @@
+"""Benchmark-agnostic sweep orchestrator: one journal, one retry
+policy, one worker-error path for both benchmarks.
+
+Generalizes the b_eff_io partition sweep (``repro.beffio.sweep`` +
+``journal``, which remain as thin shims) so b_eff sweeps get
+``journal``/``resume``/``retries`` and parallel partitions from the
+same machinery:
+
+* With ``journal=<dir>``, each partition's result envelope is written
+  atomically the moment it completes; ``resume=True`` loads the
+  completed partitions (bit-identically) and runs only the missing
+  ones.  The journal manifest pins :func:`~repro.runtime.spec.
+  sweep_fingerprint`, which hashes the engine mode and fault-plan
+  seed explicitly — resuming under changed flags raises
+  :class:`JournalMismatchError`.
+* A crashed or failing worker is retried up to ``retries`` times;
+  when retries are exhausted the failure surfaces as
+  :class:`SweepWorkerError` carrying the partition's configuration
+  and the worker's traceback.
+* Partitions whose resilient run produced ``nan`` (invalid) are
+  excluded from the system maximum; the sweep's ``validity`` merges
+  the partitions' states.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import re
+import time
+import traceback
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any
+
+from repro.faults.validity import VALID, RunValidity, merge
+from repro.runtime.spec import BenchmarkConfig, sweep_fingerprint
+
+#: the official minimum scheduled time for b_eff_io (15 minutes)
+OFFICIAL_MINIMUM_T = 900.0
+
+#: journal layout version
+JOURNAL_SCHEMA = 1
+
+#: test/CI hook: when set to an integer k, the sweep parent raises
+#: after journaling its k-th partition — equivalent (for resume
+#: purposes) to killing the process there, because partition writes
+#: are atomic
+CRASH_AFTER_ENV = "REPRO_SWEEP_CRASH_AFTER"
+
+
+class SweepWorkerError(RuntimeError):
+    """A partition run failed after exhausting its retries.
+
+    The message names the machine, the partition size, the
+    configuration that failed *and the failing source frame*; the
+    original exception is chained as ``__cause__`` and the worker's
+    full formatted traceback is kept on ``worker_traceback`` so the
+    CLI's exit-code-3 report can show where the worker died, not just
+    which partition it was running.
+    """
+
+    def __init__(self, message: str, worker_traceback: str = "") -> None:
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
+
+
+class JournalMismatchError(RuntimeError):
+    """Resume attempted against a journal from a different sweep."""
+
+
+# ---------------------------------------------------------------------------
+# benchmark adapters
+# ---------------------------------------------------------------------------
+
+
+def _beff_run(spec: Any, nprocs: int, config: Any) -> Any:
+    return spec.run_beff(nprocs, config)
+
+
+def _beffio_run(spec: Any, nprocs: int, config: Any) -> Any:
+    return spec.run_beffio(nprocs, config)
+
+
+def _beff_default_config() -> Any:
+    from repro.beff.measurement import MeasurementConfig
+
+    return MeasurementConfig()
+
+
+def _beffio_default_config() -> Any:
+    from repro.beffio.benchmark import BeffIOConfig
+
+    return BeffIOConfig()
+
+
+def _beff_value(result: Any) -> float:
+    return float(result.b_eff)
+
+
+def _beffio_value(result: Any) -> float:
+    return float(result.b_eff_io)
+
+
+def _beff_describe(config: Any) -> str:
+    return (
+        f"(backend={config.backend!r}, methods={config.methods}, "
+        f"faults={'yes' if config.faults else 'no'})"
+    )
+
+
+def _beffio_describe(config: Any) -> str:
+    return (
+        f"(T={config.T}, types={config.pattern_types}, mode={config.mode!r}, "
+        f"faults={'yes' if config.faults else 'no'})"
+    )
+
+
+def _beff_official(config: Any) -> bool:
+    # b_eff has no minimum-duration rule; every run counts
+    return True
+
+
+def _beffio_official(config: Any) -> bool:
+    return bool(config.T >= OFFICIAL_MINIMUM_T)
+
+
+@dataclass(frozen=True)
+class BenchmarkAdapter:
+    """How the generic orchestrator drives one benchmark.
+
+    All callables are module-level functions, so adapters (and the
+    worker dispatch by benchmark *name*) survive pickling into
+    :class:`ProcessPoolExecutor` workers.
+    """
+
+    name: str
+    #: (machine spec, nprocs, config) -> result object
+    run: Callable[[Any, int, Any], Any]
+    default_config: Callable[[], Any]
+    #: the partition's single number (the axis of the system max)
+    value_of: Callable[[Any], float]
+    #: config summary used in worker-failure messages
+    describe_config: Callable[[Any], str]
+    #: does this config satisfy the paper's official-number rule?
+    official_of: Callable[[Any], bool]
+
+
+_ADAPTERS: dict[str, BenchmarkAdapter] = {
+    "b_eff": BenchmarkAdapter(
+        name="b_eff",
+        run=_beff_run,
+        default_config=_beff_default_config,
+        value_of=_beff_value,
+        describe_config=_beff_describe,
+        official_of=_beff_official,
+    ),
+    "b_eff_io": BenchmarkAdapter(
+        name="b_eff_io",
+        run=_beffio_run,
+        default_config=_beffio_default_config,
+        value_of=_beffio_value,
+        describe_config=_beffio_describe,
+        official_of=_beffio_official,
+    ),
+}
+
+
+def adapter_for(benchmark: str) -> BenchmarkAdapter:
+    """The adapter registered for a benchmark name."""
+    try:
+        return _ADAPTERS[benchmark]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {benchmark!r} (known: {sorted(_ADAPTERS)})"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# the journal (one implementation for both benchmarks)
+# ---------------------------------------------------------------------------
+
+
+class SweepJournal:
+    """One sweep's on-disk state.
+
+    A journal is a directory: ``manifest.json`` pins the machine and
+    the sweep fingerprint, and each completed partition is one
+    ``partition_<n>.json`` — a result envelope — written atomically
+    (temp file + ``os.replace``) the moment it finishes.  A killed
+    sweep therefore leaves either a complete partition file or none —
+    never a torn one — and ``--resume`` replays the completed
+    partitions bit-identically (JSON float serialization round-trips
+    exactly) while running only the missing ones.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.path / "manifest.json"
+
+    def partition_path(self, nprocs: int) -> pathlib.Path:
+        return self.path / f"partition_{nprocs}.json"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, machine: str, fingerprint: str) -> None:
+        """Begin a fresh sweep: wipe stale partitions, pin the manifest."""
+        from repro.reporting.export import write_json_atomic
+
+        self.path.mkdir(parents=True, exist_ok=True)
+        for stale in self.path.glob("partition_*.json"):
+            stale.unlink()
+        write_json_atomic(
+            self.manifest_path,
+            {"schema": JOURNAL_SCHEMA, "machine": machine, "fingerprint": fingerprint},
+        )
+
+    def check(self, machine: str, fingerprint: str) -> None:
+        """Verify this journal belongs to (machine, config) before resuming."""
+        if not self.manifest_path.exists():
+            raise JournalMismatchError(
+                f"no journal manifest at {self.manifest_path} — nothing to resume"
+            )
+        manifest = json.loads(self.manifest_path.read_text())
+        if manifest.get("schema") != JOURNAL_SCHEMA:
+            raise JournalMismatchError(
+                f"journal schema {manifest.get('schema')!r} != {JOURNAL_SCHEMA}"
+            )
+        if manifest.get("machine") != machine or manifest.get("fingerprint") != fingerprint:
+            raise JournalMismatchError(
+                f"journal at {self.path} was written by a different sweep "
+                f"(machine {manifest.get('machine')!r}, or the config changed); "
+                "refusing to mix results"
+            )
+
+    # -- partition records ---------------------------------------------
+
+    def record(self, result: Any, machine: str | None = None) -> None:
+        """Atomically persist one completed partition (as an envelope)."""
+        from repro.reporting.export import write_json_atomic
+        from repro.runtime.envelope import envelope_for
+
+        write_json_atomic(
+            self.partition_path(result.nprocs),
+            envelope_for(result, machine).to_dict(),
+        )
+
+    def completed(self) -> dict[int, Any]:
+        """Load every journaled partition, keyed by process count."""
+        from repro.runtime.envelope import ResultEnvelope, result_from_envelope
+
+        out: dict[int, Any] = {}
+        for path in sorted(self.path.glob("partition_*.json")):
+            env = ResultEnvelope.from_dict(json.loads(path.read_text()))
+            result = result_from_envelope(env)
+            out[result.nprocs] = result
+        return out
+
+
+# ---------------------------------------------------------------------------
+# the orchestrator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """All partitions of one machine plus the system-level maximum."""
+
+    benchmark: str
+    machine: str
+    results: tuple[Any, ...]
+    system_value: float
+    best_partition: int
+    official: bool
+    #: worst-case partition validity (a single invalid partition does
+    #: not poison the system value — it is excluded from the max —
+    #: but it does demote the sweep)
+    validity: RunValidity = VALID
+
+    def partition_values(self) -> dict[int, float]:
+        value_of = adapter_for(self.benchmark).value_of
+        return {r.nprocs: value_of(r) for r in self.results}
+
+
+def _failure_site(exc: BaseException) -> str:
+    """``file:line in function`` of the deepest frame that raised ``exc``.
+
+    For exceptions re-raised out of a :class:`ProcessPoolExecutor`
+    worker the parent-side traceback only shows executor internals;
+    the worker's real frames travel as a ``_RemoteTraceback`` cause
+    string, so those are parsed in preference.
+    """
+    cause = exc.__cause__
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        found = re.findall(r'File "([^"]+)", line (\d+), in (\S+)', str(cause))
+        if found:
+            path, line, func = found[-1]
+            return f"{pathlib.Path(path).name}:{line} in {func}"
+    frames = traceback.extract_tb(exc.__traceback__)
+    if not frames:
+        return "no traceback available"
+    last = frames[-1]
+    return f"{pathlib.Path(last.filename).name}:{last.lineno} in {last.name}"
+
+
+def _resolve(spec: Any) -> Any:
+    """A machine key resolves through the registry; specs pass through."""
+    if isinstance(spec, str):
+        from repro.machines import get_machine
+
+        return get_machine(spec)
+    return spec
+
+
+def _registry_key(spec: Any) -> str:
+    """Find the registry key of a spec (required to ship it to workers:
+    a :class:`MachineSpec` holds environment-factory closures, so only
+    the key crosses the process boundary)."""
+    from repro.machines import MACHINES
+
+    for key, factory in MACHINES.items():
+        if factory().name == spec.name:
+            return key
+    raise ValueError(
+        f"machine {spec.name!r} is not in the registry; pass the machine "
+        "key (a string) to run_sweep for jobs > 1"
+    )
+
+
+def _run_partition(benchmark: str, key: str, nprocs: int, config: Any) -> Any:
+    """Worker entry: rebuild the machine in-process and run one partition."""
+    from repro.machines import get_machine
+
+    return adapter_for(benchmark).run(get_machine(key), nprocs, config)
+
+
+def _describe(adapter: BenchmarkAdapter, machine: str, nprocs: int, config: Any) -> str:
+    return (
+        f"partition nprocs={nprocs} on machine {machine!r} "
+        f"{adapter.describe_config(config)}"
+    )
+
+
+class _Retry:
+    """Per-partition attempt counter shared by both execution paths."""
+
+    def __init__(
+        self,
+        adapter: BenchmarkAdapter,
+        machine: str,
+        config: Any,
+        retries: int,
+        backoff: float,
+    ):
+        self.adapter = adapter
+        self.machine = machine
+        self.config = config
+        self.retries = retries
+        self.backoff = backoff
+        self.attempts: dict[int, int] = {}
+
+    def failed(self, nprocs: int, exc: BaseException) -> None:
+        """Count a failure; raise :class:`SweepWorkerError` past the limit."""
+        n = self.attempts.get(nprocs, 0) + 1
+        self.attempts[nprocs] = n
+        if n > self.retries:
+            raise SweepWorkerError(
+                f"{_describe(self.adapter, self.machine, nprocs, self.config)} "
+                f"failed after {n} attempt(s) at {_failure_site(exc)}: "
+                f"{type(exc).__name__}: {exc}",
+                worker_traceback="".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+            ) from exc
+        if self.backoff > 0:
+            time.sleep(self.backoff * n)
+
+
+def run_sweep(
+    benchmark: str,
+    spec: Any,
+    partitions: Iterable[int],
+    config: BenchmarkConfig | None = None,
+    jobs: int = 1,
+    journal: str | os.PathLike[str] | SweepJournal | None = None,
+    resume: bool = False,
+    retries: int = 0,
+    backoff: float = 0.0,
+) -> SweepOutcome:
+    """Run one benchmark over several partition sizes of one machine.
+
+    ``spec`` is a :class:`repro.machines.MachineSpec` or a machine
+    registry key; ``partitions`` an iterable of process counts.
+    Returns the per-partition results and the system value (max over
+    partitions that produced a number).
+
+    ``jobs > 1`` runs partitions concurrently in worker processes.
+    Every partition is an independent simulation from a fresh
+    environment, so the results are bit-identical to a serial sweep —
+    the workers only change wall-clock time.
+
+    ``journal`` (a directory path) makes the sweep crash-safe: each
+    partition is persisted atomically when it completes, and
+    ``resume=True`` replays completed partitions bit-identically
+    instead of re-running them.  ``retries``/``backoff`` bound how
+    often a crashed or failing partition is re-attempted before
+    :class:`SweepWorkerError` is raised.
+    """
+    adapter = adapter_for(benchmark)
+    partitions = sorted(set(partitions))
+    if not partitions:
+        raise ValueError("need at least one partition size")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if resume and journal is None:
+        raise ValueError("resume=True needs a journal")
+    if config is None:
+        config = adapter.default_config()
+    machine_name = spec if isinstance(spec, str) else spec.name
+
+    jr = SweepJournal(journal) if isinstance(journal, (str, os.PathLike)) else journal
+    done: dict[int, Any] = {}
+    if jr is not None:
+        fingerprint = sweep_fingerprint(benchmark, machine_name, config)
+        if resume:
+            jr.check(machine_name, fingerprint)
+            # hoisted: a comprehension condition re-evaluates its
+            # expression per row, so build the membership set once
+            wanted = frozenset(partitions)
+            done = {n: r for n, r in jr.completed().items() if n in wanted}
+        else:
+            jr.start(machine_name, fingerprint)
+
+    crash_after_text = os.environ.get(CRASH_AFTER_ENV)
+    crash_after = int(crash_after_text) if crash_after_text else None
+    fresh = 0
+
+    def finish(result: Any) -> None:
+        nonlocal fresh
+        done[result.nprocs] = result
+        if jr is not None:
+            jr.record(result, machine_name)
+        fresh += 1
+        if crash_after is not None and fresh >= crash_after:
+            raise RuntimeError(
+                f"injected sweep crash after {fresh} partition(s) "
+                f"({CRASH_AFTER_ENV}={crash_after})"
+            )
+
+    remaining = [n for n in partitions if n not in done]
+    retry = _Retry(adapter, machine_name, config, retries, backoff)
+    if jobs > 1 and len(remaining) > 1:
+        key = spec if isinstance(spec, str) else _registry_key(spec)
+        _run_parallel(benchmark, key, remaining, config, jobs, retry, finish)
+        spec = _resolve(spec)
+    else:
+        spec = _resolve(spec)
+        for n in remaining:
+            while True:
+                try:
+                    result = adapter.run(spec, n, config)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:  # repro-lint: disable=REPRO005 -- retry.failed re-raises (as SweepWorkerError with the captured traceback) past the retry limit
+                    retry.failed(n, exc)
+                    continue
+                finish(result)
+                break
+
+    results = tuple(done[n] for n in partitions)
+    values = {r.nprocs: adapter.value_of(r) for r in results}
+    finite = {n: v for n, v in values.items() if not math.isnan(v)}
+    if finite:
+        system = max(finite.values())
+        best = max(finite, key=lambda n: finite[n])
+    else:
+        system = math.nan
+        best = partitions[0]
+    return SweepOutcome(
+        benchmark=benchmark,
+        machine=spec.name if not isinstance(spec, str) else machine_name,
+        results=results,
+        system_value=system,
+        best_partition=best,
+        official=adapter.official_of(config),
+        validity=merge([r.validity for r in results]),
+    )
+
+
+def _run_parallel(
+    benchmark: str,
+    key: str,
+    remaining: list[int],
+    config: Any,
+    jobs: int,
+    retry: _Retry,
+    finish: Callable[[Any], None],
+) -> None:
+    """Fan partitions over worker processes; journal as each completes.
+
+    A :class:`BrokenProcessPool` (worker killed mid-run) poisons every
+    in-flight future, so the pool is rebuilt and the unfinished
+    partitions resubmitted — each broken partition consumes one retry.
+    """
+    todo = set(remaining)
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(remaining)))
+    try:
+        while todo:
+            futures: dict[Future[Any], int] = {
+                pool.submit(_run_partition, benchmark, key, n, config): n
+                for n in sorted(todo)
+            }
+            broken = False
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                # wait() returns a set; drain it in partition order so
+                # journal writes and retry accounting are reproducible
+                for fut in sorted(finished, key=futures.__getitem__):
+                    n = futures[fut]
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool as exc:
+                        retry.failed(n, exc)
+                        broken = True
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:  # repro-lint: disable=REPRO005 -- retry.failed re-raises (as SweepWorkerError with the worker's traceback) past the retry limit
+                        retry.failed(n, exc)
+                    else:
+                        todo.discard(n)
+                        finish(result)
+                if broken:
+                    break
+            if broken and todo:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=min(jobs, len(todo)))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,96 @@
+"""Golden-file round trips for export envelopes.
+
+Satellite contract of the unified runtime: serializing a result,
+loading it back, and serializing again must produce *byte-identical*
+JSON — the property the sweep journal's bit-identical resume and any
+archived golden file rest on.  A payload written under a different
+schema version must be refused with a clear error, never silently
+reinterpreted.
+"""
+
+import json
+
+import pytest
+
+from repro.beff.measurement import MeasurementConfig
+from repro.beffio.benchmark import BeffIOConfig
+from repro.machines import MACHINES
+from repro.reporting.export import (
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    beff_from_dict,
+    beff_to_dict,
+    beffio_from_dict,
+    beffio_to_dict,
+    to_json,
+    write_json_atomic,
+)
+from repro.runtime.envelope import ENVELOPE_SCHEMA, ResultEnvelope, envelope_for
+
+
+@pytest.fixture(scope="module")
+def beff_result():
+    return MACHINES["t3e"]().run_beff(2, MeasurementConfig(backend="analytic"))
+
+
+@pytest.fixture(scope="module")
+def beffio_result():
+    return MACHINES["sp"]().run_beffio(2, BeffIOConfig(T=0.8, pattern_types=(0, 2)))
+
+
+class TestRoundTrip:
+    def test_beff_reexport_is_byte_identical(self, beff_result, tmp_path):
+        first = to_json(beff_result, machine="t3e")
+        path = tmp_path / "beff.json"
+        write_json_atomic(path, first)
+        loaded = beff_from_dict(json.loads(path.read_text()))
+        second = to_json(loaded, machine="t3e")
+        assert second == first
+
+    def test_beffio_reexport_is_byte_identical(self, beffio_result, tmp_path):
+        first = to_json(beffio_result, machine="sp")
+        path = tmp_path / "beffio.json"
+        write_json_atomic(path, first)
+        loaded = beffio_from_dict(json.loads(path.read_text()))
+        second = to_json(loaded, machine="sp")
+        assert second == first
+
+    def test_rebuilt_results_carry_provenance_fields(self, beffio_result):
+        d = beffio_to_dict(beffio_result, machine="sp")
+        loaded = beffio_from_dict(d)
+        assert loaded.engine_mode == beffio_result.engine_mode
+        assert loaded.fault_seed == beffio_result.fault_seed
+        assert loaded.b_eff_io == beffio_result.b_eff_io
+
+    def test_envelope_dict_round_trip(self, beff_result):
+        env = envelope_for(beff_result, machine="t3e")
+        back = ResultEnvelope.from_dict(env.to_dict())
+        assert back.to_dict() == env.to_dict()
+
+    def test_cross_benchmark_payloads_rejected(self, beff_result, beffio_result):
+        with pytest.raises(ValueError, match="not b_eff_io"):
+            beffio_from_dict(beff_to_dict(beff_result, machine="t3e"))
+        with pytest.raises(ValueError, match="not b_eff"):
+            beff_from_dict(beffio_to_dict(beffio_result, machine="sp"))
+
+
+class TestSchemaVersion:
+    def test_export_and_envelope_schemas_agree(self, beff_result):
+        assert SCHEMA_VERSION == ENVELOPE_SCHEMA
+        assert beff_to_dict(beff_result)["schema"] == SCHEMA_VERSION
+
+    @pytest.mark.parametrize("stale", [1, 2, SCHEMA_VERSION + 1, None, "3"])
+    def test_mismatched_schema_raises_clear_error(self, beff_result, stale):
+        d = beff_to_dict(beff_result, machine="t3e")
+        d["schema"] = stale
+        with pytest.raises(SchemaVersionError) as exc_info:
+            beff_from_dict(d)
+        message = str(exc_info.value)
+        assert repr(stale) in message
+        assert f"reads schema {SCHEMA_VERSION}" in message
+        assert exc_info.value.found == stale
+        assert exc_info.value.expected == SCHEMA_VERSION
+
+    def test_schema_error_is_a_value_error(self):
+        # callers catching the legacy ValueError keep working
+        assert issubclass(SchemaVersionError, ValueError)

@@ -146,6 +146,18 @@ CASES = {
                 return hash((Key, 3))
         """,
     ),
+    "REPRO011": (
+        """
+        import json
+        def save(envelope, path):
+            path.write_text(json.dumps(envelope.to_dict()))
+        """,
+        """
+        from repro.reporting.export import write_json_atomic
+        def save(envelope, path):
+            write_json_atomic(path, envelope.to_dict())
+        """,
+    ),
 }
 
 
@@ -176,6 +188,33 @@ def test_repro007_requires_slots_in_hot_modules():
     assert rules_hit("class BadPacket(ValueError):\n    pass\n", HOT) == []
     # and the rule only applies to the hot sim//net/ modules
     assert "REPRO007" not in rules_hit(bad, COLD)
+
+
+def test_repro011_targets_result_payloads_only():
+    # a result-shaped payload fed to json.dump fires alongside REPRO008
+    dump = """
+    import json
+    def save(result, fh):
+        json.dump(result.to_dict(), fh)
+    """
+    assert "REPRO011" in rules_hit(dump)
+    # envelope_for(...) output is a payload even without a telling name
+    env = """
+    from repro.runtime.envelope import envelope_for
+    def save(r, path):
+        path.write_text(str(envelope_for(r)))
+    """
+    assert "REPRO011" in rules_hit(env)
+    # writes of non-result data stay REPRO008-only (atomicity concern)
+    note = 'def save(path):\n    path.write_text("done")\n'
+    assert rules_hit(note) == ["REPRO008"]
+    # the atomic exporter itself is the one sanctioned writer
+    impl = """
+    import json
+    def write_json_atomic(path, payload):
+        json.dump(payload, open(path, "w"))
+    """
+    assert rules_hit(impl, "src/repro/reporting/export.py") == []
 
 
 def test_rule_path_exemptions():

@@ -1,0 +1,288 @@
+"""Unit tests for the declarative reduction-tree layer.
+
+The runtime spine expresses both benchmark formulas as data
+(:mod:`repro.runtime.formulas`) folded by a generic evaluator
+(:mod:`repro.runtime.reduce`).  These tests pin the evaluator's
+contracts directly: primitive reducer semantics, structural
+validation, fold order (bit-identity with hand-rolled loops), and the
+partial-evaluation policies the resilient paths rely on.
+"""
+
+import math
+
+import pytest
+
+from repro.runtime.formulas import (
+    ACCESS_METHODS,
+    METHOD_WEIGHTS,
+    beff_formula,
+    beffio_formula,
+    system_formula,
+)
+from repro.runtime.reduce import (
+    Formula,
+    Reduce,
+    arith_mean,
+    evaluate,
+    evaluate_partial,
+    log_avg,
+    max_over,
+    weighted_avg,
+)
+from repro.util import logavg, weighted_average
+
+
+# -- primitive reducers -------------------------------------------------
+
+
+def test_max_over_basic_and_empty():
+    assert max_over([1.0, 3.0, 2.0]) == 3.0
+    with pytest.raises(ValueError, match="empty"):
+        max_over([])
+
+
+def test_max_over_nan_handling():
+    # by default a NaN propagates through max() order-dependently;
+    # ignore_nan drops them, and an all-NaN group collapses to NaN
+    assert max_over([1.0, math.nan, 2.0], ignore_nan=True) == 2.0
+    assert math.isnan(max_over([math.nan, math.nan], ignore_nan=True))
+    with pytest.raises(ValueError, match="empty"):
+        max_over([], ignore_nan=True)
+
+
+def test_arith_mean_count_pins_length_and_divisor():
+    assert arith_mean([2.0, 4.0]) == 3.0
+    assert arith_mean([2.0, 4.0, 6.0], count=3) == 4.0
+    with pytest.raises(ValueError, match="have 2 values, expected 3"):
+        arith_mean([2.0, 4.0], count=3)
+    with pytest.raises(ValueError, match="empty"):
+        arith_mean([])
+
+
+def test_log_avg_and_weighted_avg_delegate_to_util():
+    vals = [100.0, 400.0]
+    assert log_avg(vals) == logavg(vals)
+    weights = [1.0, 3.0]
+    assert weighted_avg(vals, weights) == weighted_average(vals, weights)
+
+
+# -- Reduce / Formula validation ----------------------------------------
+
+
+def test_reduce_rejects_unknown_op_and_policy():
+    with pytest.raises(ValueError, match="unknown reduction op"):
+        Reduce(op="median", over="x")
+    with pytest.raises(ValueError, match="unknown partial policy"):
+        Reduce(op="max", over="x", partial="sometimes")
+
+
+def test_reduce_weight_of_defaults():
+    step = Reduce(op="weighted", over="type", weights={0: 2.0}, default_weight=1.0)
+    assert step.weight_of(0) == 2.0
+    assert step.weight_of(3) == 1.0
+
+
+def test_formula_validation_and_introspection():
+    with pytest.raises(ValueError, match="at least one"):
+        Formula(name="empty", steps=())
+    with pytest.raises(ValueError, match="duplicate axis"):
+        Formula(
+            name="dup",
+            steps=(Reduce(op="max", over="x"), Reduce(op="max", over="x")),
+        )
+    f = beff_formula(num_sizes=21)
+    assert f.axes == ("kind", "pattern", "size", "method", "repetition")
+    assert f.step_index("size") == 2
+    with pytest.raises(KeyError, match="no axis"):
+        f.step_index("bogus")
+
+
+# -- evaluate: complete-run semantics -----------------------------------
+
+TOY = Formula(
+    name="toy",
+    steps=(
+        Reduce(op="logavg", over="kind", require=("ring", "random")),
+        Reduce(op="max", over="rep"),
+    ),
+)
+
+
+def toy_leaves():
+    return [
+        (("ring", 0), 100.0),
+        (("ring", 1), 120.0),
+        (("random", 0), 50.0),
+        (("random", 1), 40.0),
+    ]
+
+
+def test_evaluate_folds_and_exposes_tables():
+    ev = evaluate(TOY, toy_leaves())
+    assert ev.table("rep") == {("ring",): 120.0, ("random",): 50.0}
+    assert ev.value == logavg([120.0, 50.0])
+    assert ev.missing == ()
+
+
+def test_evaluate_require_reorders_to_canonical_order():
+    # leaves arriving random-first still fold ring-then-random
+    ev = evaluate(TOY, list(reversed(toy_leaves())))
+    assert ev.value == logavg([120.0, 50.0])
+
+
+def test_evaluate_require_missing_child_raises():
+    with pytest.raises(ValueError, match="missing required children"):
+        evaluate(TOY, [(("ring", 0), 100.0)])
+
+
+def test_evaluate_rejects_malformed_input():
+    with pytest.raises(ValueError, match="no leaves"):
+        evaluate(TOY, [])
+    with pytest.raises(ValueError, match="has 1 axes"):
+        evaluate(TOY, [(("ring",), 1.0)])
+
+
+def test_evaluate_mean_count_names_the_group():
+    f = Formula(name="m", steps=(Reduce(op="mean", over="size", count=3),))
+    with pytest.raises(ValueError, match="has 2 values, expected 3"):
+        evaluate(f, [((0,), 1.0), ((1,), 2.0)])
+
+
+def test_evaluate_matches_hand_rolled_beff_fold():
+    # a miniature b_eff: 2 patterns per kind, 2 sizes, 2 methods, 1 rep
+    f = beff_formula(num_sizes=2)
+    leaves = []
+    value = {}
+    for kind in ("ring", "random"):
+        for pattern in ("p1", "p2"):
+            for size in (1, 2):
+                for method in ("a", "b"):
+                    v = float(
+                        len(kind) * 10 + size * 3 + (2 if method == "b" else 0)
+                    )
+                    leaves.append(((kind, pattern, size, method, 0), v))
+                    value[(kind, pattern, size, method)] = v
+    per_pattern = {
+        (kind, pat): sum(
+            max(value[(kind, pat, s, m)] for m in ("a", "b")) for s in (1, 2)
+        )
+        / 2
+        for kind in ("ring", "random")
+        for pat in ("p1", "p2")
+    }
+    by_kind = {
+        kind: logavg([per_pattern[(kind, "p1")], per_pattern[(kind, "p2")]])
+        for kind in ("ring", "random")
+    }
+    expected = logavg([by_kind["ring"], by_kind["random"]])
+    assert evaluate(f, leaves).value == expected
+
+
+def test_beffio_formula_weights_match_the_paper():
+    # scatter (type 0) double-weighted inside a method, read counts 50 %
+    f = beffio_formula()
+    assert f.steps[0].require == ACCESS_METHODS
+    assert f.steps[0].weight_of("read") == METHOD_WEIGHTS["read"] == 2.0
+    assert f.steps[1].weight_of(0) == 2.0
+    assert f.steps[1].weight_of(3) == 1.0
+    leaves = [
+        (("write", 0), 10.0),
+        (("write", 1), 20.0),
+        (("rewrite", 0), 30.0),
+        (("rewrite", 1), 40.0),
+        (("read", 0), 50.0),
+        (("read", 1), 60.0),
+    ]
+    per_method = {
+        m: weighted_average([a, b], [2.0, 1.0])
+        for m, a, b in (("write", 10.0, 20.0), ("rewrite", 30.0, 40.0), ("read", 50.0, 60.0))
+    }
+    expected = weighted_average(
+        [per_method["write"], per_method["rewrite"], per_method["read"]],
+        [1.0, 1.0, 2.0],
+    )
+    assert evaluate(f, leaves).value == expected
+
+
+def test_system_formula_ignores_nan_partitions():
+    ev = evaluate(system_formula(), [((2,), 10.0), ((4,), 30.0)])
+    assert ev.value == 30.0
+
+
+# -- evaluate_partial: degraded-run semantics ---------------------------
+
+
+def test_partial_complete_input_matches_evaluate():
+    expected = [("ring",), ("random",)]
+    full = evaluate(TOY, toy_leaves())
+    part = evaluate_partial(TOY, toy_leaves(), expected)
+    assert part.value == full.value
+    assert part.missing == ()
+    assert part.components == {("ring",): 120.0, ("random",): 50.0}
+
+
+def test_partial_missing_component_nans_value_keeps_survivors():
+    expected = [("ring",), ("random",)]
+    part = evaluate_partial(TOY, [(("ring", 0), 100.0)], expected)
+    assert math.isnan(part.value)
+    assert part.missing == (("random",),)
+    assert part.components == {("ring",): 100.0}
+
+
+def test_partial_drops_unscheduled_components():
+    expected = [("ring",)]
+    part = evaluate_partial(
+        TOY, [(("ring", 0), 100.0), (("rogue", 0), 999.0)], expected
+    )
+    assert part.components == {("ring",): 100.0}
+
+
+def test_partial_strict_step_nans_on_nan_child():
+    f = Formula(
+        name="strict",
+        steps=(
+            Reduce(op="weighted", over="method", require=("a", "b")),
+            Reduce(op="mean", over="size", count=2),
+        ),
+    )
+    expected = [("a",), ("b",)]
+    # method "b" measured only one of two sizes: its mean is incomplete
+    leaves = [(("a", 0), 1.0), (("a", 1), 3.0), (("b", 0), 5.0)]
+    part = evaluate_partial(f, leaves, expected)
+    assert math.isnan(part.value)
+    assert part.missing == (("b",),)
+    assert part.components == {("a",): 2.0}
+
+
+def test_partial_loose_step_reduces_survivors():
+    f = Formula(
+        name="loose",
+        steps=(
+            Reduce(op="logavg", over="kind", require=("ring", "random")),
+            Reduce(op="logavg", over="pattern", partial="loose"),
+            Reduce(op="max", over="rep"),
+        ),
+    )
+    expected = [
+        ("ring", "p1"), ("ring", "p2"), ("random", "p1"), ("random", "p2"),
+    ]
+    # ring-p2 never completed; the ring logavg covers the survivor only
+    leaves = [
+        (("ring", "p1", 0), 100.0),
+        (("random", "p1", 0), 50.0),
+        (("random", "p2", 0), 60.0),
+    ]
+    part = evaluate_partial(f, leaves, expected)
+    assert math.isnan(part.value)  # a scheduled component is missing
+    assert part.missing == (("ring", "p2"),)
+    assert part.table("pattern")[("ring",)] == logavg([100.0])
+    assert part.table("pattern")[("random",)] == logavg([50.0, 60.0])
+
+
+def test_partial_validates_expected_keys():
+    with pytest.raises(ValueError, match="at least one expected"):
+        evaluate_partial(TOY, toy_leaves(), [])
+    with pytest.raises(ValueError, match="differ in length"):
+        evaluate_partial(TOY, toy_leaves(), [("ring",), ("random", 1)])
+    with pytest.raises(ValueError, match="do not fit"):
+        evaluate_partial(TOY, toy_leaves(), [("ring", 1, 2)])

@@ -1,0 +1,173 @@
+"""Fail CI when a headline perf metric regresses past tolerance.
+
+The perf benches archive machine-readable payloads under
+``benchmarks/results/BENCH_*.json`` and commit them as the baseline
+trajectory.  This gate re-reads the freshly-recorded payloads after a
+bench run and compares them against the committed baseline (read via
+``git show <ref>:...`` so the working-tree rewrite of the very files
+under test cannot mask a regression).
+
+Only **dimensionless speedup ratios** are gated.  Absolute wall times
+vary by a factor of a few between the machine that recorded the
+committed baseline and whatever runner CI lands on; the ratio between
+the fast path and the reference path on the *same* machine is stable,
+so that is what a >20 % drop is measured against.
+
+Exit status: 0 when every gated metric holds (or is absent from the
+fresh payload — the regular CI smoke jobs do not produce the
+``large`` section), 1 on any regression, 2 on usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+from typing import Any, Callable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+# Each gated metric: (payload file, human label, extractor).  Extractors
+# return the metric value or ``None`` when the payload legitimately
+# lacks the section (partial CI runs); a malformed payload raises and
+# is reported as an error instead.
+Extractor = Callable[[dict[str, Any]], Any]
+
+
+def _round_speedup(procs: int) -> Extractor:
+    def extract(payload: dict[str, Any]) -> Any:
+        for row in payload.get("rounds", []):
+            if row.get("procs") == procs:
+                return row.get("speedup")
+        return None
+
+    return extract
+
+
+def _dotted(*path: str) -> Extractor:
+    def extract(payload: dict[str, Any]) -> Any:
+        node: Any = payload
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+        return node
+
+    return extract
+
+
+METRICS: list[tuple[str, str, Extractor]] = [
+    ("BENCH_fluid.json", "rounds[procs=128].speedup", _round_speedup(128)),
+    ("BENCH_fluid.json", "headline.speedup", _dotted("headline", "speedup")),
+    ("BENCH_fluid.json", "ff.speedup", _dotted("ff", "speedup")),
+    ("BENCH_fluid.json", "flow_alloc.slots_speedup", _dotted("flow_alloc", "slots_speedup")),
+    ("BENCH_beffio.json", "headline.speedup", _dotted("headline", "speedup")),
+    ("BENCH_beffio.json", "full_table.speedup", _dotted("full_table", "speedup")),
+]
+
+
+def _load_fresh(results_dir: pathlib.Path, name: str) -> dict[str, Any] | None:
+    path = results_dir / name
+    if not path.exists():
+        return None
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return data
+
+
+def _load_baseline(ref: str, name: str) -> dict[str, Any] | None:
+    """Read the committed payload at ``ref`` without touching the tree."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:benchmarks/results/{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    data = json.loads(proc.stdout)
+    if not isinstance(data, dict):
+        raise ValueError(f"{ref}:{name}: expected a JSON object")
+    return data
+
+
+def check(results_dir: pathlib.Path, baseline_ref: str, tolerance: float) -> int:
+    fresh_cache: dict[str, dict[str, Any] | None] = {}
+    base_cache: dict[str, dict[str, Any] | None] = {}
+    failures = 0
+    gated = 0
+
+    for name, label, extract in METRICS:
+        if name not in fresh_cache:
+            fresh_cache[name] = _load_fresh(results_dir, name)
+        if name not in base_cache:
+            base_cache[name] = _load_baseline(baseline_ref, name)
+        fresh_payload, base_payload = fresh_cache[name], base_cache[name]
+
+        metric = f"{name}:{label}"
+        if fresh_payload is None:
+            print(f"SKIP  {metric}  (no fresh payload — bench did not run)")
+            continue
+        fresh = extract(fresh_payload)
+        if fresh is None:
+            print(f"SKIP  {metric}  (section absent from fresh payload)")
+            continue
+        if base_payload is None:
+            print(f"NOTE  {metric}  fresh={fresh:.2f}  (no baseline at {baseline_ref})")
+            continue
+        base = extract(base_payload)
+        if base is None:
+            print(f"NOTE  {metric}  fresh={fresh:.2f}  (new metric, no baseline value)")
+            continue
+
+        gated += 1
+        floor = base * (1.0 - tolerance)
+        if fresh < floor:
+            failures += 1
+            print(
+                f"FAIL  {metric}  fresh={fresh:.2f} < floor={floor:.2f} "
+                f"(baseline={base:.2f}, tolerance={tolerance:.0%})"
+            )
+        else:
+            print(f"OK    {metric}  fresh={fresh:.2f}  baseline={base:.2f}  floor={floor:.2f}")
+
+    print(f"\n{gated} metric(s) gated, {failures} regression(s)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=pathlib.Path,
+        default=RESULTS_DIR,
+        help="directory holding the freshly-recorded BENCH_*.json payloads",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref whose committed benchmarks/results/ is the baseline (default: HEAD)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop below baseline before failing (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    try:
+        return check(args.results_dir, args.baseline_ref, args.tolerance)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"ERROR  {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,15 +12,30 @@ Per-message time = startup latency (+ rendezvous handshake above the
 eager threshold) + L / rate, with rates from progressive filling over
 the concurrent messages of the phase, honoring per-message caps
 (shared-memory copy limit, protocol limit) by iterated fixing.
+
+Rates are *size-independent*: progressive filling sees only routes,
+capacities and per-message caps, never the byte count.  Each phase is
+therefore priced through a memoised :class:`_PhasePlan` — routes
+resolved, CSR incidence built and the capped max-min solved exactly
+once per (pattern, method[, stride]), with every message size then
+evaluated as a vectorized ``max(latency + L / rate)`` pass.  The
+allocation itself runs on :class:`repro.sim.kernel.RouteIncidence`
+with ``tie_counts="live"`` — bit-identical to
+:func:`repro.sim.fluid.maxmin_allocate`, which :func:`_capped_maxmin`
+below retains as the reference oracle (the property tests pin the
+plan path against it).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+import numpy as np
+
 from repro.beff.patterns import CommPattern
 from repro.net.model import Fabric
 from repro.sim.fluid import maxmin_allocate
+from repro.sim.kernel import FloatArray, RouteIncidence
 from repro.topology.base import Route
 
 
@@ -59,6 +74,123 @@ def _capped_maxmin(
     return [r if r is not None else 0.0 for r in rates]
 
 
+def _capped_maxmin_inc(
+    incidence: RouteIncidence,
+    capacities: FloatArray,
+    caps: list[float | None],
+) -> list[float]:
+    """:func:`_capped_maxmin` evaluated on a prebuilt incidence.
+
+    Bit-identical by construction: the kernel's ``active`` mask
+    reproduces calling the oracle on the active sub-list, the violator
+    scan compares the same floats in the same ascending-flow order,
+    and the residual clamp applies the identical
+    ``max(1e-12, residual - cap)`` per route entry in route order.
+    """
+    n = incidence.n_flows
+    rates = [0.0] * n
+    residual = capacities.astype(np.float64, copy=True)
+    active = np.ones(n, dtype=bool)
+    fptr, fcols = incidence.flow_ptr, incidence.flow_cols
+    while bool(active.any()):
+        alloc = incidence.solve(residual, active=active, tie_counts="live")
+        live = np.nonzero(active)[0].tolist()
+        violators = [i for i in live if caps[i] is not None and alloc[i] > caps[i]]
+        if not violators:
+            for i in live:
+                rates[i] = float(alloc[i])
+            break
+        for i in violators:
+            cap = caps[i]
+            assert cap is not None
+            rates[i] = cap
+            for col in fcols[fptr[i]:fptr[i + 1]].tolist():
+                residual[col] = max(1e-12, float(residual[col]) - cap)
+        active[violators] = False
+    return rates
+
+
+class _PhasePlan:
+    """Size-independent pricing plan for one concurrent message phase.
+
+    Built once per memoised phase from ``(src, dst, multiplicity)``
+    message structure: routes resolved, per-message latencies for both
+    protocol regimes precomputed, and the capped max-min solved on the
+    CSR incidence.  :meth:`time_for` then prices any message size with
+    one vectorized pass — every float operation identical to
+    :meth:`RoundModel.phase_time` on the expanded message list.
+    """
+
+    __slots__ = (
+        "fabric",
+        "rates",
+        "lat_eager",
+        "lat_rdv",
+        "mults",
+        "mult_groups",
+        "zero_msgs",
+        "n_priced",
+    )
+
+    def __init__(
+        self, model: "RoundModel", messages: list[tuple[int, int, int]]
+    ) -> None:
+        self.fabric = model.fabric
+        routes: list[tuple[int, ...]] = []
+        caps: list[float | None] = []
+        lat_e: list[float] = []
+        lat_r: list[float] = []
+        mults: list[int] = []
+        #: messages with no links (self/intra): (lat_eager, lat_rdv, mult)
+        self.zero_msgs: list[tuple[float, float, int]] = []
+        for src, dst, mult in messages:
+            route = model._route(src, dst)
+            le = self.fabric.startup_latency(route)
+            lr = le + self.fabric.rendezvous_delay(route)
+            if not route.links:
+                self.zero_msgs.append((le, lr, mult))
+                continue
+            routes.append(route.links)
+            caps.append(self.fabric.rate_cap_for(route))
+            lat_e.append(le)
+            lat_r.append(lr)
+            mults.append(mult)
+        self.n_priced = len(routes)
+        if self.n_priced:
+            incidence = RouteIncidence(routes)
+            cap_arr = np.asarray(
+                [model._capacities[link] for link in incidence.link_ids],
+                dtype=np.float64,
+            )
+            self.rates = np.asarray(
+                _capped_maxmin_inc(incidence, cap_arr, caps), dtype=np.float64
+            )
+            self.lat_eager = np.asarray(lat_e, dtype=np.float64)
+            self.lat_rdv = np.asarray(lat_r, dtype=np.float64)
+            self.mults = np.asarray(mults, dtype=np.int64)
+            # eagerness depends on the per-message byte count
+            # (multiplicity x L), so group messages by multiplicity —
+            # one is_eager call per distinct value per size
+            self.mult_groups = {
+                int(m): self.mults == m for m in np.unique(self.mults)
+            }
+
+    def time_for(self, nbytes: int) -> float:
+        """Phase time for per-neighbor message size ``nbytes`` (>= 1)."""
+        zero_latency = 0.0
+        for le, lr, mult in self.zero_msgs:
+            lat = le if self.fabric.is_eager(mult * nbytes) else lr
+            zero_latency = max(zero_latency, lat)
+        if not self.n_priced:
+            return zero_latency
+        eager = np.empty(self.n_priced, dtype=bool)
+        for mult, group in self.mult_groups.items():
+            eager[group] = self.fabric.is_eager(mult * nbytes)
+        lat = np.where(eager, self.lat_eager, self.lat_rdv)
+        longest = float(np.max(lat + (self.mults * nbytes) / self.rates))
+        return max(longest, zero_latency)
+
+
 class RoundModel:
     """Prices message phases on one fabric.
 
@@ -82,6 +214,8 @@ class RoundModel:
         self._ring_messages_cache: dict[CommPattern, tuple[list, list, list]] = {}
         #: pattern -> (stride -> [(src, dst, messages-per-neighbor)])
         self._stride_cache: dict[CommPattern, dict[int, list[tuple[int, int, int]]]] = {}
+        #: (pattern, method[, phase/stride]) -> solved phase plan
+        self._plan_cache: dict[tuple, _PhasePlan] = {}
 
     def _route(self, src: int, dst: int) -> Route:
         key = (src, dst)
@@ -151,17 +285,32 @@ class RoundModel:
             cached = self._round_cache[key] = self._round_time(pattern, nbytes, method)
         return cached
 
+    def _plan(
+        self, key: tuple, messages: list[tuple[int, int, int]]
+    ) -> _PhasePlan:
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._plan_cache[key] = _PhasePlan(self, messages)
+        return plan
+
     def _round_time(self, pattern: CommPattern, nbytes: int, method: str) -> float:
         if method == "nonblocking":
             left, right, pairs = self._ring_messages(pattern)
-            msgs = [(s, d, nbytes) for s, d in left + right + pairs]
-            return self.phase_time(msgs)
+            plan = self._plan(
+                (pattern, "nonblocking"),
+                [(s, d, 1) for s, d in left + right + pairs],
+            )
+            return plan.time_for(nbytes)
         if method == "sendrecv":
             left, right, pairs = self._ring_messages(pattern)
             # phase 1: leftward messages; 2-rings send both in parallel
-            phase1 = [(s, d, nbytes) for s, d in left + pairs]
-            phase2 = [(s, d, nbytes) for s, d in right]
-            return self.phase_time(phase1) + self.phase_time(phase2)
+            plan1 = self._plan(
+                (pattern, "sendrecv", 1), [(s, d, 1) for s, d in left + pairs]
+            )
+            plan2 = self._plan(
+                (pattern, "sendrecv", 2), [(s, d, 1) for s, d in right]
+            )
+            return plan1.time_for(nbytes) + plan2.time_for(nbytes)
         if method == "alltoallv":
             return self._alltoallv_time(pattern, nbytes)
         raise ValueError(f"unknown method {method!r}")
@@ -199,12 +348,18 @@ class RoundModel:
         base_latency = (
             self._message_latency(empty_route, 0) if empty_route is not None else 0.0
         )
+        # one solved plan per data-carrying stride; the n-1 step loop
+        # stays sequential (the sum's accumulation order is part of
+        # the bit-identity contract)
+        step_times = {
+            step: self._plan((pattern, "alltoallv", step), msgs).time_for(nbytes)
+            for step, msgs in by_stride.items()
+        }
         total = 0.0
         for step in range(1, n):
-            msgs = by_stride.get(step)
-            if msgs:
-                phase = [(src, dst, mult * nbytes) for src, dst, mult in msgs]
-                total += max(self.phase_time(phase), base_latency)
+            phase = step_times.get(step)
+            if phase is not None:
+                total += max(phase, base_latency)
             else:
                 total += base_latency
         return total

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.beff import analysis
 from repro.beff.analytic import RoundModel
+from repro.beff.fastforward import FastForwardSession
 from repro.beff.measurement import MeasurementConfig, MeasurementRecord
 from repro.beff.methods import step
 from repro.beff.patterns import CommPattern, make_patterns
@@ -22,6 +23,7 @@ from repro.faults.validity import VALID, RunValidity
 from repro.mpi.comm import World
 from repro.net.model import Fabric
 from repro.sim.engine import DeadlockError, EventBudgetError
+from repro.sim.process import SleepUntil
 from repro.sim.randomness import RandomStreams
 from repro.util import MB
 
@@ -47,6 +49,15 @@ class BeffResult:
     validity: RunValidity = VALID
     #: seed of the injected fault plan (None for undisturbed runs)
     fault_seed: int | None = None
+    #: which engine produced the numbers: ``"analytic"``,
+    #: ``"des-fast"`` (orbit fast-forward armed — bit-identical to
+    #: reference by construction) or ``"des-reference"``
+    engine_mode: str = "des-reference"
+    #: fast-forward observability (zero for analytic/reference runs):
+    #: how many timed loops proved an orbit and how many repetitions
+    #: were replayed analytically instead of simulated
+    ff_loops_armed: int = 0
+    ff_reps_skipped: int = 0
 
     @property
     def b_eff_per_proc(self) -> float:
@@ -102,13 +113,22 @@ def run_beff(
     lmax = lmax_for(memory_per_proc, int_bits)
     patterns = make_patterns(nprocs, streams)
 
+    ff: FastForwardSession | None = None
     if config.backend == "analytic":
         records = _run_analytic(fabric, patterns, sizes, config)
         skipped: tuple[str, ...] = ()
         flagged: tuple[str, ...] = ()
         failure = ""
+        engine_mode = "analytic"
     else:
-        records, skipped, flagged, failure = _run_des(fabric, patterns, sizes, config)
+        # fault-active runs force the reference loops — the injected
+        # capacity transitions break the orbit proof's premises
+        if config.mode == "fast" and not config.faults:
+            ff = FastForwardSession(fabric, nprocs)
+        records, skipped, flagged, failure = _run_des(
+            fabric, patterns, sizes, config, ff
+        )
+        engine_mode = "des-fast" if ff is not None else "des-reference"
 
     if skipped or flagged or failure:
         expected = {p.name: p.kind for p in patterns}
@@ -135,6 +155,9 @@ def run_beff(
         logavg_random=agg["logavg_random"],
         validity=validity,
         fault_seed=config.faults.seed if config.faults else None,
+        engine_mode=engine_mode,
+        ff_loops_armed=ff.loops_armed if ff is not None else 0,
+        ff_reps_skipped=ff.reps_skipped if ff is not None else 0,
     )
 
 
@@ -143,7 +166,16 @@ def _run_des(
     patterns: list[CommPattern],
     sizes: list[int],
     config: MeasurementConfig,
+    ff: FastForwardSession | None = None,
 ) -> tuple[list[MeasurementRecord], tuple[str, ...], tuple[str, ...], str]:
+    """Run the event-driven backend.
+
+    ``ff`` is the orbit fast-forward session for the timed repetition
+    loops: detect an exactly periodic steady state and replay the
+    remaining repetitions analytically (bit-identical loop times —
+    see :mod:`repro.beff.fastforward`).  None simulates every
+    repetition (the reference loops).
+    """
     world = World(fabric)
     records: list[MeasurementRecord] = []
     skipped: list[str] = []
@@ -166,8 +198,25 @@ def _run_des(
                     for rep in range(config.repetitions):
                         yield from comm.barrier()
                         t0 = comm.wtime()
-                        for _ in range(looplength):
-                            yield from step(method, comm, pattern, size)
+                        if ff is None:
+                            for _ in range(looplength):
+                                yield from step(method, comm, pattern, size)
+                        else:
+                            loop = ff.loop_for(
+                                (pattern.name, size, method, rep), looplength
+                            )
+                            reps = 0
+                            while reps < looplength:
+                                yield from step(method, comm, pattern, size)
+                                reps += 1
+                                if reps == looplength:
+                                    break
+                                skip = loop.boundary(comm.rank, reps, comm.wtime())
+                                if skip is not None:
+                                    target, landing = skip
+                                    yield SleepUntil(target)
+                                    reps = landing
+                            loop.finish()
                         local = comm.wtime() - t0
                         elapsed = yield from comm.allreduce(8, local, max)
                         if elapsed <= 0:

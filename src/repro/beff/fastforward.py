@@ -1,0 +1,236 @@
+"""Steady-state orbit fast-forward for b_eff's timed repetition loops.
+
+A b_eff measurement repeats one communication round ``looplength``
+times (300 at paper fidelity) between a barrier and a clock read.  On
+a noiseless simulator the ring patterns — and the random patterns
+under the internally synchronizing ``alltoallv`` method — settle into
+an exactly periodic orbit after a few repetitions: every further
+repetition is the previous one translated in time by a constant
+``d``.  This module detects that orbit *exactly* and replays the
+remaining repetitions analytically, preserving bit-identical loop
+times.
+
+Exactness argument
+------------------
+Unlike b_eff_io there is no filesystem: between repetitions the only
+persistent simulator state is the virtual clock.  A *synchronous
+quiescent cut* is a repetition boundary where (a) every rank reports
+the identical boundary float ``t`` (all ranks at loop-top) and (b) no
+network flows are in flight.  The full future evolution from such a
+cut is a function of ``t`` alone, and the event cascade is built from
+float additions on ``t``.  Within one binade ``[2^p, 2^(p+1))`` every
+float is a multiple of the grid unit ``2^(p-53)``, so the difference
+``d`` of two same-binade boundaries is exactly on the grid and
+rounding to the uniform grid commutes with exact grid translations:
+if three consecutive cuts form an exact arithmetic progression, every
+float of the next repetition's cascade is the previous one's plus
+``d``, re-rounded identically — as long as no tracked time leaves the
+binade.  Skipping ``k`` repetitions is therefore: wake every rank at
+``t + k*d`` computed on the integer grid (``SleepUntil`` lands the
+float verbatim) with the repetition counter advanced by ``k``.  Skips
+are capped :data:`MARGIN` repetitions short of the binade edge and
+land at least one repetition before the loop's end, so the final
+repetition always runs live.
+
+Anything aperiodic — the random patterns under ``sendrecv`` and
+``nonblocking``, whose rank-local staggering never exactly repeats —
+simply fails the arithmetic-progression check forever and the loop
+runs live, trivially bit-identical.
+
+Engine statistics (``FlowNetwork.bytes_completed``, allocation
+counters, per-link byte totals) are *not* advanced across a skip:
+they feed no measurement, only inspection helpers.  Fault-active runs
+never construct a session at all — mid-run capacity transitions break
+the periodicity proof's premises, so they force the reference loops,
+exactly as b_eff_io does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.orbit import advance, grid_delta, steps_in_binade
+
+if TYPE_CHECKING:
+    from repro.net.model import Fabric
+
+#: consecutive synchronous quiescent cuts proving the orbit
+WINDOW = 3
+#: minimum repetitions a skip must cover to be worth arming
+MIN_SKIP = 3
+#: repetitions of safety margin kept below the binade edge
+MARGIN = 2
+
+#: loop-key type: (pattern name, size, method, repetition index)
+LoopKey = tuple[str, int, str, int]
+
+
+@dataclass
+class _Cut:
+    """One repetition boundary: per-rank loop-top clock reads."""
+
+    rep: int
+    t: list[float]
+    count: int = 0
+    sync: bool = False
+
+
+@dataclass
+class _Plan:
+    """An armed skip awaiting engagement by every rank."""
+
+    from_rep: int
+    landing_rep: int
+    skipped: int
+    target: float
+    pred: float
+    engaged: int = 0
+
+
+class FastForwardSession:
+    """Per-run fast-forward context shared by every rank.
+
+    One :class:`CountedLoopFF` exists per timed loop; ranks reach the
+    loops in the same (pattern, size, method, repetition) order, so
+    the schedule tuple is the rendezvous key.  ``reps_skipped`` /
+    ``loops_armed`` are observability counters for the perf harness
+    and the bit-identity tests.
+    """
+
+    def __init__(self, fabric: "Fabric", nranks: int) -> None:
+        self.fabric = fabric
+        self.n = nranks
+        self.loops: dict[LoopKey, CountedLoopFF] = {}
+        self.loops_armed = 0
+        self.reps_skipped = 0
+
+    def loop_for(self, key: LoopKey, looplength: int) -> "CountedLoopFF":
+        ff = self.loops.get(key)
+        if ff is None:
+            ff = self.loops[key] = CountedLoopFF(self, key, looplength)
+        return ff
+
+
+class CountedLoopFF:
+    """Orbit detector and skip coordinator for one timed loop.
+
+    One instance is shared by all ranks of the loop (the simulated
+    ranks are coroutines of one process, so plain attribute state is
+    the rendezvous).  The termination model is a fixed repetition
+    count — b_eff's loops have no clock-based exit.
+    """
+
+    def __init__(
+        self, session: FastForwardSession, key: LoopKey, looplength: int
+    ) -> None:
+        self.session = session
+        self.key = key
+        self.n = session.n
+        self.looplength = looplength
+        self._records: list[_Cut] = []
+        self._cur: _Cut | None = None
+        self.plan: _Plan | None = None
+        self._finished = 0
+
+    # -- per-repetition reporting (called from the timed loop) -----------
+
+    def boundary(self, rank: int, rep: int, t: float) -> tuple[float, int] | None:
+        """Rank ``rank`` finished repetition ``rep`` (1-based) at ``t``.
+
+        Returns None to keep simulating, or ``(wake_time, landing_rep)``:
+        the rank must ``yield SleepUntil(wake_time)`` and resume its
+        loop as if ``landing_rep`` repetitions had completed.
+        """
+        cur = self._cur
+        if cur is None or cur.rep != rep:
+            cur = self._cur = _Cut(rep=rep, t=[0.0] * self.n)
+        cur.t[rank] = t
+        cur.count += 1
+        if cur.count == self.n:
+            self._complete_cut(cur)
+        plan = self.plan
+        if plan is None or rep != plan.from_rep:
+            return None
+        # Engagement: the rank's live boundary must land exactly on the
+        # arithmetic progression the arming proof extrapolated.  A
+        # mismatch means the periodicity guards are wrong — stop hard
+        # rather than desynchronize ranks.
+        if t != plan.pred:
+            raise RuntimeError(
+                "b_eff fast-forward: verified steady state diverged; "
+                "this is a bug in the periodicity guards"
+            )
+        plan.engaged += 1
+        if plan.engaged == self.n:
+            self._apply(plan)
+        return (plan.target, plan.landing_rep)
+
+    def finish(self) -> None:
+        """A rank's loop ended; drop the shared state once all have."""
+        self._finished += 1
+        if self._finished == self.n:
+            self.session.loops.pop(self.key, None)
+
+    # -- cut bookkeeping --------------------------------------------------
+
+    def _complete_cut(self, cur: _Cut) -> None:
+        if self.plan is not None:
+            # keep the in-flight record: the remaining ranks still
+            # verify their predicted boundary against it; _apply clears
+            return
+        self._cur = None
+        t0 = cur.t[0]
+        cur.sync = all(t == t0 for t in cur.t)
+        self._records.append(cur)
+        if len(self._records) > WINDOW:
+            self._records.pop(0)
+        self._try_arm()
+
+    def _try_arm(self) -> bool:
+        """Arm a skip when the last three cuts prove the orbit."""
+        recs = self._records
+        if len(recs) < WINDOW:
+            return False
+        last = recs[-1].rep
+        if [r.rep for r in recs] != [last - 2, last - 1, last]:
+            return False
+        if not all(r.sync for r in recs):
+            return False
+        track = grid_delta(recs[0].t[0], recs[1].t[0], recs[2].t[0])
+        if track is None:
+            return False
+        d, e = track
+        t2 = recs[2].t[0]
+        # land at most one repetition before the loop's end (the final
+        # repetition always runs live) and MARGIN repetitions inside
+        # the binade, so every intra-repetition float stays on the grid
+        landing = min(
+            self.looplength - 1, last + steps_in_binade(t2, d, e) - MARGIN
+        )
+        skipped = landing - last - 1  # repetition last+1 runs live as proof
+        if skipped < MIN_SKIP:
+            return False
+        self.plan = _Plan(
+            from_rep=last + 1,
+            landing_rep=landing,
+            skipped=skipped,
+            target=advance(t2, d, e, landing - last),
+            pred=advance(t2, d, e, 1),
+        )
+        return True
+
+    # -- state application --------------------------------------------------
+
+    def _quiescent(self) -> bool:
+        return self.session.fabric.flows.active_flows == 0
+
+    def _apply(self, plan: _Plan) -> None:
+        if not self._quiescent():  # pragma: no cover - guarded by arming
+            raise RuntimeError("b_eff fast-forward: skip from non-quiescent state")
+        session = self.session
+        session.loops_armed += 1
+        session.reps_skipped += plan.skipped
+        self._records.clear()
+        self._cur = None
+        self.plan = None

@@ -27,6 +27,12 @@ class MeasurementConfig:
     loop_time_min: float = 2.5e-3
     loop_time_max: float = 5e-3
     backend: str = "des"  # "des" | "analytic"
+    #: DES engine mode: ``"fast"`` enables the steady-state orbit
+    #: fast-forward for the timed repetition loops (bit-identical to
+    #: the reference loops — see :mod:`repro.beff.fastforward`);
+    #: ``"reference"`` always simulates every repetition.  Fault-active
+    #: runs force the reference loops regardless of this setting.
+    mode: str = "fast"
     #: fault plan injected into the simulated machine (DES backend
     #: only); None/empty leaves every number bit-identical
     faults: FaultPlan | None = None
@@ -50,6 +56,8 @@ class MeasurementConfig:
             raise ValueError("need 0 < loop_time_min < loop_time_max")
         if self.backend not in ("des", "analytic"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.mode not in ("fast", "reference"):
+            raise ValueError(f"unknown mode {self.mode!r}")
         if self.faults and self.backend != "des":
             raise ValueError("fault injection requires the des backend")
         if self.pattern_budget is not None and self.pattern_budget <= 0:

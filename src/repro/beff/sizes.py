@@ -12,6 +12,8 @@ meaningful: 12 log-spaced intervals below 4 kB, 8 above.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.util import KB, MB
 
 #: number of message sizes in the ladder
@@ -35,13 +37,23 @@ def lmax_for(memory_per_proc: int, int_bits: int = 64) -> int:
     return lmax
 
 
-def message_sizes(memory_per_proc: int, int_bits: int = 64) -> list[int]:
-    """The 21 message sizes for a processor with ``memory_per_proc`` bytes."""
+@lru_cache(maxsize=None)
+def _message_sizes(memory_per_proc: int, int_bits: int) -> tuple[int, ...]:
     lmax = lmax_for(memory_per_proc, int_bits)
     fixed = [1 << i for i in range(13)]  # 1 B .. 4 kB
     a = (lmax / FIXED_TOP) ** (1.0 / 8.0)
     variable = [int(round(FIXED_TOP * a**k)) for k in range(1, 9)]
     variable[-1] = lmax  # guard against float rounding at the top
-    sizes = fixed + variable
+    sizes = tuple(fixed + variable)
     assert len(sizes) == NUM_SIZES
     return sizes
+
+
+def message_sizes(memory_per_proc: int, int_bits: int = 64) -> list[int]:
+    """The 21 message sizes for a processor with ``memory_per_proc`` bytes.
+
+    Memoised internally (sweeps and repetition schedules ask for the
+    same ladder thousands of times); returns a fresh list so callers
+    may mutate their copy.
+    """
+    return list(_message_sizes(memory_per_proc, int_bits))

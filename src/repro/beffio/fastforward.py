@@ -47,6 +47,9 @@ import math
 
 from repro.pfs.cache import BufferCache
 from repro.pfs.intervals import IntervalSet
+from repro.sim.orbit import advance as _advance
+from repro.sim.orbit import grid_delta as _grid_delta
+from repro.sim.orbit import steps_in_binade as _steps_in_binade
 
 #: consecutive verified macro-repetition boundaries before arming a skip
 WINDOW = 3
@@ -63,52 +66,6 @@ MARGIN = 2
 #: *macro-repetition* and runs the identical machinery on the
 #: concatenated operation logs
 MAX_PERIOD = 64
-
-
-# ---------------------------------------------------------------------------
-# exact float-grid arithmetic
-# ---------------------------------------------------------------------------
-
-
-def _grid_delta(v0: float, v1: float, v2: float):
-    """Per-repetition delta of three boundary samples, or None.
-
-    Returns ``(d, e)`` with ``d = v1 - v0 = v2 - v1`` exactly and all
-    three samples in the same binade (unit ``2**e``), which makes the
-    subtraction and any further same-binade additions of ``d`` exact.
-    """
-    if not (v0 <= v1 <= v2):
-        return None
-    d = v1 - v0
-    if v2 - v1 != d:
-        return None
-    if d == 0.0:
-        return (0.0, 0)
-    if v0 <= 0.0 or math.frexp(v0)[1] != math.frexp(v2)[1]:
-        return None
-    e = math.frexp(v2)[1] - 53
-    k = math.ldexp(d, -e)
-    if k != int(k):  # pragma: no cover - same-binade diffs are on-grid
-        return None
-    return (d, e)
-
-
-def _advance(x: float, d: float, e: int, steps: int) -> float:
-    """``x + steps*d`` computed exactly on the binade grid ``2**e``."""
-    if steps == 0 or d == 0.0:
-        return x
-    kx = int(math.ldexp(x, -e))
-    kd = int(math.ldexp(d, -e))
-    return math.ldexp(kx + steps * kd, e)
-
-
-def _steps_in_binade(x: float, d: float, e: int) -> int:
-    """How many ``+d`` steps keep ``x`` strictly inside its binade."""
-    if d == 0.0:
-        return 1 << 62
-    kx = int(math.ldexp(x, -e))
-    kd = int(math.ldexp(d, -e))
-    return max(0, ((1 << 53) - 1 - kx) // kd)
 
 
 # ---------------------------------------------------------------------------

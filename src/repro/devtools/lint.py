@@ -23,7 +23,16 @@ REPRO008  non-atomic ``open(..., "w")`` / ``json.dump`` result write
 REPRO009  entropy source (``os.urandom``, ``uuid.uuid4``, ``secrets``)
 REPRO010  salted builtin ``hash()`` (varies per process)
 REPRO011  result payload serialized outside ``write_json_atomic``
+REPRO012  dict-accumulation loop in a ``hot-kernel`` module
 ========  ==========================================================
+
+REPRO012 is opt-in per module: marking a module with a
+``repro-lint: hot-kernel`` comment declares that its loops are
+allocation-kernel hot paths, where per-key dict accumulation
+(``d[k] += v`` or ``d[k] = d.get(k, 0) + v`` inside a loop) must be a
+vectorized reduction (``np.bincount`` / whole-array ops) instead.
+Plain numpy subscript updates are not flagged — only names the module
+visibly binds to dicts.
 
 A violation is silenced for one line with::
 
@@ -65,6 +74,8 @@ RULES: dict[str, str] = {
     "REPRO010": "builtin hash() is salted per process: derive keys explicitly",
     "REPRO011": "result payload written directly: route envelopes/results through "
                 "repro.reporting.export.write_json_atomic",
+    "REPRO012": "dict-accumulation loop in a hot-kernel module: replace with a "
+                "vectorized reduction (np.bincount / whole-array ops)",
 }
 
 #: default location of the checked-in baseline (repository root)
@@ -106,6 +117,10 @@ _PAYLOAD_PRODUCERS = frozenset({
 _PAYLOAD_NAME_RE = re.compile(r"(result|envelope|payload)", re.IGNORECASE)
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:--.*)?$")
+
+#: module marker opting into the hot-kernel rules (REPRO012); matched
+#: anywhere in the source so a docstring header line works too
+_HOT_KERNEL_RE = re.compile(r"#\s*repro-lint:\s*hot-kernel\b")
 
 
 @dataclass(frozen=True, slots=True)
@@ -202,6 +217,38 @@ def _set_assigned_names(scope: ast.AST) -> frozenset[str]:
     return frozenset(names - unsure)
 
 
+def _dict_assigned_names(scope: ast.AST) -> frozenset[str]:
+    """Names bound to a syntactic dict expression within ``scope``.
+
+    The REPRO012 counterpart of :func:`_set_assigned_names`: only
+    visible ``name = {}`` / ``dict(...)`` / ``defaultdict(...)`` /
+    ``Counter(...)`` / dict-comprehension bindings are tracked, so
+    numpy arrays and other subscriptable accumulators never match.  A
+    name also bound to a non-dict value in the same scope is dropped.
+    """
+    names: set[str] = set()
+    unsure: set[str] = set()
+    for node in _walk_scope(scope):
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        is_dict = isinstance(value, (ast.Dict, ast.DictComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in {"dict", "defaultdict", "Counter", "OrderedDict"}
+        )
+        if is_dict:
+            names.add(target.id)
+        else:
+            unsure.add(target.id)
+    return frozenset(names - unsure)
+
+
 class _Checker(ast.NodeVisitor):
     """Single-file rule engine (one instance per analyzed module)."""
 
@@ -211,6 +258,8 @@ class _Checker(ast.NodeVisitor):
         self.aliases = _collect_aliases(tree)
         self.violations: list[LintViolation] = []
         self._func_stack: list[str] = []
+        self.hot_kernel = bool(_HOT_KERNEL_RE.search(source))
+        self._dict_scopes: list[frozenset[str]] = [_dict_assigned_names(tree)]
         self._set_scopes: list[frozenset[str]] = [_set_assigned_names(tree)]
         self._parents: dict[int, ast.AST] = {}
         for parent in ast.walk(tree):
@@ -289,7 +338,9 @@ class _Checker(ast.NodeVisitor):
         self._check_defaults(node)
         self._func_stack.append(node.name)
         self._set_scopes.append(_set_assigned_names(node))
+        self._dict_scopes.append(_dict_assigned_names(node))
         self.generic_visit(node)
+        self._dict_scopes.pop()
         self._set_scopes.pop()
         self._func_stack.pop()
 
@@ -380,7 +431,57 @@ class _Checker(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter)
+        if self.hot_kernel:
+            self._check_dict_accumulation(node)
         self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        if self.hot_kernel:
+            self._check_dict_accumulation(node)
+        self.generic_visit(node)
+
+    # -- REPRO012: dict accumulation in hot kernels ----------------------
+
+    def _is_dict_name(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and any(
+            node.id in scope for scope in self._dict_scopes
+        )
+
+    def _check_dict_accumulation(self, loop: ast.For | ast.While) -> None:
+        """Flag per-key dict accumulation statements inside ``loop``.
+
+        Inner loops report on their own visit, so only statements whose
+        nearest enclosing loop is ``loop`` are scanned here.  Two shapes
+        count as accumulation: ``d[k] += v`` on a visibly-dict name, and
+        ``d[k] = ... d.get(k, ...) ...`` (the read-modify-write idiom,
+        dict-proven by the ``.get`` call itself).
+        """
+        stack: list[ast.AST] = list(loop.body) + list(loop.orelse)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(
+                stmt,
+                (ast.For, ast.While, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Subscript):
+                if self._is_dict_name(stmt.target.value):
+                    self._report(stmt, "REPRO012")
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                    base = target.value.id
+                    for inner in ast.walk(stmt.value):
+                        if (
+                            isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Attribute)
+                            and inner.func.attr == "get"
+                            and isinstance(inner.func.value, ast.Name)
+                            and inner.func.value.id == base
+                        ):
+                            self._report(stmt, "REPRO012")
+                            break
+            stack.extend(ast.iter_child_nodes(stmt))
 
     def _visit_comprehension_node(self, node: ast.AST, ordered_output: bool) -> None:
         for gen in node.generators:  # type: ignore[attr-defined]

@@ -159,7 +159,7 @@ def envelope_for(
             provenance={
                 "machine": machine,
                 "nprocs": result.nprocs,
-                "engine_mode": result.backend,
+                "engine_mode": result.engine_mode,
                 "fault_seed": result.fault_seed,
             },
             timings={"measured_s": sum(r.time for r in result.records)},
@@ -216,6 +216,8 @@ def result_from_envelope(env: ResultEnvelope) -> "BeffResult | BeffIOResult":
             logavg_random=d["logavg_random"],
             validity=env.validity,
             fault_seed=prov.get("fault_seed"),
+            # pre-FF envelopes recorded the backend as the engine mode
+            engine_mode=prov.get("engine_mode", d["backend"]),
         )
     if env.benchmark == "b_eff_io":
         type_results = [

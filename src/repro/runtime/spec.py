@@ -34,12 +34,22 @@ BENCHMARKS = ("b_eff", "b_eff_io")
 
 
 def engine_mode_of(config: "BenchmarkConfig") -> str:
-    """The engine selector of either config (``backend`` or ``mode``)."""
+    """The engine selector of either config.
+
+    For b_eff the DES backend splits by loop engine —
+    ``"des-fast"`` (orbit fast-forward, bit-identical by construction)
+    vs ``"des-reference"`` — with fault-active configs pinned to
+    ``"des-reference"`` because faults force the reference loops at
+    run time.  The analytic backend stays ``"analytic"``.
+    """
     from repro.beff.measurement import MeasurementConfig
     from repro.beffio.benchmark import BeffIOConfig
 
     if isinstance(config, MeasurementConfig):
-        return config.backend
+        if config.backend != "des":
+            return config.backend
+        mode = config.mode if not config.faults else "reference"
+        return f"des-{mode}"
     if isinstance(config, BeffIOConfig):
         return config.mode
     raise TypeError(f"unknown benchmark config {type(config).__name__}")

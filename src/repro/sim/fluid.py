@@ -45,13 +45,19 @@ import heapq
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.sim.engine import Simulator
+from repro.sim.kernel import RouteIncidence
 from repro.sim.process import SimEvent
 
 #: residual bytes below which a flow counts as finished (guards float error)
 _EPS_BYTES = 1e-3
 #: slack when completing flows at a shared finish instant
 _EPS_TIME = 1e-12
+#: component size from which the vectorized CSR kernel beats the
+#: per-round Python scan (small sendrecv components stay on the dict path)
+_VEC_FLOWS = 64
 
 _MODES = ("incremental", "reference")
 
@@ -163,9 +169,15 @@ class FlowNetwork:
         "_timer",
         "bytes_completed",
         "flows_completed",
-        "link_bytes",
+        "_link_bytes",
         "_members",
-        "_link_rate",
+        "_rate_slot",
+        "_rate_arr",
+        "_bytes_arr",
+        "_slots_used",
+        "_free_slots",
+        "_retired_bytes",
+        "_pending_totals",
         "_dirty_links",
         "_flush_handle",
         "_finish_heap",
@@ -188,12 +200,31 @@ class FlowNetwork:
         #: statistics: total bytes completed, flow count
         self.bytes_completed = 0.0
         self.flows_completed = 0
-        #: bytes carried per link (hot-link analysis)
-        self.link_bytes: dict[int, float] = {}
+        #: bytes carried per link in reference mode (hot-link analysis);
+        #: the incremental engine keeps the same totals in slotted arrays
+        self._link_bytes: dict[int, float] = {}
         #: link id -> {flow_id: None} of flows crossing it (insertion order)
         self._members: dict[int, dict[int, None]] = {}
-        #: link id -> aggregate allocated rate of its member flows
-        self._link_rate: dict[int, float] = {}
+        # Incremental-mode settle accounting is slotted: links with a
+        # non-zero aggregate rate occupy a slot in a pair of dense numpy
+        # arrays so one whole-array `bytes += rate * dt` replaces the
+        # per-link Python loop.  Slots are recycled via a free list
+        # (private per-flow cap links would otherwise grow the arrays
+        # without bound); a link's accumulated bytes are folded into
+        # ``_retired_bytes`` when its slot is released and seeded back
+        # when it re-enters, so the addition chain per link is exactly
+        # the one the dict-based accounting performed.
+        #: link id -> slot index in the rate/bytes arrays
+        self._rate_slot: dict[int, int] = {}
+        self._rate_arr: np.ndarray = np.zeros(0, dtype=np.float64)
+        self._bytes_arr: np.ndarray = np.zeros(0, dtype=np.float64)
+        self._slots_used = 0
+        self._free_slots: list[int] = []
+        #: bytes carried by links whose slot has been released
+        self._retired_bytes: dict[int, float] = {}
+        #: per-link aggregate rates handed from the vectorized solver
+        #: to the same flush (avoids re-summing member rates in Python)
+        self._pending_totals: dict[int, float] | None = None
         #: links whose membership changed since the last flush
         self._dirty_links: set[int] = set()
         #: pending zero-delay allocation flush (batches same-instant changes)
@@ -261,6 +292,61 @@ class FlowNetwork:
     @property
     def active_flows(self) -> int:
         return len(self._flows)
+
+    @property
+    def link_bytes(self) -> dict[int, float]:
+        """Bytes carried per link (hot-link analysis).
+
+        Reference mode returns the live accounting dict; incremental
+        mode materializes the same totals from the slotted arrays plus
+        the retired-slot carryover.
+        """
+        if not self._incremental:
+            return self._link_bytes
+        out = dict(self._retired_bytes)
+        barr = self._bytes_arr
+        for link_id, slot in self._rate_slot.items():
+            carried = float(barr[slot])
+            if carried != 0.0:
+                out[link_id] = carried
+        return out
+
+    # -- slotted rate/byte accounting (incremental mode) -----------------
+
+    def _slot_for(self, link_id: int) -> int:
+        """Slot of ``link_id``, allocating (and seeding) one if needed."""
+        slot = self._rate_slot.get(link_id)
+        if slot is None:
+            free = self._free_slots
+            if free:
+                slot = free.pop()
+            else:
+                slot = self._slots_used
+                if slot == len(self._rate_arr):
+                    cap = max(64, 2 * len(self._rate_arr))
+                    for name in ("_rate_arr", "_bytes_arr"):
+                        old = getattr(self, name)
+                        grown = np.zeros(cap, dtype=np.float64)
+                        grown[: len(old)] = old
+                        setattr(self, name, grown)
+                self._slots_used += 1
+            self._rate_slot[link_id] = slot
+            self._rate_arr[slot] = 0.0
+            # continue this link's accumulation chain bit-exactly
+            self._bytes_arr[slot] = self._retired_bytes.pop(link_id, 0.0)
+        return slot
+
+    def _drop_slot(self, link_id: int) -> None:
+        """Release a link's slot, folding its bytes into the carryover."""
+        slot = self._rate_slot.pop(link_id, None)
+        if slot is None:
+            return
+        carried = float(self._bytes_arr[slot])
+        if carried != 0.0:
+            self._retired_bytes[link_id] = carried
+        self._rate_arr[slot] = 0.0
+        self._bytes_arr[slot] = 0.0
+        self._free_slots.append(slot)
 
     # -- flows ---------------------------------------------------------
 
@@ -346,8 +432,8 @@ class FlowNetwork:
         self._last_settle = now
         if dt <= 0.0:
             return
-        link_bytes = self.link_bytes
         if not self._incremental:
+            link_bytes = self._link_bytes
             for flow in self._flows.values():
                 moved = min(flow.rate * dt, flow.remaining)
                 flow.remaining -= moved
@@ -355,13 +441,16 @@ class FlowNetwork:
                     for link_id in flow.route:
                         link_bytes[link_id] = link_bytes.get(link_id, 0.0) + moved
             return
-        # Charge links from the cached aggregate rates (O(active links)
-        # instead of O(flows x route length)) ...
-        for link_id, rate in self._link_rate.items():
-            if rate > 0.0:
-                link_bytes[link_id] = link_bytes.get(link_id, 0.0) + rate * dt
+        # Charge links from the slotted aggregate rates: one whole-array
+        # op instead of a Python loop over active links.  Released slots
+        # carry rate 0.0, so their `+= 0.0 * dt` contribution is exact.
+        used = self._slots_used
+        if used:
+            self._bytes_arr[:used] += self._rate_arr[:used] * dt
         # ... then advance flows, refunding the (float-slop) overshoot of
         # any flow that ran out of bytes before the interval ended.
+        slot_of = self._rate_slot
+        barr = self._bytes_arr
         for flow in self._flows.values():
             moved = flow.rate * dt
             if moved >= flow.remaining:
@@ -369,7 +458,7 @@ class FlowNetwork:
                 flow.remaining = 0.0
                 if excess > 0.0:
                     for link_id in flow.route:
-                        link_bytes[link_id] -= excess
+                        barr[slot_of[link_id]] -= excess
             else:
                 flow.remaining -= moved
 
@@ -394,7 +483,8 @@ class FlowNetwork:
         dirty, self._dirty_links = self._dirty_links, set()
         members = self._members
         if not self._flows:
-            self._link_rate.clear()
+            for link_id in list(self._rate_slot):
+                self._drop_slot(link_id)
             self._arm_timer()
             return
         # Affected component: BFS links <-> member flows from the dirty set.
@@ -434,13 +524,21 @@ class FlowNetwork:
                     flow.finish_time = now + flow.remaining / rate
                 heapq.heappush(heap, (flow.finish_time, fid))
             flows = self._flows
-            link_rate = self._link_rate
+            rate_arr = self._rate_arr
+            pending, self._pending_totals = self._pending_totals, None
             for link_id in comp_links:
-                total = sum(flows[fid].rate for fid in members[link_id])
+                if pending is not None:
+                    total = pending[link_id]
+                else:
+                    total = sum(flows[fid].rate for fid in members[link_id])
                 if total > 0.0:
-                    link_rate[link_id] = total
+                    slot = self._rate_slot.get(link_id)
+                    if slot is None:
+                        slot = self._slot_for(link_id)
+                        rate_arr = self._rate_arr  # may have grown
+                    rate_arr[slot] = total
                 else:  # pragma: no cover - defensive
-                    link_rate.pop(link_id, None)
+                    self._drop_slot(link_id)
         self._arm_timer()
 
     def _solve_component(self, flow_ids: list[int]) -> dict[int, float]:
@@ -454,6 +552,8 @@ class FlowNetwork:
         """
         self.allocations += 1
         self.flows_solved += len(flow_ids)
+        if len(flow_ids) >= _VEC_FLOWS:
+            return self._solve_component_vec(flow_ids)
         flows = self._flows
         links = self._links
         members = self._members
@@ -497,6 +597,32 @@ class FlowNetwork:
                     counts[link_id] -= 1
         return rates
 
+    def _solve_component_vec(self, flow_ids: list[int]) -> dict[int, float]:
+        """Large components: the CSR kernel with this solver's semantics.
+
+        ``tie_counts="frozen"`` selects the cached-count saturation scan
+        that :meth:`_solve_component`'s Python loop performs, so the
+        dispatch threshold cannot change any allocation — the kernel is
+        bit-identical (see ``repro.sim.kernel``'s property tests).
+        """
+        flows = self._flows
+        links = self._links
+        routes = [flows[fid].route for fid in flow_ids]
+        incidence = RouteIncidence(routes)
+        caps = np.fromiter(
+            (links[link_id].capacity for link_id in incidence.link_ids),
+            dtype=np.float64,
+            count=incidence.n_links,
+        )
+        rate_vec = incidence.solve(caps, tie_counts="frozen")
+        if not incidence.has_duplicate_pairs:
+            # hand the flush the per-link aggregate rates too: the
+            # bincount accumulates each link's members in the same
+            # ascending-flow order the Python loop would
+            totals = incidence.link_totals(rate_vec).tolist()
+            self._pending_totals = dict(zip(incidence.link_ids, totals))
+        return dict(zip(flow_ids, rate_vec.tolist()))
+
     def _arm_timer(self) -> None:
         """(Re)schedule the single completion timer from the finish heap."""
         if self._timer is not None:
@@ -524,7 +650,7 @@ class FlowNetwork:
                     entry.pop(flow.flow_id, None)
                     if not entry:
                         del self._members[link_id]
-                        self._link_rate.pop(link_id, None)
+                        self._drop_slot(link_id)
                 self._dirty_links.add(link_id)
         if flow.private_link is not None:
             del self._links[flow.private_link]

@@ -1,0 +1,63 @@
+"""Exact float-grid arithmetic for steady-state orbit fast-forwards.
+
+Both fast-forwards (``repro.beffio.fastforward`` for the b_eff_io
+timed slices, ``repro.beff.fastforward`` for the b_eff repetition
+loops) rest on the same exactness argument: within one floating-point
+binade ``[2^p, 2^(p+1))`` every float is a multiple of the grid unit
+``u = 2^(p-53)``, so the difference ``d`` of two same-binade boundary
+times is an exact multiple of ``u`` and adding ``d`` to any
+same-binade float is *exact* (no rounding).  A periodic event cascade
+whose boundary clocks advance by ``d`` can therefore be replayed
+analytically — ``x + k*d`` computed on the integer grid lands on the
+bit-exact instant the event engine would have produced — as long as no
+tracked float crosses its binade (the callers cap skips with
+:func:`steps_in_binade` plus a safety margin).
+
+This module is the shared primitive layer: three pure functions, no
+engine state.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def grid_delta(v0: float, v1: float, v2: float) -> tuple[float, int] | None:
+    """Per-repetition delta of three boundary samples, or None.
+
+    Returns ``(d, e)`` with ``d = v1 - v0 = v2 - v1`` exactly and all
+    three samples in the same binade (unit ``2**e``), which makes the
+    subtraction and any further same-binade additions of ``d`` exact.
+    """
+    if not (v0 <= v1 <= v2):
+        return None
+    d = v1 - v0
+    if v2 - v1 != d:
+        return None
+    if d == 0.0:
+        return (0.0, 0)
+    if v0 <= 0.0 or math.frexp(v0)[1] != math.frexp(v2)[1]:
+        return None
+    e = math.frexp(v2)[1] - 53
+    k = math.ldexp(d, -e)
+    if k != int(k):  # pragma: no cover - same-binade diffs are on-grid
+        return None
+    return (d, e)
+
+
+def advance(x: float, d: float, e: int, steps: int) -> float:
+    """``x + steps*d`` computed exactly on the binade grid ``2**e``."""
+    if steps == 0 or d == 0.0:
+        return x
+    kx = int(math.ldexp(x, -e))
+    kd = int(math.ldexp(d, -e))
+    return math.ldexp(kx + steps * kd, e)
+
+
+def steps_in_binade(x: float, d: float, e: int) -> int:
+    """How many ``+d`` steps keep ``x`` strictly inside its binade."""
+    if d == 0.0:
+        return 1 << 62
+    kx = int(math.ldexp(x, -e))
+    kd = int(math.ldexp(d, -e))
+    return max(0, ((1 << 53) - 1 - kx) // kd)

@@ -1,0 +1,91 @@
+"""Unit tests for the perf regression gate (benchmarks/check_regression.py)."""
+
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import check_regression as cr  # noqa: E402
+
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+
+
+def _head_has_baselines() -> bool:
+    proc = subprocess.run(
+        ["git", "show", "HEAD:benchmarks/results/BENCH_fluid.json"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+    )
+    return proc.returncode == 0
+
+
+needs_git_baseline = pytest.mark.skipif(
+    not _head_has_baselines(), reason="no committed BENCH baseline at HEAD"
+)
+
+
+def _copy_results(tmp_path: pathlib.Path) -> pathlib.Path:
+    dst = tmp_path / "results"
+    dst.mkdir()
+    for name in ("BENCH_fluid.json", "BENCH_beffio.json"):
+        shutil.copy(RESULTS / name, dst / name)
+    return dst
+
+
+def test_round_speedup_extractor_selects_by_procs():
+    payload = {"rounds": [{"procs": 16, "speedup": 2.0}, {"procs": 128, "speedup": 9.5}]}
+    assert cr._round_speedup(128)(payload) == 9.5
+    assert cr._round_speedup(256)(payload) is None
+    assert cr._round_speedup(128)({}) is None
+
+
+def test_dotted_extractor_missing_sections():
+    assert cr._dotted("headline", "speedup")({"headline": {"speedup": 3.0}}) == 3.0
+    assert cr._dotted("headline", "speedup")({}) is None
+    assert cr._dotted("headline", "speedup")({"headline": 4}) is None
+
+
+@needs_git_baseline
+def test_committed_payloads_pass_gate(tmp_path, capsys):
+    results = _copy_results(tmp_path)
+    assert cr.check(results, "HEAD", tolerance=0.20) == 0
+    out = capsys.readouterr().out
+    assert "0 regression(s)" in out
+
+
+@needs_git_baseline
+def test_regression_beyond_tolerance_fails(tmp_path, capsys):
+    results = _copy_results(tmp_path)
+    path = results / "BENCH_beffio.json"
+    payload = json.loads(path.read_text())
+    payload["headline"]["speedup"] = payload["headline"]["speedup"] * 0.5
+    path.write_text(json.dumps(payload))
+    assert cr.check(results, "HEAD", tolerance=0.20) == 1
+    assert "FAIL  BENCH_beffio.json:headline.speedup" in capsys.readouterr().out
+
+
+@needs_git_baseline
+def test_missing_fresh_payload_is_skipped_not_failed(tmp_path, capsys):
+    results = tmp_path / "empty"
+    results.mkdir()
+    assert cr.check(results, "HEAD", tolerance=0.20) == 0
+    out = capsys.readouterr().out
+    assert "SKIP" in out and "0 regression(s)" in out
+
+
+def test_unknown_baseline_ref_is_note_not_error(tmp_path, capsys):
+    results = _copy_results(tmp_path)
+    assert cr.check(results, "no-such-ref", tolerance=0.20) == 0
+    out = capsys.readouterr().out
+    assert "no baseline at no-such-ref" in out
+
+
+def test_cli_tolerance_validation():
+    with pytest.raises(SystemExit):
+        cr.main(["--tolerance", "1.5"])

@@ -158,6 +158,22 @@ CASES = {
             write_json_atomic(path, envelope.to_dict())
         """,
     ),
+    "REPRO012": (
+        """
+        # repro-lint: hot-kernel
+        def totals(flows):
+            out = {}
+            for link, moved in flows:
+                out[link] = out.get(link, 0.0) + moved
+            return out
+        """,
+        """
+        # repro-lint: hot-kernel
+        import numpy as np
+        def totals(cols, moved, n_links):
+            return np.bincount(cols, weights=moved, minlength=n_links)
+        """,
+    ),
 }
 
 
@@ -215,6 +231,51 @@ def test_repro011_targets_result_payloads_only():
         json.dump(payload, open(path, "w"))
     """
     assert rules_hit(impl, "src/repro/reporting/export.py") == []
+
+
+def test_repro012_is_opt_in_and_dict_only():
+    accum = """
+    def totals(flows):
+        out = {}
+        for link, moved in flows:
+            out[link] = out.get(link, 0.0) + moved
+        return out
+    """
+    # without the hot-kernel marker the pattern is ordinary code
+    assert "REPRO012" not in rules_hit(accum)
+    # += on a visibly-dict name fires too, including in while loops
+    aug = """
+    # repro-lint: hot-kernel
+    def drain(queue):
+        seen = dict()
+        while queue:
+            link = queue.pop()
+            seen[link] += 1
+    """
+    assert "REPRO012" in rules_hit(aug)
+    # numpy-style subscript updates are not dict accumulation: the
+    # kernel's own `mult[pending] -= 1` loop must stay clean
+    arr = """
+    # repro-lint: hot-kernel
+    import numpy as np
+    def settle(residual, mult, bottleneck):
+        pending = mult > 0
+        while bool(pending.any()):
+            residual[pending] = np.maximum(0.0, residual[pending] - bottleneck)
+            mult[pending] -= 1
+            pending = mult > 0
+    """
+    assert "REPRO012" not in rules_hit(arr)
+    # inline suppression works as for every other rule
+    silenced = """
+    # repro-lint: hot-kernel
+    def totals(flows):
+        out = {}
+        for link, moved in flows:
+            out[link] = out.get(link, 0.0) + moved  # repro-lint: disable=REPRO012 -- cold path
+        return out
+    """
+    assert "REPRO012" not in rules_hit(silenced)
 
 
 def test_rule_path_exemptions():

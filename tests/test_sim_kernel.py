@@ -1,0 +1,254 @@
+"""The vectorized max-min kernel vs its Python oracles: bit-identity.
+
+:mod:`repro.sim.kernel` replaces two scalar solvers on the hot paths —
+:func:`repro.sim.fluid.maxmin_allocate` (``tie_counts="live"``) and
+``FlowNetwork._solve_component``'s in-place variant
+(``tie_counts="frozen"``) — and the whole design rests on the
+replacement being ``float.hex``-exact, not approximately equal.  These
+properties drive randomized capacities and route structures (empty
+routes, singleton links, duplicate links within a route, degenerate
+equal-share ties) through both implementations and require identical
+bits, including under a shuffled event-tie order for the full
+FlowNetwork dispatch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beff.analytic import _capped_maxmin, _capped_maxmin_inc
+from repro.devtools.sanitizer import sanitized
+from repro.net import Fabric, NetParams
+from repro.sim import Simulator
+from repro.sim.fluid import maxmin_allocate
+from repro.sim.kernel import RouteIncidence, maxmin_allocate_vec
+from repro.topology import Torus
+from repro.util import MB
+
+
+def _hex(values):
+    return ["inf" if math.isinf(v) else float(v).hex() for v in values]
+
+
+def _solve_component_oracle(capacities, routes):
+    """Transliteration of ``FlowNetwork._solve_component``'s scalar loop
+    (frozen-count saturation scan) over flow indices 0..n-1."""
+    residual: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    members: dict[int, dict[int, None]] = {}
+    for fid, route in enumerate(routes):
+        for link_id in route:
+            if link_id in residual:
+                counts[link_id] += 1
+            else:
+                residual[link_id] = capacities[link_id]
+                counts[link_id] = 1
+            members.setdefault(link_id, {})[fid] = None
+    rates: dict[int, float] = {}
+    unfixed = dict.fromkeys(range(len(routes)))
+    while unfixed:
+        bottleneck = math.inf
+        for link_id, count in counts.items():
+            if count == 0:
+                continue
+            share = residual[link_id] / count
+            if share < bottleneck:
+                bottleneck = share
+        if math.isinf(bottleneck):
+            for fid in unfixed:
+                rates[fid] = math.inf
+            break
+        tol = bottleneck * (1.0 + 1e-12)
+        newly_fixed = []
+        for link_id, count in counts.items():
+            if count == 0:
+                continue
+            if residual[link_id] / count <= tol:
+                for fid in members[link_id]:
+                    if fid in unfixed:
+                        newly_fixed.append(fid)
+                        del unfixed[fid]
+        for fid in newly_fixed:
+            rates[fid] = bottleneck
+            for link_id in routes[fid]:
+                residual[link_id] = max(0.0, residual[link_id] - bottleneck)
+                counts[link_id] -= 1
+    return [rates[f] for f in range(len(routes))]
+
+
+# tie-heavy capacity pools: identical values force equal shares, the
+# regime where the two oracles' scan orders actually matter
+_CAPACITY = st.one_of(
+    st.sampled_from([0.001, 0.002, 1.0]),
+    st.floats(min_value=1e-4, max_value=10.0, allow_nan=False),
+)
+
+
+@st.composite
+def _problems(draw, min_flows=0, max_flows=14):
+    n_links = draw(st.integers(min_value=1, max_value=12))
+    capacities = {
+        link: draw(_CAPACITY) for link in range(n_links)
+    }
+    routes = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=0,
+                max_size=4,
+            ).map(tuple),
+            min_size=min_flows,
+            max_size=max_flows,
+        )
+    )
+    return capacities, routes
+
+
+class TestLiveSemantics:
+    @settings(max_examples=200, deadline=None)
+    @given(problem=_problems())
+    def test_matches_maxmin_allocate(self, problem):
+        capacities, routes = problem
+        ref = maxmin_allocate(dict(capacities), routes)
+        vec = maxmin_allocate_vec(capacities, routes)
+        assert _hex(vec) == _hex(ref)
+
+    @settings(max_examples=100, deadline=None)
+    @given(problem=_problems(min_flows=1), data=st.data())
+    def test_active_subset_matches_oracle_on_sublist(self, problem, data):
+        capacities, routes = problem
+        active = np.asarray(
+            data.draw(
+                st.lists(
+                    st.booleans(), min_size=len(routes), max_size=len(routes)
+                )
+            )
+        )
+        sub = [routes[i] for i in range(len(routes)) if active[i]]
+        ref = maxmin_allocate(dict(capacities), sub)
+        incidence = RouteIncidence(routes)
+        caps = np.asarray(
+            [capacities[link] for link in incidence.link_ids], dtype=np.float64
+        )
+        vec = incidence.solve(caps, active=active)
+        picked = [float(vec[i]) for i in range(len(routes)) if active[i]]
+        assert _hex(picked) == _hex(ref)
+
+    def test_empty_routes_get_infinite_rate(self):
+        rates = maxmin_allocate_vec({0: 1.0}, [(), (0,), ()])
+        assert math.isinf(rates[0]) and math.isinf(rates[2])
+        assert rates[1] == 1.0
+
+    def test_singleton_link_shared_equally(self):
+        rates = maxmin_allocate_vec({7: 3.0}, [(7,), (7,), (7,)])
+        assert _hex(rates) == _hex([1.0, 1.0, 1.0])
+
+    def test_no_flows(self):
+        assert maxmin_allocate_vec({0: 1.0}, []) == []
+
+
+class TestFrozenSemantics:
+    @settings(max_examples=200, deadline=None)
+    @given(problem=_problems(min_flows=1))
+    def test_matches_solve_component(self, problem):
+        capacities, routes = problem
+        ref = _solve_component_oracle(capacities, routes)
+        incidence = RouteIncidence(routes)
+        caps = np.asarray(
+            [capacities[link] for link in incidence.link_ids], dtype=np.float64
+        )
+        vec = incidence.solve(caps, tie_counts="frozen").tolist()
+        assert _hex(vec) == _hex(ref)
+
+    def test_unknown_tie_counts_rejected(self):
+        incidence = RouteIncidence([(0,)])
+        with pytest.raises(ValueError, match="tie_counts"):
+            incidence.solve(np.asarray([1.0]), tie_counts="eager")
+
+
+class TestCappedMaxminPlanPath:
+    @settings(max_examples=100, deadline=None)
+    @given(problem=_problems(min_flows=1), data=st.data())
+    def test_incidence_variant_matches_reference(self, problem, data):
+        capacities, routes = problem
+        routes = [r for r in routes if r] or [(0,)]
+        caps = [
+            data.draw(
+                st.one_of(st.none(), st.floats(min_value=1e-4, max_value=5.0))
+            )
+            for _ in routes
+        ]
+        ref = _capped_maxmin(dict(capacities), routes, caps)
+        incidence = RouteIncidence(routes)
+        cap_arr = np.asarray(
+            [capacities[link] for link in incidence.link_ids], dtype=np.float64
+        )
+        vec = _capped_maxmin_inc(incidence, cap_arr, caps)
+        assert _hex(vec) == _hex(ref)
+
+
+class TestIncidenceStructure:
+    def test_duplicate_pair_detection(self):
+        assert RouteIncidence([(0, 0)]).has_duplicate_pairs
+        assert not RouteIncidence([(0, 1), (1, 0)]).has_duplicate_pairs
+
+    def test_link_totals_matches_python_sum(self):
+        routes = [(0, 1), (1, 2), (0, 2), (2,)]
+        incidence = RouteIncidence(routes)
+        per_flow = np.asarray([0.1, 0.2, 0.3, 0.4])
+        totals = incidence.link_totals(per_flow)
+        for col, link in enumerate(incidence.link_ids):
+            expected = 0.0
+            for fid, route in enumerate(routes):
+                if link in route:
+                    expected += float(per_flow[fid])
+            assert float(totals[col]).hex() == expected.hex()
+
+    def test_duplicate_links_counted_with_multiplicity(self):
+        # a flow crossing the same link twice halves its share there,
+        # exactly as the oracle counts it
+        ref = maxmin_allocate({0: 1.0}, [(0, 0), (0,)])
+        vec = maxmin_allocate_vec({0: 1.0}, [(0, 0), (0,)])
+        assert _hex(vec) == _hex(ref)
+
+
+class TestFlowNetworkDispatch:
+    """The incremental engine's vectorized component dispatch, driven
+    through a real fabric — including under a shuffled tie order."""
+
+    def _round_bytes(self, tie_shuffle_seed=None):
+        from repro.beff.patterns import make_patterns
+        from repro.mpi.comm import World
+        from repro.sim.randomness import RandomStreams
+
+        with sanitized(record=False, tie_shuffle_seed=tie_shuffle_seed):
+            sim = Simulator()
+            fabric = Fabric(
+                sim, Torus((4, 4, 4), link_bw=300 * MB), NetParams(latency=10e-6)
+            )
+            world = World(fabric)
+            pattern = make_patterns(64, RandomStreams())[-1]
+
+            def program(comm):
+                from repro.beff.methods import step
+
+                yield from comm.barrier()
+                for _ in range(2):
+                    yield from step("nonblocking", comm, pattern, 64 * 1024)
+
+            world.run(program)
+            return (
+                float(fabric.sim.now).hex(),
+                float(fabric.flows.bytes_completed).hex(),
+                {k: v.hex() for k, v in sorted(fabric.flows.link_bytes.items())},
+            )
+
+    def test_vectorized_round_is_tie_order_invariant(self):
+        baseline = self._round_bytes()
+        for seed in (1, 7):
+            assert self._round_bytes(tie_shuffle_seed=seed) == baseline

@@ -66,6 +66,8 @@ METRICS: list[tuple[str, str, Extractor]] = [
     ("BENCH_fluid.json", "flow_alloc.slots_speedup", _dotted("flow_alloc", "slots_speedup")),
     ("BENCH_beffio.json", "headline.speedup", _dotted("headline", "speedup")),
     ("BENCH_beffio.json", "full_table.speedup", _dotted("full_table", "speedup")),
+    ("BENCH_sweepcache.json", "warm.speedup_gate", _dotted("warm", "speedup_gate")),
+    ("BENCH_sweepcache.json", "skew.speedup", _dotted("skew", "speedup")),
 ]
 
 

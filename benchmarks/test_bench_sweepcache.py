@@ -1,0 +1,193 @@
+"""Sweep-scale caching: cold vs warm grids, dynamic vs static dispatch.
+
+The perf-regression harness for the content-addressed result store and
+the grid scheduler.  It runs the full machine-zoo × both-benchmark
+grid cold (every cell simulated) and warm (every cell served from the
+store), asserts the warm pass executes **zero** fresh simulations at
+least 20x faster with byte-identical envelopes, proves in-flight
+dedupe (8 concurrent submitters of one spec, one execution), and
+records the dynamic-vs-static makespan win on a skewed grid.
+
+Two measurement choices this harness documents:
+
+* The skew comparison feeds :func:`repro.runtime.plan_schedule` with
+  *measured* serial per-cell wall times rather than racing two live
+  pools.  The planner's assignments are exactly what each dispatch
+  order produces on a 2-worker pool, so the modelled makespans are the
+  real ones — and the comparison stays meaningful on single-core CI
+  runners where two live pools would just serialize.
+* ``warm.speedup_gate`` is the measured speedup clamped to 40x.  The
+  raw warm speedup (hundreds: file reads vs simulations) swings with
+  filesystem cache state between runners; the clamp keeps the
+  regression gate stable while the in-bench ``>= 20x`` assertion still
+  enforces the acceptance criterion on the raw value.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+
+import pytest
+
+from benchmarks._harness import once, record, record_json
+from repro.beff.measurement import MeasurementConfig
+from repro.beffio.benchmark import BeffIOConfig
+from repro.machines import MACHINES
+from repro.runtime import (
+    GridScheduler,
+    RunStore,
+    canonical_envelope_text,
+    expand_grid,
+    plan_schedule,
+    run_grid,
+    run_spec,
+)
+
+#: acceptance criterion: warm grid at least this much faster than cold
+REQUIRED_WARM_SPEEDUP = 20.0
+
+#: clamp for the gated warm ratio (see module docstring)
+GATE_CLAMP = 40.0
+
+BEFF_CFG = MeasurementConfig(backend="analytic")
+BEFFIO_CFG = BeffIOConfig(T=1.0, pattern_types=(0,))
+
+#: the skewed grid: one large DES cell among eight small ones
+SKEW_BIG_PROCS = 8
+SKEW_SMALL_PROCS = 2
+SKEW_SMALL_CELLS = 8
+SKEW_JOBS = 2
+
+
+def _full_grid():
+    """Every machine × both benchmarks (b_eff_io only where a PFS exists)."""
+    return expand_grid(
+        sorted(MACHINES),
+        ["b_eff", "b_eff_io"],
+        [2, 4],
+        configs={"b_eff": BEFF_CFG, "b_eff_io": BEFFIO_CFG},
+    )
+
+
+def _cold_vs_warm(store_dir: str) -> dict:
+    store = RunStore(store_dir)
+    specs = _full_grid()
+
+    t0 = time.perf_counter()
+    cold = run_grid(specs, store=store)
+    cold_wall = time.perf_counter() - t0
+    assert cold.fresh == len(specs) and cold.cached == 0
+
+    t0 = time.perf_counter()
+    warm = run_grid(specs, store=store)
+    warm_wall = time.perf_counter() - t0
+
+    # the acceptance criterion: zero fresh simulations, >= 20x faster,
+    # byte-identical envelopes
+    assert warm.fresh == 0 and warm.cached == len(specs)
+    speedup = cold_wall / warm_wall
+    assert speedup >= REQUIRED_WARM_SPEEDUP, (
+        f"warm grid only {speedup:.1f}x faster than cold"
+    )
+    identical = all(
+        canonical_envelope_text(a.envelope) == canonical_envelope_text(b.envelope)
+        for a, b in zip(cold.cells, warm.cells)
+    )
+    assert identical
+
+    return {
+        "cells": len(specs),
+        "cold_wall_s": round(cold_wall, 3),
+        "warm_wall_s": round(warm_wall, 4),
+        "speedup": round(speedup, 1),
+        "speedup_gate": round(min(speedup, GATE_CLAMP), 2),
+        "fresh_warm": warm.fresh,
+        "byte_identical": identical,
+    }
+
+
+def _dedupe_proof() -> dict:
+    """8 concurrent submitters of one fingerprint cost one execution."""
+    spec = run_spec("b_eff", "t3e", 2, BEFF_CFG)
+    submitters = 8
+    barrier = threading.Barrier(submitters)
+    sched = GridScheduler()
+    results = []
+
+    def submit():
+        barrier.wait()
+        results.append(sched.result(spec))
+
+    threads = [threading.Thread(target=submit) for _ in range(submitters)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sched.executions == 1
+    assert all(r is results[0] for r in results)
+    return {"submitters": submitters, "executions": sched.executions}
+
+
+def _skewed_dispatch() -> dict:
+    """Dynamic LPT vs static chunking over measured per-cell costs."""
+    des = MeasurementConfig(backend="des")
+
+    def measure(nprocs: int) -> float:
+        t0 = time.perf_counter()
+        run_spec("b_eff", "t3e", nprocs, des).run()
+        return time.perf_counter() - t0
+
+    big = measure(SKEW_BIG_PROCS)
+    small = measure(SKEW_SMALL_PROCS)
+    # the skewed grid in submission order: the big cell first (worst
+    # case for static chunking: its chunk also drags four small cells)
+    costs = [big] + [small] * SKEW_SMALL_CELLS
+
+    dynamic = plan_schedule(costs, jobs=SKEW_JOBS, policy="dynamic")
+    static = plan_schedule(costs, jobs=SKEW_JOBS, policy="static")
+    assert dynamic.makespan < static.makespan, (
+        f"dynamic {dynamic.makespan:.2f}s not better than "
+        f"static {static.makespan:.2f}s"
+    )
+    return {
+        "big_cell_wall_s": round(big, 3),
+        "small_cell_wall_s": round(small, 3),
+        "cells": len(costs),
+        "jobs": SKEW_JOBS,
+        "static_makespan_s": round(static.makespan, 3),
+        "dynamic_makespan_s": round(dynamic.makespan, 3),
+        "speedup": round(static.makespan / dynamic.makespan, 2),
+    }
+
+
+def run_sweepcache() -> dict:
+    with tempfile.TemporaryDirectory() as store_dir:
+        warm = _cold_vs_warm(store_dir)
+    return {
+        "warm": warm,
+        "dedupe": _dedupe_proof(),
+        "skew": _skewed_dispatch(),
+    }
+
+
+@pytest.mark.benchmark(group="sweepcache")
+def test_sweepcache(benchmark):
+    payload = once(benchmark, run_sweepcache)
+    record_json("BENCH_sweepcache", payload)
+    warm, dedupe, skew = payload["warm"], payload["dedupe"], payload["skew"]
+    record(
+        "sweepcache",
+        "\n".join([
+            f"grid: {warm['cells']} cells "
+            f"cold {warm['cold_wall_s']:.2f}s -> warm {warm['warm_wall_s']:.3f}s "
+            f"({warm['speedup']:.0f}x, 0 fresh, byte-identical)",
+            f"dedupe: {dedupe['submitters']} concurrent submitters, "
+            f"{dedupe['executions']} execution",
+            f"skew ({skew['cells']} cells, jobs={skew['jobs']}): "
+            f"static {skew['static_makespan_s']:.2f}s vs "
+            f"dynamic {skew['dynamic_makespan_s']:.2f}s "
+            f"({skew['speedup']:.2f}x)",
+        ]),
+    )

@@ -50,6 +50,9 @@ class BeffSweepResult:
     #: worst-case partition validity (an invalid partition is excluded
     #: from the maximum but demotes the sweep)
     validity: RunValidity = VALID
+    #: partitions simulated in this call vs served from the result store
+    fresh: int = 0
+    cached: int = 0
 
     def partition_values(self) -> dict[int, float]:
         return {r.nprocs: r.b_eff for r in self.results}
@@ -64,14 +67,17 @@ def run_sweep(
     resume: bool = False,
     retries: int = 0,
     backoff: float = 0.0,
+    store: "object | str | os.PathLike[str] | None" = None,
 ) -> BeffSweepResult:
     """Run b_eff over several partition sizes of one machine.
 
     Same contract as :func:`repro.beffio.sweep.run_sweep`: ``jobs >
     1`` fans partitions over worker processes bit-identically,
-    ``journal``/``resume`` give kill-and-resume bit-identity, and
+    ``journal``/``resume`` give kill-and-resume bit-identity,
     ``retries``/``backoff`` bound re-attempts before
-    :class:`SweepWorkerError`.
+    :class:`SweepWorkerError`, and ``store`` (a
+    :class:`~repro.runtime.store.RunStore` or path) serves previously
+    simulated partitions byte-identically from the result cache.
     """
     outcome = _runtime.run_sweep(
         "b_eff",
@@ -83,6 +89,7 @@ def run_sweep(
         resume=resume,
         retries=retries,
         backoff=backoff,
+        store=store,
     )
     return BeffSweepResult(
         machine=outcome.machine,
@@ -90,4 +97,6 @@ def run_sweep(
         best_b_eff=outcome.system_value,
         best_partition=outcome.best_partition,
         validity=outcome.validity,
+        fresh=outcome.fresh,
+        cached=outcome.cached,
     )

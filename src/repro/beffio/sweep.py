@@ -58,6 +58,9 @@ class SweepResult:
     #: not poison the system value — it is excluded from the max —
     #: but it does demote the sweep)
     validity: RunValidity = VALID
+    #: partitions simulated in this call vs served from the result store
+    fresh: int = 0
+    cached: int = 0
 
     def partition_values(self) -> dict[int, float]:
         return {r.nprocs: r.b_eff_io for r in self.results}
@@ -72,6 +75,7 @@ def run_sweep(
     resume: bool = False,
     retries: int = 0,
     backoff: float = 0.0,
+    store: "object | str | os.PathLike[str] | None" = None,
 ) -> SweepResult:
     """Run b_eff_io over several partition sizes of one machine.
 
@@ -82,7 +86,7 @@ def run_sweep(
     the scheduled time satisfied the paper's 15-minute rule.
 
     See :func:`repro.runtime.sweep.run_sweep` for the journal/resume/
-    retry semantics (shared with b_eff).
+    retry/store semantics (shared with b_eff).
     """
     outcome = _runtime.run_sweep(
         "b_eff_io",
@@ -94,6 +98,7 @@ def run_sweep(
         resume=resume,
         retries=retries,
         backoff=backoff,
+        store=store,
     )
     return SweepResult(
         machine=outcome.machine,
@@ -102,4 +107,6 @@ def run_sweep(
         best_partition=outcome.best_partition,
         official=outcome.official,
         validity=outcome.validity,
+        fresh=outcome.fresh,
+        cached=outcome.cached,
     )

@@ -46,6 +46,35 @@ def _fault_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="content-addressed result store: previously simulated "
+             "partitions are served byte-identically from this directory "
+             "instead of re-simulated; fresh results are absorbed into it",
+    )
+    parser.add_argument(
+        "--cache-limit", type=int, metavar="BYTES", default=None,
+        help="size cap for --cache; least-recently-served entries are "
+             "evicted past it (default: unbounded)",
+    )
+
+
+def _store_of(args) -> "object | None":
+    if args.cache is None:
+        if args.cache_limit is not None:
+            raise SystemExit("--cache-limit requires --cache")
+        return None
+    from repro.runtime.store import RunStore
+
+    return RunStore(args.cache, limit_bytes=args.cache_limit)
+
+
+def _print_cache(store, fresh: int, cached: int) -> None:
+    if store is not None:
+        print(f"cache: {fresh} fresh + {cached} cached ({store.stats.describe()})")
+
+
 def _sanitize_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sanitize", action="store_true",
@@ -131,6 +160,7 @@ def main_beff(argv: list[str] | None = None) -> int:
                         help="re-attempts per failed sweep partition before "
                              "giving up with exit code "
                              f"{EXIT_SWEEP_WORKER_FAILED}")
+    _cache_args(parser)
     _fault_args(parser)
     _sanitize_arg(parser)
     args = parser.parse_args(argv)
@@ -138,6 +168,8 @@ def main_beff(argv: list[str] | None = None) -> int:
         parser.error("--resume requires --journal")
     if args.sanitize and args.partitions:
         parser.error("--sanitize checks a single partition; drop --partitions")
+    if args.cache and not args.partitions:
+        parser.error("--cache serves --partitions sweeps; drop it or add --partitions")
     spec = _resolve_machine(args)
     if spec is None:
         return 0
@@ -154,11 +186,13 @@ def main_beff(argv: list[str] | None = None) -> int:
     if args.partitions:
         from repro.beff.sweep import SweepWorkerError, run_sweep
 
+        store = _store_of(args)
         try:
             sweep = run_sweep(
                 args.machine, [int(n) for n in args.partitions.split(",")],
                 config, jobs=args.jobs,
                 journal=args.journal, resume=args.resume, retries=args.retries,
+                store=store,
             )
         except SweepWorkerError as exc:
             print(f"repro-beff: {exc}", file=sys.stderr)
@@ -169,6 +203,7 @@ def main_beff(argv: list[str] | None = None) -> int:
             print(f"{r.nprocs:6d} procs  b_eff = {r.b_eff / MB:10.1f} MB/s"
                   f"{'' if r.validity.ok else '  [' + r.validity.state + ']'}")
         _print_validity(sweep.validity)
+        _print_cache(store, sweep.fresh, sweep.cached)
         print(f"best b_eff = {sweep.best_b_eff / MB:.1f} MB/s "
               f"(best partition: {sweep.best_partition} procs)")
         return 0
@@ -239,6 +274,7 @@ def main_beffio(argv: list[str] | None = None) -> int:
                         help="re-attempts per failed sweep partition before "
                              "giving up with exit code "
                              f"{EXIT_SWEEP_WORKER_FAILED}")
+    _cache_args(parser)
     _fault_args(parser)
     _sanitize_arg(parser)
     args = parser.parse_args(argv)
@@ -246,6 +282,8 @@ def main_beffio(argv: list[str] | None = None) -> int:
         parser.error("--resume requires --journal")
     if args.sanitize and args.partitions:
         parser.error("--sanitize checks a single partition; drop --partitions")
+    if args.cache and not args.partitions:
+        parser.error("--cache serves --partitions sweeps; drop it or add --partitions")
     spec = _resolve_machine(args)
     if spec is None:
         return 0
@@ -260,11 +298,13 @@ def main_beffio(argv: list[str] | None = None) -> int:
     if args.partitions:
         from repro.beffio.sweep import SweepWorkerError, run_sweep
 
+        store = _store_of(args)
         try:
             sweep = run_sweep(
                 args.machine, [int(n) for n in args.partitions.split(",")],
                 config, jobs=args.jobs,
                 journal=args.journal, resume=args.resume, retries=args.retries,
+                store=store,
             )
         except SweepWorkerError as exc:
             print(f"repro-beffio: {exc}", file=sys.stderr)
@@ -275,6 +315,7 @@ def main_beffio(argv: list[str] | None = None) -> int:
             print(f"{r.nprocs:6d} procs  b_eff_io = {r.b_eff_io / MB:10.2f} MB/s"
                   f"{'' if r.validity.ok else '  [' + r.validity.state + ']'}")
         _print_validity(sweep.validity)
+        _print_cache(store, sweep.fresh, sweep.cached)
         print(f"system b_eff_io = {sweep.system_b_eff_io / MB:.2f} MB/s "
               f"(best partition: {sweep.best_partition} procs"
               f"{', official' if sweep.official else ''})")
@@ -296,6 +337,119 @@ def main_beffio(argv: list[str] | None = None) -> int:
         for method in ("write", "rewrite", "read"):
             print()
             print(beffio_pattern_table(result, method).render())
+    return 0
+
+
+def main_repro(argv: list[str] | None = None) -> int:
+    """Grid front-end: ``repro sweep-grid`` runs a machine-zoo grid."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="grid-scale front-end over both benchmarks",
+        epilog="exit codes: 0 success, 2 usage error, "
+               f"{EXIT_SWEEP_WORKER_FAILED} grid cell failed after retries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    grid = sub.add_parser(
+        "sweep-grid",
+        help="run a machine-zoo × benchmark × partitions grid with "
+             "content-addressed caching and dynamic scheduling",
+    )
+    grid.add_argument(
+        "--machines", default="all",
+        help="comma-separated machine keys, or 'all' for the whole library "
+             f"(known: {', '.join(sorted(MACHINES))})",
+    )
+    grid.add_argument(
+        "--benchmarks", default="b_eff,b_eff_io",
+        help="comma-separated subset of b_eff,b_eff_io (b_eff_io cells on "
+             "machines without a parallel filesystem are skipped)",
+    )
+    grid.add_argument("--partitions", default="2,4", metavar="N,N,...",
+                      help="partition sizes for every grid cell")
+    grid.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (results are identical at any jobs)")
+    grid.add_argument("--policy", choices=("dynamic", "static"), default="dynamic",
+                      help="dynamic = longest-expected-first balancing; "
+                           "static = contiguous jobs=N chunks (baseline)")
+    grid.add_argument("--backend", choices=("des", "analytic"), default="analytic",
+                      help="b_eff engine for the grid's cells")
+    grid.add_argument("--T", type=float, default=2.0,
+                      help="scheduled time for the b_eff_io cells")
+    grid.add_argument("--types", default="0",
+                      help="b_eff_io pattern types for the grid's cells")
+    grid.add_argument("--retries", type=int, default=0,
+                      help="re-attempts per failed cell before giving up with "
+                           f"exit code {EXIT_SWEEP_WORKER_FAILED}")
+    grid.add_argument("--journal", metavar="DIR",
+                      help="journal root: every cell is recorded into the "
+                           "per-(benchmark, machine) sweep journal under it")
+    grid.add_argument("--out", metavar="DIR",
+                      help="write each cell's envelope as canonical JSON "
+                           "under this directory")
+    _cache_args(grid)
+    args = parser.parse_args(argv)
+
+    from repro.runtime.scheduler import (
+        CostModel,
+        GridWorkerError,
+        expand_grid,
+        run_grid,
+    )
+
+    machines = sorted(MACHINES) if args.machines == "all" else args.machines.split(",")
+    benchmarks = args.benchmarks.split(",")
+    configs = {
+        "b_eff": MeasurementConfig(backend=args.backend),
+        "b_eff_io": BeffIOConfig(
+            T=args.T, pattern_types=tuple(int(t) for t in args.types.split(","))
+        ),
+    }
+    specs = expand_grid(
+        machines,
+        benchmarks,
+        [int(n) for n in args.partitions.split(",")],
+        configs={b: configs[b] for b in benchmarks},
+    )
+    store = _store_of(args)
+    try:
+        outcome = run_grid(
+            specs,
+            jobs=args.jobs,
+            store=store,
+            policy=args.policy,
+            cost_model=CostModel.calibrate("benchmarks/results"),
+            retries=args.retries,
+            journal_root=args.journal,
+        )
+    except GridWorkerError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        if exc.worker_traceback:
+            print(exc.worker_traceback, file=sys.stderr, end="")
+        return EXIT_SWEEP_WORKER_FAILED
+    for cell in outcome.cells:
+        value = cell.envelope.values.get("b_eff", cell.envelope.values.get("b_eff_io"))
+        shown = f"{value / MB:10.2f} MB/s" if value is not None else "?"
+        print(f"{cell.spec.benchmark:9s} {cell.spec.machine:12s} "
+              f"{cell.spec.nprocs:6d} procs  {shown}  [{cell.source}]")
+    print(f"grid: {outcome.describe()}")
+    if store is not None:
+        print(f"cache: {store.stats.describe()}")
+    if args.out:
+        import pathlib
+
+        from repro.runtime.store import canonical_envelope_text
+
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for cell in outcome.cells:
+            name = (
+                f"{cell.spec.benchmark}__{cell.spec.machine}"
+                f"__{cell.spec.nprocs}.json"
+            )
+            write_json_atomic(
+                out_dir / name, canonical_envelope_text(cell.envelope)
+            )
+        print(f"wrote {len(outcome.cells)} envelope(s) to {out_dir}")
     return 0
 
 

@@ -24,6 +24,8 @@ REPRO009  entropy source (``os.urandom``, ``uuid.uuid4``, ``secrets``)
 REPRO010  salted builtin ``hash()`` (varies per process)
 REPRO011  result payload serialized outside ``write_json_atomic``
 REPRO012  dict-accumulation loop in a ``hot-kernel`` module
+REPRO013  ``.json`` write under a store/journal dir bypassing
+          ``write_json_atomic``
 ========  ==========================================================
 
 REPRO012 is opt-in per module: marking a module with a
@@ -76,6 +78,8 @@ RULES: dict[str, str] = {
                 "repro.reporting.export.write_json_atomic",
     "REPRO012": "dict-accumulation loop in a hot-kernel module: replace with a "
                 "vectorized reduction (np.bincount / whole-array ops)",
+    "REPRO013": "store/journal write bypasses write_json_atomic: a torn entry "
+                "defeats digest verification and the resume contract",
 }
 
 #: default location of the checked-in baseline (repository root)
@@ -115,6 +119,12 @@ _PAYLOAD_PRODUCERS = frozenset({
 
 #: names that mark an expression as carrying a result payload (REPRO011)
 _PAYLOAD_NAME_RE = re.compile(r"(result|envelope|payload)", re.IGNORECASE)
+
+#: names/literals that mark an expression as addressing a store or
+#: journal location (REPRO013)
+_STORE_PATH_RE = re.compile(
+    r"(store|journal|manifest|partition|quarantine|objects)", re.IGNORECASE
+)
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:--.*)?$")
 
@@ -329,6 +339,27 @@ class _Checker(ast.NodeVisitor):
             elif isinstance(inner, ast.Name) and _PAYLOAD_NAME_RE.search(inner.id):
                 return True
             elif isinstance(inner, ast.Attribute) and _PAYLOAD_NAME_RE.search(inner.attr):
+                return True
+        return False
+
+    def _is_store_path(self, node: ast.expr) -> bool:
+        """Does this expression address a store/journal location?
+
+        Heuristic mirror of :meth:`_is_result_payload`: any name,
+        attribute or string literal in the expression that mentions a
+        store/journal path component (``store``, ``journal``,
+        ``manifest``, ``partition``, ``quarantine``, ``objects``).
+        """
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Name) and _STORE_PATH_RE.search(inner.id):
+                return True
+            if isinstance(inner, ast.Attribute) and _STORE_PATH_RE.search(inner.attr):
+                return True
+            if (
+                isinstance(inner, ast.Constant)
+                and isinstance(inner.value, str)
+                and _STORE_PATH_RE.search(inner.value)
+            ):
                 return True
         return False
 
@@ -582,6 +613,32 @@ class _Checker(ast.NodeVisitor):
             )
             if sink and any(self._is_result_payload(a) for a in node.args):
                 self._report(node, "REPRO011")
+
+        # REPRO013 generalizes REPRO011 to the store/journal layer: a
+        # write addressed at a store or journal location that bypasses
+        # write_json_atomic can tear an entry, defeating the store's
+        # digest verification and the journal's resume contract.
+        if not self.posix.endswith("reporting/export.py"):
+            target: ast.expr | None = None
+            if resolved == "json.dump" and len(node.args) >= 2:
+                target = node.args[1]
+            elif isinstance(func, ast.Attribute) and func.attr in {
+                "write_text", "write_bytes",
+            }:
+                target = func.value
+            elif name == "open" and node.args:
+                mode = node.args[1] if len(node.args) >= 2 else None
+                for kw in node.keywords:
+                    if kw.arg == "mode":
+                        mode = kw.value
+                if (
+                    isinstance(mode, ast.Constant)
+                    and isinstance(mode.value, str)
+                    and any(c in mode.value for c in "wax")
+                ):
+                    target = node.args[0]
+            if target is not None and self._is_store_path(target):
+                self._report(node, "REPRO013")
 
         self.generic_visit(node)
 

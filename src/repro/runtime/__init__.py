@@ -16,7 +16,13 @@ number — and this package is the one spine both hang on:
   every export and journal record round-trips through;
 * :mod:`repro.runtime.sweep` — the benchmark-agnostic sweep
   orchestrator: one journal, one retry policy, one worker-error path
-  for both benchmarks.
+  for both benchmarks;
+* :mod:`repro.runtime.store` — the persistent content-addressed
+  :class:`RunStore` (fingerprint → verified envelope bytes) that makes
+  repeated sweeps free;
+* :mod:`repro.runtime.scheduler` — the machine-zoo grid executor:
+  expansion, in-flight dedupe, store integration and dynamic
+  longest-expected-first dispatch.
 
 The per-benchmark entry points (``repro.beff.*``, ``repro.beffio.*``)
 remain the public API; they are thin shims over this package.
@@ -40,7 +46,30 @@ from repro.runtime.reduce import (
     max_over,
     weighted_avg,
 )
-from repro.runtime.spec import RunSpec, run_spec, sweep_fingerprint
+from repro.runtime.scheduler import (
+    CostModel,
+    GridCell,
+    GridOutcome,
+    GridScheduler,
+    GridWorkerError,
+    SchedulePlan,
+    expand_grid,
+    plan_schedule,
+    run_grid,
+)
+from repro.runtime.spec import (
+    RunSpec,
+    cell_fingerprint,
+    legacy_sweep_fingerprint,
+    run_spec,
+    sweep_fingerprint,
+)
+from repro.runtime.store import (
+    RunStore,
+    StoreEntry,
+    StoreStats,
+    canonical_envelope_text,
+)
 from repro.runtime.sweep import (
     BenchmarkAdapter,
     JournalMismatchError,
@@ -68,7 +97,22 @@ __all__ = [
     "weighted_avg",
     "RunSpec",
     "run_spec",
+    "cell_fingerprint",
+    "legacy_sweep_fingerprint",
     "sweep_fingerprint",
+    "RunStore",
+    "StoreEntry",
+    "StoreStats",
+    "canonical_envelope_text",
+    "CostModel",
+    "GridCell",
+    "GridOutcome",
+    "GridScheduler",
+    "GridWorkerError",
+    "SchedulePlan",
+    "expand_grid",
+    "plan_schedule",
+    "run_grid",
     "BenchmarkAdapter",
     "JournalMismatchError",
     "SweepJournal",

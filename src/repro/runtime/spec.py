@@ -66,8 +66,20 @@ def _digest(payload: dict[str, Any]) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def sweep_fingerprint(benchmark: str, machine: str, config: "BenchmarkConfig") -> str:
-    """Stable hash pinning what a sweep journal recorded.
+#: sentinel occupying the ``nprocs`` axis in a sweep-level fingerprint
+#: ("every partition of this sweep"); real cells always carry an int
+SWEEP_AXIS = "*"
+
+
+def cell_fingerprint(
+    benchmark: str, machine: str, nprocs: "int | str", config: "BenchmarkConfig"
+) -> str:
+    """The one digest scheme for a single benchmark run (a *cell*).
+
+    :meth:`RunSpec.fingerprint`, :func:`sweep_fingerprint`, the sweep
+    journal and the :class:`~repro.runtime.store.RunStore` all
+    delegate here, so a journal partition, a store entry and a grid
+    cell that name the same run share the same key.
 
     ``dataclasses.asdict`` recurses into a nested
     :class:`~repro.faults.plan.FaultPlan`, so two configs differing
@@ -75,6 +87,40 @@ def sweep_fingerprint(benchmark: str, machine: str, config: "BenchmarkConfig") -
     engine mode and fault seed are additionally hashed as explicit
     top-level fields (the resume-safety contract, independent of the
     config dataclasses' field layout).
+    """
+    return _digest(
+        {
+            "benchmark": benchmark,
+            "machine": machine,
+            "nprocs": nprocs,
+            "engine_mode": engine_mode_of(config),
+            "fault_seed": fault_seed_of(config),
+            "config": dataclasses.asdict(config),
+        }
+    )
+
+
+def sweep_fingerprint(benchmark: str, machine: str, config: "BenchmarkConfig") -> str:
+    """Stable hash pinning what a sweep journal recorded.
+
+    Delegates to :func:`cell_fingerprint` with the partition axis
+    erased (:data:`SWEEP_AXIS`), so the sweep digest and every cell
+    digest of that sweep are the same scheme — journal manifests,
+    store keys and resume-rejection all share it.  Journals written
+    under the pre-store layout are still resumable through
+    :func:`legacy_sweep_fingerprint`.
+    """
+    return cell_fingerprint(benchmark, machine, SWEEP_AXIS, config)
+
+
+def legacy_sweep_fingerprint(
+    benchmark: str, machine: str, config: "BenchmarkConfig"
+) -> str:
+    """The pre-store sweep digest (no partition axis in the payload).
+
+    Kept only so schema-1 journals written before the unified keying
+    scheme resume instead of being rejected; new manifests always pin
+    :func:`sweep_fingerprint`.
     """
     return _digest(
         {
@@ -127,17 +173,13 @@ class RunSpec:
         return fault_seed_of(self.config)
 
     def fingerprint(self) -> str:
-        """Stable hash of the complete run specification."""
-        return _digest(
-            {
-                "benchmark": self.benchmark,
-                "machine": self.machine,
-                "nprocs": self.nprocs,
-                "engine_mode": self.engine_mode,
-                "fault_seed": self.fault_seed,
-                "config": dataclasses.asdict(self.config),
-            }
-        )
+        """Stable hash of the complete run specification.
+
+        This is the content address of the run's result: the sweep
+        journal, the :class:`~repro.runtime.store.RunStore` and the
+        grid scheduler all key by it (via :func:`cell_fingerprint`).
+        """
+        return cell_fingerprint(self.benchmark, self.machine, self.nprocs, self.config)
 
     def run(self) -> "BeffResult | BeffIOResult":
         """Execute the run and return the benchmark's result object."""

@@ -1,0 +1,292 @@
+"""Persistent content-addressed result store: never simulate twice.
+
+Every benchmark run is named completely by its
+:meth:`~repro.runtime.spec.RunSpec.fingerprint` and produces a
+versioned :class:`~repro.runtime.envelope.ResultEnvelope` whose JSON
+form round-trips bit-exactly — which makes the pair exactly a cache
+key and a cache value.  A :class:`RunStore` is that cache, durable on
+disk:
+
+* **Writes are atomic** (``write_json_atomic``: temp file +
+  ``os.replace``), so a crash mid-put leaves either the old entry or
+  the new one, never a torn file.
+* **Reads verify content.**  Each entry records the SHA-256 of the
+  canonical envelope text it holds; a corrupted payload (bit rot,
+  truncation, a foreign file under the key) is *quarantined* — moved
+  aside, counted, and reported as a miss so the run re-executes —
+  never served.
+* **Eviction is size-capped LRU.**  ``limit_bytes`` bounds the object
+  directory; :meth:`RunStore.compact` drops least-recently-served
+  entries (access bumps the file mtime) until the cap holds.  An
+  eviction can only ever unlink a complete file, and readers load an
+  entry in a single read, so a concurrent reader either gets the full
+  verified entry or a clean miss — never a partial one.
+* **Stats** (hits / misses / puts / evictions / quarantined) make the
+  cache's behaviour observable to sweeps, the grid scheduler and the
+  CLI.
+
+Because every engine mode is bit-deterministic (the fast/reference
+parity contracts of PRs 1–6), a warm read is byte-identical to a cold
+execution — determinism is what makes this cache sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+
+from repro.runtime.envelope import ResultEnvelope
+
+#: layout version written into every store entry
+STORE_SCHEMA = 1
+
+
+@dataclass
+class StoreStats:
+    """Counters of one :class:`RunStore` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    quarantined: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "quarantined": self.quarantined,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} puts={self.puts} "
+            f"evictions={self.evictions} quarantined={self.quarantined}"
+        )
+
+
+def canonical_envelope_text(envelope: ResultEnvelope) -> str:
+    """The byte-exact serialized form a store entry holds and verifies.
+
+    ``sort_keys`` makes the text a pure function of the envelope's
+    content (never of dict insertion order), so equal results always
+    produce equal bytes — the property the warm-vs-cold byte-identity
+    checks and the digest verification both rest on.
+    """
+    return json.dumps(envelope.to_dict(), indent=2, sort_keys=True)
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One verified store object (the envelope plus its exact bytes)."""
+
+    key: str
+    envelope: ResultEnvelope
+    #: the canonical text the digest was verified against — byte-equal
+    #: to what a cold execution would serialize
+    text: str
+
+
+class RunStore:
+    """Content-addressed envelope store keyed by run fingerprints.
+
+    ``root`` is created lazily; entries live under ``objects/<k2>/``
+    (two-hex-digit fan-out) and quarantined corruption under
+    ``quarantine/``.  ``limit_bytes`` (optional) enables the LRU
+    compaction pass after every put.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        limit_bytes: int | None = None,
+    ) -> None:
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError("limit_bytes must be positive (or None for unbounded)")
+        self.root = pathlib.Path(root)
+        self.limit_bytes = limit_bytes
+        self.stats = StoreStats()
+
+    # -- layout --------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> pathlib.Path:
+        return self.root / "objects"
+
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.root / "quarantine"
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    def keys(self) -> list[str]:
+        """Every stored fingerprint, sorted (deterministic listing)."""
+        return sorted(p.stem for p in self.objects_dir.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def total_bytes(self) -> int:
+        """Current size of the object directory (entry files only)."""
+        total = 0
+        for path in self.objects_dir.glob("*/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # evicted between glob and stat
+        return total
+
+    # -- reads ---------------------------------------------------------
+
+    def get_entry(self, key: str) -> StoreEntry | None:
+        """Load and verify one entry; ``None`` on miss or quarantine.
+
+        The entry file is consumed in a single read, so a concurrent
+        eviction (an ``unlink``) can never expose a partial payload —
+        the read either sees the complete atomic write or fails
+        cleanly as a miss.  Verification failures (unparseable file,
+        wrong schema, wrong key, digest mismatch, unreadable envelope)
+        quarantine the file and report a miss, so a corrupt entry is
+        never served and the run transparently re-executes.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text()
+        except (FileNotFoundError, NotADirectoryError):
+            self.stats.misses += 1
+            return None
+        try:
+            record = json.loads(raw)
+            if not isinstance(record, dict):
+                raise ValueError("store entry is not a JSON object")
+            if record.get("schema") != STORE_SCHEMA:
+                raise ValueError(f"store entry schema {record.get('schema')!r}")
+            if record.get("key") != key:
+                raise ValueError("store entry key does not match its address")
+            text = record["envelope"]
+            if not isinstance(text, str) or _sha256(text) != record.get("digest"):
+                raise ValueError("store entry digest mismatch")
+            envelope = ResultEnvelope.from_dict(json.loads(text))
+        except (KeyError, ValueError, TypeError) as exc:
+            self._quarantine(path, reason=str(exc))
+            self.stats.misses += 1
+            return None
+        self._touch(path)
+        self.stats.hits += 1
+        return StoreEntry(key=key, envelope=envelope, text=text)
+
+    def get(self, key: str) -> ResultEnvelope | None:
+        """The verified envelope under ``key``, or ``None`` on a miss."""
+        entry = self.get_entry(key)
+        return entry.envelope if entry is not None else None
+
+    # -- writes --------------------------------------------------------
+
+    def put(self, key: str, envelope: ResultEnvelope) -> pathlib.Path:
+        """Store an envelope under its fingerprint (atomic), then compact."""
+        from repro.reporting.export import write_json_atomic
+
+        text = canonical_envelope_text(envelope)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_json_atomic(
+            path,
+            {
+                "schema": STORE_SCHEMA,
+                "key": key,
+                "digest": _sha256(text),
+                "envelope": text,
+            },
+        )
+        self.stats.puts += 1
+        if self.limit_bytes is not None:
+            self.compact()
+        return path
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self, limit_bytes: int | None = None) -> int:
+        """Evict least-recently-served entries past the size cap.
+
+        Returns the number of entries evicted.  Ordering is by access
+        time (mtime, bumped on every verified read) with the file name
+        as a deterministic tie-break.  Only whole files are unlinked;
+        an in-progress reader that already opened the file keeps its
+        complete view (POSIX unlink semantics).
+        """
+        limit = self.limit_bytes if limit_bytes is None else limit_bytes
+        if limit is None:
+            return 0
+        entries: list[tuple[int, str, pathlib.Path, int]] = []
+        for path in self.objects_dir.glob("*/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime_ns, path.name, path, st.st_size))
+        total = sum(size for _, _, _, size in entries)
+        evicted = 0
+        for _, _, path, size in sorted(entries):
+            if total <= limit:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.stats.evictions += evicted
+        return evicted
+
+    # -- internals -----------------------------------------------------
+
+    def _touch(self, path: pathlib.Path) -> None:
+        """Bump the LRU clock; racing an eviction is a silent no-op."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a failed entry aside so it is never served again.
+
+        The move is an ``os.replace`` into ``quarantine/`` (same
+        filesystem, atomic); the reason is recorded as a sidecar note
+        for post-mortems.  A racing eviction may have removed the file
+        already — then there is nothing left to quarantine.
+        """
+        from repro.reporting.export import write_json_atomic
+
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / path.name
+        try:
+            os.replace(path, target)
+        except OSError:
+            return
+        self.stats.quarantined += 1
+        write_json_atomic(
+            self.quarantine_dir / f"{path.stem}.reason.json", {"reason": reason}
+        )
+
+
+def as_store(
+    store: "RunStore | str | os.PathLike[str] | None",
+    limit_bytes: int | None = None,
+) -> RunStore | None:
+    """Coerce a store argument (path or instance) to a :class:`RunStore`."""
+    if store is None or isinstance(store, RunStore):
+        return store
+    return RunStore(store, limit_bytes=limit_bytes)

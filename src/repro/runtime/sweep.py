@@ -38,13 +38,21 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.faults.validity import VALID, RunValidity, merge
-from repro.runtime.spec import BenchmarkConfig, sweep_fingerprint
+from repro.runtime.spec import (
+    BenchmarkConfig,
+    cell_fingerprint,
+    legacy_sweep_fingerprint,
+    sweep_fingerprint,
+)
 
 #: the official minimum scheduled time for b_eff_io (15 minutes)
 OFFICIAL_MINIMUM_T = 900.0
 
-#: journal layout version
-JOURNAL_SCHEMA = 1
+#: journal layout version — 2 adds the per-cell fingerprint map
+#: (``cells``) that ties each partition file to its store key; schema-1
+#: manifests (pre-store) are still resumable via
+#: :func:`~repro.runtime.spec.legacy_sweep_fingerprint`
+JOURNAL_SCHEMA = 2
 
 #: test/CI hook: when set to an integer k, the sweep parent raises
 #: after journaling its k-th partition — equivalent (for resume
@@ -210,30 +218,59 @@ class SweepJournal:
 
     # -- lifecycle -----------------------------------------------------
 
-    def start(self, machine: str, fingerprint: str) -> None:
-        """Begin a fresh sweep: wipe stale partitions, pin the manifest."""
+    def start(
+        self,
+        machine: str,
+        fingerprint: str,
+        cells: dict[str, str] | None = None,
+    ) -> None:
+        """Begin a fresh sweep: wipe stale partitions, pin the manifest.
+
+        ``cells`` (optional) maps partition size (as a string, JSON
+        keys are strings) to that cell's store fingerprint, tying the
+        journal to the content-addressed store keys.
+        """
         from repro.reporting.export import write_json_atomic
 
         self.path.mkdir(parents=True, exist_ok=True)
         for stale in self.path.glob("partition_*.json"):
             stale.unlink()
-        write_json_atomic(
-            self.manifest_path,
-            {"schema": JOURNAL_SCHEMA, "machine": machine, "fingerprint": fingerprint},
-        )
+        manifest: dict[str, Any] = {
+            "schema": JOURNAL_SCHEMA,
+            "machine": machine,
+            "fingerprint": fingerprint,
+        }
+        if cells is not None:
+            manifest["cells"] = cells
+        write_json_atomic(self.manifest_path, manifest)
 
-    def check(self, machine: str, fingerprint: str) -> None:
-        """Verify this journal belongs to (machine, config) before resuming."""
+    def check(
+        self,
+        machine: str,
+        fingerprint: str,
+        legacy_fingerprint: str | None = None,
+    ) -> None:
+        """Verify this journal belongs to (machine, config) before resuming.
+
+        Schema-1 journals (written before the unified cell keying)
+        pinned a different digest of the *same* payload; they stay
+        resumable when ``legacy_fingerprint`` matches.
+        """
         if not self.manifest_path.exists():
             raise JournalMismatchError(
                 f"no journal manifest at {self.manifest_path} — nothing to resume"
             )
         manifest = json.loads(self.manifest_path.read_text())
-        if manifest.get("schema") != JOURNAL_SCHEMA:
+        schema = manifest.get("schema")
+        if schema == 1 and legacy_fingerprint is not None:
+            expected = legacy_fingerprint
+        elif schema == JOURNAL_SCHEMA:
+            expected = fingerprint
+        else:
             raise JournalMismatchError(
-                f"journal schema {manifest.get('schema')!r} != {JOURNAL_SCHEMA}"
+                f"journal schema {schema!r} != {JOURNAL_SCHEMA}"
             )
-        if manifest.get("machine") != machine or manifest.get("fingerprint") != fingerprint:
+        if manifest.get("machine") != machine or manifest.get("fingerprint") != expected:
             raise JournalMismatchError(
                 f"journal at {self.path} was written by a different sweep "
                 f"(machine {manifest.get('machine')!r}, or the config changed); "
@@ -243,13 +280,20 @@ class SweepJournal:
     # -- partition records ---------------------------------------------
 
     def record(self, result: Any, machine: str | None = None) -> None:
-        """Atomically persist one completed partition (as an envelope)."""
+        """Atomically persist one completed partition (as an envelope).
+
+        The payload is the *canonical* envelope text (sorted keys) —
+        the same bytes a :class:`~repro.runtime.store.RunStore` entry
+        holds — so a journal written from fresh executions and one
+        written from cache-served results are byte-identical.
+        """
         from repro.reporting.export import write_json_atomic
         from repro.runtime.envelope import envelope_for
+        from repro.runtime.store import canonical_envelope_text
 
         write_json_atomic(
             self.partition_path(result.nprocs),
-            envelope_for(result, machine).to_dict(),
+            canonical_envelope_text(envelope_for(result, machine)),
         )
 
     def completed(self) -> dict[int, Any]:
@@ -283,6 +327,9 @@ class SweepOutcome:
     #: not poison the system value — it is excluded from the max —
     #: but it does demote the sweep)
     validity: RunValidity = VALID
+    #: partitions simulated in this call vs served from the result store
+    fresh: int = 0
+    cached: int = 0
 
     def partition_values(self) -> dict[int, float]:
         value_of = adapter_for(self.benchmark).value_of
@@ -349,7 +396,12 @@ def _describe(adapter: BenchmarkAdapter, machine: str, nprocs: int, config: Any)
 
 
 class _Retry:
-    """Per-partition attempt counter shared by both execution paths."""
+    """Per-partition attempt counter shared by both execution paths.
+
+    Attempts key by (machine, nprocs, benchmark) — not nprocs alone —
+    so a counter reused across a grid never pools two machines'
+    failures at the same partition size into one budget.
+    """
 
     def __init__(
         self,
@@ -364,12 +416,15 @@ class _Retry:
         self.config = config
         self.retries = retries
         self.backoff = backoff
-        self.attempts: dict[int, int] = {}
+        self.attempts: dict[tuple[str, int, str], int] = {}
 
-    def failed(self, nprocs: int, exc: BaseException) -> None:
+    def failed(
+        self, nprocs: int, exc: BaseException, machine: str | None = None
+    ) -> None:
         """Count a failure; raise :class:`SweepWorkerError` past the limit."""
-        n = self.attempts.get(nprocs, 0) + 1
-        self.attempts[nprocs] = n
+        key = (machine or self.machine, nprocs, self.adapter.name)
+        n = self.attempts.get(key, 0) + 1
+        self.attempts[key] = n
         if n > self.retries:
             raise SweepWorkerError(
                 f"{_describe(self.adapter, self.machine, nprocs, self.config)} "
@@ -393,6 +448,7 @@ def run_sweep(
     resume: bool = False,
     retries: int = 0,
     backoff: float = 0.0,
+    store: Any = None,
 ) -> SweepOutcome:
     """Run one benchmark over several partition sizes of one machine.
 
@@ -412,6 +468,12 @@ def run_sweep(
     instead of re-running them.  ``retries``/``backoff`` bound how
     often a crashed or failing partition is re-attempted before
     :class:`SweepWorkerError` is raised.
+
+    ``store`` (a :class:`~repro.runtime.store.RunStore` or a path)
+    serves partitions whose fingerprint it already holds — verified,
+    byte-identical, no simulation — and absorbs every fresh result.
+    Store-served partitions are still journaled, so cache and resume
+    compose: a later ``--resume`` replays them like any other.
     """
     adapter = adapter_for(benchmark)
     partitions = sorted(set(partitions))
@@ -427,28 +489,50 @@ def run_sweep(
         config = adapter.default_config()
     machine_name = spec if isinstance(spec, str) else spec.name
 
+    from repro.runtime.store import as_store
+
+    run_store = as_store(store)
+    cell_keys = {
+        n: cell_fingerprint(benchmark, machine_name, n, config) for n in partitions
+    }
+
     jr = SweepJournal(journal) if isinstance(journal, (str, os.PathLike)) else journal
     done: dict[int, Any] = {}
     if jr is not None:
         fingerprint = sweep_fingerprint(benchmark, machine_name, config)
         if resume:
-            jr.check(machine_name, fingerprint)
+            jr.check(
+                machine_name,
+                fingerprint,
+                legacy_sweep_fingerprint(benchmark, machine_name, config),
+            )
             # hoisted: a comprehension condition re-evaluates its
             # expression per row, so build the membership set once
             wanted = frozenset(partitions)
             done = {n: r for n, r in jr.completed().items() if n in wanted}
         else:
-            jr.start(machine_name, fingerprint)
+            jr.start(
+                machine_name,
+                fingerprint,
+                cells={str(n): fp for n, fp in cell_keys.items()},
+            )
 
     crash_after_text = os.environ.get(CRASH_AFTER_ENV)
     crash_after = int(crash_after_text) if crash_after_text else None
     fresh = 0
+    cached = 0
 
     def finish(result: Any) -> None:
         nonlocal fresh
         done[result.nprocs] = result
         if jr is not None:
             jr.record(result, machine_name)
+        if run_store is not None:
+            from repro.runtime.envelope import envelope_for
+
+            run_store.put(
+                cell_keys[result.nprocs], envelope_for(result, machine_name)
+            )
         fresh += 1
         if crash_after is not None and fresh >= crash_after:
             raise RuntimeError(
@@ -457,6 +541,21 @@ def run_sweep(
             )
 
     remaining = [n for n in partitions if n not in done]
+    if run_store is not None and remaining:
+        from repro.runtime.envelope import result_from_envelope
+
+        still: list[int] = []
+        for n in remaining:
+            hit = run_store.get(cell_keys[n])
+            if hit is not None:
+                result = result_from_envelope(hit)
+                done[n] = result
+                if jr is not None:
+                    jr.record(result, machine_name)
+                cached += 1
+            else:
+                still.append(n)
+        remaining = still
     retry = _Retry(adapter, machine_name, config, retries, backoff)
     if jobs > 1 and len(remaining) > 1:
         key = spec if isinstance(spec, str) else _registry_key(spec)
@@ -493,6 +592,8 @@ def run_sweep(
         best_partition=best,
         official=adapter.official_of(config),
         validity=merge([r.validity for r in results]),
+        fresh=fresh,
+        cached=cached,
     )
 
 

@@ -174,6 +174,18 @@ CASES = {
             return np.bincount(cols, weights=moved, minlength=n_links)
         """,
     ),
+    "REPRO013": (
+        """
+        import json
+        def record(journal_dir, row):
+            (journal_dir / "manifest.json").write_text(json.dumps(row))
+        """,
+        """
+        from repro.reporting.export import write_json_atomic
+        def record(journal_dir, row):
+            write_json_atomic(journal_dir / "manifest.json", row)
+        """,
+    ),
 }
 
 
@@ -276,6 +288,41 @@ def test_repro012_is_opt_in_and_dict_only():
         return out
     """
     assert "REPRO012" not in rules_hit(silenced)
+
+
+def test_repro013_targets_store_and_journal_paths_only():
+    # a write whose path mentions a store location fires even when no
+    # result-payload name is around (the REPRO011 heuristic is blind here)
+    bad = """
+    import json
+    def put(store, key, row):
+        with open(store.objects_dir / key, "w") as fh:
+            json.dump(row, fh)
+    """
+    assert "REPRO013" in rules_hit(bad)
+    # ordinary writes away from store/journal paths stay REPRO013-clean
+    # (REPRO008 still covers their atomicity)
+    plain = """
+    def save(path, text):
+        path.write_text(text)
+    """
+    assert "REPRO013" not in rules_hit(plain)
+    # the implementation home of write_json_atomic is exempt
+    impl = """
+    import json
+    def write_json_atomic(path, payload):
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+    """
+    assert rules_hit(impl, "src/repro/reporting/export.py") == []
+    # string-literal paths count as addressing the store too
+    literal = """
+    import json
+    def dump(rows):
+        with open("results/journal/partition_2.json", "w") as fh:
+            json.dump(rows, fh)
+    """
+    assert "REPRO013" in rules_hit(literal)
 
 
 def test_rule_path_exemptions():

@@ -67,6 +67,7 @@ METRICS: list[tuple[str, str, Extractor]] = [
     ("BENCH_beffio.json", "headline.speedup", _dotted("headline", "speedup")),
     ("BENCH_beffio.json", "full_table.speedup", _dotted("full_table", "speedup")),
     ("BENCH_sweepcache.json", "warm.speedup_gate", _dotted("warm", "speedup_gate")),
+    ("BENCH_sweepcache.json", "supervised.ratio_gate", _dotted("supervised", "ratio_gate")),
     ("BENCH_sweepcache.json", "skew.speedup", _dotted("skew", "speedup")),
 ]
 

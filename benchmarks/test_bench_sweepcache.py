@@ -38,6 +38,7 @@ from repro.machines import MACHINES
 from repro.runtime import (
     GridScheduler,
     RunStore,
+    SupervisionPolicy,
     canonical_envelope_text,
     expand_grid,
     plan_schedule,
@@ -53,6 +54,17 @@ GATE_CLAMP = 40.0
 
 BEFF_CFG = MeasurementConfig(backend="analytic")
 BEFFIO_CFG = BeffIOConfig(T=1.0, pattern_types=(0,))
+
+#: acceptance criterion: a fault-free warm supervised grid costs at
+#: most 5 % over the unsupervised warm pass ...
+SUPERVISED_OVERHEAD = 1.05
+#: ... plus this absolute slack: warm walls are tens of milliseconds,
+#: where a single scheduler hiccup outweighs any 5 % margin
+SUPERVISED_SLACK_S = 0.1
+
+#: timing repetitions for the warm-vs-warm comparison (min-of-N damps
+#: filesystem-cache and scheduler noise on CI runners)
+SUPERVISED_REPS = 3
 
 #: the skewed grid: one large DES cell among eight small ones
 SKEW_BIG_PROCS = 8
@@ -105,6 +117,55 @@ def _cold_vs_warm(store_dir: str) -> dict:
         "speedup_gate": round(min(speedup, GATE_CLAMP), 2),
         "fresh_warm": warm.fresh,
         "byte_identical": identical,
+    }
+
+
+def _supervised_overhead(store_dir: str) -> dict:
+    """Supervision must be (nearly) free when the grid is fault-free.
+
+    Re-runs the already-warm full grid twice per repetition — once
+    plain, once under a :class:`SupervisionPolicy` — and requires the
+    supervised warm wall to stay within ``SUPERVISED_OVERHEAD`` (plus
+    an absolute slack, see above) of the plain one.  Every cell is
+    served from the store in both passes, so this measures exactly the
+    supervision layer's bookkeeping, not process-spawn costs on fresh
+    cells.  The gated ratio is ``plain/supervised`` clamped to 1.0
+    (higher is better, like every other gated metric; the clamp keeps
+    noise from crediting supervision with a speedup the baseline would
+    then have to defend).
+    """
+    store = RunStore(store_dir)
+    specs = _full_grid()
+    policy = SupervisionPolicy(deadline_s=300.0, max_failures=2)
+
+    plain_wall = sup_wall = float("inf")
+    for _ in range(SUPERVISED_REPS):
+        t0 = time.perf_counter()
+        plain = run_grid(specs, store=store)
+        plain_wall = min(plain_wall, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        supervised = run_grid(specs, store=store, supervision=policy)
+        sup_wall = min(sup_wall, time.perf_counter() - t0)
+
+        assert plain.fresh == 0 and supervised.fresh == 0
+        assert supervised.poisoned == () and supervised.validity.ok
+        assert all(
+            canonical_envelope_text(a.envelope) == canonical_envelope_text(b.envelope)
+            for a, b in zip(plain.cells, supervised.cells)
+        )
+
+    assert sup_wall <= plain_wall * SUPERVISED_OVERHEAD + SUPERVISED_SLACK_S, (
+        f"supervised warm grid {sup_wall:.4f}s exceeds "
+        f"{SUPERVISED_OVERHEAD:.2f}x + {SUPERVISED_SLACK_S}s slack over "
+        f"plain {plain_wall:.4f}s"
+    )
+    return {
+        "cells": len(specs),
+        "plain_warm_wall_s": round(plain_wall, 4),
+        "supervised_warm_wall_s": round(sup_wall, 4),
+        "overhead": round(sup_wall / plain_wall, 3),
+        "ratio_gate": round(min(plain_wall / sup_wall, 1.0), 3),
     }
 
 
@@ -165,8 +226,10 @@ def _skewed_dispatch() -> dict:
 def run_sweepcache() -> dict:
     with tempfile.TemporaryDirectory() as store_dir:
         warm = _cold_vs_warm(store_dir)
+        supervised = _supervised_overhead(store_dir)
     return {
         "warm": warm,
+        "supervised": supervised,
         "dedupe": _dedupe_proof(),
         "skew": _skewed_dispatch(),
     }
@@ -177,12 +240,16 @@ def test_sweepcache(benchmark):
     payload = once(benchmark, run_sweepcache)
     record_json("BENCH_sweepcache", payload)
     warm, dedupe, skew = payload["warm"], payload["dedupe"], payload["skew"]
+    supervised = payload["supervised"]
     record(
         "sweepcache",
         "\n".join([
             f"grid: {warm['cells']} cells "
             f"cold {warm['cold_wall_s']:.2f}s -> warm {warm['warm_wall_s']:.3f}s "
             f"({warm['speedup']:.0f}x, 0 fresh, byte-identical)",
+            f"supervised warm: {supervised['supervised_warm_wall_s']:.4f}s vs "
+            f"plain {supervised['plain_warm_wall_s']:.4f}s "
+            f"({supervised['overhead']:.3f}x overhead)",
             f"dedupe: {dedupe['submitters']} concurrent submitters, "
             f"{dedupe['executions']} execution",
             f"skew ({skew['cells']} cells, jobs={skew['jobs']}): "

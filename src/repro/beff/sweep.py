@@ -18,6 +18,7 @@ from repro.beff.benchmark import BeffResult
 from repro.beff.measurement import MeasurementConfig
 from repro.faults.validity import VALID, RunValidity
 from repro.runtime import sweep as _runtime
+from repro.runtime.supervisor import PoisonRecord, SupervisionPolicy
 from repro.runtime.sweep import (
     CRASH_AFTER_ENV,
     SweepJournal,
@@ -53,6 +54,9 @@ class BeffSweepResult:
     #: partitions simulated in this call vs served from the result store
     fresh: int = 0
     cached: int = 0
+    #: partitions quarantined by a supervised run (see
+    #: :class:`~repro.runtime.supervisor.PoisonRecord`)
+    poisoned: tuple[PoisonRecord, ...] = ()
 
     def partition_values(self) -> dict[int, float]:
         return {r.nprocs: r.b_eff for r in self.results}
@@ -68,6 +72,7 @@ def run_sweep(
     retries: int = 0,
     backoff: float = 0.0,
     store: "object | str | os.PathLike[str] | None" = None,
+    supervision: SupervisionPolicy | None = None,
 ) -> BeffSweepResult:
     """Run b_eff over several partition sizes of one machine.
 
@@ -75,9 +80,11 @@ def run_sweep(
     1`` fans partitions over worker processes bit-identically,
     ``journal``/``resume`` give kill-and-resume bit-identity,
     ``retries``/``backoff`` bound re-attempts before
-    :class:`SweepWorkerError`, and ``store`` (a
+    :class:`SweepWorkerError`, ``store`` (a
     :class:`~repro.runtime.store.RunStore` or path) serves previously
-    simulated partitions byte-identically from the result cache.
+    simulated partitions byte-identically from the result cache, and
+    ``supervision`` runs the partitions under the supervised executor
+    (deadlines, heartbeats, poison quarantine instead of aborting).
     """
     outcome = _runtime.run_sweep(
         "b_eff",
@@ -90,6 +97,7 @@ def run_sweep(
         retries=retries,
         backoff=backoff,
         store=store,
+        supervision=supervision,
     )
     return BeffSweepResult(
         machine=outcome.machine,
@@ -99,4 +107,5 @@ def run_sweep(
         validity=outcome.validity,
         fresh=outcome.fresh,
         cached=outcome.cached,
+        poisoned=outcome.poisoned,
     )

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Union
 from repro.beffio.benchmark import BeffIOConfig, BeffIOResult
 from repro.faults.validity import VALID, RunValidity
 from repro.runtime import sweep as _runtime
+from repro.runtime.supervisor import PoisonRecord, SupervisionPolicy
 from repro.runtime.sweep import (
     CRASH_AFTER_ENV,
     OFFICIAL_MINIMUM_T,
@@ -61,6 +62,9 @@ class SweepResult:
     #: partitions simulated in this call vs served from the result store
     fresh: int = 0
     cached: int = 0
+    #: partitions quarantined by a supervised run (see
+    #: :class:`~repro.runtime.supervisor.PoisonRecord`)
+    poisoned: tuple[PoisonRecord, ...] = ()
 
     def partition_values(self) -> dict[int, float]:
         return {r.nprocs: r.b_eff_io for r in self.results}
@@ -76,6 +80,7 @@ def run_sweep(
     retries: int = 0,
     backoff: float = 0.0,
     store: "object | str | os.PathLike[str] | None" = None,
+    supervision: SupervisionPolicy | None = None,
 ) -> SweepResult:
     """Run b_eff_io over several partition sizes of one machine.
 
@@ -99,6 +104,7 @@ def run_sweep(
         retries=retries,
         backoff=backoff,
         store=store,
+        supervision=supervision,
     )
     return SweepResult(
         machine=outcome.machine,
@@ -109,4 +115,5 @@ def run_sweep(
         validity=outcome.validity,
         fresh=outcome.fresh,
         cached=outcome.cached,
+        poisoned=outcome.poisoned,
     )

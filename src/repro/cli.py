@@ -23,6 +23,9 @@ from repro.util import MB
 EXIT_SWEEP_WORKER_FAILED = 3
 #: exit code when --sanitize finds a same-time tie-break dependency
 EXIT_SANITIZER_FAILED = 4
+#: exit code when a supervised run completed but quarantined cells —
+#: the results that exist are real, yet the campaign is degraded
+EXIT_COMPLETED_DEGRADED = 5
 
 
 def _machine_arg(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +116,53 @@ def _print_validity(validity) -> None:
         print(f"validity: {validity.describe()}")
 
 
+def _supervision_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline", type=float, metavar="SECONDS", default=None,
+        help="supervised execution: wall-clock budget per cell attempt; "
+             "an overrunning worker is killed and the attempt retried",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, metavar="SECONDS", default=None,
+        help="supervised execution: kill a worker silent for this long "
+             "(hung-node detection; workers heartbeat continuously)",
+    )
+    parser.add_argument(
+        "--max-failures", type=int, metavar="N", default=None,
+        help="supervised execution: attempts per cell before it is "
+             "quarantined as poisoned (the campaign completes; exit code "
+             f"{EXIT_COMPLETED_DEGRADED} reports the degradation)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, metavar="SECONDS", default=0.0,
+        help="base retry delay; grows exponentially with seeded jitter "
+             "derived from the cell fingerprint (reproducible timing)",
+    )
+
+
+def _supervision_of(args) -> "object | None":
+    """A SupervisionPolicy when any supervised-execution flag was given."""
+    if (
+        args.deadline is None
+        and args.heartbeat_timeout is None
+        and args.max_failures is None
+    ):
+        return None
+    from repro.runtime.supervisor import SupervisionPolicy
+
+    return SupervisionPolicy(
+        deadline_s=args.deadline,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        max_failures=args.max_failures if args.max_failures is not None else 3,
+        backoff_base_s=args.backoff,
+    )
+
+
+def _print_poisoned(poisoned) -> None:
+    for record in poisoned:
+        print(f"poisoned: {record.describe()}")
+
+
 def _resolve_machine(args) -> object | None:
     if args.machine == "list":
         for key in sorted(MACHINES):
@@ -126,7 +176,8 @@ def main_beff(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-beff", description="effective bandwidth benchmark (simulated)",
         epilog="exit codes: 0 success, 2 usage error, "
-               f"{EXIT_SWEEP_WORKER_FAILED} sweep partition failed after retries",
+               f"{EXIT_SWEEP_WORKER_FAILED} sweep partition failed after retries, "
+               f"{EXIT_COMPLETED_DEGRADED} completed with quarantined partitions",
     )
     _machine_arg(parser)
     parser.add_argument(
@@ -160,6 +211,7 @@ def main_beff(argv: list[str] | None = None) -> int:
                         help="re-attempts per failed sweep partition before "
                              "giving up with exit code "
                              f"{EXIT_SWEEP_WORKER_FAILED}")
+    _supervision_args(parser)
     _cache_args(parser)
     _fault_args(parser)
     _sanitize_arg(parser)
@@ -170,6 +222,9 @@ def main_beff(argv: list[str] | None = None) -> int:
         parser.error("--sanitize checks a single partition; drop --partitions")
     if args.cache and not args.partitions:
         parser.error("--cache serves --partitions sweeps; drop it or add --partitions")
+    supervision = _supervision_of(args)
+    if supervision is not None and not args.partitions:
+        parser.error("supervised execution needs --partitions")
     spec = _resolve_machine(args)
     if spec is None:
         return 0
@@ -192,7 +247,7 @@ def main_beff(argv: list[str] | None = None) -> int:
                 args.machine, [int(n) for n in args.partitions.split(",")],
                 config, jobs=args.jobs,
                 journal=args.journal, resume=args.resume, retries=args.retries,
-                store=store,
+                backoff=args.backoff, store=store, supervision=supervision,
             )
         except SweepWorkerError as exc:
             print(f"repro-beff: {exc}", file=sys.stderr)
@@ -202,11 +257,12 @@ def main_beff(argv: list[str] | None = None) -> int:
         for r in sweep.results:
             print(f"{r.nprocs:6d} procs  b_eff = {r.b_eff / MB:10.1f} MB/s"
                   f"{'' if r.validity.ok else '  [' + r.validity.state + ']'}")
+        _print_poisoned(sweep.poisoned)
         _print_validity(sweep.validity)
         _print_cache(store, sweep.fresh, sweep.cached)
         print(f"best b_eff = {sweep.best_b_eff / MB:.1f} MB/s "
               f"(best partition: {sweep.best_partition} procs)")
-        return 0
+        return EXIT_COMPLETED_DEGRADED if sweep.poisoned else 0
     if args.sanitize:
         result, status = _sanitized_run(
             lambda: spec.run_beff(args.procs, config),
@@ -237,7 +293,8 @@ def main_beffio(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-beffio", description="effective I/O bandwidth benchmark (simulated)",
         epilog="exit codes: 0 success, 2 usage error, "
-               f"{EXIT_SWEEP_WORKER_FAILED} sweep partition failed after retries",
+               f"{EXIT_SWEEP_WORKER_FAILED} sweep partition failed after retries, "
+               f"{EXIT_COMPLETED_DEGRADED} completed with quarantined partitions",
     )
     _machine_arg(parser)
     parser.add_argument("--T", type=float, default=30.0,
@@ -274,6 +331,7 @@ def main_beffio(argv: list[str] | None = None) -> int:
                         help="re-attempts per failed sweep partition before "
                              "giving up with exit code "
                              f"{EXIT_SWEEP_WORKER_FAILED}")
+    _supervision_args(parser)
     _cache_args(parser)
     _fault_args(parser)
     _sanitize_arg(parser)
@@ -284,6 +342,9 @@ def main_beffio(argv: list[str] | None = None) -> int:
         parser.error("--sanitize checks a single partition; drop --partitions")
     if args.cache and not args.partitions:
         parser.error("--cache serves --partitions sweeps; drop it or add --partitions")
+    supervision = _supervision_of(args)
+    if supervision is not None and not args.partitions:
+        parser.error("supervised execution needs --partitions")
     spec = _resolve_machine(args)
     if spec is None:
         return 0
@@ -304,7 +365,7 @@ def main_beffio(argv: list[str] | None = None) -> int:
                 args.machine, [int(n) for n in args.partitions.split(",")],
                 config, jobs=args.jobs,
                 journal=args.journal, resume=args.resume, retries=args.retries,
-                store=store,
+                backoff=args.backoff, store=store, supervision=supervision,
             )
         except SweepWorkerError as exc:
             print(f"repro-beffio: {exc}", file=sys.stderr)
@@ -314,12 +375,13 @@ def main_beffio(argv: list[str] | None = None) -> int:
         for r in sweep.results:
             print(f"{r.nprocs:6d} procs  b_eff_io = {r.b_eff_io / MB:10.2f} MB/s"
                   f"{'' if r.validity.ok else '  [' + r.validity.state + ']'}")
+        _print_poisoned(sweep.poisoned)
         _print_validity(sweep.validity)
         _print_cache(store, sweep.fresh, sweep.cached)
         print(f"system b_eff_io = {sweep.system_b_eff_io / MB:.2f} MB/s "
               f"(best partition: {sweep.best_partition} procs"
               f"{', official' if sweep.official else ''})")
-        return 0
+        return EXIT_COMPLETED_DEGRADED if sweep.poisoned else 0
     if args.sanitize:
         result, status = _sanitized_run(
             lambda: spec.run_beffio(args.procs, config),
@@ -346,7 +408,8 @@ def main_repro(argv: list[str] | None = None) -> int:
         prog="repro",
         description="grid-scale front-end over both benchmarks",
         epilog="exit codes: 0 success, 2 usage error, "
-               f"{EXIT_SWEEP_WORKER_FAILED} grid cell failed after retries",
+               f"{EXIT_SWEEP_WORKER_FAILED} grid cell failed after retries, "
+               f"{EXIT_COMPLETED_DEGRADED} completed with quarantined cells",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     grid = sub.add_parser(
@@ -385,9 +448,11 @@ def main_repro(argv: list[str] | None = None) -> int:
                            "per-(benchmark, machine) sweep journal under it")
     grid.add_argument("--out", metavar="DIR",
                       help="write each cell's envelope as canonical JSON "
-                           "under this directory")
+                           "under this directory, plus a grid.json summary")
+    _supervision_args(grid)
     _cache_args(grid)
     args = parser.parse_args(argv)
+    supervision = _supervision_of(args)
 
     from repro.runtime.scheduler import (
         CostModel,
@@ -419,7 +484,9 @@ def main_repro(argv: list[str] | None = None) -> int:
             policy=args.policy,
             cost_model=CostModel.calibrate("benchmarks/results"),
             retries=args.retries,
+            backoff=args.backoff,
             journal_root=args.journal,
+            supervision=supervision,
         )
     except GridWorkerError as exc:
         print(f"repro: {exc}", file=sys.stderr)
@@ -431,26 +498,43 @@ def main_repro(argv: list[str] | None = None) -> int:
         shown = f"{value / MB:10.2f} MB/s" if value is not None else "?"
         print(f"{cell.spec.benchmark:9s} {cell.spec.machine:12s} "
               f"{cell.spec.nprocs:6d} procs  {shown}  [{cell.source}]")
+    _print_poisoned(outcome.poisoned)
+    _print_validity(outcome.validity)
     print(f"grid: {outcome.describe()}")
     if store is not None:
         print(f"cache: {store.stats.describe()}")
     if args.out:
+        import json as _json
         import pathlib
 
         from repro.runtime.store import canonical_envelope_text
 
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
+        cell_names = {}
         for cell in outcome.cells:
             name = (
                 f"{cell.spec.benchmark}__{cell.spec.machine}"
                 f"__{cell.spec.nprocs}.json"
             )
+            cell_names[name] = cell.spec.fingerprint()
             write_json_atomic(
                 out_dir / name, canonical_envelope_text(cell.envelope)
             )
+        # content-only summary (no fresh/cached counters, no wall times)
+        # so a resumed or cache-served run exports byte-identical trees
+        summary = {
+            "schema": 1,
+            "cells": cell_names,
+            "validity": outcome.validity.to_dict(),
+            "poisoned": [record.to_dict() for record in outcome.poisoned],
+        }
+        write_json_atomic(
+            out_dir / "grid.json",
+            _json.dumps(summary, indent=2, sort_keys=True),
+        )
         print(f"wrote {len(outcome.cells)} envelope(s) to {out_dir}")
-    return 0
+    return EXIT_COMPLETED_DEGRADED if outcome.poisoned else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ REPRO011  result payload serialized outside ``write_json_atomic``
 REPRO012  dict-accumulation loop in a ``hot-kernel`` module
 REPRO013  ``.json`` write under a store/journal dir bypassing
           ``write_json_atomic``
+REPRO014  silent exception swallow in a ``runtime/`` module
 ========  ==========================================================
 
 REPRO012 is opt-in per module: marking a module with a
@@ -44,7 +45,8 @@ and pre-existing debt is carried by a checked-in *baseline* file
 (``repro-lint-baseline.json``): with ``--baseline``, only violations
 exceeding the recorded per-file/per-rule counts fail the run, so CI
 rejects *new* hazards without demanding an instant cleanup of old
-ones.  (This repository's baseline is empty: the codebase is clean.)
+ones.  (This repository's baseline carries the store's pre-REPRO014
+LRU/eviction race handlers; everything else is clean.)
 
 Run as ``repro-lint [paths]`` (console script) or
 ``python -m repro.devtools.lint``.
@@ -80,6 +82,8 @@ RULES: dict[str, str] = {
                 "vectorized reduction (np.bincount / whole-array ops)",
     "REPRO013": "store/journal write bypasses write_json_atomic: a torn entry "
                 "defeats digest verification and the resume contract",
+    "REPRO014": "runtime exception handler swallows the failure silently: "
+                "record RunValidity, quarantine, or re-raise",
 }
 
 #: default location of the checked-in baseline (repository root)
@@ -437,7 +441,36 @@ class _Checker(ast.NodeVisitor):
                 "broad except neither re-raises nor tags RunValidity; "
                 "a fault would vanish from the result",
             )
+        # REPRO014 tightens REPRO005 for the supervision-bearing runtime
+        # package: there even a *narrow* handler (``except OSError:
+        # pass``) may not make a failure vanish without recording it —
+        # the whole point of the supervisor/quarantine layer is that
+        # every failure leaves provenance.
+        elif self._in_path("/runtime/") and self._swallows_silently(node):
+            self._report(
+                node, "REPRO014",
+                "exception handler in runtime/ swallows the failure with no "
+                "trace; record RunValidity, quarantine the key, or re-raise",
+            )
         self.generic_visit(node)
+
+    @staticmethod
+    def _swallows_silently(node: ast.ExceptHandler) -> bool:
+        """Is the handler body pure control flow with no accounting?
+
+        True when every statement is ``pass``, ``continue``, ``break``
+        or a constant ``return`` — nothing is logged, tagged, stored or
+        re-raised, so the exception evaporates.
+        """
+        for stmt in node.body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Return) and (
+                stmt.value is None or isinstance(stmt.value, ast.Constant)
+            ):
+                continue
+            return False
+        return True
 
     @staticmethod
     def _broad(type_node: ast.expr | None) -> bool:

@@ -53,6 +53,8 @@ def write_json_atomic(path: str | pathlib.Path, payload: object, indent: int | N
     filesystem by construction.  The sweep journal and every CLI
     ``--json`` export go through this.
     """
+    from repro.runtime import chaos
+
     path = pathlib.Path(path)
     text = payload if isinstance(payload, str) else json.dumps(payload, indent=indent)
     fd, tmp = tempfile.mkstemp(
@@ -63,6 +65,10 @@ def write_json_atomic(path: str | pathlib.Path, payload: object, indent: int | N
             fh.write(text)
             fh.flush()
             os.fsync(fh.fileno())
+        # chaos checkpoint: an injected ENOSPC strikes here — after the
+        # temp file exists, before it replaces the target — so the
+        # failure path below must clean the orphan up (regression-tested)
+        chaos.check_write()
         os.replace(tmp, path)
     except BaseException:
         try:

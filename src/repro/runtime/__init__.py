@@ -54,6 +54,7 @@ from repro.runtime.scheduler import (
     GridWorkerError,
     SchedulePlan,
     expand_grid,
+    grid_validity,
     plan_schedule,
     run_grid,
 )
@@ -69,6 +70,15 @@ from repro.runtime.store import (
     StoreEntry,
     StoreStats,
     canonical_envelope_text,
+)
+from repro.runtime.supervisor import (
+    AttemptFailure,
+    PoisonRecord,
+    SupervisedRun,
+    SupervisedTask,
+    SupervisionPolicy,
+    backoff_delay,
+    supervise,
 )
 from repro.runtime.sweep import (
     BenchmarkAdapter,
@@ -111,8 +121,16 @@ __all__ = [
     "GridWorkerError",
     "SchedulePlan",
     "expand_grid",
+    "grid_validity",
     "plan_schedule",
     "run_grid",
+    "AttemptFailure",
+    "PoisonRecord",
+    "SupervisedRun",
+    "SupervisedTask",
+    "SupervisionPolicy",
+    "backoff_delay",
+    "supervise",
     "BenchmarkAdapter",
     "JournalMismatchError",
     "SweepJournal",

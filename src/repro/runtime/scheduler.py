@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import traceback
 from collections.abc import Iterable, Mapping, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -37,9 +38,18 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.faults.validity import VALID, RunValidity, merge
+from repro.runtime import chaos
 from repro.runtime.envelope import ResultEnvelope, envelope_for
 from repro.runtime.spec import BenchmarkConfig, RunSpec, run_spec
 from repro.runtime.store import RunStore, as_store
+from repro.runtime.supervisor import (
+    PoisonRecord,
+    SupervisedTask,
+    SupervisionPolicy,
+    backoff_delay,
+    supervise,
+)
 
 __all__ = [
     "CostModel",
@@ -48,7 +58,9 @@ __all__ = [
     "GridScheduler",
     "GridWorkerError",
     "SchedulePlan",
+    "SupervisionPolicy",
     "expand_grid",
+    "grid_validity",
     "plan_schedule",
     "run_grid",
 ]
@@ -264,7 +276,15 @@ class GridCell:
 
 @dataclass(frozen=True)
 class GridOutcome:
-    """Every cell of a grid run plus the execution accounting."""
+    """Every cell of a grid run plus the execution accounting.
+
+    ``validity`` is the grid-level merge (see :func:`grid_validity`):
+    per-cell validities plus one degraded flag per poisoned cell, so a
+    grid that lost cells can never report itself silently ``valid``.
+    Poisoned cells are absent from ``cells`` — their
+    :class:`~repro.runtime.supervisor.PoisonRecord` stubs are the only
+    trace, by design.
+    """
 
     cells: tuple[GridCell, ...]
     fresh: int
@@ -272,20 +292,46 @@ class GridOutcome:
     deduped: int
     #: fingerprints in the order they were dispatched for execution
     dispatch_order: tuple[str, ...]
+    validity: RunValidity = VALID
+    poisoned: tuple[PoisonRecord, ...] = ()
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{len(self.cells)} cell(s) = {self.fresh} fresh + "
             f"{self.cached} cached + {self.deduped} deduped"
         )
+        if self.poisoned:
+            text += f" ({len(self.poisoned)} poisoned)"
+        return text
 
 
 class GridWorkerError(RuntimeError):
-    """A grid cell failed after exhausting its retries."""
+    """A grid cell failed after exhausting its retries.
 
-    def __init__(self, message: str, worker_traceback: str = "") -> None:
+    Besides the worker traceback, the failing cell's full identity —
+    fingerprint, benchmark, machine, nprocs and the attempt count —
+    travels both in the message and as attributes, so an operator (or
+    the service layer) can requeue exactly the cell that died without
+    parsing prose.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker_traceback: str = "",
+        fingerprint: str = "",
+        benchmark: str = "",
+        machine: str = "",
+        nprocs: int = 0,
+        attempts: int = 0,
+    ) -> None:
         super().__init__(message)
         self.worker_traceback = worker_traceback
+        self.fingerprint = fingerprint
+        self.benchmark = benchmark
+        self.machine = machine
+        self.nprocs = nprocs
+        self.attempts = attempts
 
 
 class _GridRetry:
@@ -294,26 +340,38 @@ class _GridRetry:
     The key matters: in a grid, two different machines fail the same
     partition size independently — pooling their attempts (the old
     nprocs-only keying of the sweep retry) would exhaust one budget
-    for both.
+    for both.  Between attempts the counter sleeps the same seeded
+    exponential-backoff-with-jitter schedule the supervisor uses, so
+    retry timing is a pure function of the cell fingerprint.
     """
 
-    def __init__(self, retries: int) -> None:
+    def __init__(self, retries: int, backoff: float = 0.0) -> None:
         self.retries = retries
+        self.backoff = backoff
         self.attempts: dict[tuple[str, int, str], int] = {}
 
     def failed(self, spec: RunSpec, exc: BaseException) -> None:
         key = (spec.machine, spec.nprocs, spec.benchmark)
         n = self.attempts.get(key, 0) + 1
         self.attempts[key] = n
+        fingerprint = spec.fingerprint()
         if n > self.retries:
             raise GridWorkerError(
                 f"grid cell {spec.benchmark} on {spec.machine!r} at "
-                f"nprocs={spec.nprocs} failed after {n} attempt(s): "
+                f"nprocs={spec.nprocs} (fingerprint {fingerprint[:12]}) "
+                f"failed after {n} attempt(s): "
                 f"{type(exc).__name__}: {exc}",
                 worker_traceback="".join(
                     traceback.format_exception(type(exc), exc, exc.__traceback__)
                 ),
+                fingerprint=fingerprint,
+                benchmark=spec.benchmark,
+                machine=spec.machine,
+                nprocs=spec.nprocs,
+                attempts=n,
             ) from exc
+        if self.backoff > 0:
+            time.sleep(backoff_delay(fingerprint, n, self.backoff))
 
 
 def _run_cell(benchmark: str, machine: str, nprocs: int, config: Any) -> dict[str, Any]:
@@ -321,8 +379,32 @@ def _run_cell(benchmark: str, machine: str, nprocs: int, config: Any) -> dict[st
     from repro.machines import get_machine
     from repro.runtime.sweep import adapter_for
 
+    chaos.on_cell(chaos.cell_key(benchmark, machine, nprocs))
     result = adapter_for(benchmark).run(get_machine(machine), nprocs, config)
-    return envelope_for(result, machine=machine).to_dict()
+    return chaos.corrupt_payload(envelope_for(result, machine=machine).to_dict())
+
+
+def grid_validity(
+    cells: Iterable[ResultEnvelope], poisoned: Sequence[PoisonRecord]
+) -> RunValidity:
+    """Merge cell validities and poison stubs into one grid verdict.
+
+    Every completed cell contributes its own envelope validity (a cell
+    whose internal averaged formula lost an input already carries
+    ``invalid`` and demotes the grid with it); every poisoned cell
+    contributes a ``degraded`` flag naming the cell.  All cells clean
+    and nothing poisoned → :data:`~repro.faults.validity.VALID`.
+    """
+    parts = [env.validity for env in cells]
+    for record in poisoned:
+        parts.append(
+            RunValidity(
+                "degraded",
+                flagged=(f"cell:{record.benchmark}:{record.machine}:{record.nprocs}",),
+                reason=f"poisoned after {len(record.attempts)} attempt(s)",
+            )
+        )
+    return merge(parts)
 
 
 def _execute(spec: RunSpec) -> ResultEnvelope:
@@ -340,6 +422,8 @@ def run_grid(
     cost_model: CostModel | None = None,
     retries: int = 0,
     journal_root: "str | os.PathLike[str] | None" = None,
+    backoff: float = 0.0,
+    supervision: SupervisionPolicy | None = None,
 ) -> GridOutcome:
     """Execute a grid of run specs with caching, dedupe and balancing.
 
@@ -353,10 +437,20 @@ def run_grid(
     recorded into the per-(benchmark, machine) sweep journal under
     that root, so an interrupted grid resumes through the same
     machinery as a single-machine sweep and cache and journal compose.
+
+    ``backoff`` seeds the exponential-with-jitter retry delay (see
+    :func:`~repro.runtime.supervisor.backoff_delay`).  ``supervision``
+    switches execution to the supervised path: one killable worker
+    process per attempt with deadlines, heartbeat monitoring and — in
+    place of the abort-on-exhaustion :class:`GridWorkerError` — poison
+    quarantine: the dead cell becomes a
+    :class:`~repro.runtime.supervisor.PoisonRecord` on the outcome (and
+    a stub in the store sidecar and journal), the grid completes, and
+    ``GridOutcome.validity`` reports ``degraded``.
     """
     run_store = as_store(store)
     model = cost_model if cost_model is not None else CostModel()
-    retry = _GridRetry(retries)
+    retry = _GridRetry(retries, backoff)
 
     # dedupe identical fingerprints to one execution; remember each
     # fingerprint's first position so later duplicates are labelled
@@ -391,7 +485,28 @@ def run_grid(
         if run_store is not None:
             run_store.put(fp, envelope)
 
-    if jobs > 1 and len(ordered) > 1:
+    poisoned: tuple[PoisonRecord, ...] = ()
+    if supervision is not None:
+        tasks = [
+            SupervisedTask(
+                key=spec.fingerprint(),
+                benchmark=spec.benchmark,
+                machine=spec.machine,
+                nprocs=spec.nprocs,
+                config=spec.config,
+            )
+            for spec in ordered
+        ]
+        outcome = supervise(tasks, supervision, jobs=jobs)
+        for spec in ordered:
+            payload = outcome.results.get(spec.fingerprint())
+            if payload is not None:
+                finish(spec, ResultEnvelope.from_dict(payload))
+        poisoned = outcome.poisoned
+        if run_store is not None:
+            for record in poisoned:
+                run_store.record_poison(record.key, record.to_dict())
+    elif jobs > 1 and len(ordered) > 1:
         _run_pool(ordered, plan, jobs, policy, retry, finish)
     else:
         for spec in ordered:
@@ -407,7 +522,7 @@ def run_grid(
                 break
 
     if journal_root is not None:
-        _journal_cells(journal_root, unique, envelopes)
+        _journal_cells(journal_root, unique, envelopes, poisoned)
 
     cells = tuple(
         GridCell(
@@ -420,6 +535,7 @@ def run_grid(
             ),
         )
         for i, spec in enumerate(specs)
+        if spec.fingerprint() in envelopes
     )
     fresh = sum(1 for s in sources.values() if s == "fresh")
     cached = sum(1 for s in sources.values() if s == "cache")
@@ -429,6 +545,8 @@ def run_grid(
         cached=cached,
         deduped=deduped,
         dispatch_order=dispatch_order,
+        validity=grid_validity((c.envelope for c in cells), poisoned),
+        poisoned=poisoned,
     )
 
 
@@ -509,12 +627,15 @@ def _journal_cells(
     journal_root: "str | os.PathLike[str]",
     unique: Mapping[str, RunSpec],
     envelopes: Mapping[str, ResultEnvelope],
+    poisoned: Sequence[PoisonRecord] = (),
 ) -> None:
     """Record every cell into per-(benchmark, machine) sweep journals.
 
     Cache-served cells are journaled exactly like fresh ones, so a
     later ``--resume`` of the per-machine sweep replays them — cache
-    and journal compose instead of competing.
+    and journal compose instead of competing.  Poisoned cells leave a
+    stub (their failure provenance) in place of a partition file; a
+    later run that heals the cell overwrites the stub with the result.
     """
     import pathlib
 
@@ -527,6 +648,9 @@ def _journal_cells(
     by_sweep: dict[tuple[str, str], list[RunSpec]] = {}
     for spec in unique.values():
         by_sweep.setdefault((spec.benchmark, spec.machine), []).append(spec)
+    poison_by_sweep: dict[tuple[str, str], list[PoisonRecord]] = {}
+    for record in poisoned:
+        poison_by_sweep.setdefault((record.benchmark, record.machine), []).append(record)
     for (benchmark, machine), cells in sorted(by_sweep.items()):
         journal = SweepJournal(root / f"{benchmark}__{machine}")
         journal.path.mkdir(parents=True, exist_ok=True)
@@ -546,9 +670,12 @@ def _journal_cells(
             },
         )
         for cell in cells:
-            journal.record(
-                result_from_envelope(envelopes[cell.fingerprint()]), machine
-            )
+            if cell.fingerprint() in envelopes:
+                journal.record(
+                    result_from_envelope(envelopes[cell.fingerprint()]), machine
+                )
+        for record in poison_by_sweep.get((benchmark, machine), []):
+            journal.record_poison(record)
 
 
 # ---------------------------------------------------------------------------

@@ -53,6 +53,7 @@ class StoreStats:
     puts: int = 0
     evictions: int = 0
     quarantined: int = 0
+    poisoned: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -61,13 +62,17 @@ class StoreStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "quarantined": self.quarantined,
+            "poisoned": self.poisoned,
         }
 
     def describe(self) -> str:
-        return (
+        text = (
             f"hits={self.hits} misses={self.misses} puts={self.puts} "
             f"evictions={self.evictions} quarantined={self.quarantined}"
         )
+        if self.poisoned:
+            text += f" poisoned={self.poisoned}"
+        return text
 
 
 def canonical_envelope_text(envelope: ResultEnvelope) -> str:
@@ -212,9 +217,52 @@ class RunStore:
             },
         )
         self.stats.puts += 1
+        self._clear_poison(key)
         if self.limit_bytes is not None:
             self.compact()
         return path
+
+    # -- poison sidecars -----------------------------------------------
+
+    def poison_path(self, key: str) -> pathlib.Path:
+        return self.quarantine_dir / f"poison_{key}.json"
+
+    def record_poison(self, key: str, record: dict) -> pathlib.Path:
+        """Record a supervised cell's failure provenance under its key.
+
+        A poisoned cell has *no* result to store; the sidecar is the
+        accountable stub — the per-attempt failure kinds, messages and
+        the last traceback — a later run (or the service layer) reads
+        to decide whether to re-attempt.  A successful :meth:`put` of
+        the same key removes the sidecar: healing is automatic.
+        """
+        from repro.reporting.export import write_json_atomic
+
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        path = self.poison_path(key)
+        write_json_atomic(path, record)
+        self.stats.poisoned += 1
+        return path
+
+    def poison(self, key: str) -> dict | None:
+        """The recorded poison stub for ``key``, or ``None``."""
+        try:
+            record = json.loads(self.poison_path(key).read_text())
+        except (OSError, ValueError):  # repro-lint: disable=REPRO014 -- an unreadable sidecar means no active quarantine; the read path must stay total
+            return None
+        return record if isinstance(record, dict) else None
+
+    def poisoned_keys(self) -> list[str]:
+        """Every fingerprint with an active poison sidecar, sorted."""
+        prefix = "poison_"
+        return sorted(
+            p.stem[len(prefix):]
+            for p in self.quarantine_dir.glob(f"{prefix}*.json")
+        )
+
+    def _clear_poison(self, key: str) -> None:
+        """A stored result heals the cell; drop any stale poison stub."""
+        self.poison_path(key).unlink(missing_ok=True)
 
     # -- maintenance ---------------------------------------------------
 

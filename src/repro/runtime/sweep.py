@@ -38,11 +38,19 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.faults.validity import VALID, RunValidity, merge
+from repro.runtime import chaos
 from repro.runtime.spec import (
     BenchmarkConfig,
     cell_fingerprint,
     legacy_sweep_fingerprint,
     sweep_fingerprint,
+)
+from repro.runtime.supervisor import (
+    PoisonRecord,
+    SupervisedTask,
+    SupervisionPolicy,
+    backoff_delay,
+    supervise,
 )
 
 #: the official minimum scheduled time for b_eff_io (15 minutes)
@@ -64,17 +72,34 @@ CRASH_AFTER_ENV = "REPRO_SWEEP_CRASH_AFTER"
 class SweepWorkerError(RuntimeError):
     """A partition run failed after exhausting its retries.
 
-    The message names the machine, the partition size, the
-    configuration that failed *and the failing source frame*; the
-    original exception is chained as ``__cause__`` and the worker's
-    full formatted traceback is kept on ``worker_traceback`` so the
-    CLI's exit-code-3 report can show where the worker died, not just
-    which partition it was running.
+    The message names the machine, the partition size, the cell
+    fingerprint, the attempt count, the configuration that failed
+    *and the failing source frame*; the original exception is chained
+    as ``__cause__`` and the worker's full formatted traceback is kept
+    on ``worker_traceback`` so the CLI's exit-code-3 report can show
+    where the worker died, not just which partition it was running.
+    The identity also travels as attributes (``fingerprint``,
+    ``benchmark``, ``machine``, ``nprocs``, ``attempts``) so callers
+    can requeue the exact cell without parsing prose.
     """
 
-    def __init__(self, message: str, worker_traceback: str = "") -> None:
+    def __init__(
+        self,
+        message: str,
+        worker_traceback: str = "",
+        fingerprint: str = "",
+        benchmark: str = "",
+        machine: str = "",
+        nprocs: int = 0,
+        attempts: int = 0,
+    ) -> None:
         super().__init__(message)
         self.worker_traceback = worker_traceback
+        self.fingerprint = fingerprint
+        self.benchmark = benchmark
+        self.machine = machine
+        self.nprocs = nprocs
+        self.attempts = attempts
 
 
 class JournalMismatchError(RuntimeError):
@@ -216,6 +241,9 @@ class SweepJournal:
     def partition_path(self, nprocs: int) -> pathlib.Path:
         return self.path / f"partition_{nprocs}.json"
 
+    def poison_path(self, nprocs: int) -> pathlib.Path:
+        return self.path / f"poison_{nprocs}.json"
+
     # -- lifecycle -----------------------------------------------------
 
     def start(
@@ -234,6 +262,8 @@ class SweepJournal:
 
         self.path.mkdir(parents=True, exist_ok=True)
         for stale in self.path.glob("partition_*.json"):
+            stale.unlink()
+        for stale in self.path.glob("poison_*.json"):
             stale.unlink()
         manifest: dict[str, Any] = {
             "schema": JOURNAL_SCHEMA,
@@ -295,6 +325,29 @@ class SweepJournal:
             self.partition_path(result.nprocs),
             canonical_envelope_text(envelope_for(result, machine)),
         )
+        # a completed partition heals any poison stub left by an
+        # earlier supervised run that quarantined this cell
+        self.poison_path(result.nprocs).unlink(missing_ok=True)
+
+    def record_poison(self, record: PoisonRecord) -> None:
+        """Persist a quarantined cell's failure provenance as a stub.
+
+        The stub stands where the partition file would: a resumed
+        sweep sees the partition as *not completed* (so it re-attempts
+        the cell) while the stub documents why the previous run gave
+        up.  :meth:`record` of a later success removes it.
+        """
+        from repro.reporting.export import write_json_atomic
+
+        write_json_atomic(self.poison_path(record.nprocs), record.to_dict())
+
+    def poisoned(self) -> dict[int, PoisonRecord]:
+        """Every active poison stub, keyed by process count."""
+        out: dict[int, PoisonRecord] = {}
+        for path in sorted(self.path.glob("poison_*.json")):
+            record = PoisonRecord.from_dict(json.loads(path.read_text()))
+            out[record.nprocs] = record
+        return out
 
     def completed(self) -> dict[int, Any]:
         """Load every journaled partition, keyed by process count."""
@@ -330,6 +383,9 @@ class SweepOutcome:
     #: partitions simulated in this call vs served from the result store
     fresh: int = 0
     cached: int = 0
+    #: partitions quarantined by a supervised run (absent from
+    #: ``results``; their failure provenance is the only trace)
+    poisoned: tuple[PoisonRecord, ...] = ()
 
     def partition_values(self) -> dict[int, float]:
         value_of = adapter_for(self.benchmark).value_of
@@ -385,6 +441,7 @@ def _run_partition(benchmark: str, key: str, nprocs: int, config: Any) -> Any:
     """Worker entry: rebuild the machine in-process and run one partition."""
     from repro.machines import get_machine
 
+    chaos.on_cell(chaos.cell_key(benchmark, key, nprocs))
     return adapter_for(benchmark).run(get_machine(key), nprocs, config)
 
 
@@ -400,7 +457,12 @@ class _Retry:
 
     Attempts key by (machine, nprocs, benchmark) — not nprocs alone —
     so a counter reused across a grid never pools two machines'
-    failures at the same partition size into one budget.
+    failures at the same partition size into one budget.  The delay
+    between attempts is the supervisor's seeded
+    exponential-backoff-with-jitter schedule
+    (:func:`~repro.runtime.supervisor.backoff_delay`, keyed by the
+    cell fingerprint), replacing the old linear ``backoff * n`` —
+    retry timing is now a reproducible function of the run's identity.
     """
 
     def __init__(
@@ -422,20 +484,30 @@ class _Retry:
         self, nprocs: int, exc: BaseException, machine: str | None = None
     ) -> None:
         """Count a failure; raise :class:`SweepWorkerError` past the limit."""
-        key = (machine or self.machine, nprocs, self.adapter.name)
+        cell_machine = machine or self.machine
+        key = (cell_machine, nprocs, self.adapter.name)
         n = self.attempts.get(key, 0) + 1
         self.attempts[key] = n
+        fingerprint = cell_fingerprint(
+            self.adapter.name, cell_machine, nprocs, self.config
+        )
         if n > self.retries:
             raise SweepWorkerError(
                 f"{_describe(self.adapter, self.machine, nprocs, self.config)} "
+                f"(fingerprint {fingerprint[:12]}) "
                 f"failed after {n} attempt(s) at {_failure_site(exc)}: "
                 f"{type(exc).__name__}: {exc}",
                 worker_traceback="".join(
                     traceback.format_exception(type(exc), exc, exc.__traceback__)
                 ),
+                fingerprint=fingerprint,
+                benchmark=self.adapter.name,
+                machine=cell_machine,
+                nprocs=nprocs,
+                attempts=n,
             ) from exc
         if self.backoff > 0:
-            time.sleep(self.backoff * n)
+            time.sleep(backoff_delay(fingerprint, n, self.backoff))
 
 
 def run_sweep(
@@ -449,6 +521,7 @@ def run_sweep(
     retries: int = 0,
     backoff: float = 0.0,
     store: Any = None,
+    supervision: SupervisionPolicy | None = None,
 ) -> SweepOutcome:
     """Run one benchmark over several partition sizes of one machine.
 
@@ -474,6 +547,15 @@ def run_sweep(
     byte-identical, no simulation — and absorbs every fresh result.
     Store-served partitions are still journaled, so cache and resume
     compose: a later ``--resume`` replays them like any other.
+
+    ``supervision`` switches the remaining partitions to the
+    supervised executor (one killable worker process per attempt,
+    deadlines, heartbeat monitoring, seeded backoff).  Exhausted cells
+    are then *quarantined* instead of raising: they appear on
+    ``SweepOutcome.poisoned`` (and as journal/store stubs), the
+    surviving partitions still produce the system value, and
+    ``validity`` reports ``degraded`` (``invalid`` when nothing
+    survived).
     """
     adapter = adapter_for(benchmark)
     partitions = sorted(set(partitions))
@@ -557,7 +639,34 @@ def run_sweep(
                 still.append(n)
         remaining = still
     retry = _Retry(adapter, machine_name, config, retries, backoff)
-    if jobs > 1 and len(remaining) > 1:
+    poisoned: tuple[PoisonRecord, ...] = ()
+    if supervision is not None and remaining:
+        from repro.runtime.envelope import ResultEnvelope, result_from_envelope
+
+        key = spec if isinstance(spec, str) else _registry_key(spec)
+        tasks = [
+            SupervisedTask(
+                key=cell_keys[n],
+                benchmark=benchmark,
+                machine=key,
+                nprocs=n,
+                config=config,
+            )
+            for n in remaining
+        ]
+        outcome = supervise(tasks, supervision, jobs=jobs)
+        for n in remaining:
+            payload = outcome.results.get(cell_keys[n])
+            if payload is not None:
+                finish(result_from_envelope(ResultEnvelope.from_dict(payload)))
+        poisoned = outcome.poisoned
+        for record in poisoned:
+            if jr is not None:
+                jr.record_poison(record)
+            if run_store is not None:
+                run_store.record_poison(record.key, record.to_dict())
+        spec = _resolve(spec)
+    elif jobs > 1 and len(remaining) > 1:
         key = spec if isinstance(spec, str) else _registry_key(spec)
         _run_parallel(benchmark, key, remaining, config, jobs, retry, finish)
         spec = _resolve(spec)
@@ -575,7 +684,7 @@ def run_sweep(
                 finish(result)
                 break
 
-    results = tuple(done[n] for n in partitions)
+    results = tuple(done[n] for n in partitions if n in done)
     values = {r.nprocs: adapter.value_of(r) for r in results}
     finite = {n: v for n, v in values.items() if not math.isnan(v)}
     if finite:
@@ -584,6 +693,24 @@ def run_sweep(
     else:
         system = math.nan
         best = partitions[0]
+    validity_parts = [r.validity for r in results]
+    for record in poisoned:
+        validity_parts.append(
+            RunValidity(
+                "degraded",
+                flagged=(f"partition:{record.nprocs}",),
+                reason=f"poisoned after {len(record.attempts)} attempt(s)",
+            )
+        )
+    if poisoned and not results:
+        # nothing survived: there is no system value to quote at all
+        validity_parts.append(
+            RunValidity(
+                "invalid",
+                skipped=tuple(f"partition:{r.nprocs}" for r in poisoned),
+                reason="every partition was poisoned",
+            )
+        )
     return SweepOutcome(
         benchmark=benchmark,
         machine=spec.name if not isinstance(spec, str) else machine_name,
@@ -591,9 +718,10 @@ def run_sweep(
         system_value=system,
         best_partition=best,
         official=adapter.official_of(config),
-        validity=merge([r.validity for r in results]),
+        validity=merge(validity_parts),
         fresh=fresh,
         cached=cached,
+        poisoned=poisoned,
     )
 
 

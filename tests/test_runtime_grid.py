@@ -305,6 +305,85 @@ class TestLegacyJournals:
             )
 
 
+class TestBrokenPoolRecovery:
+    """A chaos-killed pool worker breaks the whole pool; run_grid must
+    rebuild it, resubmit the unfinished cells, and keep the per-cell
+    retry accounting across the recreation."""
+
+    def _specs(self):
+        return expand_grid(["t3e"], ["b_eff"], [2, 4], {"b_eff": CFG})
+
+    def test_transient_worker_kill_heals(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path / "chaos"))
+        monkeypatch.setenv("REPRO_CHAOS_CRASH", "1")
+        # generous budget: one armed crash, but a dying worker can fail
+        # every in-flight future, charging innocent cells one retry too
+        out = run_grid(self._specs(), jobs=2, retries=3)
+        assert out.fresh == 2
+        # the recovered results equal an undisturbed run bit-exactly
+        monkeypatch.delenv("REPRO_CHAOS_CRASH")
+        clean = run_grid(self._specs())
+        assert {
+            c.spec.fingerprint(): canonical_envelope_text(c.envelope)
+            for c in out.cells
+        } == {
+            c.spec.fingerprint(): canonical_envelope_text(c.envelope)
+            for c in clean.cells
+        }
+
+    def test_retry_counters_survive_pool_recreation(self, monkeypatch, tmp_path):
+        # two kills, one retry: the second crash must be charged against
+        # the counter from before the pool was rebuilt (attempt 2), not
+        # a fresh budget
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path / "chaos"))
+        monkeypatch.setenv("REPRO_CHAOS_CRASH", "1,2,3,4")
+        with pytest.raises(GridWorkerError, match="after 2 attempt") as err:
+            run_grid(self._specs(), jobs=2, retries=1)
+        assert err.value.attempts == 2
+
+    def test_dedupe_composes_with_recovery(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path / "chaos"))
+        monkeypatch.setenv("REPRO_CHAOS_CRASH", "1")
+        specs = self._specs()
+        out = run_grid(specs + specs, jobs=2, retries=3)
+        # duplicates still collapse to one execution each, even though
+        # the pool was rebuilt mid-run
+        assert out.deduped == len(specs)
+        assert out.fresh == len(specs)
+        for a, b in zip(out.cells[: len(specs)], out.cells[len(specs):]):
+            assert a.envelope is b.envelope
+
+
+class TestWorkerErrorIdentity:
+    """Satellite: worker errors carry the failing cell's full identity
+    both in the message and as structured attributes."""
+
+    def test_grid_worker_error_attributes(self):
+        retry = _GridRetry(retries=0)
+        spec = run_spec("b_eff", "t3e", 4, CFG)
+        with pytest.raises(GridWorkerError) as err:
+            retry.failed(spec, RuntimeError("boom"))
+        exc = err.value
+        assert exc.fingerprint == spec.fingerprint()
+        assert (exc.benchmark, exc.machine, exc.nprocs) == ("b_eff", "t3e", 4)
+        assert exc.attempts == 1
+        assert exc.fingerprint[:12] in str(exc)
+        assert "after 1 attempt(s)" in str(exc)
+
+    def test_sweep_worker_error_attributes(self):
+        from repro.runtime.spec import cell_fingerprint
+        from repro.runtime.sweep import SweepWorkerError
+
+        retry = _Retry(adapter_for("b_eff"), "t3e", CFG, retries=0, backoff=0.0)
+        with pytest.raises(SweepWorkerError) as err:
+            retry.failed(4, RuntimeError("boom"))
+        exc = err.value
+        assert exc.fingerprint == cell_fingerprint("b_eff", "t3e", 4, CFG)
+        assert (exc.benchmark, exc.machine, exc.nprocs) == ("b_eff", "t3e", 4)
+        assert exc.attempts == 1
+        assert exc.fingerprint[:12] in str(exc)
+
+
 class TestGridRetryExecution:
     def test_failing_cell_surfaces_with_traceback(self, monkeypatch):
         import repro.runtime.scheduler as scheduler

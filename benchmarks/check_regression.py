@@ -69,6 +69,7 @@ METRICS: list[tuple[str, str, Extractor]] = [
     ("BENCH_sweepcache.json", "warm.speedup_gate", _dotted("warm", "speedup_gate")),
     ("BENCH_sweepcache.json", "supervised.ratio_gate", _dotted("supervised", "ratio_gate")),
     ("BENCH_sweepcache.json", "skew.speedup", _dotted("skew", "speedup")),
+    ("BENCH_lint.json", "warm.speedup_gate", _dotted("warm", "speedup_gate")),
 ]
 
 

@@ -1,0 +1,93 @@
+"""Incremental lint engine: cold vs warm vs parallel whole-program walls.
+
+The perf-regression harness for the ``repro-lint`` engine.  One cold
+run extracts every file summary from scratch; the warm run replays all
+of them from the content-hash-keyed cache and re-runs only the (cheap)
+global fixpoint, so its wall must sit well under the cold one.  A
+parallel cold run (``jobs=4``) is recorded for the trajectory but not
+gated: process-pool spawn costs on small CI runners can eat the win,
+while the warm ratio is machine-independent.
+
+As with ``BENCH_sweepcache``, the gated number is the measured warm
+speedup clamped (``warm.speedup_gate``): raw warm ratios swing with
+filesystem cache state between runners, and the clamp keeps the gate
+stable while the in-bench assertion still enforces the acceptance
+criterion on the raw value.  Byte-identity of the three reports is
+asserted here too — the benchmark would be meaningless if the fast
+paths changed the answer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks._harness import once, record, record_json
+from repro.devtools.lint import RULES, run_engine
+from repro.devtools.sarif import render_sarif
+
+#: acceptance criterion: the warm engine at least this much faster
+REQUIRED_WARM_SPEEDUP = 1.5
+
+#: clamp for the gated warm ratio (see module docstring)
+GATE_CLAMP = 2.5
+
+TARGET = ["src"]
+
+
+def run_lint_bench(cache_dir: str) -> dict:
+    t0 = time.perf_counter()
+    cold = run_engine(TARGET, cache_dir=cache_dir)
+    cold_wall = time.perf_counter() - t0
+    assert cold.stats["cache_hits"] == 0
+
+    t0 = time.perf_counter()
+    warm = run_engine(TARGET, cache_dir=cache_dir)
+    warm_wall = time.perf_counter() - t0
+    assert warm.stats["reanalyzed"] == []
+    assert warm.stats["cache_hits"] == cold.stats["files"]
+
+    t0 = time.perf_counter()
+    parallel = run_engine(TARGET, jobs=4)
+    parallel_wall = time.perf_counter() - t0
+
+    reports = [
+        render_sarif(r.violations, RULES, "bench")
+        for r in (cold, warm, parallel)
+    ]
+    identical = reports[0] == reports[1] == reports[2]
+    assert identical
+
+    speedup = cold_wall / warm_wall
+    assert speedup >= REQUIRED_WARM_SPEEDUP, (
+        f"warm engine only {speedup:.2f}x faster than cold"
+    )
+    return {
+        "files": cold.stats["files"],
+        "violations": len(cold.violations),
+        "cold": {"wall_s": round(cold_wall, 3)},
+        "warm": {
+            "wall_s": round(warm_wall, 3),
+            "speedup": round(speedup, 2),
+            "speedup_gate": round(min(speedup, GATE_CLAMP), 2),
+        },
+        "parallel": {"jobs": 4, "wall_s": round(parallel_wall, 3)},
+        "byte_identical": identical,
+    }
+
+
+def test_lint_engine(benchmark, tmp_path):
+    payload = once(benchmark, lambda: run_lint_bench(str(tmp_path / "cache")))
+    record_json("BENCH_lint", payload)
+    warm, parallel = payload["warm"], payload["parallel"]
+    record(
+        "lint_engine",
+        "\n".join([
+            f"engine: {payload['files']} files, "
+            f"{payload['violations']} finding(s)",
+            f"cold {payload['cold']['wall_s']:.2f}s -> "
+            f"warm {warm['wall_s']:.3f}s ({warm['speedup']:.1f}x, "
+            "byte-identical)",
+            f"parallel (jobs={parallel['jobs']}): "
+            f"{parallel['wall_s']:.2f}s",
+        ]),
+    )

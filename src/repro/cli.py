@@ -527,7 +527,7 @@ def main_repro(argv: list[str] | None = None) -> int:
             "schema": 1,
             "cells": cell_names,
             "validity": outcome.validity.to_dict(),
-            "poisoned": [record.to_dict() for record in outcome.poisoned],
+            "poisoned": [record.to_export_dict() for record in outcome.poisoned],
         }
         write_json_atomic(
             out_dir / "grid.json",

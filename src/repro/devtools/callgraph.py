@@ -1,0 +1,176 @@
+"""Call-graph construction over the whole-program summaries.
+
+Nodes are dotted function qualnames
+(``repro.runtime.scheduler.GridScheduler.run_grid``); edges come in
+two flavours:
+
+* **direct** — an ordinary call whose target resolves through the
+  project index (including methods resolved via receiver types and
+  constructors, which edge to ``Cls.__init__`` when one exists);
+* **deferred** — a function *reference* handed to a spawn/submit API
+  (``multiprocessing.Process(target=f)``, ``pool.submit(f, ...)``),
+  which runs ``f`` without a syntactic call.
+
+Roots are where execution enters the program: console-script entry
+points declared in ``pyproject.toml``, any top-level ``main`` symbol,
+and every deferred-invocation target (worker entries — they start on
+a fresh interpreter or thread, so nothing in the graph calls them).
+
+The graph is derived purely from the per-file summaries plus the
+merged index, so it is as incremental as the rest of the engine: a
+warm run rebuilds it from cached summaries byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.devtools.index import ProjectIndex, Summary
+from repro.devtools.taint import TaintAnalysis
+
+#: callee name (last component) that runs its callable argument later
+_DEFER_CALLEES = frozenset({
+    "Process", "Thread", "Timer", "submit", "map", "imap", "imap_unordered",
+    "apply_async", "map_async", "run_in_executor", "call_soon", "start_new_thread",
+})
+
+#: keyword names that carry the deferred callable
+_DEFER_KWARGS = ("target", "fn", "func", "function", "callback")
+
+
+@dataclass
+class CallGraph:
+    """Edges + entry roots of the analyzed program."""
+
+    #: caller qualname -> set of callee qualnames (direct calls)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: caller qualname -> set of callables it hands to spawn APIs
+    deferred: dict[str, set[str]] = field(default_factory=dict)
+    #: CLI entry functions (console scripts, ``main`` symbols)
+    cli_roots: set[str] = field(default_factory=set)
+    #: worker entry functions (deferred-invocation targets)
+    worker_roots: set[str] = field(default_factory=set)
+
+    @property
+    def roots(self) -> set[str]:
+        return self.cli_roots | self.worker_roots
+
+    def add_edge(self, caller: str, callee: str, deferred: bool = False) -> None:
+        bucket = self.deferred if deferred else self.edges
+        bucket.setdefault(caller, set()).add(callee)
+
+    def callees(self, caller: str) -> set[str]:
+        return self.edges.get(caller, set()) | self.deferred.get(caller, set())
+
+    def reachable(self, roots: set[str] | None = None) -> set[str]:
+        """Every function reachable from the given roots (default: all)."""
+        frontier = sorted(roots if roots is not None else self.roots)
+        seen: set[str] = set()
+        while frontier:
+            cur = frontier.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            frontier.extend(sorted(self.callees(cur) - seen))
+        return seen
+
+    def to_text(self) -> str:
+        """Deterministic dump for ``repro-lint --dump-callgraph``."""
+        lines: list[str] = []
+        lines.append(f"# roots: {len(self.roots)} "
+                     f"(cli={len(self.cli_roots)}, worker={len(self.worker_roots)})")
+        for root in sorted(self.cli_roots):
+            lines.append(f"root cli    {root}")
+        for root in sorted(self.worker_roots):
+            lines.append(f"root worker {root}")
+        for caller in sorted(set(self.edges) | set(self.deferred)):
+            for callee in sorted(self.edges.get(caller, set())):
+                lines.append(f"{caller} -> {callee}")
+            for callee in sorted(self.deferred.get(caller, set())):
+                lines.append(f"{caller} ~> {callee}  # deferred")
+        return "\n".join(lines) + "\n"
+
+
+def build_callgraph(
+    project: ProjectIndex,
+    summaries: dict[str, Summary],
+    script_entries: list[str] | None = None,
+) -> CallGraph:
+    """Assemble the graph from summaries + index.
+
+    ``script_entries`` are dotted console-script targets
+    (``repro.cli.main_beff``) parsed out of ``pyproject.toml`` by the
+    CLI driver; they become CLI roots when the project defines them.
+    """
+    # the analysis owns call-target resolution (method receivers,
+    # constructors); reuse it rather than duplicating the logic
+    resolver = TaintAnalysis(project, summaries)
+    graph = CallGraph()
+
+    for dotted in sorted(resolver.funcs):
+        fn = resolver.funcs[dotted]
+        for call in fn.data["calls"]:
+            target = resolver.call_target(fn, call)
+            if target is not None:
+                resolved = _as_function(project, resolver, target)
+                if resolved is not None:
+                    graph.add_edge(dotted, resolved)
+            last = (call.get("target") or call.get("method") or "").rsplit(".", 1)[-1]
+            refs: list[str] = []
+            for kwname in _DEFER_KWARGS:
+                ref = call.get("fn_kwargs", {}).get(kwname)
+                if ref is not None:
+                    refs.append(ref)
+            if last in _DEFER_CALLEES:
+                refs.extend(call.get("fn_args", []))
+            for ref in refs:
+                resolved = _as_function(project, resolver, ref)
+                if resolved is not None:
+                    graph.add_edge(dotted, resolved, deferred=True)
+                    graph.worker_roots.add(resolved)
+
+    known = set(resolver.funcs)
+    for entry in script_entries or []:
+        if entry in known:
+            graph.cli_roots.add(entry)
+    for dotted in sorted(known):
+        if dotted.rsplit(".", 1)[-1] == "main":
+            graph.cli_roots.add(dotted)
+    return graph
+
+
+def _as_function(
+    project: ProjectIndex, resolver: TaintAnalysis, target: str
+) -> str | None:
+    """Normalize a resolved target to a graph node, if it is one.
+
+    Constructors edge to ``Cls.__init__`` when the class defines one
+    (otherwise the class itself stands in as the node); external
+    targets (stdlib, numpy) are not nodes.
+    """
+    if target in resolver.funcs:
+        return target
+    if project.resolve_class(target) is not None:
+        init = f"{target}.__init__"
+        return init if init in resolver.funcs else target
+    return None
+
+
+def console_script_entries(pyproject: str) -> list[str]:
+    """Dotted targets of ``[project.scripts]`` in a pyproject file."""
+    import tomllib
+
+    try:
+        with open(pyproject, "rb") as fh:
+            data = tomllib.load(fh)
+    except (OSError, ValueError):
+        return []
+    scripts: Any = data.get("project", {}).get("scripts", {})
+    out: list[str] = []
+    if isinstance(scripts, dict):
+        for spec in scripts.values():
+            if isinstance(spec, str) and ":" in spec:
+                module, _, func = spec.partition(":")
+                out.append(f"{module.strip()}.{func.strip()}")
+    return sorted(set(out))

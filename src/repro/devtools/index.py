@@ -1,0 +1,391 @@
+"""Project indexer: module graph, symbol tables and the incremental
+summary cache under ``repro-lint``'s whole-program engine.
+
+The per-file linter (``repro.devtools.lint``) sees one AST at a time;
+the interprocedural analyses (``repro.devtools.taint``) need to know,
+for *every* analyzed file, what it imports, what it defines, and how a
+local name resolves across module boundaries.  This module provides
+that substrate:
+
+* :func:`discover` / :func:`module_name_for` — map a file tree onto
+  dotted module names (``src/repro/runtime/store.py`` →
+  ``repro.runtime.store``; any directory with ``__init__.py`` chains
+  works, so the test fixture package indexes the same way).
+* :func:`collect_symbols` — one cheap parse pass per file yielding the
+  module's import aliases (absolute *and* relative imports resolved to
+  dotted names) and its symbol table (functions, classes, methods,
+  dataclass-style field lists with annotation types).
+* :class:`ProjectIndex` — the merged view: global symbol table, module
+  graph, reverse-dependency closure (the *cone* used for incremental
+  re-indexing), and name resolution.
+* :class:`SummaryCache` — the on-disk incremental cache.  Each entry
+  is keyed by the file's content hash plus :data:`ENGINE_VERSION`;
+  a re-run re-indexes only changed files and their reverse-dependency
+  cone (a changed module can change how its importers resolve names)
+  and replays every other summary byte-identically.
+
+Summaries are plain JSON data end to end — the analyses consume the
+same shapes whether a summary was freshly extracted or replayed from
+cache, which is what makes warm runs byte-identical to cold ones by
+construction.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: bump on any change to summary extraction or finding derivation;
+#: invalidates every cached summary at once
+ENGINE_VERSION = 1
+
+#: JSON-plain per-file summary (see ``taint.extract_file`` for layout)
+Summary = dict[str, Any]
+
+
+def file_sha(data: bytes) -> str:
+    """Content hash keying a file's cached summary."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def discover(paths: Iterable[str | pathlib.Path]) -> list[pathlib.Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: list[pathlib.Path] = []
+    for entry in paths:
+        p = pathlib.Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    seen: set[str] = set()
+    unique: list[pathlib.Path] = []
+    for f in files:
+        key = f.as_posix()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def module_name_for(path: str | pathlib.Path) -> str:
+    """Dotted module name of a source file.
+
+    Walks up while ``__init__.py`` marks the parent as a package, so
+    both ``src/repro/...`` and the test fixture tree resolve without
+    configuration.  A bare script maps to its stem.
+    """
+    p = pathlib.Path(path)
+    parts = [p.stem] if p.name != "__init__.py" else []
+    parent = p.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else p.stem
+
+
+def collect_aliases(tree: ast.AST, module: str, is_package: bool) -> dict[str, str]:
+    """Map local names to the dotted module/object they import.
+
+    Extends the per-file linter's alias map with *relative* imports
+    (``from .clock import stamp`` inside ``lintpkg.mixer`` resolves to
+    ``lintpkg.clock.stamp``), which the cross-module analyses need.
+    """
+    pkg_parts = module.split(".") if is_package else module.split(".")[:-1]
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level > 0:
+                anchor = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return aliases
+
+
+def _annotation_classes(node: ast.expr | None, aliases: dict[str, str]) -> list[str]:
+    """Dotted names of every class mentioned in an annotation.
+
+    ``tuple[AttemptFailure, ...]`` yields the resolved name of
+    ``AttemptFailure`` — enough for the taint engine to type elements
+    of annotated containers.  String annotations are parsed too
+    (``from __future__ import annotations`` stringizes everything).
+    """
+    if node is None:
+        return []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return []
+    out: list[str] = []
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name):
+            dotted = aliases.get(inner.id, inner.id)
+            out.append(dotted)
+        elif isinstance(inner, ast.Attribute):
+            parts: list[str] = []
+            cur: ast.expr = inner
+            while isinstance(cur, ast.Attribute):
+                parts.append(cur.attr)
+                cur = cur.value
+            if isinstance(cur, ast.Name):
+                root = aliases.get(cur.id, cur.id)
+                parts.append(root)
+                out.append(".".join(reversed(parts)))
+    return out
+
+
+def collect_symbols(
+    tree: ast.Module, module: str, is_package: bool
+) -> tuple[dict[str, str], dict[str, dict[str, Any]], dict[str, dict[str, Any]]]:
+    """One file's (aliases, symbols, classes) for the global tables.
+
+    ``symbols`` maps qualnames *within the module* to ``{"kind",
+    "line"}``; ``classes`` records per class its base classes, its
+    ordered field list (dataclass-style ``AnnAssign`` in the class
+    body — positional constructor mapping) and the resolved annotation
+    classes of each field (element typing for containers).
+    """
+    aliases = collect_aliases(tree, module, is_package)
+    symbols: dict[str, dict[str, Any]] = {}
+    classes: dict[str, dict[str, Any]] = {}
+
+    def visit(body: list[ast.stmt], prefix: str, in_class: str | None) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                symbols[qual] = {
+                    "kind": "method" if in_class else "func",
+                    "line": node.lineno,
+                }
+                visit(node.body, f"{qual}.", None)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{prefix}{node.name}"
+                symbols[qual] = {"kind": "class", "line": node.lineno}
+                bases: list[str] = []
+                for b in node.bases:
+                    bases.extend(_annotation_classes(b, aliases))
+                fields: list[str] = []
+                ftypes: dict[str, list[str]] = {}
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        fields.append(stmt.target.id)
+                        ftypes[stmt.target.id] = _annotation_classes(
+                            stmt.annotation, aliases
+                        )
+                classes[qual] = {"bases": bases, "fields": fields, "field_types": ftypes}
+                visit(node.body, f"{qual}.", qual)
+    visit(tree.body, "", None)
+    return aliases, symbols, classes
+
+
+# ---------------------------------------------------------------------------
+# the merged project view
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProjectIndex:
+    """Global tables the cross-module analyses resolve against.
+
+    Built by merging per-file summaries (cached or fresh); every field
+    is keyed by dotted names so lookups are independent of file-system
+    layout.
+    """
+
+    #: file path (posix) -> module dotted name
+    modules: dict[str, str] = field(default_factory=dict)
+    #: dotted symbol ("repro.runtime.store.RunStore.put") -> {"kind", "line", "path"}
+    symbols: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: dotted class -> {"bases", "fields", "field_types", "path"}
+    classes: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: module -> set of project-internal modules it imports
+    imports: dict[str, set[str]] = field(default_factory=dict)
+
+    def add_file(self, summary: Summary) -> None:
+        path = summary["path"]
+        module = summary["module"]
+        self.modules[path] = module
+        for qual, entry in summary["symbols"].items():
+            self.symbols[f"{module}.{qual}"] = {**entry, "path": path}
+        for qual, entry in summary["classes"].items():
+            self.classes[f"{module}.{qual}"] = {**entry, "path": path}
+        # raw dotted import targets; finalize() maps them to modules once
+        # every file is registered (registration order must not matter)
+        self.imports[module] = set(summary["imports"])
+
+    def known_modules(self) -> set[str]:
+        return set(self.modules.values())
+
+    def finalize(self) -> None:
+        """Resolve raw import targets to project modules, post-merge.
+
+        An alias target can name an *object* (``repro.runtime.store.put``)
+        — the edge belongs to its longest known module prefix.
+        """
+        known = self.known_modules()
+        for module, deps in self.imports.items():
+            resolved: set[str] = set()
+            for dotted in deps:
+                parts = dotted.split(".")
+                for cut in range(len(parts), 0, -1):
+                    candidate = ".".join(parts[:cut])
+                    if candidate in known:
+                        if candidate != module:
+                            resolved.add(candidate)
+                        break
+            self.imports[module] = resolved
+
+    def module_of(self, dotted: str) -> str | None:
+        """The project module a dotted symbol lives in, if any."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.imports:
+                return candidate
+        return None
+
+    def resolve_class(self, dotted: str) -> str | None:
+        """The dotted name if it names a project class, else ``None``."""
+        entry = self.symbols.get(dotted)
+        return dotted if entry is not None and entry["kind"] == "class" else None
+
+    def resolve_method(self, cls: str, name: str) -> str | None:
+        """``cls.name`` resolved through the (single-level) base chain."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            cur = queue.pop(0)
+            if cur in seen:
+                continue
+            seen.add(cur)
+            candidate = f"{cur}.{name}"
+            if candidate in self.symbols:
+                return candidate
+            queue.extend(
+                b for b in self.classes.get(cur, {}).get("bases", []) if b in self.classes
+            )
+        return None
+
+    def reverse_closure(self, changed_modules: set[str]) -> set[str]:
+        """Changed modules plus everything that (transitively) imports them.
+
+        This is the re-index *cone*: a changed module may change how
+        its importers resolve names, so their summaries are re-derived
+        too; everything outside the cone replays from cache.
+        """
+        reverse: dict[str, set[str]] = {}
+        for module, deps in self.imports.items():
+            for dep in deps:
+                reverse.setdefault(dep, set()).add(module)
+        cone = set(changed_modules)
+        frontier = list(changed_modules)
+        while frontier:
+            cur = frontier.pop()
+            for dependent in reverse.get(cur, ()):
+                if dependent not in cone:
+                    cone.add(dependent)
+                    frontier.append(dependent)
+        return cone
+
+
+# ---------------------------------------------------------------------------
+# the incremental on-disk cache
+# ---------------------------------------------------------------------------
+
+
+def _write_json_atomic_local(path: pathlib.Path, payload: Any) -> None:
+    """Tmp-file + ``os.replace`` write without importing the package.
+
+    The exporter's :func:`~repro.reporting.export.write_json_atomic`
+    pulls in the benchmark stack (numpy); the linter must stay
+    import-light so a cold CI lint step does not pay for it.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:  # repro-lint: disable=REPRO008 -- lint cache entry, not a result; same tmp+replace discipline as the exporter
+            fh.write(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class SummaryCache:
+    """Per-file summaries keyed by content hash, durable on disk.
+
+    One JSON file holds every entry (the whole project is ~150 files);
+    entries carry the producing :data:`ENGINE_VERSION` so an analyzer
+    upgrade invalidates them wholesale.  ``None`` as the directory
+    disables caching (every file is fresh every run).
+    """
+
+    def __init__(self, directory: str | pathlib.Path | None) -> None:
+        self.path = (
+            pathlib.Path(directory) / "summaries.json" if directory is not None else None
+        )
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            try:
+                data = json.loads(self.path.read_text())
+                if (
+                    isinstance(data, dict)
+                    and data.get("engine") == ENGINE_VERSION
+                    and isinstance(data.get("files"), dict)
+                ):
+                    self._entries = data["files"]
+            except (OSError, ValueError):
+                self._entries = {}
+
+    def get(self, path: str, sha: str) -> Summary | None:
+        entry = self._entries.get(path)
+        if entry is not None and entry.get("sha") == sha:
+            self.hits += 1
+            summary: Summary = entry["summary"]
+            return summary
+        self.misses += 1
+        return None
+
+    def put(self, path: str, sha: str, summary: Summary) -> None:
+        self._entries[path] = {"sha": sha, "summary": summary}
+        self._dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files that no longer exist."""
+        dead = [p for p in self._entries if p not in live_paths]
+        for p in dead:
+            del self._entries[p]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        _write_json_atomic_local(
+            self.path, {"engine": ENGINE_VERSION, "files": self._entries}
+        )
+        self._dirty = False

@@ -37,16 +37,39 @@ vectorized reduction (``np.bincount`` / whole-array ops) instead.
 Plain numpy subscript updates are not flagged — only names the module
 visibly binds to dicts.
 
+REPRO001–REPRO014 are *per-file*.  On top of them sits the
+whole-program engine (``repro.devtools.index`` / ``callgraph`` /
+``taint``), which this module drives as a client: every analyzed file
+yields a JSON-plain summary (its per-file violations, its symbols and
+its flow facts), the summaries merge into a project index, and the
+interprocedural analyses derive two more rule families:
+
+========  ==========================================================
+REPRO015  a nondeterminism source reaches a result sink across calls
+          (escape: ``# repro-lint: blessed-source -- seed=<name>``)
+REPRO016  concurrency discipline in ``runtime/``: lock-mixed
+          attribute mutation, flock'd suffixes opened lockless,
+          connection ``.send`` outside a ``with <lock>`` block
+========  ==========================================================
+
+Summaries are cached on disk keyed by file content hash
+(``--cache-dir``); a re-run re-analyzes only changed files plus their
+reverse-dependency cone.  Extraction parallelizes over a process pool
+(``-j N``) with output bit-identical to serial, and ``--format
+sarif`` emits deterministic SARIF 2.1.0 for CI annotation.
+
 A violation is silenced for one line with::
 
     risky_call()  # repro-lint: disable=REPRO001 -- why this is safe
 
 and pre-existing debt is carried by a checked-in *baseline* file
 (``repro-lint-baseline.json``): with ``--baseline``, only violations
-exceeding the recorded per-file/per-rule counts fail the run, so CI
-rejects *new* hazards without demanding an instant cleanup of old
-ones.  (This repository's baseline carries the store's pre-REPRO014
-LRU/eviction race handlers; everything else is clean.)
+not matched by a recorded entry fail the run, so CI rejects *new*
+hazards without demanding an instant cleanup of old ones.  Baseline
+entries fingerprint a finding by ``(rule, qualname,
+normalized-statement hash)`` — stable under line drift — and carry a
+one-line ``reason``; the version-1 per-file/per-rule count format is
+still read, with a deprecation note.
 
 Run as ``repro-lint [paths]`` (console script) or
 ``python -m repro.devtools.lint``.
@@ -56,13 +79,26 @@ from __future__ import annotations
 
 import argparse
 import ast
+import hashlib
 import json
 import pathlib
 import re
 import sys
-from collections import Counter
+import time
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.devtools import taint as _taint
+from repro.devtools.index import (
+    ProjectIndex,
+    Summary,
+    SummaryCache,
+    collect_symbols,
+    discover,
+    file_sha,
+    module_name_for,
+)
 
 #: rule id -> one-line summary (the full catalogue lives in the docs)
 RULES: dict[str, str] = {
@@ -84,6 +120,11 @@ RULES: dict[str, str] = {
                 "defeats digest verification and the resume contract",
     "REPRO014": "runtime exception handler swallows the failure silently: "
                 "record RunValidity, quarantine, or re-raise",
+    "REPRO015": "nondeterministic value reaches a result sink (interprocedural "
+                "taint); bless with `# repro-lint: blessed-source -- seed=<name>`",
+    "REPRO016": "concurrency discipline in runtime/: lock-mixed attribute "
+                "mutation, flock'd path opened without the helper, or a "
+                "connection send outside the send_lock pattern",
 }
 
 #: default location of the checked-in baseline (repository root)
@@ -139,13 +180,20 @@ _HOT_KERNEL_RE = re.compile(r"#\s*repro-lint:\s*hot-kernel\b")
 
 @dataclass(frozen=True, slots=True)
 class LintViolation:
-    """One rule hit at one source location."""
+    """One rule hit at one source location.
+
+    ``qualname`` (the enclosing function's dotted name) and ``stmt``
+    (the enclosing statement's location-free AST hash) form the
+    line-drift-stable fingerprint the v2 baseline keys on.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    qualname: str = ""
+    stmt: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -704,6 +752,77 @@ def _suppressions(source: str) -> dict[int, frozenset[str]]:
     return out
 
 
+# -- fingerprint site map ----------------------------------------------
+
+
+def build_site_map(tree: ast.Module, module: str) -> dict[int, tuple[str, str]]:
+    """Map each source line to its ``(qualname, statement hash)``.
+
+    The qualname is the dotted enclosing function (or the module for
+    top-level code); the hash is the location-free fingerprint of the
+    statement *at function-body level* (a violation inside a ``with``
+    block hashes the whole ``with`` statement).  Per-file violations
+    get their v2 baseline fingerprint attached via this map, so the
+    per-file rules and the interprocedural rules key baselines
+    identically.
+    """
+    out: dict[int, tuple[str, str]] = {}
+
+    def fill(stmt: ast.stmt, qual: str) -> None:
+        fingerprint = _taint.stmt_fingerprint(stmt)
+        end = getattr(stmt, "end_lineno", None) or stmt.lineno
+        for line in range(stmt.lineno, end + 1):
+            out[line] = (qual, fingerprint)
+
+    def visit(body: list[ast.stmt], prefix: str, owner: str | None) -> None:
+        # ``owner`` attributes plain statements; ``None`` inside a
+        # function body (already filled at the call site) — the
+        # recursion there only discovers nested defs, it must not
+        # re-attribute the enclosing statements
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{module}.{prefix}{node.name}"
+                header = hashlib.sha256(
+                    f"def {node.name}({ast.dump(node.args)})".encode()
+                ).hexdigest()[:16]
+                start = min(
+                    [d.lineno for d in node.decorator_list] + [node.lineno]
+                )
+                end = getattr(node, "end_lineno", None) or node.lineno
+                for line in range(start, end + 1):
+                    out[line] = (qual, header)
+                for stmt in node.body:
+                    fill(stmt, qual)
+                visit(node.body, f"{prefix}{node.name}.", None)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{module}.{prefix}{node.name}"
+                header = hashlib.sha256(
+                    f"class {node.name}".encode()
+                ).hexdigest()[:16]
+                out[node.lineno] = (qual, header)
+                for stmt in node.body:
+                    if not isinstance(
+                        stmt,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    ):
+                        fill(stmt, qual)
+                visit(node.body, f"{prefix}{node.name}.", None)
+            elif owner is not None:
+                fill(node, owner)
+    visit(tree.body, "", module)
+    return out
+
+
+def _attach_fingerprints(
+    violations: list[LintViolation], site_map: dict[int, tuple[str, str]], module: str
+) -> list[LintViolation]:
+    out: list[LintViolation] = []
+    for v in violations:
+        qual, stmt = site_map.get(v.line, (module, ""))
+        out.append(replace(v, qualname=qual, stmt=stmt))
+    return out
+
+
 # -- public API --------------------------------------------------------
 
 
@@ -712,65 +831,298 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
     tree = ast.parse(source, filename=path)
     checker = _Checker(path, tree, source)
     checker.visit(tree)
-    return sorted(checker.violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+    module = module_name_for(path) if path != "<string>" else "<string>"
+    violations = _attach_fingerprints(
+        checker.violations, build_site_map(tree, module), module
+    )
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
 
 
 def lint_paths(paths: Iterable[str | pathlib.Path]) -> list[LintViolation]:
-    """Analyze every ``.py`` file under the given files/directories."""
-    files: list[pathlib.Path] = []
-    for entry in paths:
-        p = pathlib.Path(entry)
-        if p.is_dir():
-            files.extend(sorted(p.rglob("*.py")))
-        else:
-            files.append(p)
+    """Per-file rules only, over the given files/directories.
+
+    Kept as the lightweight entry point (used by the fast unit tests);
+    the CLI runs :func:`run_engine`, which adds the interprocedural
+    rules on top of exactly these per-file results.
+    """
     violations: list[LintViolation] = []
-    for file in files:
+    for file in discover(paths):
         violations.extend(lint_source(file.read_text(), str(file)))
     return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+# -- the whole-program engine ------------------------------------------
+
+
+def extract_file(path: str) -> Summary:
+    """One file's complete JSON-plain summary (the cacheable unit).
+
+    Runs the per-file rules *and* the flow extraction in one parse, so
+    a cache hit skips both.  Pure function of the file's bytes — the
+    property that makes parallel extraction bit-identical to serial
+    and warm runs bit-identical to cold.
+    """
+    p = pathlib.Path(path)
+    data = p.read_bytes()
+    source = data.decode()
+    posix = p.as_posix()
+    module = module_name_for(p)
+    tree = ast.parse(source, filename=path)
+    aliases, symbols, classes = collect_symbols(
+        tree, module, is_package=p.name == "__init__.py"
+    )
+    flows = _taint.extract_flows(tree, module, aliases, symbols, classes, source)
+    checker = _Checker(posix, tree, source)
+    checker.visit(tree)
+    violations = _attach_fingerprints(
+        sorted(checker.violations, key=lambda v: (v.line, v.col, v.rule)),
+        build_site_map(tree, module),
+        module,
+    )
+    return {
+        "path": posix,
+        "module": module,
+        "sha": file_sha(data),
+        "imports": sorted(set(aliases.values())),
+        "symbols": symbols,
+        "classes": classes,
+        "flows": flows,
+        "violations": [
+            [v.line, v.col, v.rule, v.message, v.qualname, v.stmt]
+            for v in violations
+        ],
+        "suppressed": {
+            str(line): sorted(rules)
+            for line, rules in _suppressions(source).items()
+        },
+    }
+
+
+def _extract_many(paths: list[str], jobs: int) -> dict[str, Summary]:
+    if jobs > 1 and len(paths) > 1:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            return dict(zip(paths, pool.map(extract_file, paths, chunksize=4)))
+    return {path: extract_file(path) for path in paths}
+
+
+def _build_index(summaries: dict[str, Summary]) -> ProjectIndex:
+    index = ProjectIndex()
+    for path in sorted(summaries):
+        index.add_file(summaries[path])
+    index.finalize()
+    return index
+
+
+@dataclass
+class EngineReport:
+    """Everything one engine run produced."""
+
+    violations: list[LintViolation] = field(default_factory=list)
+    summaries: dict[str, Summary] = field(default_factory=dict)
+    index: ProjectIndex = field(default_factory=ProjectIndex)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+
+def run_engine(
+    paths: Iterable[str | pathlib.Path],
+    cache_dir: str | pathlib.Path | None = None,
+    jobs: int = 0,
+) -> EngineReport:
+    """Whole-program analysis: per-file rules + interprocedural rules.
+
+    Incremental: with a cache directory, only files whose content hash
+    changed — plus their reverse-dependency cone (importers may
+    resolve names through them) — are re-extracted; every other
+    summary replays from cache.  The global fixpoint always re-runs
+    over the merged summaries, which is cheap and guarantees the
+    report is a pure function of the current file contents.
+    """
+    t0 = time.perf_counter()
+    files = [str(f) for f in discover(paths)]
+    cache = SummaryCache(cache_dir)
+    shas: dict[str, str] = {}
+    cached: dict[str, Summary] = {}
+    changed: list[str] = []
+    for path in files:
+        posix = pathlib.PurePath(path).as_posix()
+        sha = file_sha(pathlib.Path(path).read_bytes())
+        shas[posix] = sha
+        summary = cache.get(posix, sha)
+        if summary is None:
+            changed.append(path)
+        else:
+            cached[posix] = summary
+
+    summaries = dict(cached)
+    summaries.update(_extract_many(changed, jobs))
+
+    # the cone: a changed module can change how its importers resolve
+    # names (extraction resolves at parse time), so re-extract them too
+    provisional = _build_index(summaries)
+    changed_posix = {pathlib.PurePath(p).as_posix() for p in changed}
+    changed_modules = {
+        provisional.modules[p] for p in changed_posix if p in provisional.modules
+    }
+    cone_modules = provisional.reverse_closure(changed_modules)
+    cone_paths = sorted(
+        p for p in cached
+        if provisional.modules.get(p) in cone_modules
+    )
+    summaries.update(_extract_many(cone_paths, jobs))
+
+    reanalyzed = sorted(changed_posix | set(cone_paths))
+    for posix in reanalyzed:
+        cache.put(posix, shas[posix], summaries[posix])
+    cache.prune(set(summaries))
+    cache.save()
+
+    index = _build_index(summaries)
+    analysis = _taint.TaintAnalysis(index, summaries)
+    violations: list[LintViolation] = []
+    for posix in sorted(summaries):
+        for line, col, rule, message, qualname, stmt in summaries[posix]["violations"]:
+            violations.append(LintViolation(
+                path=posix, line=int(line), col=int(col), rule=str(rule),
+                message=str(message), qualname=str(qualname), stmt=str(stmt),
+            ))
+    for finding in analysis.findings():
+        violations.append(LintViolation(
+            path=finding.path, line=finding.line, col=1, rule=finding.rule,
+            message=finding.message, qualname=finding.qualname,
+            stmt=finding.stmt,
+        ))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule, v.message))
+    stats = {
+        "files": len(files),
+        "reanalyzed": reanalyzed,
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "wall_s": time.perf_counter() - t0,
+    }
+    return EngineReport(
+        violations=violations, summaries=summaries, index=index, stats=stats
+    )
 
 
 # -- baseline ----------------------------------------------------------
 
 
-def _baseline_key(violation: LintViolation) -> str:
+def _v1_key(violation: LintViolation) -> str:
     return f"{pathlib.PurePath(violation.path).as_posix()}::{violation.rule}"
 
 
-def load_baseline(path: str | pathlib.Path) -> dict[str, int]:
+def _v2_key(violation: LintViolation) -> tuple[str, str, str]:
+    return (violation.rule, violation.qualname, violation.stmt)
+
+
+@dataclass
+class Baseline:
+    """Forgiven pre-existing debt, in either on-disk format.
+
+    Version 2 (current) fingerprints an entry by ``(rule, qualname,
+    statement hash)`` with a per-entry count and a one-line reason —
+    stable when unrelated edits shift line numbers.  Version 1 (the
+    original per-``path::rule`` count map) still loads, with a
+    deprecation note, so older checkouts keep working; rewrite it with
+    ``--write-baseline``.
+    """
+
+    v2: dict[tuple[str, str, str], int] = field(default_factory=dict)
+    reasons: dict[tuple[str, str, str], str] = field(default_factory=dict)
+    v1: dict[str, int] = field(default_factory=dict)
+    legacy: bool = False
+
+
+def load_baseline(path: str | pathlib.Path) -> Baseline:
     """Read a baseline file; a missing file is an empty baseline."""
     p = pathlib.Path(path)
     if not p.exists():
-        return {}
+        return Baseline()
     data = json.loads(p.read_text())
+    version = data.get("version", 1)
+    if version >= 2:
+        baseline = Baseline()
+        for entry in data.get("entries", []):
+            key = (
+                str(entry["rule"]), str(entry["qualname"]), str(entry["stmt"])
+            )
+            baseline.v2[key] = baseline.v2.get(key, 0) + int(entry.get("count", 1))
+            if entry.get("reason"):
+                baseline.reasons[key] = str(entry["reason"])
+        return baseline
+    print(
+        f"repro-lint: {p} uses the deprecated version-1 baseline format "
+        "(per-file rule counts); rewrite it with --write-baseline to get "
+        "line-drift-stable fingerprints",
+        file=sys.stderr,
+    )
     entries = data.get("entries", {})
-    return {str(k): int(v) for k, v in entries.items()}
+    return Baseline(
+        v1={str(k): int(v) for k, v in entries.items()}, legacy=True
+    )
 
-def write_baseline(path: str | pathlib.Path, violations: Sequence[LintViolation]) -> None:
-    """Persist current violation counts as the new baseline (atomic)."""
-    from repro.reporting.export import write_json_atomic
 
-    counts = Counter(_baseline_key(v) for v in violations)
-    payload = {"version": 1, "entries": {k: counts[k] for k in sorted(counts)}}
-    write_json_atomic(path, payload)
+def write_baseline(
+    path: str | pathlib.Path,
+    violations: Sequence[LintViolation],
+    prior: Baseline | None = None,
+) -> None:
+    """Persist current violations as a version-2 baseline (atomic).
+
+    Reasons recorded in the prior baseline survive the rewrite when
+    the fingerprint still matches; new entries get an empty reason for
+    a human to fill in.
+    """
+    from repro.devtools.index import _write_json_atomic_local
+
+    counts: dict[tuple[str, str, str], int] = {}
+    for v in violations:
+        key = _v2_key(v)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {
+            "rule": rule,
+            "qualname": qualname,
+            "stmt": stmt,
+            "count": counts[(rule, qualname, stmt)],
+            "reason": (prior.reasons.get((rule, qualname, stmt), "")
+                       if prior else ""),
+        }
+        for rule, qualname, stmt in sorted(counts)
+    ]
+    _write_json_atomic_local(
+        pathlib.Path(path), {"version": 2, "entries": entries}
+    )
 
 
 def apply_baseline(
-    violations: Sequence[LintViolation], baseline: dict[str, int]
+    violations: Sequence[LintViolation],
+    baseline: Baseline | dict[str, int],
 ) -> tuple[list[LintViolation], int]:
     """Split violations into (new, count suppressed by the baseline).
 
-    Per (file, rule) key, up to the baselined count of violations is
-    forgiven (earliest lines first — the stable choice when lines
-    shift); anything beyond it is new debt and fails the run.
+    Per fingerprint, up to the baselined count of matches is forgiven
+    (earliest lines first — the stable choice when a statement is
+    duplicated); anything beyond is new debt and fails the run.  A
+    bare ``{"path::RULE": count}`` mapping is accepted as a legacy v1
+    baseline.
     """
-    allowance = dict(baseline)
+    if isinstance(baseline, dict):
+        baseline = Baseline(v1=dict(baseline), legacy=True)
+    v2_allowance = dict(baseline.v2)
+    v1_allowance = dict(baseline.v1)
     fresh: list[LintViolation] = []
     suppressed = 0
     for violation in violations:  # already sorted by (path, line)
-        key = _baseline_key(violation)
-        if allowance.get(key, 0) > 0:
-            allowance[key] -= 1
+        key2 = _v2_key(violation)
+        key1 = _v1_key(violation)
+        if v2_allowance.get(key2, 0) > 0:
+            v2_allowance[key2] -= 1
+            suppressed += 1
+        elif v1_allowance.get(key1, 0) > 0:
+            v1_allowance[key1] -= 1
             suppressed += 1
         else:
             fresh.append(violation)
@@ -783,8 +1135,9 @@ def apply_baseline(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="determinism-focused AST analyzer for the repro codebase",
-        epilog="exit codes: 0 clean, 1 new violations, 2 usage error",
+        description="determinism-focused whole-program analyzer for the repro codebase",
+        epilog="exit codes: 0 clean, 1 new violations, 2 usage error, "
+               "3 time budget exceeded",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze (default: src)")
@@ -797,6 +1150,32 @@ def main(argv: list[str] | None = None) -> int:
                         help="record current violations into the baseline file and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument(
+        "-j", "--jobs", nargs="?", const=0, default=1, type=int, metavar="N",
+        help="parallel extraction processes (bare -j: one per CPU, capped at 8; "
+             "default: serial); output is bit-identical either way",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="incremental summary cache keyed by file content hash "
+             "(only changed files + their reverse-dependency cone re-analyze)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "sarif"), default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--budget-s", type=float, default=None, metavar="SECONDS",
+        help="fail with exit 3 when the analysis wall time exceeds SECONDS",
+    )
+    parser.add_argument(
+        "--stats-json", default=None, metavar="FILE",
+        help="write engine statistics (files, reanalyzed set, cache hits, wall) to FILE",
+    )
+    parser.add_argument(
+        "--dump-callgraph", action="store_true",
+        help="print the resolved call graph (roots + edges) and exit",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -804,33 +1183,77 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule}  {RULES[rule]}")
         return 0
 
+    jobs = args.jobs
+    if jobs == 0:
+        import os
+
+        jobs = min(os.cpu_count() or 1, 8)
+    if jobs < 1:
+        parser.error("--jobs must be >= 1 (or bare -j for auto)")
+
     try:
-        violations = lint_paths(args.paths)
+        report = run_engine(args.paths, cache_dir=args.cache_dir, jobs=jobs)
     except (OSError, SyntaxError) as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+    violations = report.violations
+    stats = report.stats
 
+    # the timing line goes to stderr so stdout (text report or SARIF)
+    # stays byte-identical across cold/warm/parallel runs
+    print(
+        f"repro-lint: analyzed {stats['files']} file(s) "
+        f"({len(stats['reanalyzed'])} fresh, {stats['cache_hits']} cached) "
+        f"in {stats['wall_s']:.3f}s",
+        file=sys.stderr,
+    )
+    if args.stats_json is not None:
+        from repro.devtools.index import _write_json_atomic_local
+
+        _write_json_atomic_local(pathlib.Path(args.stats_json), stats)
+
+    if args.dump_callgraph:
+        from repro.devtools.callgraph import build_callgraph, console_script_entries
+
+        entries = console_script_entries("pyproject.toml")
+        graph = build_callgraph(report.index, report.summaries, entries)
+        sys.stdout.write(graph.to_text())
+        return 0
+
+    prior = load_baseline(args.baseline) if args.baseline is not None else None
     if args.write_baseline:
         target = args.baseline or DEFAULT_BASELINE
-        write_baseline(target, violations)
+        write_baseline(target, violations, prior=prior)
         print(f"repro-lint: wrote {len(violations)} violation(s) to {target}")
         return 0
 
     suppressed = 0
-    if args.baseline is not None:
-        violations, suppressed = apply_baseline(violations, load_baseline(args.baseline))
+    if prior is not None:
+        violations, suppressed = apply_baseline(violations, prior)
 
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        print(f"repro-lint: {len(violations)} new violation(s)"
-              + (f" ({suppressed} baselined)" if suppressed else ""))
-        return 1
-    if suppressed:
-        print(f"repro-lint: clean ({suppressed} baselined violation(s) remain)")
+    if args.format == "sarif":
+        from repro.devtools.sarif import render_sarif
+
+        sys.stdout.write(render_sarif(violations, RULES, tool_version="2.0"))
     else:
-        print("repro-lint: clean")
-    return 0
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            print(f"repro-lint: {len(violations)} new violation(s)"
+                  + (f" ({suppressed} baselined)" if suppressed else ""))
+        elif suppressed:
+            print(f"repro-lint: clean ({suppressed} baselined violation(s) remain)")
+        else:
+            print("repro-lint: clean")
+
+    if args.budget_s is not None and stats["wall_s"] > args.budget_s:
+        print(
+            f"repro-lint: wall {stats['wall_s']:.3f}s exceeded budget "
+            f"{args.budget_s:.3f}s",
+            file=sys.stderr,
+        )
+        return 3
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

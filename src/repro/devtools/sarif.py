@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 emission for ``repro-lint --format sarif``.
+
+One run, one tool, one result per post-baseline violation.  The
+output is fully deterministic — no timestamps, no absolute paths, no
+environment capture — so serial, parallel and warm-cache runs of the
+engine serialize to byte-identical documents (an invariant the test
+suite asserts).  Each result carries the v2 baseline fingerprint
+``rule:qualname:stmt`` as a ``partialFingerprints`` entry, which is
+what lets CI code-scanning track a finding across line drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_document(
+    violations: Sequence[Any],
+    rules: dict[str, str],
+    tool_version: str,
+) -> dict[str, Any]:
+    """Build the SARIF object for a list of :class:`LintViolation`."""
+    used = sorted({v.rule for v in violations} | set(rules))
+    rule_meta = [
+        {
+            "id": rule,
+            "shortDescription": {"text": rules.get(rule, rule)},
+            "helpUri": f"https://example.invalid/repro-lint/{rule}",
+        }
+        for rule in used
+    ]
+    rule_index = {rule: i for i, rule in enumerate(used)}
+    results = [
+        {
+            "ruleId": v.rule,
+            "ruleIndex": rule_index[v.rule],
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path},
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": max(v.col, 1),
+                        },
+                    },
+                    "logicalLocations": (
+                        [{"fullyQualifiedName": v.qualname}] if v.qualname else []
+                    ),
+                }
+            ],
+            "partialFingerprints": {
+                "reproLint/v2": f"{v.rule}:{v.qualname}:{v.stmt}",
+            },
+        }
+        for v in violations
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": tool_version,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rule_meta,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    violations: Sequence[Any], rules: dict[str, str], tool_version: str
+) -> str:
+    """The canonical byte representation (sorted keys, 2-space indent)."""
+    doc = sarif_document(violations, rules, tool_version)
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,1404 @@
+"""Interprocedural taint: nondeterminism sources → result sinks.
+
+The single-file rules (REPRO001–REPRO014) reject *patterns*; this
+module tracks *values*.  A wall-clock read three calls away from an
+envelope write is invisible to a per-file linter — here it is a
+three-edge taint path:
+
+* **Sources** — wall-clock reads, OS entropy, unseeded
+  ``random``/``numpy.random``, ``id()``, ``hash()`` (salted per
+  process), and set-order iteration (the loop variable of ``for x in
+  <set>`` carries the set's arbitrary order).
+* **Propagation** — through assignments, containers, f-strings,
+  arithmetic, returns, calls (a resolved project callee propagates
+  through its summary; an unknown callee is assumed pass-through),
+  constructor fields (``C(field=tainted)`` taints reads of
+  ``instance.field`` project-wide) and mutating methods
+  (``xs.append(tainted)`` taints ``xs``).
+* **Sinks** — the calls that define the repository's determinism
+  contract: ``ResultEnvelope(...)`` / ``envelope_for(...)`` payloads,
+  ``canonical_envelope_text(...)``, ``write_json_atomic(...)``
+  payloads, and ``RunSpec``/fingerprint inputs.
+
+A tainted value reaching a sink is **REPRO015**.  A source line may
+carry a blessing that names the seed the value derives from::
+
+    t = derive_clock(seed)  # repro-lint: blessed-source -- seed=master_seed
+
+A blessing *without* ``seed=`` is itself a REPRO015 (the escape hatch
+must say where determinism comes from).
+
+**REPRO016** is the concurrency-discipline family, scoped to
+``runtime/`` modules:
+
+* an instance attribute mutated both inside and outside a ``with
+  <lock>`` block (outside ``__init__``) — the forgotten-lock bug;
+* a file suffix that the project's flock helper protects, opened in a
+  function that never takes ``fcntl.flock`` — the unlocked-counter
+  bug;
+* a ``multiprocessing`` connection ``.send(...)`` outside a ``with
+  <...lock>`` block — the interleaved-pipe-payload bug the
+  supervisor's ``send_lock`` pattern exists to prevent.
+
+Extraction (:func:`extract_file`) is per-file, pure and JSON-plain —
+it is what the incremental cache stores.  :class:`TaintAnalysis` runs
+the global fixpoint over all summaries; its output depends only on
+the summaries, so warm-cache, parallel and serial runs are
+byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.devtools.index import ProjectIndex, Summary
+
+#: resolved call targets whose return value is a nondeterminism source
+SOURCE_KINDS: dict[str, str] = {}
+for _name in (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+):
+    SOURCE_KINDS[_name] = "wall-clock"
+for _name in (
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "random.SystemRandom", "secrets.token_bytes", "secrets.token_hex",
+    "secrets.token_urlsafe", "secrets.randbits", "secrets.choice",
+):
+    SOURCE_KINDS[_name] = "entropy"
+
+#: seeded constructors: a source only when called with zero arguments
+_SEEDABLE = frozenset({
+    "numpy.random.default_rng", "numpy.random.SeedSequence",
+    "numpy.random.Generator", "random.Random",
+})
+
+#: ``sorted()`` output does not depend on input order: it launders
+#: set-order taint (and only set-order taint) off its argument
+_ORDER_SANITIZERS = frozenset({"sorted"})
+
+#: methods that mutate their receiver with their arguments
+_MUTATORS = frozenset({
+    "append", "add", "extend", "insert", "update", "setdefault",
+    "appendleft", "push", "put", "heappush",
+})
+
+#: sink call targets -> (finding kind, which arguments are payload).
+#: ``None`` means every positional and keyword argument is payload.
+SINKS: dict[str, tuple[str, tuple[int, ...] | None]] = {
+    "repro.runtime.envelope.ResultEnvelope": ("result-envelope field", None),
+    "repro.runtime.envelope.envelope_for": ("envelope payload", None),
+    "repro.runtime.store.canonical_envelope_text": ("canonical envelope text", None),
+    "repro.reporting.export.write_json_atomic": ("atomic result write", (1,)),
+    "repro.runtime.spec.RunSpec": ("RunSpec fingerprint input", None),
+    "repro.runtime.spec.run_spec": ("RunSpec fingerprint input", None),
+    "repro.runtime.spec.cell_fingerprint": ("fingerprint input", None),
+    "repro.runtime.spec.sweep_fingerprint": ("fingerprint input", None),
+}
+
+#: last path components that make a call worth a statement fingerprint
+#: (candidate finding sites; everything else skips the hash work)
+_SITE_WORTHY = frozenset(
+    {t.rsplit(".", 1)[1] for t in SINKS} | {"send", "open", "flock"}
+)
+
+_BLESS_RE = re.compile(r"#\s*repro-lint:\s*blessed-source(?:\s*--\s*(?P<note>.*))?$")
+_SEED_RE = re.compile(r"\bseed\s*=\s*(?P<seed>[A-Za-z_][\w.]*)")
+_LOCKY_RE = re.compile(r"lock", re.IGNORECASE)
+_SUFFIX_RE = re.compile(r"\.[A-Za-z_][A-Za-z0-9_]*$")
+_CONN_RE = re.compile(r"conn", re.IGNORECASE)
+
+#: wrap depth cap for e:/g: origins (beyond it, collapse to the base)
+_MAX_WRAP = 3
+
+
+def stmt_fingerprint(stmt: ast.stmt) -> str:
+    """Location-independent hash of one statement's normalized AST.
+
+    ``ast.dump`` without attributes erases line/column info, so the
+    fingerprint survives line drift — the property the v2 baseline
+    keys on.
+    """
+    return hashlib.sha256(ast.dump(stmt).encode()).hexdigest()[:16]
+
+
+def blessed_lines(source: str) -> dict[int, str | None]:
+    """``blessed-source`` directives: line -> named seed (or ``None``).
+
+    Tokenized, not regexed over raw lines: only genuine ``COMMENT``
+    tokens count, so a docstring *describing* the directive does not
+    bless (or fail to bless) anything.
+    """
+    import io
+    import tokenize
+
+    out: dict[int, str | None] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _BLESS_RE.search(tok.string)
+        if match:
+            note = match.group("note") or ""
+            seed = _SEED_RE.search(note)
+            out[tok.start[0]] = seed.group("seed") if seed else None
+    return out
+
+
+# ---------------------------------------------------------------------------
+# per-file extraction
+# ---------------------------------------------------------------------------
+
+
+class _FunctionFlow:
+    """Flow summary extraction for one function body.
+
+    A flow-insensitive-by-iteration forward pass: statements execute
+    in order twice (loop-carried flows land on the second pass), every
+    branch is taken, and each name maps to a monotone set of *origins*:
+
+    ``p:<i>``            the i-th parameter
+    ``s:<kind>:<line>``  a nondeterminism source created here
+    ``c:<site>``         the result of call site <site>
+    ``a:<Cls>.<attr>``   a read of ``self.<attr>`` (module-local class)
+    ``e:<origin>``       an element of a container with that origin
+    ``g:<attr>:<origin>``an attribute read off a value with that origin
+    """
+
+    def __init__(self, extractor: "_FileExtractor", qual: str,
+                 node: ast.FunctionDef | ast.AsyncFunctionDef,
+                 own_class: str | None) -> None:
+        self.x = extractor
+        self.qual = qual
+        self.own_class = own_class
+        self.node = node
+        self.env: dict[str, set[str]] = {}
+        self.types: dict[str, str | None] = {}
+        self.calls: list[dict[str, Any]] = []
+        self._site_by_loc: dict[tuple[int, int], int] = {}
+        self.ret: set[str] = set()
+        self.ret_types: set[str | None] = set()
+        self.attr_writes: list[dict[str, Any]] = []
+        self.sources: list[dict[str, Any]] = []
+        self.sends: list[dict[str, Any]] = []
+        self.opens: list[dict[str, Any]] = []
+        self.has_flock = False
+        self.consts: set[str] = set()
+        self._locks: list[str] = []
+        self._stmt_stack: list[ast.stmt] = []
+
+        params = [a.arg for a in (
+            node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+        )]
+        self.params = params
+        self.param_types: dict[str, list[str]] = {}
+        for i, arg in enumerate(
+            node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+        ):
+            self.env[arg.arg] = {f"p:{i}"}
+            classes = _ann_classes(arg.annotation, self.x.aliases)
+            if classes:
+                self.param_types[str(i)] = classes
+        if node.args.vararg is not None:
+            self.env[node.args.vararg.arg] = {f"p:{len(params)}"}
+        if node.args.kwarg is not None:
+            self.env[node.args.kwarg.arg] = {f"p:{len(params) + 1}"}
+
+    # -- driving -------------------------------------------------------
+
+    def run(self) -> dict[str, Any]:
+        for final in (False, True):
+            if final:
+                # the env (and call records, keyed by site) carry over
+                # between passes; plain event lists would double up
+                self.attr_writes.clear()
+                self.sources.clear()
+                self.sends.clear()
+                self.opens.clear()
+            self.exec_block(self.node.body)
+        ret_type = None
+        concrete = {t for t in self.ret_types if t is not None}
+        if len(concrete) == 1 and None not in self.ret_types:
+            ret_type = next(iter(concrete))
+        return {
+            "qual": self.qual,
+            "line": self.node.lineno,
+            "params": self.params,
+            "param_types": dict(sorted(self.param_types.items())),
+            "calls": self.calls,
+            "ret": sorted(self.ret),
+            "ret_type": ret_type,
+            "ret_ann": _ann_classes(self.node.returns, self.x.aliases),
+            "attr_writes": self.attr_writes,
+            "sources": self.sources,
+            "sends": self.sends,
+            "opens": self.opens,
+            "has_flock": self.has_flock,
+            "consts": sorted(self.consts),
+        }
+
+    # -- statements ----------------------------------------------------
+
+    def exec_block(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        self._stmt_stack.append(stmt)
+        try:
+            self._exec_stmt(stmt)
+        finally:
+            self._stmt_stack.pop()
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            origins = self.eval(stmt.value)
+            etype = self._type_of_expr(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, origins, etype)
+        elif isinstance(stmt, ast.AnnAssign):
+            origins = self.eval(stmt.value) if stmt.value is not None else set()
+            etype = self._type_of_expr(stmt.value) if stmt.value is not None else None
+            if etype is None:
+                classes = _ann_classes(stmt.annotation, self.x.aliases)
+                etype = classes[0] if classes else None
+            self.assign(stmt.target, origins, etype)
+        elif isinstance(stmt, ast.AugAssign):
+            origins = self.eval(stmt.value)
+            self.assign(stmt.target, origins, None, augment=True)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.ret |= self.eval(stmt.value)
+                self.ret_types.add(self._type_of_expr(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.For):
+            iter_origins = self.eval(stmt.iter)
+            elem = _wrap_all("e", iter_origins)
+            if _is_set_expr(stmt.iter):
+                elem = elem | {f"s:set-order:{stmt.iter.lineno}"}
+                self.sources.append({
+                    "line": stmt.iter.lineno, "kind": "set-order",
+                    "desc": "iteration order of a set",
+                    "blessed_seed": self._blessing(stmt.iter.lineno),
+                })
+            self.assign(stmt.target, elem, self._elem_placeholder(stmt.iter))
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            locky = False
+            for item in stmt.items:
+                self.eval(item.context_expr)
+                text = _expr_text(item.context_expr)
+                if text is not None and _LOCKY_RE.search(text.rsplit(".", 1)[-1]):
+                    locky = True
+                if item.optional_vars is not None:
+                    self.assign(
+                        item.optional_vars, self.eval(item.context_expr), None
+                    )
+            if locky:
+                self._locks.append("lock")
+            self.exec_block(stmt.body)
+            if locky:
+                self._locks.pop()
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    self.env.setdefault(handler.name, set())
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            pass  # extracted as its own function (symbols pass names it)
+        elif isinstance(stmt, ast.ClassDef):
+            pass
+        elif isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        # imports/pass/break/continue/global/nonlocal: no flow
+
+    def assign(
+        self,
+        target: ast.expr,
+        origins: set[str],
+        etype: str | None,
+        augment: bool = False,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if augment:
+                self.env.setdefault(target.id, set()).update(origins)
+            else:
+                prior = self.env.get(target.id, set())
+                # monotone across the two passes: never shrink
+                self.env[target.id] = prior | origins
+            if etype is not None:
+                self.types[target.id] = etype
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.assign(elt, _wrap_all("e", origins), None, augment=augment)
+        elif isinstance(target, ast.Subscript):
+            if isinstance(target.value, ast.Name):
+                self.env.setdefault(target.value.id, set()).update(origins)
+            self.eval(target.slice)
+        elif isinstance(target, ast.Attribute):
+            # field-sensitive only: `obj.f = tainted` taints reads of
+            # `.f` (via AttrTainted), never the whole object — coarsely
+            # tainting `obj` would drag every other attribute with it
+            self._record_attr_write(target, origins)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, origins, None, augment=augment)
+
+    def _record_attr_write(self, target: ast.Attribute, origins: set[str]) -> None:
+        cls: str | None = None
+        if isinstance(target.value, ast.Name):
+            if target.value.id == "self" and self.own_class is not None:
+                cls = self.own_class
+            else:
+                cls = self.types.get(target.value.id)
+        if cls is None:
+            return
+        func_name = self.qual.rsplit(".", 1)[-1]
+        self.attr_writes.append({
+            "cls": cls,
+            "attr": target.attr,
+            "origins": sorted(origins),
+            "line": target.lineno,
+            "guarded": bool(self._locks),
+            "in_init": func_name in {"__init__", "__post_init__", "__new__"},
+            "qualname": f"{self.x.module}.{self.qual}",
+            "stmt": self._current_stmt_hash(),
+        })
+
+    # -- expressions ---------------------------------------------------
+
+    def eval(self, node: ast.expr) -> set[str]:
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, set()))
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str) and _SUFFIX_RE.search(node.value):
+                self.consts.add(node.value)
+            return set()
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out: set[str] = set()
+            for elt in node.elts:
+                out |= self.eval(elt)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for key in node.keys:
+                if key is not None:
+                    out |= self.eval(key)
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comp(node.generators, node.elt)
+        if isinstance(node, ast.DictComp):
+            return self._eval_comp(node.generators, node.key, node.value)
+        if isinstance(node, ast.JoinedStr):
+            out = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.eval(value.value)
+                elif isinstance(value, ast.Constant):
+                    self.eval(value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, (ast.BinOp,)):
+            return self.eval(node.left) | self.eval(node.right)
+        if isinstance(node, ast.BoolOp):
+            out = set()
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, ast.Compare):
+            out = self.eval(node.left)
+            for comp in node.comparators:
+                out |= self.eval(comp)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.eval(node.body) | self.eval(node.orelse)
+        if isinstance(node, ast.Subscript):
+            self.eval(node.slice)
+            return _wrap_all("e", self.eval(node.value))
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Lambda, ast.NamedExpr)):
+            if isinstance(node, ast.NamedExpr):
+                origins = self.eval(node.value)
+                self.assign(node.target, origins, None)
+                return origins
+            return set()
+        if isinstance(node, ast.Slice):
+            return set()
+        out = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out |= self.eval(child)
+        return out
+
+    def _eval_comp(self, generators: list[ast.comprehension],
+                   *elts: ast.expr) -> set[str]:
+        extra: set[str] = set()
+        for gen in generators:
+            iter_origins = self.eval(gen.iter)
+            elem = _wrap_all("e", iter_origins)
+            if _is_set_expr(gen.iter):
+                elem = elem | {f"s:set-order:{gen.iter.lineno}"}
+                self.sources.append({
+                    "line": gen.iter.lineno, "kind": "set-order",
+                    "desc": "iteration order of a set",
+                    "blessed_seed": self._blessing(gen.iter.lineno),
+                })
+            self.assign(gen.target, elem, None)
+            for cond in gen.ifs:
+                extra |= self.eval(cond)
+        out = extra
+        for elt in elts:
+            out |= self.eval(elt)
+        return out
+
+    def _eval_attribute(self, node: ast.Attribute) -> set[str]:
+        dotted = self._dotted(node)
+        if dotted is not None:
+            return set()  # module attribute (a function object, a constant)
+        receiver = node.value
+        recv_origins = self.eval(receiver)
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and self.own_class is not None:
+                return {f"a:{self.own_class}.{node.attr}"}
+            rtype = self.types.get(receiver.id)
+            if rtype is not None:
+                return {f"a:{rtype}.{node.attr}"}
+        return _wrap_all(f"g:{node.attr}", recv_origins) or recv_origins
+
+    def _eval_call(self, node: ast.Call) -> set[str]:
+        args = [self.eval(a) for a in node.args]
+        kwargs = {kw.arg or "**": self.eval(kw.value) for kw in node.keywords}
+        func = node.func
+        line = node.lineno
+
+        target = self._resolve_callable(func)
+        method: str | None = None
+        recv: set[str] = set()
+        if target is None and isinstance(func, ast.Attribute):
+            method = func.attr
+            recv = self.eval(func.value)
+            rtype = None
+            if isinstance(func.value, ast.Name):
+                if func.value.id == "self" and self.own_class is not None:
+                    rtype = f"{self.x.module}.{self.own_class}"
+                else:
+                    local = self.types.get(func.value.id)
+                    rtype = self._qualify_class(local) if local else None
+            if rtype is not None:
+                target = f"{rtype}.{method}"
+                method = None
+            elif method in _MUTATORS and isinstance(func.value, ast.Name):
+                joined: set[str] = set()
+                for a in args:
+                    joined |= a
+                for v in kwargs.values():
+                    joined |= v
+                self.env.setdefault(func.value.id, set()).update(joined)
+
+        if target == "fcntl.flock":
+            self.has_flock = True
+        if target is not None and target in SOURCE_KINDS:
+            return self._source(SOURCE_KINDS[target], f"{target}()", line)
+        if target is not None and target in _SEEDABLE and not node.args \
+                and not node.keywords:
+            return self._source("unseeded-rng", f"{target}() with no seed", line)
+        if target is not None and (
+            target.startswith("random.") or target.startswith("numpy.random.")
+        ) and target not in _SEEDABLE:
+            return self._source("unseeded-rng", f"{target}()", line)
+        if target == "id":
+            return self._source("id", "id()", line)
+        if target == "hash" and "__hash__" not in self.qual:
+            return self._source("hash", "salted builtin hash()", line)
+        if method == "send" and isinstance(func.value, ast.Name) and (
+            _CONN_RE.search(func.value.id)
+        ):
+            self.sends.append({
+                "line": line,
+                "recv": func.value.id,
+                "guarded": bool(self._locks),
+                "qualname": f"{self.x.module}.{self.qual}",
+                "stmt": self._current_stmt_hash(),
+            })
+        if target == "open" or (target or "").endswith(".open"):
+            self.opens.append({
+                "line": line,
+                "qualname": f"{self.x.module}.{self.qual}",
+                "stmt": self._current_stmt_hash(),
+            })
+
+        site = self._site_for(node)
+        last = (target or method or "").rsplit(".", 1)[-1]
+        fn_args: list[str] = []
+        fn_kwargs: dict[str, str] = {}
+        for sub in node.args:
+            ref = self._fn_ref(sub)
+            if ref is not None:
+                fn_args.append(ref)
+        for kw in node.keywords:
+            if kw.arg is not None:
+                ref = self._fn_ref(kw.value)
+                if ref is not None:
+                    fn_kwargs[kw.arg] = ref
+        record = {
+            "site": site,
+            "line": line,
+            "target": target,
+            "method": method,
+            "recv": sorted(recv),
+            "args": [sorted(a) for a in args],
+            "kwargs": {k: sorted(v) for k, v in sorted(kwargs.items())},
+            "fn_args": fn_args,
+            "fn_kwargs": fn_kwargs,
+            "qualname": f"{self.x.module}.{self.qual}",
+            "stmt": self._current_stmt_hash() if last in _SITE_WORTHY else "",
+        }
+        self._put_call(record)
+        return {f"c:{site}"}
+
+    # -- helpers -------------------------------------------------------
+
+    def _site_for(self, node: ast.expr) -> int:
+        loc = (node.lineno, node.col_offset)
+        if loc not in self._site_by_loc:
+            self._site_by_loc[loc] = len(self._site_by_loc)
+        return self._site_by_loc[loc]
+
+    def _put_call(self, record: dict[str, Any]) -> None:
+        for i, existing in enumerate(self.calls):
+            if existing["site"] == record["site"]:
+                self.calls[i] = record
+                return
+        self.calls.append(record)
+
+    def _source(self, kind: str, desc: str, line: int) -> set[str]:
+        blessed = self._blessing(line)
+        self.sources.append({
+            "line": line, "kind": kind, "desc": desc, "blessed_seed": blessed,
+        })
+        if blessed:
+            return set()
+        return {f"s:{kind}:{line}"}
+
+    def _blessing(self, line: int) -> str | None:
+        return self.x.blessed.get(line)
+
+    def _current_stmt_hash(self) -> str:
+        if not self._stmt_stack:
+            return ""
+        return stmt_fingerprint(self._stmt_stack[0])
+
+    def _dotted(self, node: ast.expr) -> str | None:
+        """Resolve a pure Name/Attribute chain through the alias map."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        if node.id in self.env and self.env[node.id]:
+            return None  # a local value shadows any import
+        root = self.x.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def _resolve_callable(self, func: ast.expr) -> str | None:
+        """Dotted target of a call, or ``None`` for value-dependent calls."""
+        if isinstance(func, ast.Name):
+            local = self.x.lookup_local(self.qual, func.id)
+            if local is not None:
+                return f"{self.x.module}.{local}"
+            dotted = self.x.aliases.get(func.id)
+            if dotted is not None:
+                return dotted
+            if func.id not in self.env or not self.env[func.id]:
+                return func.id  # a builtin (open, id, hash, sorted, ...)
+            return None
+        if isinstance(func, ast.Attribute):
+            return self._dotted(func)
+        return None
+
+    def _fn_ref(self, node: ast.expr) -> str | None:
+        """A function *reference* argument (a callable passed, not called).
+
+        These are the deferred-invocation edges the call graph needs:
+        ``Process(target=_supervised_entry, ...)`` runs
+        ``_supervised_entry`` even though no direct call appears.
+        """
+        if not isinstance(node, (ast.Name, ast.Attribute)):
+            return None
+        ref = self._resolve_callable(node)
+        if ref is None or "." not in ref:
+            return None
+        return ref
+
+    def _qualify_class(self, local: str | None) -> str | None:
+        if local is None:
+            return None
+        return local if "." in local else f"{self.x.module}.{local}"
+
+    def _type_of_expr(self, node: ast.expr) -> str | None:
+        """Extraction-time type of an expression, when visible locally."""
+        if isinstance(node, ast.Call):
+            target = self._resolve_callable(node.func)
+            if target is not None and self.x.is_local_class(target):
+                return target
+        if isinstance(node, ast.Name):
+            return self.types.get(node.id)
+        return None
+
+    def _elem_placeholder(self, node: ast.expr) -> str | None:
+        return None  # element types resolve at analysis time via origins
+
+
+def _wrap_all(prefix: str, origins: set[str]) -> set[str]:
+    out: set[str] = set()
+    for origin in origins:
+        if origin.count(":") >= 2 * _MAX_WRAP:
+            out.add(origin)  # cap the wrapper depth, keep the base
+        else:
+            out.add(f"{prefix}:{origin}")
+    return out
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+def _expr_text(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _ann_classes(node: ast.expr | None, aliases: dict[str, str]) -> list[str]:
+    from repro.devtools.index import _annotation_classes
+
+    return _annotation_classes(node, aliases)
+
+
+class _FileExtractor:
+    """Shared per-file context the function flows resolve against."""
+
+    def __init__(self, module: str, aliases: dict[str, str],
+                 symbols: dict[str, dict[str, Any]],
+                 classes: dict[str, dict[str, Any]],
+                 blessed: dict[int, str | None]) -> None:
+        self.module = module
+        self.aliases = aliases
+        self.symbols = symbols
+        self.classes = classes
+        self.blessed = blessed
+
+    def lookup_local(self, scope_qual: str, name: str) -> str | None:
+        """Resolve a bare name against enclosing scopes, then module level."""
+        parts = scope_qual.split(".")
+        for cut in range(len(parts), -1, -1):
+            candidate = ".".join(parts[:cut] + [name]) if cut else name
+            if candidate in self.symbols:
+                return candidate
+        return None
+
+    def is_local_class(self, dotted: str) -> bool:
+        if not dotted.startswith(f"{self.module}."):
+            return False
+        return dotted[len(self.module) + 1:] in self.classes
+
+
+def extract_flows(
+    tree: ast.Module,
+    module: str,
+    aliases: dict[str, str],
+    symbols: dict[str, dict[str, Any]],
+    classes: dict[str, dict[str, Any]],
+    source: str,
+) -> dict[str, Any]:
+    """Every function's flow summary for one parsed file (JSON-plain)."""
+    extractor = _FileExtractor(module, aliases, symbols, classes,
+                               blessed_lines(source))
+    functions: dict[str, dict[str, Any]] = {}
+
+    def visit(body: list[ast.stmt], prefix: str, own_class: str | None) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                flow = _FunctionFlow(extractor, qual, node, own_class)
+                functions[qual] = flow.run()
+                visit(node.body, f"{qual}.", None)
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, f"{prefix}{node.name}.", f"{prefix}{node.name}")
+    visit(tree.body, "", None)
+    bless_list = sorted(
+        (line, seed if seed is not None else "")
+        for line, seed in extractor.blessed.items()
+    )
+    return {"functions": functions, "blessings": bless_list}
+
+
+# ---------------------------------------------------------------------------
+# whole-program analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One cross-module violation (same addressing as LintViolation)."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    qualname: str = ""
+    stmt: str = ""
+
+
+@dataclass
+class _Func:
+    path: str
+    module: str
+    qual: str
+    data: dict[str, Any]
+    calls_by_site: dict[int, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.qual}"
+
+
+class TaintAnalysis:
+    """The interprocedural fixpoint over every file summary.
+
+    Monovariant (one boolean per function return, per parameter and
+    per class attribute) with provenance strings for witness messages;
+    monotone, so the fixpoint is unique and independent of iteration
+    order — which keeps serial, parallel and warm-cache runs
+    byte-identical.
+    """
+
+    def __init__(self, project: ProjectIndex, summaries: dict[str, Summary]) -> None:
+        self.project = project
+        self.summaries = summaries
+        self.funcs: dict[str, _Func] = {}
+        self.suppressed: dict[str, dict[int, frozenset[str]]] = {}
+        for path in sorted(summaries):
+            summary = summaries[path]
+            module = summary["module"]
+            for qual, data in summary.get("flows", {}).get("functions", {}).items():
+                fn = _Func(path=path, module=module, qual=qual, data=data)
+                for call in data["calls"]:
+                    fn.calls_by_site[call["site"]] = call
+                self.funcs[fn.dotted] = fn
+            self.suppressed[path] = {
+                int(line): frozenset(rules)
+                for line, rules in summary.get("suppressed", {}).items()
+            }
+        #: taint state: key -> provenance string (taint is "key present")
+        self.taint: dict[str, str] = {}
+        self._pret: dict[tuple[str, int], bool] = {}
+        #: origin types depend only on the (static) summaries — memoized,
+        #: with the cache entry doubling as a cycle guard
+        self._type_cache: dict[tuple[str, str], str | None] = {}
+        #: in-flight taint evaluations (cycle guard: a value defined in
+        #: terms of itself contributes no taint of its own)
+        self._eval_stack: set[tuple[str, str]] = set()
+
+    # -- resolution ----------------------------------------------------
+
+    def _class_of(self, dotted: str | None) -> str | None:
+        if dotted is None:
+            return None
+        return self.project.resolve_class(dotted)
+
+    def _ret_type(self, target: str) -> str | None:
+        if self._class_of(target):
+            return target
+        fn = self.funcs.get(target)
+        if fn is None:
+            return None
+        rt = fn.data.get("ret_type")
+        if rt is not None:
+            resolved = self._project_class(fn.module, rt)
+            if resolved is not None:
+                return resolved
+        # fall back to the declared return annotation (covers functions
+        # with multiple returns, e.g. `-> RunStore | None` factories)
+        for cls in fn.data.get("ret_ann", []):
+            resolved = self._project_class(fn.module, cls)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _origin_type(self, fn: _Func, origin: str) -> str | None:
+        """Project class an origin's value is an instance of, if known."""
+        key = (fn.dotted, origin)
+        if key in self._type_cache:
+            return self._type_cache[key]
+        self._type_cache[key] = None  # cycle guard: self-typed is untyped
+        result = self._origin_type_uncached(fn, origin)
+        self._type_cache[key] = result
+        return result
+
+    def _origin_type_uncached(self, fn: _Func, origin: str) -> str | None:
+        kind, _, rest = origin.partition(":")
+        if kind == "c":
+            call = fn.calls_by_site.get(int(rest))
+            if call is None:
+                return None
+            target = self._call_target(fn, call)
+            if target is None:
+                return None
+            return self._ret_type(target)
+        if kind == "p":
+            classes = fn.data["param_types"].get(rest, [])
+            for cls in classes:
+                resolved = self._project_class(fn.module, cls)
+                if resolved is not None:
+                    return resolved
+            return None
+        if kind == "a":
+            cls_attr = rest
+            return self._field_type(fn.module, cls_attr)
+        if kind == "e":
+            return self._origin_type(fn, rest)  # element of a typed container
+        if kind == "g":
+            attr, _, base = rest.partition(":")
+            base_type = self._origin_type(fn, base)
+            if base_type is None:
+                return None
+            return self._field_type_of(base_type, attr)
+        return None
+
+    def _project_class(self, module: str, cls: str) -> str | None:
+        if cls in self.project.classes:
+            return cls
+        qualified = f"{module}.{cls}"
+        return qualified if qualified in self.project.classes else None
+
+    def _field_type(self, module: str, cls_attr: str) -> str | None:
+        cls, _, attr = cls_attr.rpartition(".")
+        resolved = self._project_class(module, cls)
+        if resolved is None:
+            return None
+        return self._field_type_of(resolved, attr)
+
+    def _field_type_of(self, cls: str, attr: str) -> str | None:
+        entry = self.project.classes.get(cls)
+        if entry is None:
+            return None
+        for candidate in entry.get("field_types", {}).get(attr, []):
+            resolved = self._project_class(cls.rsplit(".", 1)[0], candidate)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _call_target(self, fn: _Func, call: dict[str, Any]) -> str | None:
+        """The resolved callee, using receiver types for methods."""
+        target = call.get("target")
+        if target is not None:
+            if target in self.funcs or self._class_of(target):
+                return target
+            # an aliased import of a project symbol that the extractor
+            # could not see locally (e.g. re-exported names)
+            return target
+        method = call.get("method")
+        if method is None:
+            return None
+        for origin in call.get("recv", []):
+            rtype = self._origin_type(fn, origin)
+            if rtype is not None:
+                resolved = self.project.resolve_method(rtype, method)
+                if resolved is not None:
+                    return resolved
+        return None
+
+    def call_target(self, fn: _Func, call: dict[str, Any]) -> str | None:
+        """Public resolution entry point (the call-graph builder's)."""
+        return self._call_target(fn, call)
+
+    # -- param-flows-to-return ----------------------------------------
+
+    def _param_flows_to_ret(self, dotted: str, idx: int) -> bool:
+        key = (dotted, idx)
+        if key in self._pret:
+            return self._pret[key]
+        self._pret[key] = False  # cycle guard: assume no until proven
+        fn = self.funcs.get(dotted)
+        if fn is None:
+            return False
+        needle = f"p:{idx}"
+        result = False
+        for origin in fn.data["ret"]:
+            base = _base_origin(origin)
+            if base == needle:
+                result = True
+                break
+            if base.startswith("c:"):
+                call = fn.calls_by_site.get(int(base.split(":", 1)[1]))
+                if call is None:
+                    continue
+                target = self._call_target(fn, call)
+                arg_lists = list(enumerate(call["args"]))
+                if target in self.funcs:
+                    for j, origins in arg_lists:
+                        if any(_base_origin(o) == needle for o in origins) and \
+                                self._param_flows_to_ret(target, j):
+                            result = True
+                            break
+                elif target is None or target not in self.funcs:
+                    # unknown callee: assume pass-through
+                    every: list[str] = []
+                    for _, origins in arg_lists:
+                        every.extend(origins)
+                    for origins_k in call["kwargs"].values():
+                        every.extend(origins_k)
+                    every.extend(call.get("recv", []))
+                    if any(_base_origin(o) == needle for o in every):
+                        result = True
+                if result:
+                    break
+        self._pret[key] = result
+        return result
+
+    # -- taint evaluation ---------------------------------------------
+
+    def _eval_origin(self, fn: _Func, origin: str) -> str | None:
+        key = (fn.dotted, origin)
+        if key in self._eval_stack:
+            return None
+        self._eval_stack.add(key)
+        try:
+            return self._eval_origin_inner(fn, origin)
+        finally:
+            self._eval_stack.discard(key)
+
+    def _eval_origin_inner(self, fn: _Func, origin: str) -> str | None:
+        kind, _, rest = origin.partition(":")
+        if kind == "s":
+            skind, _, line = rest.partition(":")
+            return f"{skind} source at {fn.path}:{line}"
+        if kind == "p":
+            return self.taint.get(f"P:{fn.dotted}:{rest}")
+        if kind == "a":
+            cls, _, attr = rest.rpartition(".")
+            resolved = self._project_class(fn.module, cls)
+            if resolved is None:
+                return None
+            return self.taint.get(f"A:{resolved}.{attr}")
+        if kind == "e":
+            return self._eval_origin(fn, rest)
+        if kind == "g":
+            attr, _, base = rest.partition(":")
+            base_type = self._origin_type(fn, base)
+            if base_type is not None:
+                return self.taint.get(f"A:{base_type}.{attr}")
+            return self._eval_origin(fn, base)
+        if kind == "c":
+            call = fn.calls_by_site.get(int(rest))
+            if call is None:
+                return None
+            return self._eval_call_taint(fn, call)
+        return None
+
+    def _eval_origins(self, fn: _Func, origins: list[str] | set[str]) -> str | None:
+        for origin in sorted(origins):
+            prov = self._eval_origin(fn, origin)
+            if prov is not None:
+                return prov
+        return None
+
+    def _eval_call_taint(self, fn: _Func, call: dict[str, Any]) -> str | None:
+        target = self._call_target(fn, call)
+        if target is not None and self._class_of(target):
+            return None  # constructor results carry taint per-field
+        if target in self.funcs:
+            ret = self.taint.get(f"R:{target}")
+            if ret is not None:
+                return ret
+            for j, origins in enumerate(call["args"]):
+                if self._param_flows_to_ret(target, j):
+                    prov = self._eval_origins(fn, origins)
+                    if prov is not None:
+                        return prov
+            return None
+        # unknown callee: pass-through of everything it consumed
+        last = (target or call.get("method") or "").rsplit(".", 1)[-1]
+        pools: list[list[str]] = list(call["args"])
+        pools.extend(call["kwargs"].values())
+        pools.append(call.get("recv", []))
+        for pool in pools:
+            for origin in sorted(pool):
+                if last in _ORDER_SANITIZERS and _is_set_order(origin):
+                    continue
+                prov = self._eval_origin(fn, origin)
+                if prov is not None:
+                    return prov
+        return None
+
+    # -- the fixpoint ---------------------------------------------------
+
+    def run(self) -> None:
+        for _ in range(64):
+            if not self._iterate():
+                return
+
+    def _iterate(self) -> bool:
+        changed = False
+        for dotted in sorted(self.funcs):
+            fn = self.funcs[dotted]
+            # returns
+            prov = self._eval_origins(fn, fn.data["ret"])
+            if prov is not None and f"R:{dotted}" not in self.taint:
+                self.taint[f"R:{dotted}"] = prov
+                changed = True
+            # attribute writes
+            for write in fn.data["attr_writes"]:
+                wprov = self._eval_origins(fn, write["origins"])
+                if wprov is None:
+                    continue
+                cls = self._project_class(fn.module, write["cls"])
+                if cls is None:
+                    continue
+                key = f"A:{cls}.{write['attr']}"
+                if key not in self.taint:
+                    self.taint[key] = wprov
+                    changed = True
+            # calls: propagate into callee params / constructor fields
+            for call in fn.data["calls"]:
+                target = self._call_target(fn, call)
+                if target is None:
+                    continue
+                if self._class_of(target):
+                    changed |= self._flow_into_class(fn, target, call)
+                    continue
+                callee = self.funcs.get(target)
+                if callee is None:
+                    continue
+                offset = 0
+                if call.get("method") is not None or (
+                    call.get("target") is None
+                ):
+                    offset = 1  # bound method: args shift past self
+                elif self.project.symbols.get(target, {}).get("kind") == "method" \
+                        and call.get("recv"):
+                    offset = 1
+                params = callee.data["params"]
+                for j, origins in enumerate(call["args"]):
+                    idx = j + offset
+                    if idx >= len(params):
+                        break
+                    aprov = self._eval_origins(fn, origins)
+                    if aprov is not None:
+                        key = f"P:{target}:{idx}"
+                        if key not in self.taint:
+                            self.taint[key] = (
+                                f"{aprov} -> {target}({params[idx]})"
+                            )
+                            changed = True
+                for kwname, origins_k in call["kwargs"].items():
+                    if kwname not in params:
+                        continue
+                    idx = params.index(kwname)
+                    aprov = self._eval_origins(fn, origins_k)
+                    if aprov is not None:
+                        key = f"P:{target}:{idx}"
+                        if key not in self.taint:
+                            self.taint[key] = f"{aprov} -> {target}({kwname})"
+                            changed = True
+        return changed
+
+    def _flow_into_class(self, fn: _Func, cls: str, call: dict[str, Any]) -> bool:
+        """Constructor call: map arguments onto fields / ``__init__``."""
+        changed = False
+        init = self.funcs.get(f"{cls}.__init__")
+        entry = self.project.classes.get(cls, {})
+        fields: list[str] = entry.get("fields", [])
+        for j, origins in enumerate(call["args"]):
+            prov = self._eval_origins(fn, origins)
+            if prov is None:
+                continue
+            changed |= self._taint_field(cls, init, fields, j, None, prov)
+        for kwname, origins_k in call["kwargs"].items():
+            prov = self._eval_origins(fn, origins_k)
+            if prov is None:
+                continue
+            changed |= self._taint_field(cls, init, fields, None, kwname, prov)
+        return changed
+
+    def _taint_field(self, cls: str, init: _Func | None, fields: list[str],
+                     pos: int | None, kwname: str | None, prov: str) -> bool:
+        changed = False
+        name = kwname
+        if name is None and pos is not None and pos < len(fields):
+            name = fields[pos]
+        if name is not None and (name in fields or init is None):
+            key = f"A:{cls}.{name}"
+            if key not in self.taint:
+                self.taint[key] = f"{prov} -> {cls}.{name}"
+                changed = True
+        if init is not None:
+            params = init.data["params"]
+            idx: int | None = None
+            if kwname is not None and kwname in params:
+                idx = params.index(kwname)
+            elif pos is not None and pos + 1 < len(params):
+                idx = pos + 1  # skip self
+            if idx is not None:
+                key = f"P:{init.dotted}:{idx}"
+                if key not in self.taint:
+                    self.taint[key] = f"{prov} -> {init.dotted}({params[idx]})"
+                    changed = True
+        return changed
+
+    # -- findings -------------------------------------------------------
+
+    def findings(self) -> list[Finding]:
+        self.run()
+        out: list[Finding] = []
+        out.extend(self._sink_findings())
+        out.extend(self._blessing_findings())
+        out.extend(self._concurrency_findings())
+        return sorted(out, key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    def _suppressed_at(self, path: str, line: int, rule: str) -> bool:
+        rules = self.suppressed.get(path, {}).get(line, frozenset())
+        return rule in rules or "all" in rules
+
+    def _sink_findings(self) -> list[Finding]:
+        out: list[Finding] = []
+        for dotted in sorted(self.funcs):
+            fn = self.funcs[dotted]
+            for call in fn.data["calls"]:
+                target = self._call_target(fn, call)
+                if target is None or target not in SINKS:
+                    continue
+                kind, payload_args = SINKS[target]
+                pools: list[tuple[str, list[str]]] = []
+                if payload_args is None:
+                    for j, origins in enumerate(call["args"]):
+                        pools.append((f"argument {j + 1}", origins))
+                    for kwname, origins_k in call["kwargs"].items():
+                        pools.append((f"argument {kwname!r}", origins_k))
+                else:
+                    for j in payload_args:
+                        if j < len(call["args"]):
+                            pools.append((f"argument {j + 1}", call["args"][j]))
+                    for kwname, origins_k in call["kwargs"].items():
+                        pools.append((f"argument {kwname!r}", origins_k))
+                for label, origins in pools:
+                    prov = self._eval_origins(fn, origins)
+                    if prov is None:
+                        continue
+                    if self._suppressed_at(fn.path, call["line"], "REPRO015"):
+                        break
+                    short = target.rsplit(".", 1)[-1]
+                    out.append(Finding(
+                        path=fn.path,
+                        line=call["line"],
+                        rule="REPRO015",
+                        message=(
+                            f"nondeterministic value reaches a {kind} "
+                            f"({short} {label}): {_clip(prov)}"
+                        ),
+                        qualname=call["qualname"],
+                        stmt=call["stmt"],
+                    ))
+                    break  # one finding per sink call site
+        return out
+
+    def _blessing_findings(self) -> list[Finding]:
+        out: list[Finding] = []
+        for path in sorted(self.summaries):
+            summary = self.summaries[path]
+            for line, seed in summary.get("flows", {}).get("blessings", []):
+                if seed:
+                    continue
+                if self._suppressed_at(path, int(line), "REPRO015"):
+                    continue
+                out.append(Finding(
+                    path=path,
+                    line=int(line),
+                    rule="REPRO015",
+                    message=(
+                        "blessed-source escape must name the seed it derives "
+                        "from: `# repro-lint: blessed-source -- seed=<name>`"
+                    ),
+                    qualname=summary["module"],
+                    stmt="",
+                ))
+        return out
+
+    # -- REPRO016: concurrency discipline ------------------------------
+
+    def _concurrency_findings(self) -> list[Finding]:
+        out: list[Finding] = []
+        in_scope = {
+            path for path in self.summaries if "/runtime/" in f"/{path}"
+        }
+
+        # (a) attributes mutated both inside and outside a lock
+        sites: dict[str, dict[str, list[dict[str, Any]]]] = {}
+        for dotted in sorted(self.funcs):
+            fn = self.funcs[dotted]
+            if fn.path not in in_scope:
+                continue
+            for write in fn.data["attr_writes"]:
+                cls = self._project_class(fn.module, write["cls"]) or (
+                    f"{fn.module}.{write['cls']}"
+                )
+                entry = sites.setdefault(cls, {}).setdefault(write["attr"], [])
+                entry.append({**write, "path": fn.path})
+        for cls in sorted(sites):
+            for attr in sorted(sites[cls]):
+                writes = sites[cls][attr]
+                guarded = [w for w in writes if w["guarded"]]
+                unguarded = [
+                    w for w in writes if not w["guarded"] and not w["in_init"]
+                ]
+                if not guarded or not unguarded:
+                    continue
+                short = cls.rsplit(".", 1)[-1]
+                for w in unguarded:
+                    if self._suppressed_at(w["path"], w["line"], "REPRO016"):
+                        continue
+                    g = guarded[0]
+                    out.append(Finding(
+                        path=w["path"],
+                        line=w["line"],
+                        rule="REPRO016",
+                        message=(
+                            f"attribute {short}.{attr} is mutated under a lock "
+                            f"at {g['path']}:{g['line']} but mutated without "
+                            "one here; take the same lock (or move the write "
+                            "into __init__)"
+                        ),
+                        qualname=w["qualname"],
+                        stmt=w["stmt"],
+                    ))
+
+        # (b) flock'd file suffixes opened without the flock helper
+        helper_suffixes: set[str] = set()
+        helpers: set[str] = set()
+        for dotted in sorted(self.funcs):
+            fn = self.funcs[dotted]
+            if fn.data.get("has_flock"):
+                helpers.add(dotted)
+                for const in fn.data.get("consts", []):
+                    match = _SUFFIX_RE.search(const)
+                    if match:
+                        helper_suffixes.add(match.group(0))
+        if helper_suffixes:
+            for dotted in sorted(self.funcs):
+                fn = self.funcs[dotted]
+                if fn.path not in in_scope or dotted in helpers:
+                    continue
+                touched = {
+                    _SUFFIX_RE.search(c).group(0)  # type: ignore[union-attr]
+                    for c in fn.data.get("consts", [])
+                    if _SUFFIX_RE.search(c)
+                }
+                if not (touched & helper_suffixes):
+                    continue
+                for op in fn.data.get("opens", []):
+                    if self._suppressed_at(fn.path, op["line"], "REPRO016"):
+                        continue
+                    suffix = sorted(touched & helper_suffixes)[0]
+                    out.append(Finding(
+                        path=fn.path,
+                        line=op["line"],
+                        rule="REPRO016",
+                        message=(
+                            f"file suffix {suffix!r} is flock-protected by "
+                            f"{sorted(helpers)[0]} but opened here without "
+                            "fcntl.flock; route the access through the helper"
+                        ),
+                        qualname=op["qualname"],
+                        stmt=op["stmt"],
+                    ))
+
+        # (c) connection sends outside a lock-guarded block
+        for dotted in sorted(self.funcs):
+            fn = self.funcs[dotted]
+            if fn.path not in in_scope:
+                continue
+            for send in fn.data.get("sends", []):
+                if send["guarded"]:
+                    continue
+                if self._suppressed_at(fn.path, send["line"], "REPRO016"):
+                    continue
+                out.append(Finding(
+                    path=fn.path,
+                    line=send["line"],
+                    rule="REPRO016",
+                    message=(
+                        f"{send['recv']}.send(...) outside a `with <lock>` "
+                        "block: concurrent senders can interleave a pipe "
+                        "payload (use the supervisor's send_lock pattern)"
+                    ),
+                    qualname=send["qualname"],
+                    stmt=send["stmt"],
+                ))
+        return out
+
+
+def _base_origin(origin: str) -> str:
+    while origin[:2] in ("e:", "g:"):
+        if origin.startswith("e:"):
+            origin = origin[2:]
+        else:
+            origin = origin.split(":", 2)[2]
+    return origin
+
+
+def _is_set_order(origin: str) -> bool:
+    return _base_origin(origin).startswith("s:set-order:")
+
+
+def _clip(prov: str, limit: int = 360) -> str:
+    return prov if len(prov) <= limit else prov[: limit - 1] + "…"

@@ -184,6 +184,19 @@ class AttemptFailure:
             "elapsed_s": self.elapsed_s,
         }
 
+    def to_export_dict(self) -> dict[str, Any]:
+        """Serialization for *exported result trees*: content only.
+
+        ``elapsed_s`` is wall-clock-derived — fine in the journal's
+        local poison stubs, but a result export must be a pure
+        function of the run's inputs, so the timing is dropped here.
+        """
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "worker_traceback": self.worker_traceback,
+        }
+
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "AttemptFailure":
         return cls(
@@ -230,6 +243,21 @@ class PoisonRecord:
             "machine": self.machine,
             "nprocs": self.nprocs,
             "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+    def to_export_dict(self) -> dict[str, Any]:
+        """Deterministic form for exported result trees.
+
+        Same shape as :meth:`to_dict` minus per-attempt wall timings,
+        so two exports of the same degraded outcome are byte-identical.
+        """
+        return {
+            "poisoned": True,
+            "key": self.key,
+            "benchmark": self.benchmark,
+            "machine": self.machine,
+            "nprocs": self.nprocs,
+            "attempts": [a.to_export_dict() for a in self.attempts],
         }
 
     @classmethod
@@ -566,9 +594,12 @@ def supervise(
                     worker,
                     AttemptFailure(
                         kind="heartbeat-lost",
+                        # the message lands in exported result trees, so it
+                        # must not embed the measured (wall-clock) silence;
+                        # elapsed_s carries the timing for local diagnostics
                         message=(
-                            f"no heartbeat for {now - worker.last_beat:.2f}s "
-                            f"(threshold {policy.heartbeat_timeout_s:g}s)"
+                            "heartbeat silence exceeded the "
+                            f"{policy.heartbeat_timeout_s:g}s threshold"
                         ),
                         elapsed_s=now - worker.started,
                     ),

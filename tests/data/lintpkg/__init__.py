@@ -1,0 +1,9 @@
+"""Planted-violation fixture package for the whole-program engine.
+
+Every module here exists to exercise one interprocedural rule: the
+``clock -> mixer -> runtime/writer`` chain crosses three modules
+before reaching a sink, ``runtime/`` carries the concurrency
+discipline violations, and ``blessed`` holds both the well-formed and
+the malformed escape hatch.  ``tests/test_lint_engine.py`` pins the
+exact findings; nothing in here is ever imported at runtime.
+"""

@@ -1,0 +1,13 @@
+"""The escape hatch, used well and used badly."""
+
+import time
+
+
+def probe():
+    t0 = time.time()  # repro-lint: blessed-source -- seed=wall_probe
+    return t0
+
+
+def sloppy():
+    t1 = time.time()  # repro-lint: blessed-source
+    return t1

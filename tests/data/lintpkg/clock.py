@@ -1,0 +1,7 @@
+"""The taint source: a bare wall-clock read behind a function call."""
+
+import time
+
+
+def stamp():
+    return time.time()

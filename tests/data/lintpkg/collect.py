@@ -1,0 +1,10 @@
+"""Set-iteration order leaking into an envelope."""
+
+from repro.runtime.envelope import ResultEnvelope
+
+
+def gather():
+    names = []
+    for key in {"b_eff", "b_eff_io"}:
+        names.append(key)
+    return ResultEnvelope(values=names)

@@ -1,0 +1,7 @@
+"""The middle hop: taint enters a container and changes shape here."""
+
+from lintpkg.clock import stamp
+
+
+def payload(n):
+    return {"t": stamp(), "n": n}

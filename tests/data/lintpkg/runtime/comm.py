@@ -1,0 +1,10 @@
+"""Connection-send fixture: guarded and bare pipe writes."""
+
+
+def publish(conn, item):
+    conn.send(item)
+
+
+def publish_safe(conn, send_lock, item):
+    with send_lock:
+        conn.send(item)

@@ -1,0 +1,13 @@
+"""flock-helper fixture: a disciplined helper and a rogue reader."""
+
+import fcntl
+
+
+def locked_read(path):
+    with open(path + ".lock") as fh:
+        fcntl.flock(fh, fcntl.LOCK_SH)
+        return fh.read()
+
+
+def peek(path):
+    return open(path + ".lock").read()

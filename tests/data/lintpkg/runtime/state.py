@@ -1,0 +1,16 @@
+"""Lock-discipline fixture: one attribute, two disciplines."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count = self.count + 1
+
+    def reset(self):
+        self.count = 0

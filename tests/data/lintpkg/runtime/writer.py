@@ -1,0 +1,13 @@
+"""The sink end of the cross-module chain, plus the blessed twin."""
+
+from lintpkg.blessed import probe
+from lintpkg.mixer import payload
+from repro.reporting.export import write_json_atomic
+
+
+def flush(path):
+    write_json_atomic(path, payload(3))
+
+
+def flush_blessed(path):
+    write_json_atomic(path, {"t0": probe()})

@@ -1,0 +1,9 @@
+"""Unseeded randomness flowing into a fingerprint input."""
+
+import random
+
+from repro.runtime.spec import run_spec
+
+
+def make():
+    return run_spec(seed=random.random())

@@ -127,6 +127,36 @@ class TestPoisonedGrid:
         journal = SweepJournal(tmp_path / "journals" / "b_eff__t3e")
         assert [r.nprocs for r in journal.poisoned().values()] == [4]
 
+    def test_exported_grid_summary_is_wall_clock_free(
+        self, monkeypatch, tmp_path
+    ):
+        """grid.json is a pure function of the run's inputs.
+
+        The poisoned entries in the exported summary must use the
+        export serialization (no per-attempt wall timings), so two
+        degraded runs of the same grid export byte-identical trees
+        even though their attempts measured different durations.
+        """
+        from repro.cli import EXIT_COMPLETED_DEGRADED, main_repro
+
+        monkeypatch.setenv(chaos.ENV_POISON, "b_eff:t3e:4")
+
+        def export(name):
+            out_dir = tmp_path / name
+            code = main_repro([
+                "sweep-grid", "--machines", "t3e", "--benchmarks", "b_eff",
+                "--partitions", "2,4", "--max-failures", "2",
+                "--out", str(out_dir),
+            ])
+            assert code == EXIT_COMPLETED_DEGRADED
+            return (out_dir / "grid.json").read_bytes()
+
+        first, second = export("a"), export("b")
+        assert first == second
+        summary = json.loads(first)
+        assert [p["key"] for p in summary["poisoned"]]
+        assert "elapsed_s" not in first.decode()
+
     def test_all_cells_poisoned_is_invalid_sweep(self, monkeypatch):
         monkeypatch.setenv(chaos.ENV_POISON, "b_eff:t3e:2,b_eff:t3e:4")
         outcome = run_sweep("b_eff", "t3e", [2, 4], config=CFG, supervision=POLICY)

@@ -1,0 +1,162 @@
+"""The whole-program engine against the planted fixture package.
+
+``tests/data/lintpkg`` is a small package built so that every
+interprocedural rule has exactly one intended witness: a wall-clock
+read that crosses three modules before reaching ``write_json_atomic``,
+a set-order leak into an envelope, an unseeded RNG feeding a
+fingerprint, both flavours of the blessed-source escape, and one
+violation of each REPRO016 concurrency discipline under its
+``runtime/`` subpackage.  On top of the detection tests, this file
+pins the engine's two operational invariants: reports are
+byte-identical across serial, parallel and warm-cache runs, and an
+edit re-analyzes exactly the edited file plus its reverse-dependency
+cone.
+"""
+
+import json
+import pathlib
+import shutil
+
+from hypothesis import given, settings, strategies as st
+
+from repro.devtools.lint import RULES, main, run_engine
+from repro.devtools.sarif import render_sarif
+
+FIXTURE = pathlib.Path(__file__).parent / "data" / "lintpkg"
+
+
+def _findings(report):
+    return {(v.rule, v.path.rsplit("lintpkg/", 1)[-1], v.line)
+            for v in report.violations}
+
+
+class TestPlantedFlows:
+    def test_cross_module_chain_reaches_the_sink(self):
+        report = run_engine([FIXTURE])
+        found = _findings(report)
+        assert ("REPRO015", "runtime/writer.py", 9) in found
+        flush = [v for v in report.violations
+                 if v.rule == "REPRO015" and v.path.endswith("writer.py")]
+        assert len(flush) == 1
+        # the witness names the true origin, two modules away
+        assert "wall-clock source" in flush[0].message
+        assert "clock.py:7" in flush[0].message
+
+    def test_set_order_and_unseeded_rng_flows(self):
+        found = _findings(run_engine([FIXTURE]))
+        assert ("REPRO015", "collect.py", 10) in found
+        assert ("REPRO015", "spec.py", 9) in found
+
+    def test_blessing_with_seed_launders_without_seed_fails(self):
+        report = run_engine([FIXTURE])
+        found = _findings(report)
+        # the seedless directive is itself the finding ...
+        assert ("REPRO015", "blessed.py", 12) in found
+        # ... while the seeded one cleans the whole downstream flow:
+        # flush_blessed (writer.py:13) must not appear
+        assert not any(
+            v.rule == "REPRO015" and v.path.endswith("writer.py")
+            and v.line != 9
+            for v in report.violations
+        )
+
+    def test_concurrency_disciplines(self):
+        report = run_engine([FIXTURE])
+        sixteen = {(v.path.rsplit("lintpkg/", 1)[-1], v.line)
+                   for v in report.violations if v.rule == "REPRO016"}
+        assert sixteen == {
+            ("runtime/state.py", 16),   # reset() mutates outside the lock
+            ("runtime/locks.py", 13),   # peek() opens .lock without flock
+            ("runtime/comm.py", 5),     # publish() sends outside a lock
+        }
+
+    def test_findings_carry_v2_fingerprints(self):
+        report = run_engine([FIXTURE])
+        for v in report.violations:
+            if v.rule in ("REPRO015", "REPRO016"):
+                assert v.qualname.startswith("lintpkg.")
+                assert v.stmt == "" or len(v.stmt) == 16
+
+
+class TestReportDeterminism:
+    @settings(max_examples=8, deadline=None)
+    @given(jobs=st.integers(min_value=2, max_value=4))
+    def test_parallel_report_is_byte_identical_to_serial(self, jobs):
+        serial = run_engine([FIXTURE], jobs=1)
+        parallel = run_engine([FIXTURE], jobs=jobs)
+        assert render_sarif(serial.violations, RULES, "test") == (
+            render_sarif(parallel.violations, RULES, "test")
+        )
+
+    def test_warm_cache_report_is_byte_identical(self, tmp_path):
+        cold = run_engine([FIXTURE], cache_dir=tmp_path / "cache")
+        warm = run_engine([FIXTURE], cache_dir=tmp_path / "cache")
+        assert warm.stats["reanalyzed"] == []
+        assert warm.stats["cache_hits"] == cold.stats["files"]
+        assert render_sarif(cold.violations, RULES, "test") == (
+            render_sarif(warm.violations, RULES, "test")
+        )
+
+    def test_sarif_has_no_timestamps_or_absolute_paths(self):
+        # analyzed as the repo sees it: a relative path from the root
+        report = run_engine(["tests/data/lintpkg"])
+        text = render_sarif(report.violations, RULES, "test")
+        doc = json.loads(text)
+        assert doc["version"] == "2.1.0"
+        assert "invocations" not in doc["runs"][0]
+        assert str(FIXTURE) not in text  # URIs stay relative
+
+
+class TestIncrementalCache:
+    def _copy(self, tmp_path):
+        tree = tmp_path / "lintpkg"
+        shutil.copytree(FIXTURE, tree)
+        return tree
+
+    def test_edit_reanalyzes_exactly_the_cone(self, tmp_path):
+        tree = self._copy(tmp_path)
+        cache = tmp_path / "cache"
+        cold = run_engine([tree], cache_dir=cache)
+        assert len(cold.stats["reanalyzed"]) == cold.stats["files"] == 11
+
+        # an untouched second run replays everything from cache
+        warm = run_engine([tree], cache_dir=cache)
+        assert warm.stats["reanalyzed"] == []
+
+        # touch mixer.py: itself plus its one importer (runtime/writer
+        # resolves `payload` through it) re-analyze — nothing else
+        mixer = tree / "mixer.py"
+        mixer.write_text(mixer.read_text() + "\n# cache-buster\n")
+        edited = run_engine([tree], cache_dir=cache)
+        assert [p.rsplit("lintpkg/", 1)[-1]
+                for p in edited.stats["reanalyzed"]] == [
+            "mixer.py", "runtime/writer.py"
+        ]
+        # and the report is still the full, unchanged truth
+        assert {(v.rule, v.line) for v in edited.violations} == (
+            {(v.rule, v.line) for v in cold.violations}
+        )
+
+    def test_leaf_edit_reanalyzes_only_itself(self, tmp_path):
+        tree = self._copy(tmp_path)
+        cache = tmp_path / "cache"
+        run_engine([tree], cache_dir=cache)
+        comm = tree / "runtime" / "comm.py"
+        comm.write_text(comm.read_text() + "\n# cache-buster\n")
+        edited = run_engine([tree], cache_dir=cache)
+        assert [p.rsplit("lintpkg/", 1)[-1]
+                for p in edited.stats["reanalyzed"]] == ["runtime/comm.py"]
+
+    def test_stats_json_cli_surface(self, tmp_path, capsys):
+        tree = self._copy(tmp_path)
+        stats_file = tmp_path / "stats.json"
+        code = main([
+            str(tree), "--cache-dir", str(tmp_path / "cache"),
+            "--stats-json", str(stats_file),
+        ])
+        assert code == 1  # the fixture is (deliberately) dirty
+        capsys.readouterr()
+        stats = json.loads(stats_file.read_text())
+        assert stats["files"] == 11
+        assert len(stats["reanalyzed"]) == 11
+        assert stats["cache_misses"] == 11

@@ -9,6 +9,8 @@ of aborting the campaign.  Chaos-driven end-to-end campaigns live in
 ``test_chaos.py``; this file covers the supervisor's own mechanics.
 """
 
+import json
+
 import pytest
 
 from repro.beff.measurement import MeasurementConfig
@@ -107,6 +109,36 @@ class TestProvenanceTypes:
         assert "b_eff" in text and "t3e" in text and "nprocs=4" in text
         assert "2 attempt(s)" in text and "crash,error" in text
 
+    def test_export_dict_drops_wall_clock_timings(self):
+        """Exported poison trees are pure functions of the run's inputs.
+
+        Two degraded runs of the same cell measure different attempt
+        durations; their exports must still be byte-identical, so no
+        ``elapsed_s`` may appear anywhere in the exported tree.
+        """
+        def record(elapsed):
+            return PoisonRecord(
+                key=FP_A,
+                benchmark="b_eff",
+                machine="t3e",
+                nprocs=4,
+                attempts=(
+                    AttemptFailure(
+                        kind="crash", message="exit 9", elapsed_s=elapsed
+                    ),
+                ),
+            )
+
+        fast, slow = record(0.25), record(7.5)
+        assert fast.to_export_dict() == slow.to_export_dict()
+        exported = json.dumps(fast.to_export_dict(), sort_keys=True)
+        assert "elapsed_s" not in exported
+        assert fast.to_export_dict()["attempts"][0] == {
+            "kind": "crash", "message": "exit 9", "worker_traceback": ""
+        }
+        # ... while the journal form keeps the timing for diagnostics
+        assert fast.to_dict()["attempts"][0]["elapsed_s"] == 0.25
+
 
 class TestSupervise:
     def test_clean_run_returns_validated_payloads(self):
@@ -175,6 +207,11 @@ class TestSupervise:
         )
         assert [a.kind for a in run.poisoned[0].attempts] == ["heartbeat-lost"]
         assert run.poisoned[0].attempts[0].elapsed_s < 10.0
+        # the message lands in exported result trees, so it must name
+        # only the configured threshold, never the measured silence
+        assert run.poisoned[0].attempts[0].message == (
+            "heartbeat silence exceeded the 0.5s threshold"
+        )
 
     def test_crash_is_retried_then_succeeds(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))

@@ -111,7 +111,10 @@ def run_beff(
     nprocs = fabric.topology.nprocs
     sizes = message_sizes(memory_per_proc, int_bits)
     lmax = lmax_for(memory_per_proc, int_bits)
-    patterns = make_patterns(nprocs, streams)
+    if config.scenario is not None:
+        patterns = config.scenario.compile(nprocs, streams)
+    else:
+        patterns = make_patterns(nprocs, streams)
 
     ff: FastForwardSession | None = None
     if config.backend == "analytic":

@@ -13,9 +13,13 @@ wants to watch the control loop itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.beff.methods import METHODS
 from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:
+    from repro.scenarios.grammar import CommScenario
 
 
 @dataclass(frozen=True)
@@ -41,8 +45,21 @@ class MeasurementConfig:
     pattern_budget: float | None = None
     #: hard cap on simulation events (never-hang guard under faults)
     event_budget: int | None = None
+    #: declarative workload override (:mod:`repro.scenarios`): None
+    #: runs the paper's pinned pattern table; a
+    #: :class:`~repro.scenarios.grammar.CommScenario` compiles its own
+    #: pattern set and hashes into the run's store fingerprint
+    scenario: "CommScenario | None" = None
 
     def __post_init__(self) -> None:
+        if self.scenario is not None:
+            from repro.scenarios.grammar import CommScenario
+
+            if not isinstance(self.scenario, CommScenario):
+                raise TypeError(
+                    f"b_eff scenarios must be CommScenario, "
+                    f"got {type(self.scenario).__name__}"
+                )
         if not self.methods:
             raise ValueError("need at least one communication method")
         for m in self.methods:

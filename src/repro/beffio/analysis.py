@@ -24,7 +24,14 @@ from repro.runtime.formulas import (
     METHOD_WEIGHTS,
     beffio_formula,
 )
-from repro.runtime.reduce import Key, evaluate, evaluate_partial, max_over, weighted_avg
+from repro.runtime.reduce import (
+    Formula,
+    Key,
+    evaluate,
+    evaluate_partial,
+    max_over,
+    weighted_avg,
+)
 
 __all__ = [
     "ACCESS_METHODS",
@@ -62,14 +69,18 @@ def _leaves(type_results: list[TypeResult]) -> list[tuple[Key, float]]:
     return [((t.method, t.pattern_type), t.bandwidth) for t in type_results]
 
 
-def method_value(type_results: list[TypeResult]) -> float:
-    """Weighted average over pattern types; scatter type counts twice."""
+def method_value(
+    type_results: list[TypeResult],
+    formula: Formula | None = None,
+) -> float:
+    """Weighted average over pattern types; scatter type counts twice
+    under the default (paper) formula, per-scenario weights otherwise."""
     if not type_results:
         raise ValueError("no pattern types measured")
     methods = {t.method for t in type_results}
     if len(methods) != 1:
         raise ValueError(f"mixed access methods {methods}")
-    type_step = beffio_formula().steps[1]
+    type_step = (formula or beffio_formula()).steps[1]
     values = [t.bandwidth for t in type_results]
     weights = [type_step.weight_of(t.pattern_type) for t in type_results]
     return weighted_avg(values, weights)
@@ -85,9 +96,18 @@ def partition_value(method_values: dict[str, float]) -> float:
     return weighted_avg(values, weights)
 
 
-def aggregate(type_results: list[TypeResult]) -> tuple[dict[str, float], float]:
-    """(method values, b_eff_io) of a complete, undisturbed run."""
-    ev = evaluate(beffio_formula(), _leaves(type_results))
+def aggregate(
+    type_results: list[TypeResult],
+    formula: Formula | None = None,
+) -> tuple[dict[str, float], float]:
+    """(method values, b_eff_io) of a complete, undisturbed run.
+
+    ``formula`` is a per-scenario reduction tree
+    (:meth:`repro.scenarios.grammar.IOScenario.formula`); None
+    evaluates the paper's :func:`beffio_formula` — which is exactly
+    what the paper scenario's own tree reduces to.
+    """
+    ev = evaluate(formula or beffio_formula(), _leaves(type_results))
     method_values = {m: ev.table("type")[(m,)] for m in ACCESS_METHODS}
     return method_values, ev.value
 
@@ -97,6 +117,7 @@ def aggregate_partial(
     expected: list[tuple[str, int]],
     flagged: tuple[str, ...] = (),
     failure: str = "",
+    formula: Formula | None = None,
 ) -> tuple[dict[str, float], float, RunValidity]:
     """Best-effort (method values, b_eff_io, validity) of a faulted run.
 
@@ -115,7 +136,7 @@ def aggregate_partial(
         for t in type_results
         if (t.method, t.pattern_type) in expected_set
     ]
-    ev = evaluate_partial(beffio_formula(), leaves, list(expected))
+    ev = evaluate_partial(formula or beffio_formula(), leaves, list(expected))
     method_values = {
         m: ev.table("type").get((m,), math.nan) for m in ACCESS_METHODS
     }

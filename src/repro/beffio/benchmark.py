@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.beffio import analysis
 from repro.beffio.analysis import ACCESS_METHODS, TypeResult
@@ -47,6 +48,9 @@ from repro.mpiio.file import IOFile
 from repro.mpiio.fileview import ContiguousView, StridedView
 from repro.pfs.filesystem import FileSystem
 from repro.util import MB
+
+if TYPE_CHECKING:
+    from repro.scenarios.grammar import IOScenario
 
 
 @dataclass(frozen=True)
@@ -95,8 +99,23 @@ class BeffIOConfig:
     pattern_budget: float | None = None
     #: hard cap on simulation events (never-hang guard under faults)
     event_budget: int | None = None
+    #: declarative workload override (:mod:`repro.scenarios`): None
+    #: runs the paper's pinned Table 2; an
+    #: :class:`~repro.scenarios.grammar.IOScenario` compiles its own
+    #: rows, scheduling denominator and reduction tree, and hashes
+    #: into the run's store fingerprint.  ``pattern_types`` then
+    #: *selects among* the scenario's types.
+    scenario: "IOScenario | None" = None
 
     def __post_init__(self) -> None:
+        if self.scenario is not None:
+            from repro.scenarios.grammar import IOScenario
+
+            if not isinstance(self.scenario, IOScenario):
+                raise TypeError(
+                    f"b_eff_io scenarios must be IOScenario, "
+                    f"got {type(self.scenario).__name__}"
+                )
         if self.T <= 0:
             raise ValueError("T must be positive")
         if not self.pattern_types:
@@ -194,9 +213,28 @@ def run_beffio(
     comm = world.comm_world
     n = comm.size
     mpart = mpart_for(memory_per_proc)
-    patterns = build_patterns(memory_per_proc)
-    if 5 in config.pattern_types:
-        patterns = patterns + extension_patterns(memory_per_proc)
+    if config.scenario is not None:
+        # the scenario owns the rows, the scheduling denominator and
+        # the reduction tree; ``pattern_types`` selects among its types
+        scenario = config.scenario
+        patterns = scenario.compile(memory_per_proc)
+        available = scenario.pattern_types() + scenario.extension_types()
+        ptypes = tuple(t for t in config.pattern_types if t in available)
+        if not ptypes:
+            raise ValueError(
+                f"scenario {scenario.name!r} provides pattern types "
+                f"{available}; none selected by "
+                f"pattern_types={config.pattern_types}"
+            )
+        sum_u = scenario.sum_u
+        formula = scenario.formula()
+    else:
+        patterns = build_patterns(memory_per_proc)
+        if 5 in config.pattern_types:
+            patterns = patterns + extension_patterns(memory_per_proc)
+        ptypes = config.pattern_types
+        sum_u = SUM_U
+        formula = None
     state = _RunState()
     # Mid-run fault transitions break the fast-forward's loop
     # periodicity proofs, so a non-empty plan forces reference loops.
@@ -209,7 +247,8 @@ def run_beffio(
 
     def program(rank_comm):
         yield from _partition_pass(
-            rank_comm, fs, patterns, config, state, singleton_comms, mpart
+            rank_comm, fs, patterns, config, state, singleton_comms, mpart,
+            ptypes, sum_u,
         )
 
     failure = ""
@@ -225,15 +264,16 @@ def run_beffio(
         for r in state.pattern_runs
         if r.over_budget
     )
-    expected = [(m, pt) for m in ACCESS_METHODS for pt in config.pattern_types]
+    expected = [(m, pt) for m in ACCESS_METHODS for pt in ptypes]
     complete = {(t.method, t.pattern_type) for t in state.type_results} >= set(expected)
     if complete and not flagged and not failure:
         # undisturbed path: the exact seed aggregation, bit-identical
-        method_values, beffio = analysis.aggregate(state.type_results)
+        method_values, beffio = analysis.aggregate(state.type_results, formula=formula)
         validity = VALID
     else:
         method_values, beffio, validity = analysis.aggregate_partial(
-            state.type_results, expected, flagged=flagged, failure=failure
+            state.type_results, expected, flagged=flagged, failure=failure,
+            formula=formula,
         )
     return BeffIOResult(
         nprocs=n,
@@ -255,11 +295,12 @@ def run_beffio(
 # ---------------------------------------------------------------------------
 
 
-def _partition_pass(comm, fs, patterns, config, state, singleton_comms, mpart):
+def _partition_pass(comm, fs, patterns, config, state, singleton_comms, mpart,
+                    ptypes, sum_u):
     n = comm.size
     rank = comm.rank
     for method in ACCESS_METHODS:
-        for ptype in config.pattern_types:
+        for ptype in ptypes:
             tp_patterns = patterns_of_type(patterns, ptype)
             if config.wellformed_only:
                 tp_patterns = [
@@ -280,7 +321,7 @@ def _partition_pass(comm, fs, patterns, config, state, singleton_comms, mpart):
             type_reps = 0
             for p in tp_patterns:
                 run = yield from _run_pattern(
-                    comm, handles, p, method, config, state, base
+                    comm, handles, p, method, config, state, base, sum_u
                 )
                 if p.pattern_type == 0:
                     base += state.write_extent.get(p.number, 0)
@@ -342,7 +383,7 @@ def _sync_pattern(handles, comm):
         yield from obj.sync(comm.rank)
 
 
-def _run_pattern(comm, handles, p: IOPattern, method, config, state, base):
+def _run_pattern(comm, handles, p: IOPattern, method, config, state, base, sum_u):
     """Execute one pattern's timed loop; returns a PatternRun on rank 0."""
     n = comm.size
     rank = comm.rank
@@ -459,7 +500,7 @@ def _run_pattern(comm, handles, p: IOPattern, method, config, state, base):
     # pattern that overruns anyway — one slow body, a U=0 single shot —
     # is flagged from the allreduced loop time below.
     if p.U > 0:
-        share = pattern_time(config.T, p.U, SUM_U)
+        share = pattern_time(config.T, p.U, sum_u)
         if config.pattern_budget is not None and share > config.pattern_budget:
             share = config.pattern_budget
         t_end = comm.wtime() + share

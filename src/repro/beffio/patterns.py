@@ -17,6 +17,13 @@ time-unit weight U; the scheduled time of a pattern is
 T/3 * U / sum(U) with sum(U) = 64.  Patterns with U = 0 run exactly
 one repetition (they seed the access sequence of their type without
 consuming scheduled time).
+
+The table itself lives in the scenario layer: the factory functions
+here are thin shims compiling the pinned
+:data:`repro.scenarios.paper_table2.PAPER_TABLE2` grammar instance
+(which golden parity tests prove bit-identical to the historic
+hard-coded rows), while :class:`IOPattern` and the size rules stay
+here for the scenario layer to import.
 """
 
 from __future__ import annotations
@@ -86,67 +93,17 @@ def _size_label(nbytes: int) -> str:
     return f"{nbytes} B"
 
 
-def _type0_rows(mpart: int) -> list[tuple[int, int, int, bool]]:
-    """(l, L, U, wellformed) for the scatter type."""
-    return [
-        (MB, MB, 0, True),          # 0
-        (mpart, mpart, 4, True),    # 1
-        (MB, 2 * MB, 4, True),      # 2
-        (MB, MB, 4, True),          # 3
-        (32 * KB, MB, 2, True),     # 4
-        (KB, MB, 2, True),          # 5
-        (32 * KB + 8, MB + 256, 2, False),   # 6: 32 chunks per call
-        (KB + 8, MB + 8 * KB, 2, False),     # 7: 1024 chunks per call
-        (MB + 8, MB + 8, 2, False),          # 8: 1 chunk per call
-    ]
-
-
-def _per_chunk_rows(mpart: int, u_mpart: int, u_1mb: int, u_1mb8: int
-                    ) -> list[tuple[int, int, int, bool]]:
-    """(l, L=l, U, wellformed) rows shared by types 1 and 2/3/4."""
-    return [
-        (MB, MB, 0, True),
-        (mpart, mpart, u_mpart, True),
-        (MB, MB, u_1mb, True),
-        (32 * KB, 32 * KB, 1, True),
-        (KB, KB, 1, True),
-        (32 * KB + 8, 32 * KB + 8, 1, False),
-        (KB + 8, KB + 8, 1, False),
-        (MB + 8, MB + 8, u_1mb8, False),
-    ]
-
-
 def build_patterns(memory_per_proc: int) -> list[IOPattern]:
-    """The full Table 2 list (43 rows; 36 with U > 0, sum(U) = 64)."""
-    mpart = mpart_for(memory_per_proc)
-    patterns: list[IOPattern] = []
-    number = 0
+    """The full Table 2 list (43 rows; 36 with U > 0, sum(U) = 64).
 
-    def emit(ptype: int, rows: list, fill: bool = False) -> None:
-        nonlocal number
-        for l, L, U, wf in rows:
-            patterns.append(
-                IOPattern(
-                    number=number,
-                    pattern_type=ptype,
-                    l=l,
-                    L=L,
-                    U=U,
-                    wellformed=wf,
-                    fill_segment=fill,
-                )
-            )
-            number += 1
+    A thin shim compiling the core phases of the pinned
+    :data:`repro.scenarios.paper_table2.PAPER_TABLE2` grammar
+    instance; golden parity tests prove the rows bit-identical to the
+    historic hard-coded table.
+    """
+    from repro.scenarios.paper_table2 import PAPER_TABLE2
 
-    emit(0, _type0_rows(mpart))                              # 0-8, U=22
-    emit(1, _per_chunk_rows(mpart, u_mpart=4, u_1mb=2, u_1mb8=2))  # 9-16, U=12
-    type2_rows = _per_chunk_rows(mpart, u_mpart=2, u_1mb=2, u_1mb8=2)
-    emit(2, type2_rows)                                      # 17-24, U=10
-    emit(3, type2_rows)                                      # 25-32
-    emit(3, [(MB, MB, 0, True)], fill=True)                  # 33: fill up segment
-    emit(4, type2_rows)                                      # 34-41
-    emit(4, [(MB, MB, 0, True)], fill=True)                  # 42
-
+    patterns = PAPER_TABLE2.compile(memory_per_proc)[: PAPER_TABLE2.num_core_rows]
     assert sum(p.U for p in patterns) == SUM_U
     return patterns
 
@@ -162,23 +119,13 @@ def extension_patterns(memory_per_proc: int) -> list[IOPattern]:
     access lands at a *random* chunk-aligned offset inside the
     process's segment of a shared segmented file.  These patterns are
     NOT part of the standard Table 2 list (sum(U) stays 64); enabling
-    them extends the scheduled time by their own U budget.
+    them extends the scheduled time by their own U budget.  Compiled
+    from the *extension* phase of the same pinned grammar instance as
+    :func:`build_patterns`.
     """
-    mpart = mpart_for(memory_per_proc)
-    rows = _per_chunk_rows(mpart, u_mpart=2, u_1mb=2, u_1mb8=2)
-    out = []
-    for i, (l, L, U, wf) in enumerate(rows):
-        out.append(
-            IOPattern(
-                number=43 + i,
-                pattern_type=5,
-                l=l,
-                L=L,
-                U=U,
-                wellformed=wf,
-            )
-        )
-    return out
+    from repro.scenarios.paper_table2 import PAPER_TABLE2
+
+    return PAPER_TABLE2.compile(memory_per_proc)[PAPER_TABLE2.num_core_rows :]
 
 
 def patterns_of_type(patterns: list[IOPattern], ptype: int) -> list[IOPattern]:

@@ -9,6 +9,7 @@ I/O benchmark.  ``--machine list`` enumerates the library.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.beff import MeasurementConfig, run_detail
@@ -402,8 +403,79 @@ def main_beffio(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _resolve_scenarios(names: list[str]) -> dict:
+    """``--scenario`` names as per-benchmark overrides.
+
+    At most one communication and one I/O scenario may be named; each
+    applies to its own benchmark's grid cells (the other benchmark
+    keeps the paper's default workload).
+    """
+    from repro.scenarios import CommScenario, get_scenario
+
+    overrides: dict = {}
+    for name in names:
+        try:
+            scenario = get_scenario(name)
+        except KeyError as exc:
+            raise SystemExit(f"repro: {exc.args[0]}") from None
+        benchmark = "b_eff" if isinstance(scenario, CommScenario) else "b_eff_io"
+        if benchmark in overrides:
+            raise SystemExit(
+                f"repro: both {overrides[benchmark].name!r} and "
+                f"{scenario.name!r} are {benchmark} scenarios; name one"
+            )
+        overrides[benchmark] = scenario
+    return overrides
+
+
+def _cmd_scenarios(args) -> int:
+    """``repro scenarios list | show <name> | validate <file>``."""
+    import json as _json
+
+    from repro.scenarios import (
+        SCENARIOS,
+        CommScenario,
+        ScenarioError,
+        get_scenario,
+        scenario_from_dict,
+    )
+
+    def kind_of(s) -> str:
+        return "comm" if isinstance(s, CommScenario) else "io"
+
+    if args.action == "list":
+        for name in sorted(SCENARIOS):
+            s = SCENARIOS[name]
+            print(f"{name:18s} {kind_of(s):5s} {s.fingerprint()[:12]}  "
+                  f"{s.description}")
+        return 0
+    if args.action == "show":
+        try:
+            s = get_scenario(args.name)
+        except KeyError as exc:
+            print(f"repro: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(f"name:        {s.name}")
+        print(f"grammar:     {kind_of(s)}")
+        print(f"fingerprint: {s.fingerprint()}")
+        print(_json.dumps(s.to_dict(), indent=2, sort_keys=True))
+        return 0
+    # validate: parse a JSON grammar instance, run full validation
+    try:
+        with open(args.name, encoding="utf-8") as fh:
+            payload = _json.load(fh)
+        s = scenario_from_dict(payload)
+    except (OSError, ValueError, ScenarioError) as exc:
+        print(f"repro: invalid scenario: {exc}", file=sys.stderr)
+        return 2
+    print(f"ok: {kind_of(s)} scenario {s.name!r}, "
+          f"fingerprint {s.fingerprint()}")
+    return 0
+
+
 def main_repro(argv: list[str] | None = None) -> int:
-    """Grid front-end: ``repro sweep-grid`` runs a machine-zoo grid."""
+    """Grid front-end: ``repro sweep-grid`` runs a machine-zoo grid;
+    ``repro scenarios`` inspects the declarative workload layer."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="grid-scale front-end over both benchmarks",
@@ -412,6 +484,16 @@ def main_repro(argv: list[str] | None = None) -> int:
                f"{EXIT_COMPLETED_DEGRADED} completed with quarantined cells",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    scen = sub.add_parser(
+        "scenarios",
+        help="inspect the declarative scenario grammar without running "
+             "a benchmark",
+    )
+    scen.add_argument("action", choices=("list", "show", "validate"),
+                      help="list registered scenarios, show one as JSON, "
+                           "or validate a JSON grammar instance from a file")
+    scen.add_argument("name", nargs="?",
+                      help="scenario name (show) or JSON file path (validate)")
     grid = sub.add_parser(
         "sweep-grid",
         help="run a machine-zoo × benchmark × partitions grid with "
@@ -440,6 +522,11 @@ def main_repro(argv: list[str] | None = None) -> int:
                       help="scheduled time for the b_eff_io cells")
     grid.add_argument("--types", default="0",
                       help="b_eff_io pattern types for the grid's cells")
+    grid.add_argument("--scenario", action="append", default=[],
+                      metavar="NAME",
+                      help="declarative scenario to run instead of the paper "
+                           "workload (repeatable: at most one comm and one io "
+                           "scenario; see 'repro scenarios list')")
     grid.add_argument("--retries", type=int, default=0,
                       help="re-attempts per failed cell before giving up with "
                            f"exit code {EXIT_SWEEP_WORKER_FAILED}")
@@ -452,6 +539,10 @@ def main_repro(argv: list[str] | None = None) -> int:
     _supervision_args(grid)
     _cache_args(grid)
     args = parser.parse_args(argv)
+    if args.command == "scenarios":
+        if args.action in ("show", "validate") and not args.name:
+            scen.error(f"'{args.action}' needs a name argument")
+        return _cmd_scenarios(args)
     supervision = _supervision_of(args)
 
     from repro.runtime.scheduler import (
@@ -463,12 +554,17 @@ def main_repro(argv: list[str] | None = None) -> int:
 
     machines = sorted(MACHINES) if args.machines == "all" else args.machines.split(",")
     benchmarks = args.benchmarks.split(",")
+    scenario_overrides = _resolve_scenarios(args.scenario)
     configs = {
         "b_eff": MeasurementConfig(backend=args.backend),
         "b_eff_io": BeffIOConfig(
             T=args.T, pattern_types=tuple(int(t) for t in args.types.split(","))
         ),
     }
+    for benchmark, scenario in scenario_overrides.items():
+        configs[benchmark] = dataclasses.replace(
+            configs[benchmark], scenario=scenario
+        )
     specs = expand_grid(
         machines,
         benchmarks,

@@ -11,12 +11,21 @@ and per-process bandwidths, Sec. 5.2's filesystem descriptions (T3E:
 GPFS with 20 VSD servers, ~950 MB/s read / ~690 MB/s write peaks;
 NEC SX-5: four striped RAID-3 arrays, a 2 GB filesystem cache and
 4 MB cluster size).  We match *shapes*, not absolute values.
+
+Beyond the paper's systems, the library carries a small modern zoo
+(dragonfly, oversubscribed fat tree, clustered GPU nodes, a
+burst-buffer PFS) for scenario-grammar what-if sweeps; their
+constants are class-representative, not calibrated to published runs.
 """
 
 from repro.machines.spec import MachineSpec
 from repro.machines.library import (
     MACHINES,
+    burst_buffer_pfs,
     cray_t3e_900,
+    dragonfly_xc,
+    fattree_oversubscribed,
+    gpu_cluster,
     hitachi_sr2201,
     hitachi_sr8000,
     hp_v9000,
@@ -39,4 +48,8 @@ __all__ = [
     "hp_v9000",
     "sgi_cray_sv1",
     "ibm_sp_blue",
+    "dragonfly_xc",
+    "fattree_oversubscribed",
+    "gpu_cluster",
+    "burst_buffer_pfs",
 ]

@@ -32,11 +32,15 @@ NEC SX-5 I/O — 4 striped RAID-3 arrays on fibre channel; SFS with
 
 from __future__ import annotations
 
+import difflib
+
 from repro.machines.spec import MachineSpec
 from repro.net.model import NetParams
 from repro.pfs.filesystem import PFSConfig
 from repro.topology.clustered import ClusteredSMP
 from repro.topology.crossbar import Crossbar
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.fattree import FatTree
 from repro.topology.torus import Torus, balanced_dims
 from repro.util import GB, KB, MB
 
@@ -295,6 +299,154 @@ def ibm_sp_blue() -> MachineSpec:
     )
 
 
+# ---------------------------------------------------------------------------
+# the modern zoo: machine shapes the 2001 paper could not include,
+# here for scenario-grammar what-if sweeps rather than calibration.
+# Constants are representative of the respective system classes
+# (vendor datasheet ballpark), not reproductions of published runs.
+# ---------------------------------------------------------------------------
+
+
+def dragonfly_xc() -> MachineSpec:
+    """Cray XC-style dragonfly: 4 hosts/router, 8 routers/group,
+    global links tapered to a quarter of a group's local capacity."""
+    return MachineSpec(
+        name="Dragonfly (XC-style)",
+        memory_per_proc=4 * GB,  # M_PART = 32 MB
+        int_bits=64,
+        rmax_per_proc=1.2e12,
+        make_topology=lambda n: Dragonfly(
+            n,
+            hosts_per_router=4,
+            routers_per_group=8,
+            host_bw=10 * GB,
+            local_bw=25 * GB,
+            global_bw=50 * GB,  # vs 8 * 25 GB/s local: a 4x taper
+        ),
+        net=NetParams(
+            latency=1.5e-6,
+            per_hop_latency=0.3e-6,
+            intra_node_latency=1.5e-6,
+            eager_threshold=16 * KB,
+            rendezvous_latency=1e-6,
+            msg_rate_cap=10 * GB,
+        ),
+        pfs=PFSConfig(
+            num_servers=16,  # Lustre-style OSTs
+            stripe_unit=1 * MB,
+            disk_bw=500 * MB,
+            ingest_bw=5 * GB,
+            seek_time=8e-3,
+            request_overhead=5e-5,
+            disk_block=64 * KB,
+            cache_bytes=8 * GB,
+            client_bw=2 * GB,
+            server_net_bw=2 * GB,
+            call_overhead=2e-5,
+            unaligned_penalty=2e-4,
+        ),
+        procs_choices=(16, 64, 256),
+        notes="hierarchical: router < group < global taper; placement-sensitive",
+    )
+
+
+def fattree_oversubscribed() -> MachineSpec:
+    """Commodity cluster on a 2:1 oversubscribed two-level fat tree —
+    the ablation partner for the fully-provisioned tree baked into
+    :class:`~repro.topology.fattree.FatTree`."""
+    return MachineSpec(
+        name="Fat tree (2:1 oversubscribed)",
+        memory_per_proc=2 * GB,  # M_PART = 16 MB
+        int_bits=64,
+        rmax_per_proc=0.5e12,
+        make_topology=lambda n: FatTree(
+            n, radix=8, downlink_bw=12.5 * GB, oversubscription=2.0
+        ),
+        net=NetParams(
+            latency=2e-6,
+            per_hop_latency=0.5e-6,
+            intra_node_latency=2e-6,
+            eager_threshold=16 * KB,
+            rendezvous_latency=1.5e-6,
+            msg_rate_cap=12.5 * GB,
+        ),
+        procs_choices=(16, 64),
+        notes="cross-switch traffic sees half the injection bandwidth",
+    )
+
+
+def gpu_cluster() -> MachineSpec:
+    """Clustered GPU nodes: 4 accelerators per node behind a fat
+    intra-node interconnect (NVLink-class memory bus), one
+    HDR-class NIC pair per node — the modern extreme of the SR 8000's
+    inside/outside bandwidth gap."""
+    return MachineSpec(
+        name="GPU cluster (4-way nodes)",
+        memory_per_proc=16 * GB,  # M_PART = 128 MB
+        int_bits=64,
+        rmax_per_proc=20e12,
+        make_topology=lambda n: ClusteredSMP(
+            max(n // 4, 1),
+            4 if n % 4 == 0 and n >= 4 else n,
+            membus_bw=300 * GB,
+            nic_bw=25 * GB,
+            port_bw=100 * GB,
+            placement="sequential",
+        ),
+        net=NetParams(
+            latency=4e-6,
+            intra_node_latency=1e-6,
+            eager_threshold=32 * KB,
+            rendezvous_latency=2e-6,
+            copy_bw=600 * GB,
+            msg_rate_cap=25 * GB,
+        ),
+        procs_choices=(8, 32),
+        notes="balance probe: enormous R_max against one NIC per 4 ranks",
+    )
+
+
+def burst_buffer_pfs() -> MachineSpec:
+    """Two-tier I/O: an NVMe burst buffer absorbing bursts at memory
+    speed in front of modest spinning-disk backing stores.  The tiers
+    map onto the PFS model's cache: a burst fits ``cache_bytes`` and
+    is acknowledged at ``ingest_bw``; the background drain to
+    ``disk_bw`` (throttled by ``drain_delay``) is what a b_eff_io
+    rewrite pass eventually waits for."""
+    return MachineSpec(
+        name="Burst-buffer PFS cluster",
+        memory_per_proc=2 * GB,  # M_PART = 16 MB
+        int_bits=64,
+        rmax_per_proc=1.0e12,
+        make_topology=lambda n: FatTree(n, radix=16, downlink_bw=12.5 * GB),
+        net=NetParams(
+            latency=2e-6,
+            per_hop_latency=0.4e-6,
+            intra_node_latency=2e-6,
+            eager_threshold=16 * KB,
+            rendezvous_latency=1.5e-6,
+            msg_rate_cap=12.5 * GB,
+        ),
+        pfs=PFSConfig(
+            num_servers=8,
+            stripe_unit=1 * MB,
+            disk_bw=150 * MB,  # the thin backing tier
+            ingest_bw=8 * GB,  # NVMe absorb rate
+            seek_time=6e-3,
+            request_overhead=4e-5,
+            disk_block=64 * KB,
+            cache_bytes=64 * GB,  # the burst-buffer tier itself
+            client_bw=4 * GB,
+            server_net_bw=4 * GB,
+            call_overhead=2e-5,
+            drain_delay=0.2,  # writeback waits out the burst
+            unaligned_penalty=1e-4,
+        ),
+        procs_choices=(8, 32),
+        notes="write bursts land at NVMe speed; sustained rates drain at disk speed",
+    )
+
+
 MACHINES = {
     "t3e": cray_t3e_900,
     "sr8000": hitachi_sr8000,
@@ -305,14 +457,25 @@ MACHINES = {
     "hpv": hp_v9000,
     "sv1": sgi_cray_sv1,
     "sp": ibm_sp_blue,
+    "dragonfly": dragonfly_xc,
+    "fattree-2to1": fattree_oversubscribed,
+    "gpucluster": gpu_cluster,
+    "bbpfs": burst_buffer_pfs,
 }
 
 
 def get_machine(key: str) -> MachineSpec:
-    """Look up a machine by its short key (see ``MACHINES``)."""
+    """Look up a machine by its short key (see ``MACHINES``).
+
+    An unknown key raises a KeyError that lists every available key
+    and, when the name is a near miss ("dragonfIy", "se8000"),
+    suggests the closest one.
+    """
     try:
         return MACHINES[key]()
     except KeyError:
+        close = difflib.get_close_matches(key, MACHINES, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise KeyError(
-            f"unknown machine {key!r}; available: {sorted(MACHINES)}"
+            f"unknown machine {key!r}; available: {sorted(MACHINES)}{hint}"
         ) from None

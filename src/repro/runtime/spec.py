@@ -66,6 +66,21 @@ def _digest(payload: dict[str, Any]) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+def _config_dict(config: "BenchmarkConfig") -> dict[str, Any]:
+    """The config flattened for hashing.
+
+    ``dataclasses.asdict`` recurses into a nested scenario, so a
+    grammar-driven run is content-addressed by its full scenario
+    definition; the ``scenario`` key is dropped when None so every
+    pre-scenario fingerprint (store entries, journal manifests) stays
+    byte-identical.
+    """
+    d = dataclasses.asdict(config)
+    if d.get("scenario") is None:
+        d.pop("scenario", None)
+    return d
+
+
 #: sentinel occupying the ``nprocs`` axis in a sweep-level fingerprint
 #: ("every partition of this sweep"); real cells always carry an int
 SWEEP_AXIS = "*"
@@ -95,7 +110,7 @@ def cell_fingerprint(
             "nprocs": nprocs,
             "engine_mode": engine_mode_of(config),
             "fault_seed": fault_seed_of(config),
-            "config": dataclasses.asdict(config),
+            "config": _config_dict(config),
         }
     )
 
@@ -128,7 +143,7 @@ def legacy_sweep_fingerprint(
             "machine": machine,
             "engine_mode": engine_mode_of(config),
             "fault_seed": fault_seed_of(config),
-            "config": dataclasses.asdict(config),
+            "config": _config_dict(config),
         }
     )
 

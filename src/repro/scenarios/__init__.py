@@ -1,0 +1,73 @@
+"""Declarative benchmark scenarios: the grammar and its instances.
+
+See :mod:`repro.scenarios.grammar` for the primitives.  The paper's
+two fixed tables are the pinned instances ``paper-beff`` and
+``paper-table2``; everything else in the registry is a what-if
+variation.  :func:`get_scenario` resolves names for the CLI and the
+grid scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.examples import ALIGNED_STREAMS, OCTET_BLOCKS, PAIRS_VS_ALL
+from repro.scenarios.grammar import (
+    CommPatternSpec,
+    CommScenario,
+    ExplicitPlacement,
+    ExplicitRings,
+    IOPhase,
+    IORow,
+    IOScenario,
+    NaturalPlacement,
+    PaperRings,
+    RandomPlacement,
+    Scenario,
+    ScenarioError,
+    Size,
+    StandardRings,
+    scenario_from_dict,
+)
+from repro.scenarios.paper_beff import PAPER_BEFF
+from repro.scenarios.paper_table2 import PAPER_TABLE2
+
+#: every named scenario, paper instances first
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (PAPER_BEFF, PAPER_TABLE2, PAIRS_VS_ALL, OCTET_BLOCKS, ALIGNED_STREAMS)
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered scenario, or a listing error on unknown names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+__all__ = [
+    "ALIGNED_STREAMS",
+    "OCTET_BLOCKS",
+    "PAIRS_VS_ALL",
+    "PAPER_BEFF",
+    "PAPER_TABLE2",
+    "SCENARIOS",
+    "CommPatternSpec",
+    "CommScenario",
+    "ExplicitPlacement",
+    "ExplicitRings",
+    "IOPhase",
+    "IORow",
+    "IOScenario",
+    "NaturalPlacement",
+    "PaperRings",
+    "RandomPlacement",
+    "Scenario",
+    "ScenarioError",
+    "Size",
+    "StandardRings",
+    "get_scenario",
+    "scenario_from_dict",
+]

@@ -1,0 +1,112 @@
+"""What-if scenario instances beyond the paper's pinned tables.
+
+These are small demonstrations of the grammar — the kind of variation
+FBench argues a benchmark should make cheap.  They are registered so
+``repro scenarios show`` and ``repro sweep-grid --scenario`` can run
+them, and the docs walk through ``pairs-vs-all`` on the dragonfly
+machine.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.grammar import (
+    CommPatternSpec,
+    CommScenario,
+    ExplicitRings,
+    IOPhase,
+    IORow,
+    IOScenario,
+    NaturalPlacement,
+    PaperRings,
+    RandomPlacement,
+    Size,
+    StandardRings,
+)
+from repro.util import KB, MB
+
+#: nearest-neighbor pairs vs one machine-spanning ring, natural and
+#: permuted: the sharpest probe of how much a topology's bisection
+#: costs once messages leave the local group
+PAIRS_VS_ALL = CommScenario(
+    name="pairs-vs-all",
+    description=(
+        "Rings of two (pure neighbor exchange) against the single "
+        "all-rank ring, each under natural and random placement — a "
+        "4-pattern locality probe for hierarchical topologies."
+    ),
+    patterns=(
+        CommPatternSpec(
+            name="pairs",
+            partition=StandardRings(standard=2, min_ring=2),
+            placement=NaturalPlacement(),
+        ),
+        CommPatternSpec(
+            name="all-ranks",
+            partition=PaperRings(6),
+            placement=NaturalPlacement(),
+        ),
+        CommPatternSpec(
+            name="pairs-permuted",
+            partition=StandardRings(standard=2, min_ring=2),
+            placement=RandomPlacement(stream="examples.pairs-permuted"),
+        ),
+        CommPatternSpec(
+            name="all-ranks-permuted",
+            partition=PaperRings(6),
+            placement=RandomPlacement(stream="examples.all-ranks-permuted"),
+        ),
+    ),
+)
+
+#: an eight-rank instance with hand-placed rings (placement ablation)
+OCTET_BLOCKS = CommScenario(
+    name="octet-blocks",
+    description=(
+        "A fixed 8-rank instance: two explicit quads in natural order "
+        "and the same quads with ranks interleaved across the halves "
+        "— compiles only at nprocs=8."
+    ),
+    patterns=(
+        CommPatternSpec(
+            name="quads",
+            partition=ExplicitRings((4, 4)),
+            placement=NaturalPlacement(),
+        ),
+        CommPatternSpec(
+            name="quads-interleaved",
+            partition=ExplicitRings((4, 4)),
+            placement=RandomPlacement(stream="examples.octet-interleave"),
+        ),
+    ),
+)
+
+#: a wellformed-only I/O ladder, equal type weights: strips Table 2
+#: down to the question "what does the PFS do on aligned big blocks?"
+ALIGNED_STREAMS = IOScenario(
+    name="aligned-streams",
+    description=(
+        "Wellformed-only scatter and separate-file ladders with equal "
+        "type weights — isolates aligned-access bandwidth from the "
+        "non-wellformed penalty and the scatter double-weight."
+    ),
+    sum_u=16,
+    type_weights=(),
+    phases=(
+        IOPhase(
+            pattern_type=0,
+            rows=(
+                IORow(disk=Size(mpart=True), U=4),
+                IORow(disk=Size(base=MB), memory=Size(base=2 * MB), U=2),
+                IORow(disk=Size(base=32 * KB), memory=Size(base=MB), U=2),
+            ),
+        ),
+        IOPhase(
+            pattern_type=2,
+            rows=(
+                IORow(disk=Size(mpart=True), U=4),
+                IORow(disk=Size(base=MB), U=2),
+                IORow(disk=Size(base=32 * KB), U=2),
+            ),
+        ),
+    ),
+)

@@ -1,0 +1,685 @@
+"""The declarative scenario grammar both benchmarks consume.
+
+A *scenario* is a typed, serializable description of a benchmark
+workload — the generalization FBench argues for: instead of two fixed
+tables (the 36 b_eff communication patterns, the Table 2 I/O rows),
+the tables become *instances* of a small grammar of composable
+primitives, and what-if variations are new instances rather than new
+code.
+
+Two scenario families exist, one per benchmark:
+
+* :class:`CommScenario` — a list of :class:`CommPatternSpec`, each a
+  *ring partition* primitive (how the ranks split into rings) plus a
+  *placement* primitive (how ring slots map to world ranks).  It
+  compiles to the :class:`~repro.beff.patterns.CommPattern` objects
+  the b_eff schedulers, analytic plans and orbit fast-forward already
+  execute.
+* :class:`IOScenario` — a list of :class:`IOPhase` (one per pattern
+  type), each a ladder of :class:`IORow` chunk accesses with
+  time-unit weights, compiling to the
+  :class:`~repro.beffio.patterns.IOPattern` rows the b_eff_io
+  scheduler executes.  The scenario also owns its *reduction tree*:
+  per-type weights feeding :mod:`repro.runtime.formulas`-style
+  :class:`~repro.runtime.reduce.Formula` objects, so new scenario
+  families define their own aggregation without touching analysis
+  code.
+
+Scenarios validate (unique names and numbers, weights summing as
+declared, both pattern kinds present), serialize to plain JSON-able
+dicts (:meth:`to_dict` / :func:`scenario_from_dict`), and hash into a
+stable :meth:`fingerprint` — the hook through which a scenario-driven
+:class:`~repro.runtime.spec.RunSpec` gets its own content address in
+the result store and the grid scheduler.
+
+Every size in the grammar is a :class:`Size` expression so machine-
+dependent chunk sizes (the M_PART rule) resolve per machine at
+compile time, exactly like the paper's table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Union
+
+from repro.beff.rings import NUM_RING_PATTERNS, ring_pattern_sizes
+from repro.runtime.formulas import ACCESS_METHODS, METHOD_WEIGHTS, beff_formula
+from repro.runtime.reduce import Formula, Reduce
+
+if TYPE_CHECKING:
+    from repro.beff.patterns import CommPattern
+    from repro.beffio.patterns import IOPattern
+    from repro.sim.randomness import RandomStreams
+
+#: serialization schema of scenario dicts (bumped on layout changes)
+SCENARIO_SCHEMA = 1
+
+
+class ScenarioError(ValueError):
+    """A scenario failed validation or compilation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
+
+
+# ---------------------------------------------------------------------------
+# ring-partition primitives (the b_eff side)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PaperRings:
+    """The paper's ring_numbers.c rule for ring pattern 1..6."""
+
+    pattern: int
+    rule: str = "paper"
+
+    def __post_init__(self) -> None:
+        _require(self.rule == "paper", f"PaperRings rule must be 'paper', got {self.rule!r}")
+        _require(
+            1 <= self.pattern <= NUM_RING_PATTERNS,
+            f"paper ring pattern must be 1..{NUM_RING_PATTERNS}, got {self.pattern}",
+        )
+
+    def sizes(self, nprocs: int) -> list[int]:
+        return ring_pattern_sizes(nprocs, self.pattern)
+
+
+@dataclass(frozen=True)
+class StandardRings:
+    """k = round(n / standard) nearly-equal rings, none below ``min_ring``."""
+
+    standard: int
+    min_ring: int = 3
+    rule: str = "standard"
+
+    def __post_init__(self) -> None:
+        _require(self.rule == "standard", f"StandardRings rule must be 'standard', got {self.rule!r}")
+        _require(self.standard >= 2, "standard ring size must be >= 2")
+        _require(self.min_ring >= 2, "min_ring must be >= 2 (a ring needs two members)")
+
+    def sizes(self, nprocs: int) -> list[int]:
+        k = max(1, round(nprocs / self.standard))
+        while k > 1 and nprocs // k < self.min_ring:
+            k -= 1
+        base, rem = divmod(nprocs, k)
+        return [base + 1] * rem + [base] * (k - rem)
+
+
+@dataclass(frozen=True)
+class ExplicitRings:
+    """Literal ring sizes; they must sum to the compile-time nprocs."""
+
+    ring_sizes: tuple[int, ...]
+    rule: str = "explicit"
+
+    def __post_init__(self) -> None:
+        _require(self.rule == "explicit", f"ExplicitRings rule must be 'explicit', got {self.rule!r}")
+        _require(bool(self.ring_sizes), "ExplicitRings needs at least one ring")
+        _require(
+            all(s >= 2 for s in self.ring_sizes),
+            f"every ring needs >= 2 members, got {self.ring_sizes}",
+        )
+
+    def sizes(self, nprocs: int) -> list[int]:
+        _require(
+            sum(self.ring_sizes) == nprocs,
+            f"explicit ring sizes sum to {sum(self.ring_sizes)}, "
+            f"but the pattern compiles for {nprocs} processes",
+        )
+        return list(self.ring_sizes)
+
+
+RingPartition = Union[PaperRings, StandardRings, ExplicitRings]
+
+_PARTITION_RULES: dict[str, type] = {
+    "paper": PaperRings,
+    "standard": StandardRings,
+    "explicit": ExplicitRings,
+}
+
+
+# ---------------------------------------------------------------------------
+# placement primitives
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NaturalPlacement:
+    """Ranks in natural order: ring neighbors are topology neighbors."""
+
+    order: str = "natural"
+
+    def __post_init__(self) -> None:
+        _require(self.order == "natural", f"NaturalPlacement order must be 'natural', got {self.order!r}")
+
+    def permute(self, nprocs: int, streams: "RandomStreams") -> list[int]:
+        return list(range(nprocs))
+
+
+@dataclass(frozen=True)
+class RandomPlacement:
+    """A seed-deterministic permutation drawn from a named stream.
+
+    ``stream`` is the :class:`~repro.sim.randomness.RandomStreams`
+    stream name; the paper's random patterns use
+    ``beff.random-pattern-<p>``, and any other name gives an
+    independent — but equally reproducible — placement.
+    """
+
+    stream: str
+    order: str = "random"
+
+    def __post_init__(self) -> None:
+        _require(self.order == "random", f"RandomPlacement order must be 'random', got {self.order!r}")
+        _require(bool(self.stream), "RandomPlacement needs a stream name")
+
+    def permute(self, nprocs: int, streams: "RandomStreams") -> list[int]:
+        return streams.permutation(self.stream, nprocs)
+
+
+@dataclass(frozen=True)
+class ExplicitPlacement:
+    """A literal permutation of the world ranks (placement ablations)."""
+
+    permutation: tuple[int, ...]
+    order: str = "explicit"
+
+    def __post_init__(self) -> None:
+        _require(self.order == "explicit", f"ExplicitPlacement order must be 'explicit', got {self.order!r}")
+
+    def permute(self, nprocs: int, streams: "RandomStreams") -> list[int]:
+        _require(
+            sorted(self.permutation) == list(range(nprocs)),
+            f"explicit placement must permute range({nprocs})",
+        )
+        return list(self.permutation)
+
+
+Placement = Union[NaturalPlacement, RandomPlacement, ExplicitPlacement]
+
+_PLACEMENT_ORDERS: dict[str, type] = {
+    "natural": NaturalPlacement,
+    "random": RandomPlacement,
+    "explicit": ExplicitPlacement,
+}
+
+
+# ---------------------------------------------------------------------------
+# communication scenarios
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CommPatternSpec:
+    """One b_eff pattern: a ring partition under a placement."""
+
+    name: str
+    partition: RingPartition
+    placement: Placement = field(default_factory=NaturalPlacement)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "pattern needs a name")
+
+    @property
+    def kind(self) -> str:
+        """The aggregation kind: natural placement measures ring
+        locality, any permuted placement measures placement
+        sensitivity (the paper's 'random' family)."""
+        return "ring" if isinstance(self.placement, NaturalPlacement) else "random"
+
+    def compile(self, nprocs: int, streams: "RandomStreams") -> "CommPattern":
+        from repro.beff.patterns import CommPattern
+
+        sizes = self.partition.sizes(nprocs)
+        _require(
+            sum(sizes) == nprocs,
+            f"pattern {self.name!r}: ring sizes {sizes} do not cover "
+            f"{nprocs} processes",
+        )
+        perm = self.placement.permute(nprocs, streams)
+        rings: list[tuple[int, ...]] = []
+        start = 0
+        for size in sizes:
+            rings.append(tuple(perm[i] for i in range(start, start + size)))
+            start += size
+        return CommPattern(name=self.name, kind=self.kind, rings=tuple(rings))
+
+
+@dataclass(frozen=True)
+class CommScenario:
+    """A full b_eff workload: the pattern list the benchmark averages.
+
+    The b_eff formula logavgs the ``ring`` and ``random`` kinds with
+    equal weight, so a valid scenario must contain at least one
+    pattern of each kind (the per-kind logavgs are otherwise
+    undefined).
+    """
+
+    name: str
+    patterns: tuple[CommPatternSpec, ...]
+    description: str = ""
+    schema: int = SCENARIO_SCHEMA
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, nprocs: int | None = None) -> None:
+        """Structural validation; with ``nprocs`` also compile-time rules."""
+        _require(bool(self.name), "scenario needs a name")
+        _require(self.schema == SCENARIO_SCHEMA, f"unknown scenario schema {self.schema!r}")
+        _require(bool(self.patterns), "scenario needs at least one pattern")
+        names = [p.name for p in self.patterns]
+        _require(
+            len(set(names)) == len(names),
+            f"duplicate pattern names in scenario {self.name!r}",
+        )
+        kinds = {p.kind for p in self.patterns}
+        _require(
+            kinds >= {"ring", "random"},
+            f"scenario {self.name!r} needs both a natural-placement (ring) "
+            f"and a permuted-placement (random) pattern for the b_eff "
+            f"two-step logavg; got kinds {sorted(kinds)}",
+        )
+        if nprocs is not None:
+            for p in self.patterns:
+                sizes = p.partition.sizes(nprocs)
+                _require(
+                    sum(sizes) == nprocs and all(s >= 2 for s in sizes),
+                    f"pattern {p.name!r} partitions {nprocs} ranks as {sizes}",
+                )
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(
+        self, nprocs: int, streams: "RandomStreams | None" = None
+    ) -> "list[CommPattern]":
+        """The scenario as executable :class:`CommPattern` objects.
+
+        Compilation re-checks everything validation can only prove for
+        a concrete process count (partition coverage, permutation
+        domains, no duplicate ranks — the latter via the
+        :class:`CommPattern` constructor itself).
+        """
+        from repro.sim.randomness import RandomStreams
+
+        self.validate(nprocs)
+        streams = streams or RandomStreams()
+        return [p.compile(nprocs, streams) for p in self.patterns]
+
+    def formula(self, num_sizes: int) -> Formula:
+        """The b_eff reduction tree (fixed: the paper's two-step logavg)."""
+        return beff_formula(num_sizes)
+
+    # -- identity ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "grammar": "comm",
+            "name": self.name,
+            "description": self.description,
+            "patterns": [
+                {
+                    "name": p.name,
+                    "partition": _primitive_dict(p.partition),
+                    "placement": _primitive_dict(p.placement),
+                }
+                for p in self.patterns
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        return _fingerprint(self.to_dict())
+
+
+# ---------------------------------------------------------------------------
+# I/O scenario primitives (the b_eff_io side)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Size:
+    """A chunk-size expression resolved at compile time.
+
+    ``base`` bytes, or the machine's M_PART when ``mpart`` is set,
+    plus ``plus`` bytes (the table's non-wellformed ``+8`` family and
+    type 0's odd memory-chunk paddings).
+    """
+
+    base: int = 0
+    mpart: bool = False
+    plus: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.base >= 0, "size base must be >= 0")
+        _require(self.plus >= 0, "size padding must be >= 0")
+        _require(
+            self.mpart or self.base > 0 or self.plus > 0,
+            "a fixed size must be positive",
+        )
+        _require(not (self.mpart and self.base), "M_PART sizes take no base bytes")
+
+    def resolve(self, mpart: int) -> int:
+        return (mpart if self.mpart else self.base) + self.plus
+
+
+@dataclass(frozen=True)
+class IORow:
+    """One chunk access of a phase: (l, L, U, wellformed) generalized.
+
+    ``memory`` is the contiguous memory chunk per call (the table's
+    L); ``None`` means one memory chunk per disk chunk (``L = l``,
+    the per-chunk pattern types).  ``fill_segment`` marks the
+    size-driven fill rows of the segmented types.
+    """
+
+    disk: Size
+    memory: Size | None = None
+    U: int = 0
+    wellformed: bool = True
+    fill_segment: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.U >= 0, "time units must be >= 0")
+        _require(not (self.fill_segment and self.U), "fill rows are size-driven: U must be 0")
+
+
+@dataclass(frozen=True)
+class IOPhase:
+    """All rows of one pattern type, scheduled in order."""
+
+    pattern_type: int
+    rows: tuple[IORow, ...]
+
+    def __post_init__(self) -> None:
+        _require(0 <= self.pattern_type <= 5, f"bad pattern type {self.pattern_type}")
+        _require(bool(self.rows), f"phase type {self.pattern_type} needs rows")
+
+
+@dataclass(frozen=True)
+class IOScenario:
+    """A full b_eff_io workload plus its own reduction tree.
+
+    ``sum_u`` is the declared time-unit total: the scheduled time of a
+    row is ``T/3 * U / sum_u``, and validation requires the rows to
+    actually sum to it (the grammar's "weights sum as declared" rule).
+    ``type_weights`` feeds the scenario's aggregation formula — the
+    paper's instance double-weights the scattering type 0.
+    """
+
+    name: str
+    phases: tuple[IOPhase, ...]
+    #: phases scheduled *on top of* ``sum_u`` (the paper's Sec. 6
+    #: random-access outlook): their rows extend the run by
+    #: ``T/3 * U / sum_u`` each without entering the declared total
+    extensions: tuple[IOPhase, ...] = ()
+    sum_u: int = 64
+    #: per-pattern-type weight pairs for the method average (types not
+    #: listed weigh 1.0); the paper doubles the scattering type
+    type_weights: tuple[tuple[int, float], ...] = ((0, 2.0),)
+    #: first pattern number (the paper extension starts at 43)
+    number_base: int = 0
+    description: str = ""
+    schema: int = SCENARIO_SCHEMA
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, memory_per_proc: int | None = None) -> None:
+        _require(bool(self.name), "scenario needs a name")
+        _require(self.schema == SCENARIO_SCHEMA, f"unknown scenario schema {self.schema!r}")
+        _require(bool(self.phases), "scenario needs at least one phase")
+        _require(self.sum_u >= 1, "sum_u must be >= 1")
+        _require(self.number_base >= 0, "number_base must be >= 0")
+        total = sum(row.U for phase in self.phases for row in phase.rows)
+        _require(
+            total == self.sum_u,
+            f"scenario {self.name!r} declares sum_u={self.sum_u} but its "
+            f"rows sum to {total}",
+        )
+        types = [p.pattern_type for p in self.phases]
+        _require(
+            len(set(types)) == len(types) or types == sorted(types),
+            f"scenario {self.name!r}: out-of-order repeated phase types {types}",
+        )
+        core = set(types)
+        _require(
+            all(p.pattern_type not in core for p in self.extensions),
+            f"scenario {self.name!r}: extension phases reuse core pattern types",
+        )
+        for t, w in self.type_weights:
+            _require(0 <= t <= 5, f"type weight names bad pattern type {t}")
+            _require(w > 0, f"type weight for type {t} must be positive")
+        if memory_per_proc is not None:
+            for p in self.compile(memory_per_proc):
+                _require(p.l >= 1 and p.L >= p.l, f"pattern {p.number}: bad sizes l={p.l} L={p.L}")
+
+    def pattern_types(self) -> tuple[int, ...]:
+        """The distinct core pattern types, in first-appearance order."""
+        return tuple(dict.fromkeys(p.pattern_type for p in self.phases))
+
+    def extension_types(self) -> tuple[int, ...]:
+        """The distinct extension pattern types, in appearance order."""
+        return tuple(dict.fromkeys(p.pattern_type for p in self.extensions))
+
+    @property
+    def num_core_rows(self) -> int:
+        """Compiled rows belonging to the core phases (the extension
+        rows follow them, numbered sequentially)."""
+        return sum(len(p.rows) for p in self.phases)
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self, memory_per_proc: int) -> "list[IOPattern]":
+        """The scenario as executable Table-2-style :class:`IOPattern` rows."""
+        from repro.beffio.patterns import IOPattern, mpart_for
+
+        mpart = mpart_for(memory_per_proc)
+        out: list[IOPattern] = []
+        number = self.number_base
+        for phase in self.phases + self.extensions:
+            for row in phase.rows:
+                l = row.disk.resolve(mpart)
+                memory = row.memory if row.memory is not None else row.disk
+                out.append(
+                    IOPattern(
+                        number=number,
+                        pattern_type=phase.pattern_type,
+                        l=l,
+                        L=memory.resolve(mpart),
+                        U=row.U,
+                        wellformed=row.wellformed,
+                        fill_segment=row.fill_segment,
+                    )
+                )
+                number += 1
+        return out
+
+    def formula(self) -> Formula:
+        """The partition reduction tree: the paper's 1/1/2 method
+        weighting over this scenario's per-type weights."""
+        return Formula(
+            "b_eff_io",
+            (
+                Reduce(
+                    "weighted",
+                    over="method",
+                    weights=dict(METHOD_WEIGHTS),
+                    require=ACCESS_METHODS,
+                ),
+                Reduce(
+                    "weighted",
+                    over="type",
+                    weights=dict(self.type_weights),
+                    default_weight=1.0,
+                ),
+            ),
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "grammar": "io",
+            "name": self.name,
+            "description": self.description,
+            "sum_u": self.sum_u,
+            "number_base": self.number_base,
+            "type_weights": [[t, w] for t, w in self.type_weights],
+            "phases": [_phase_dict(phase) for phase in self.phases],
+            "extensions": [_phase_dict(phase) for phase in self.extensions],
+        }
+
+    def fingerprint(self) -> str:
+        return _fingerprint(self.to_dict())
+
+
+Scenario = Union[CommScenario, IOScenario]
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+
+def _primitive_dict(obj: Any) -> dict[str, Any]:
+    """A tagged union member as its field dict (tag field included)."""
+    import dataclasses
+
+    return dataclasses.asdict(obj)
+
+
+def _size_dict(s: Size | None) -> dict[str, Any] | None:
+    if s is None:
+        return None
+    return {"base": s.base, "mpart": s.mpart, "plus": s.plus}
+
+
+def _phase_dict(phase: IOPhase) -> dict[str, Any]:
+    return {
+        "pattern_type": phase.pattern_type,
+        "rows": [
+            {
+                "disk": _size_dict(row.disk),
+                "memory": _size_dict(row.memory),
+                "U": row.U,
+                "wellformed": row.wellformed,
+                "fill_segment": row.fill_segment,
+            }
+            for row in phase.rows
+        ],
+    }
+
+
+def _fingerprint(payload: dict[str, Any]) -> str:
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _partition_from_dict(d: dict[str, Any]) -> RingPartition:
+    rule = d.get("rule")
+    cls = _PARTITION_RULES.get(str(rule))
+    if cls is None:
+        raise ScenarioError(f"unknown ring-partition rule {rule!r}")
+    fields = dict(d)
+    if "ring_sizes" in fields:
+        fields["ring_sizes"] = tuple(fields["ring_sizes"])
+    out: RingPartition = cls(**fields)
+    return out
+
+
+def _placement_from_dict(d: dict[str, Any]) -> Placement:
+    order = d.get("order")
+    cls = _PLACEMENT_ORDERS.get(str(order))
+    if cls is None:
+        raise ScenarioError(f"unknown placement order {order!r}")
+    fields = dict(d)
+    if "permutation" in fields:
+        fields["permutation"] = tuple(fields["permutation"])
+    out: Placement = cls(**fields)
+    return out
+
+
+def _size_from_dict(d: dict[str, Any] | None) -> Size | None:
+    if d is None:
+        return None
+    return Size(base=int(d["base"]), mpart=bool(d["mpart"]), plus=int(d["plus"]))
+
+
+def scenario_from_dict(d: dict[str, Any]) -> Scenario:
+    """Rebuild a scenario from :meth:`to_dict` output (JSON-safe).
+
+    The round trip is exact: ``scenario_from_dict(s.to_dict())`` is
+    equal to ``s`` and shares its fingerprint.
+    """
+    if not isinstance(d, dict):
+        raise ScenarioError(f"scenario payload must be a dict, got {type(d).__name__}")
+    if d.get("schema") != SCENARIO_SCHEMA:
+        raise ScenarioError(
+            f"scenario payload has schema {d.get('schema')!r}; this build "
+            f"reads schema {SCENARIO_SCHEMA}"
+        )
+    grammar = d.get("grammar")
+    try:
+        if grammar == "comm":
+            return CommScenario(
+                name=d["name"],
+                description=d.get("description", ""),
+                patterns=tuple(
+                    CommPatternSpec(
+                        name=p["name"],
+                        partition=_partition_from_dict(p["partition"]),
+                        placement=_placement_from_dict(p["placement"]),
+                    )
+                    for p in d["patterns"]
+                ),
+            )
+        if grammar == "io":
+            return IOScenario(
+                name=d["name"],
+                description=d.get("description", ""),
+                sum_u=int(d["sum_u"]),
+                number_base=int(d.get("number_base", 0)),
+                type_weights=tuple(
+                    (int(t), float(w)) for t, w in d.get("type_weights", [[0, 2.0]])
+                ),
+                phases=tuple(_phase_from_dict(p) for p in d["phases"]),
+                extensions=tuple(
+                    _phase_from_dict(p) for p in d.get("extensions", [])
+                ),
+            )
+    except (KeyError, TypeError) as exc:
+        raise ScenarioError(f"malformed scenario payload: {exc!r}") from exc
+    raise ScenarioError(f"unknown scenario grammar {grammar!r} (known: comm, io)")
+
+
+def _require_size(s: Size | None) -> Size:
+    if s is None:
+        raise ScenarioError("row is missing its disk chunk size")
+    return s
+
+
+def _phase_from_dict(phase: dict[str, Any]) -> IOPhase:
+    return IOPhase(
+        pattern_type=int(phase["pattern_type"]),
+        rows=tuple(
+            IORow(
+                disk=_require_size(_size_from_dict(row["disk"])),
+                memory=_size_from_dict(row.get("memory")),
+                U=int(row["U"]),
+                wellformed=bool(row["wellformed"]),
+                fill_segment=bool(row.get("fill_segment", False)),
+            )
+            for row in phase["rows"]
+        ),
+    )

@@ -1,0 +1,45 @@
+"""The paper's b_eff pattern table as a pinned grammar instance.
+
+Twelve patterns: the six ring patterns of ring_numbers.c under
+natural placement, and the same six partitions under the
+seed-deterministic random placements (streams
+``beff.random-pattern-1`` .. ``-6``).  Golden parity tests pin this
+instance bit-identical to the legacy ``repro.beff.patterns`` tables
+for every process count.
+"""
+
+from __future__ import annotations
+
+from repro.beff.rings import NUM_RING_PATTERNS
+from repro.scenarios.grammar import (
+    CommPatternSpec,
+    CommScenario,
+    NaturalPlacement,
+    PaperRings,
+    RandomPlacement,
+)
+
+PAPER_BEFF = CommScenario(
+    name="paper-beff",
+    description=(
+        "The 2001 paper's averaged pattern set: six ring patterns in "
+        "natural rank order plus the same partitions under random "
+        "placement (paper Sec. 4)."
+    ),
+    patterns=tuple(
+        CommPatternSpec(
+            name=f"ring-{p}",
+            partition=PaperRings(p),
+            placement=NaturalPlacement(),
+        )
+        for p in range(1, NUM_RING_PATTERNS + 1)
+    )
+    + tuple(
+        CommPatternSpec(
+            name=f"random-{p}",
+            partition=PaperRings(p),
+            placement=RandomPlacement(stream=f"beff.random-pattern-{p}"),
+        )
+        for p in range(1, NUM_RING_PATTERNS + 1)
+    ),
+)

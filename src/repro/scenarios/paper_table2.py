@@ -1,0 +1,77 @@
+"""The paper's Table 2 I/O pattern list as a pinned grammar instance.
+
+43 rows over the five pattern types — 36 with scheduled time, time
+units summing to 64 — plus the Sec. 6 random-access outlook (pattern
+type 5) as an *extension* phase: its rows are scheduled on top of the
+declared total, exactly like the legacy ``extension_patterns``.
+Golden parity tests pin this instance bit-identical to the legacy
+``repro.beffio.patterns`` tables for every machine memory size.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.grammar import IOPhase, IORow, IOScenario, Size
+from repro.util import KB, MB
+
+_MB = Size(base=MB)
+_MPART = Size(mpart=True)
+
+#: the scatter type's ladder: memory chunks of L bytes scattered
+#: to/from disk chunks of l bytes in one call (paper Table 2, type 0)
+_TYPE0 = IOPhase(
+    pattern_type=0,
+    rows=(
+        IORow(disk=_MB, U=0),
+        IORow(disk=_MPART, U=4),
+        IORow(disk=_MB, memory=Size(base=2 * MB), U=4),
+        IORow(disk=_MB, U=4),
+        IORow(disk=Size(base=32 * KB), memory=_MB, U=2),
+        IORow(disk=Size(base=KB), memory=_MB, U=2),
+        IORow(disk=Size(base=32 * KB, plus=8), memory=Size(base=MB, plus=256),
+              U=2, wellformed=False),
+        IORow(disk=Size(base=KB, plus=8), memory=Size(base=MB, plus=8 * KB),
+              U=2, wellformed=False),
+        IORow(disk=Size(base=MB, plus=8), U=2, wellformed=False),
+    ),
+)
+
+
+def _per_chunk_rows(u_mpart: int, u_1mb: int, u_1mb8: int) -> tuple[IORow, ...]:
+    """The (l, L=l) ladder shared by the per-chunk pattern types."""
+    return (
+        IORow(disk=_MB, U=0),
+        IORow(disk=_MPART, U=u_mpart),
+        IORow(disk=_MB, U=u_1mb),
+        IORow(disk=Size(base=32 * KB), U=1),
+        IORow(disk=Size(base=KB), U=1),
+        IORow(disk=Size(base=32 * KB, plus=8), U=1, wellformed=False),
+        IORow(disk=Size(base=KB, plus=8), U=1, wellformed=False),
+        IORow(disk=Size(base=MB, plus=8), U=u_1mb8, wellformed=False),
+    )
+
+
+_FILL = IORow(disk=_MB, U=0, fill_segment=True)
+
+#: types 2/3/4 (and the type-5 extension) share one U assignment
+_NONCOLL_ROWS = _per_chunk_rows(u_mpart=2, u_1mb=2, u_1mb8=2)
+
+PAPER_TABLE2 = IOScenario(
+    name="paper-table2",
+    description=(
+        "The 2001 paper's Table 2: scatter, shared-pointer, separate-"
+        "file and segmented-file ladders (sum U = 64), with the Sec. 6 "
+        "random-access patterns as an optional extension."
+    ),
+    sum_u=64,
+    type_weights=((0, 2.0),),
+    phases=(
+        _TYPE0,
+        IOPhase(pattern_type=1, rows=_per_chunk_rows(u_mpart=4, u_1mb=2, u_1mb8=2)),
+        IOPhase(pattern_type=2, rows=_NONCOLL_ROWS),
+        IOPhase(pattern_type=3, rows=_NONCOLL_ROWS),
+        IOPhase(pattern_type=3, rows=(_FILL,)),
+        IOPhase(pattern_type=4, rows=_NONCOLL_ROWS),
+        IOPhase(pattern_type=4, rows=(_FILL,)),
+    ),
+    extensions=(IOPhase(pattern_type=5, rows=_NONCOLL_ROWS),),
+)

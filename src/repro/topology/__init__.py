@@ -18,12 +18,24 @@ Provided topologies (matched to the paper's machines):
   (Hitachi SR 8000, IBM RS 6000/SP).
 * :class:`~repro.topology.fattree.FatTree` — two-level switch tree
   with configurable oversubscription.
+* :class:`~repro.topology.dragonfly.Dragonfly` — groups of routers
+  with tapered all-to-all global links (modern Cray XC / Slingshot
+  style; the machine-zoo growth beyond the paper's systems).
 """
 
 from repro.topology.base import Route, Topology
 from repro.topology.crossbar import Crossbar
 from repro.topology.torus import Torus
 from repro.topology.clustered import ClusteredSMP
+from repro.topology.dragonfly import Dragonfly
 from repro.topology.fattree import FatTree
 
-__all__ = ["Route", "Topology", "Crossbar", "Torus", "ClusteredSMP", "FatTree"]
+__all__ = [
+    "Route",
+    "Topology",
+    "Crossbar",
+    "Torus",
+    "ClusteredSMP",
+    "Dragonfly",
+    "FatTree",
+]

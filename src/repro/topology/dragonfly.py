@@ -1,0 +1,117 @@
+"""Dragonfly: groups of routers with all-to-all global links.
+
+The modern hierarchical interconnect (Cray XC / Slingshot style) the
+2001 paper's zoo could not include.  Hosts hang off routers; routers
+form densely connected *groups*; groups are joined by a thin layer of
+global optical links.  The model keeps the three-level capacity
+structure without per-pair link bookkeeping:
+
+* per host, an injection and an ejection link (``host_bw``);
+* per router, an aggregate local up/down pair (``local_bw``) crossed
+  by any traffic leaving or entering the router;
+* per group, an aggregate global out/in pair (``global_bw``) crossed
+  only by inter-group traffic.
+
+The interesting knob is the *taper*: ``global_bw`` well below
+``routers_per_group * local_bw`` reproduces the dragonfly's
+signature — near-crossbar bandwidth inside a group, a shared thin
+pipe between groups — which is exactly what b_eff's ring/random gap
+and a scenario's placement primitives probe.
+
+Hop counts follow the canonical minimal route: 1 inside a router, 2
+via the group's local all-to-all, 3 across a global link.
+"""
+
+from __future__ import annotations
+
+from repro.sim.fluid import FlowNetwork
+from repro.topology.base import Route, Topology
+
+
+class Dragonfly(Topology):
+    def __init__(
+        self,
+        nprocs: int,
+        hosts_per_router: int,
+        routers_per_group: int,
+        host_bw: float,
+        local_bw: float,
+        global_bw: float,
+    ) -> None:
+        """One process per host; routers fill group by group."""
+        super().__init__(nprocs)
+        if hosts_per_router < 1 or routers_per_group < 1:
+            raise ValueError("hosts_per_router and routers_per_group must be >= 1")
+        for name, value in (
+            ("host_bw", host_bw),
+            ("local_bw", local_bw),
+            ("global_bw", global_bw),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive")
+        self.hosts_per_router = hosts_per_router
+        self.routers_per_group = routers_per_group
+        self.host_bw = host_bw
+        self.local_bw = local_bw
+        self.global_bw = global_bw
+        self.num_routers = (nprocs + hosts_per_router - 1) // hosts_per_router
+        self.num_groups = (
+            self.num_routers + routers_per_group - 1
+        ) // routers_per_group
+        self._host_up: list[int] = []
+        self._host_down: list[int] = []
+        self._router_up: list[int] = []
+        self._router_down: list[int] = []
+        self._global_out: list[int] = []
+        self._global_in: list[int] = []
+
+    # -- placement ---------------------------------------------------------
+
+    def router_of(self, proc: int) -> int:
+        self._check_proc(proc)
+        return proc // self.hosts_per_router
+
+    def group_of(self, proc: int) -> int:
+        return self.router_of(proc) // self.routers_per_group
+
+    # -- build / route -------------------------------------------------------
+
+    def _build(self, net: FlowNetwork) -> None:
+        for p in range(self.nprocs):
+            self._host_up.append(net.add_link(self.host_bw, name=f"dfly.hup{p}"))
+            self._host_down.append(net.add_link(self.host_bw, name=f"dfly.hdn{p}"))
+        for r in range(self.num_routers):
+            self._router_up.append(net.add_link(self.local_bw, name=f"dfly.rup{r}"))
+            self._router_down.append(net.add_link(self.local_bw, name=f"dfly.rdn{r}"))
+        for g in range(self.num_groups):
+            self._global_out.append(net.add_link(self.global_bw, name=f"dfly.gout{g}"))
+            self._global_in.append(net.add_link(self.global_bw, name=f"dfly.gin{g}"))
+
+    def route(self, src: int, dst: int) -> Route:
+        self._check_attached()
+        self._check_proc(src)
+        self._check_proc(dst)
+        if src == dst:
+            return self._self_route()
+        r_src, r_dst = self.router_of(src), self.router_of(dst)
+        if r_src == r_dst:
+            links = (self._host_up[src], self._host_down[dst])
+            return Route(links=links, hops=1, intra_node=False)
+        g_src, g_dst = self.group_of(src), self.group_of(dst)
+        if g_src == g_dst:
+            links = (
+                self._host_up[src],
+                self._router_up[r_src],
+                self._router_down[r_dst],
+                self._host_down[dst],
+            )
+            return Route(links=links, hops=2, intra_node=False)
+        links = (
+            self._host_up[src],
+            self._router_up[r_src],
+            self._global_out[g_src],
+            self._global_in[g_dst],
+            self._router_down[r_dst],
+            self._host_down[dst],
+        )
+        return Route(links=links, hops=3, intra_node=False)

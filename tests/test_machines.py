@@ -24,6 +24,22 @@ class TestLibrary:
         with pytest.raises(KeyError, match="available"):
             get_machine("cm5")
 
+    def test_unknown_machine_suggests_close_match(self):
+        with pytest.raises(KeyError, match="did you mean 'dragonfly'"):
+            get_machine("dragonfIy")
+
+    def test_modern_zoo_registered(self):
+        for key in ("dragonfly", "fattree-2to1", "gpucluster", "bbpfs"):
+            assert key in MACHINES
+        # journal directory names join benchmark and machine with "__"
+        assert all(":" not in key for key in MACHINES)
+
+    def test_modern_zoo_io_configs(self):
+        assert get_machine("dragonfly").pfs is not None
+        assert get_machine("bbpfs").pfs is not None
+        assert get_machine("fattree-2to1").pfs is None
+        assert get_machine("gpucluster").pfs is None
+
     def test_topologies_build(self):
         for key in MACHINES:
             spec = get_machine(key)

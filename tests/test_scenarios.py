@@ -1,0 +1,402 @@
+"""The declarative scenario layer.
+
+Three contracts are proved here:
+
+* **Golden parity** — the pinned grammar instances compile to exactly
+  the historic hard-coded tables (``tests/data/golden_scenarios.json``
+  was emitted by the pre-refactor pattern modules), and the shim
+  factories in ``beff.patterns`` / ``beffio.patterns`` agree with
+  compiling the instances directly.
+* **Round trips** — any valid grammar instance serializes to a dict,
+  parses back to an equal instance with the same fingerprint, and
+  compiles to a wellformed pattern list (hypothesis-driven).
+* **Equivalence and dedupe** — a benchmark run with the paper scenario
+  pinned is bit-identical to the default run, while the run-spec
+  fingerprint distinguishes scenarios so the result store never serves
+  one scenario's envelope for another.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.beff import MeasurementConfig, make_patterns
+from repro.beffio import BeffIOConfig, build_patterns
+from repro.beffio.patterns import extension_patterns
+from repro.runtime import RunStore, cell_fingerprint, run_spec
+from repro.scenarios import (
+    ALIGNED_STREAMS,
+    OCTET_BLOCKS,
+    PAIRS_VS_ALL,
+    PAPER_BEFF,
+    PAPER_TABLE2,
+    SCENARIOS,
+    CommPatternSpec,
+    CommScenario,
+    ExplicitRings,
+    IOPhase,
+    IORow,
+    IOScenario,
+    NaturalPlacement,
+    PaperRings,
+    RandomPlacement,
+    ScenarioError,
+    Size,
+    StandardRings,
+    get_scenario,
+    scenario_from_dict,
+)
+from repro.sim.randomness import RandomStreams
+from repro.util import KB, MB
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "data" / "golden_scenarios.json").read_text()
+)
+
+
+class TestGoldenParity:
+    """The grammar reproduces the historic tables bit for bit."""
+
+    @pytest.mark.parametrize("nprocs", sorted(int(n) for n in GOLDEN["beff"]))
+    def test_paper_beff_matches_golden(self, nprocs):
+        compiled = PAPER_BEFF.compile(nprocs, RandomStreams())
+        golden = GOLDEN["beff"][str(nprocs)]
+        assert len(compiled) == len(golden) == 12
+        for pat, want in zip(compiled, golden):
+            assert pat.name == want["name"]
+            assert pat.kind == want["kind"]
+            assert [list(r) for r in pat.rings] == want["rings"]
+
+    @pytest.mark.parametrize("mem", sorted(int(m) for m in GOLDEN["beffio"]))
+    def test_paper_table2_matches_golden(self, mem):
+        rows = PAPER_TABLE2.compile(mem)
+        core = rows[: PAPER_TABLE2.num_core_rows]
+        ext = rows[PAPER_TABLE2.num_core_rows :]
+        for got, want in (
+            (core, GOLDEN["beffio"][str(mem)]["table2"]),
+            (ext, GOLDEN["beffio"][str(mem)]["extension"]),
+        ):
+            assert len(got) == len(want)
+            for row, ref in zip(got, want):
+                assert dataclasses.asdict(row) == ref
+
+    def test_shims_compile_the_pinned_instances(self):
+        assert make_patterns(16) == PAPER_BEFF.compile(16, RandomStreams())
+        mem = 256 * MB
+        rows = PAPER_TABLE2.compile(mem)
+        assert build_patterns(mem) == rows[: PAPER_TABLE2.num_core_rows]
+        assert extension_patterns(mem) == rows[PAPER_TABLE2.num_core_rows :]
+
+    def test_table2_invariants(self):
+        rows = build_patterns(256 * MB)
+        assert len(rows) == 43
+        assert sum(r.U for r in rows) == 64
+        assert sum(1 for r in rows if r.U > 0) == 36
+
+
+class TestRegistry:
+    def test_registry_round_trips(self):
+        for scenario in SCENARIOS.values():
+            clone = scenario_from_dict(json.loads(json.dumps(scenario.to_dict())))
+            assert clone == scenario
+            assert clone.fingerprint() == scenario.fingerprint()
+
+    def test_fingerprints_pairwise_distinct(self):
+        prints = [s.fingerprint() for s in SCENARIOS.values()]
+        assert len(set(prints)) == len(prints)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            get_scenario("nope")
+
+    def test_wrong_schema_rejected(self):
+        d = PAPER_BEFF.to_dict()
+        d["schema"] = 99
+        with pytest.raises(ScenarioError, match="schema"):
+            scenario_from_dict(d)
+
+    def test_unknown_grammar_rejected(self):
+        with pytest.raises(ScenarioError):
+            scenario_from_dict({"grammar": "quantum", "schema": 1})
+
+    def test_octet_blocks_is_size_pinned(self):
+        OCTET_BLOCKS.validate(8)
+        with pytest.raises(ScenarioError):
+            OCTET_BLOCKS.validate(12)
+
+
+def _comm_scenarios():
+    """Valid comm scenarios: each partition appears natural + random."""
+    partition = st.one_of(
+        st.integers(min_value=1, max_value=6).map(PaperRings),
+        st.tuples(
+            st.integers(min_value=2, max_value=8),
+            st.integers(min_value=2, max_value=3),
+        ).map(lambda t: StandardRings(standard=t[0], min_ring=t[1])),
+    )
+    return st.lists(partition, min_size=1, max_size=4, unique=True).map(
+        lambda parts: CommScenario(
+            name="hyp",
+            patterns=tuple(
+                spec
+                for i, part in enumerate(parts)
+                for spec in (
+                    CommPatternSpec(f"ring-{i}", part, NaturalPlacement()),
+                    CommPatternSpec(
+                        f"random-{i}", part, RandomPlacement(stream=f"hyp.{i}")
+                    ),
+                )
+            ),
+        )
+    )
+
+
+def _io_scenarios():
+    """Valid io scenarios: wellformed single-chunk rows, U sums free."""
+    size = st.sampled_from(
+        [Size(base=KB), Size(base=32 * KB), Size(base=MB), Size(mpart=True)]
+    )
+    row = st.tuples(size, st.integers(min_value=0, max_value=8)).map(
+        lambda t: IORow(disk=t[0], U=t[1])
+    )
+    rows = st.lists(row, min_size=1, max_size=6).map(tuple)
+    phases = st.lists(rows, min_size=1, max_size=4).map(
+        lambda rs: tuple(IOPhase(pattern_type=t, rows=r) for t, r in enumerate(rs))
+    )
+    return phases.filter(
+        lambda ps: sum(r.U for p in ps for r in p.rows) > 0
+    ).map(
+        lambda ps: IOScenario(
+            name="hyp-io",
+            phases=ps,
+            sum_u=sum(r.U for p in ps for r in p.rows),
+            type_weights=((0, 2.0),),
+        )
+    )
+
+
+class TestHypothesisRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(scenario=_comm_scenarios(), nprocs=st.integers(min_value=4, max_value=40))
+    def test_comm_compiles_to_partitions(self, scenario, nprocs):
+        scenario.validate(nprocs)
+        patterns = scenario.compile(nprocs, RandomStreams())
+        assert len(patterns) == len(scenario.patterns)
+        for pat in patterns:
+            ranks = [r for ring in pat.rings for r in ring]
+            assert sorted(ranks) == list(range(nprocs))  # no dupes, no gaps
+            assert all(len(ring) >= 2 for ring in pat.rings)
+
+    @settings(max_examples=40, deadline=None)
+    @given(scenario=_comm_scenarios())
+    def test_comm_round_trip_preserves_fingerprint(self, scenario):
+        clone = scenario_from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert clone == scenario
+        assert clone.fingerprint() == scenario.fingerprint()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scenario=_io_scenarios(),
+        mem=st.sampled_from([256 * MB, 1536 * MB, 4096 * MB]),
+    )
+    def test_io_compiles_wellformed(self, scenario, mem):
+        scenario.validate(mem)
+        rows = scenario.compile(mem)
+        assert sum(r.U for r in rows[: scenario.num_core_rows]) == scenario.sum_u
+        assert [r.number for r in rows] == list(range(len(rows)))
+        for row in rows:
+            assert row.L >= row.l >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(scenario=_io_scenarios())
+    def test_io_round_trip_preserves_fingerprint(self, scenario):
+        clone = scenario_from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert clone == scenario
+        assert clone.fingerprint() == scenario.fingerprint()
+
+
+class TestGrammarValidation:
+    def test_duplicate_pattern_names(self):
+        spec = CommPatternSpec("p", PaperRings(1), NaturalPlacement())
+        rnd = CommPatternSpec(
+            "p", PaperRings(1), RandomPlacement(stream="s")
+        )
+        with pytest.raises(ScenarioError, match="duplicate"):
+            CommScenario(name="bad", patterns=(spec, rnd))
+
+    def test_comm_requires_both_kinds(self):
+        spec = CommPatternSpec("p", PaperRings(1), NaturalPlacement())
+        with pytest.raises(ScenarioError, match="kind"):
+            CommScenario(name="bad", patterns=(spec,))
+
+    def test_io_sum_u_mismatch(self):
+        phase = IOPhase(0, (IORow(disk=Size(base=MB), U=3),))
+        with pytest.raises(ScenarioError, match="sum"):
+            IOScenario(name="bad", phases=(phase,), sum_u=64)
+
+    def test_explicit_rings_pin_nprocs(self):
+        part = ExplicitRings(ring_sizes=(4, 4))
+        spec = CommPatternSpec("p", part, NaturalPlacement())
+        rnd = CommPatternSpec("r", part, RandomPlacement(stream="s"))
+        s = CommScenario(name="octet", patterns=(spec, rnd))
+        assert [len(r) for r in s.compile(8, RandomStreams())[0].rings] == [4, 4]
+        with pytest.raises(ScenarioError):
+            s.compile(9, RandomStreams())
+
+
+class TestScenarioRuns:
+    """Pinning the paper scenario is bit-identical to the default."""
+
+    def test_beff_paper_scenario_bit_identical(self):
+        base = MeasurementConfig(backend="analytic")
+        pinned = dataclasses.replace(base, scenario=PAPER_BEFF)
+        a = run_spec("b_eff", "t3e", 4, base).run()
+        b = run_spec("b_eff", "t3e", 4, pinned).run()
+        assert a == b
+        assert a.b_eff.hex() == b.b_eff.hex()
+
+    def test_beffio_paper_scenario_bit_identical(self):
+        base = BeffIOConfig(T=0.6, pattern_types=(0,))
+        pinned = dataclasses.replace(base, scenario=PAPER_TABLE2)
+        a = run_spec("b_eff_io", "t3e", 2, base).run()
+        b = run_spec("b_eff_io", "t3e", 2, pinned).run()
+        assert a == b
+        assert a.b_eff_io.hex() == b.b_eff_io.hex()
+
+    def test_beff_custom_scenario_runs(self):
+        cfg = MeasurementConfig(backend="analytic", scenario=PAIRS_VS_ALL)
+        res = run_spec("b_eff", "t3e", 8, cfg).run()
+        assert res.b_eff > 0
+        assert set(res.per_pattern) == {p.name for p in PAIRS_VS_ALL.patterns}
+
+    def test_beffio_custom_scenario_runs(self):
+        cfg = BeffIOConfig(
+            T=0.6, pattern_types=(0, 2), scenario=ALIGNED_STREAMS
+        )
+        res = run_spec("b_eff_io", "t3e", 2, cfg).run()
+        assert res.b_eff_io > 0
+        assert {t.pattern_type for t in res.type_results} == {0, 2}
+
+    def test_beffio_scenario_without_requested_types_errors(self):
+        cfg = BeffIOConfig(T=0.6, pattern_types=(4,), scenario=ALIGNED_STREAMS)
+        with pytest.raises(ValueError, match="type"):
+            run_spec("b_eff_io", "t3e", 2, cfg).run()
+
+    def test_config_rejects_wrong_scenario_kind(self):
+        with pytest.raises(TypeError):
+            MeasurementConfig(scenario=ALIGNED_STREAMS)
+        with pytest.raises(TypeError):
+            BeffIOConfig(scenario=PAPER_BEFF)
+
+
+class TestFingerprintsAndDedupe:
+    def test_scenario_distinguishes_fingerprints(self):
+        base = MeasurementConfig(backend="analytic")
+        prints = {
+            cell_fingerprint("b_eff", "t3e", 4, base),
+            cell_fingerprint(
+                "b_eff", "t3e", 4, dataclasses.replace(base, scenario=PAPER_BEFF)
+            ),
+            cell_fingerprint(
+                "b_eff", "t3e", 4, dataclasses.replace(base, scenario=PAIRS_VS_ALL)
+            ),
+        }
+        assert len(prints) == 3
+
+    def test_none_scenario_keeps_legacy_fingerprint_shape(self):
+        # the serialized config of a scenario-less run must not grow a
+        # "scenario" key, so pre-scenario journals and stores still match
+        from repro.runtime.spec import _config_dict
+
+        d = _config_dict(MeasurementConfig(backend="analytic"))
+        assert "scenario" not in d
+        d = _config_dict(
+            dataclasses.replace(
+                MeasurementConfig(backend="analytic"), scenario=PAPER_BEFF
+            )
+        )
+        assert d["scenario"]["name"] == "paper-beff"
+
+    def test_store_dedupes_by_scenario(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        base = MeasurementConfig(backend="analytic")
+        pinned = dataclasses.replace(base, scenario=PAIRS_VS_ALL)
+        fp_base = cell_fingerprint("b_eff", "t3e", 4, base)
+        fp_pinned = cell_fingerprint("b_eff", "t3e", 4, pinned)
+        store.put(fp_pinned, run_spec("b_eff", "t3e", 4, pinned).envelope())
+        assert store.get(fp_base) is None  # never served across scenarios
+        assert store.get(fp_pinned) is not None
+        assert (
+            cell_fingerprint(
+                "b_eff", "t3e", 4, dataclasses.replace(base, scenario=PAIRS_VS_ALL)
+            )
+            == fp_pinned
+        )
+
+    def test_configs_with_scenarios_pickle(self):
+        import pickle
+
+        for cfg in (
+            MeasurementConfig(scenario=PAPER_BEFF),
+            BeffIOConfig(scenario=ALIGNED_STREAMS),
+        ):
+            assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+
+class TestScenariosCLI:
+    def test_list(self, capsys):
+        from repro.cli import main_repro
+
+        assert main_repro(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_show(self, capsys):
+        from repro.cli import main_repro
+
+        assert main_repro(["scenarios", "show", "paper-table2"]) == 0
+        out = capsys.readouterr().out
+        assert PAPER_TABLE2.fingerprint() in out
+        assert '"grammar": "io"' in out
+
+    def test_show_unknown(self, capsys):
+        from repro.cli import main_repro
+
+        assert main_repro(["scenarios", "show", "nope"]) == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_validate(self, tmp_path, capsys):
+        from repro.cli import main_repro
+
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(PAIRS_VS_ALL.to_dict()))
+        assert main_repro(["scenarios", "validate", str(path)]) == 0
+        assert PAIRS_VS_ALL.fingerprint() in capsys.readouterr().out
+
+    def test_validate_invalid(self, tmp_path, capsys):
+        from repro.cli import main_repro
+
+        d = PAIRS_VS_ALL.to_dict()
+        d["patterns"] = d["patterns"][:1]
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(d))
+        assert main_repro(["scenarios", "validate", str(path)]) == 2
+        assert "invalid scenario" in capsys.readouterr().err
+
+    def test_sweep_grid_rejects_two_comm_scenarios(self):
+        from repro.cli import main_repro
+
+        with pytest.raises(SystemExit, match="name one"):
+            main_repro(
+                [
+                    "sweep-grid",
+                    "--scenario",
+                    "pairs-vs-all",
+                    "--scenario",
+                    "paper-beff",
+                ]
+            )

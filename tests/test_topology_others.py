@@ -1,9 +1,9 @@
-"""Tests for crossbar, clustered SMP, and fat-tree topologies."""
+"""Tests for crossbar, clustered SMP, fat-tree and dragonfly topologies."""
 
 import pytest
 
 from repro.sim import FlowNetwork, Process, Simulator
-from repro.topology import ClusteredSMP, Crossbar, FatTree
+from repro.topology import ClusteredSMP, Crossbar, Dragonfly, FatTree
 
 
 def attach(topo):
@@ -196,3 +196,74 @@ class TestFatTree:
             FatTree(4, radix=0, downlink_bw=1.0)
         with pytest.raises(ValueError):
             FatTree(4, radix=2, downlink_bw=1.0, oversubscription=0.5)
+
+
+def dragonfly16(**kw):
+    """16 procs = 2 groups x 2 routers x 4 hosts."""
+    args = dict(
+        hosts_per_router=4,
+        routers_per_group=2,
+        host_bw=100.0,
+        local_bw=200.0,
+        global_bw=100.0,
+    )
+    args.update(kw)
+    return Dragonfly(16, **args)
+
+
+class TestDragonfly:
+    def test_placement(self):
+        topo = dragonfly16()
+        assert topo.num_routers == 4
+        assert topo.num_groups == 2
+        assert topo.router_of(0) == 0 and topo.router_of(7) == 1
+        assert topo.group_of(7) == 0 and topo.group_of(8) == 1
+
+    def test_hop_counts(self):
+        _, _, topo = attach(dragonfly16())
+        assert topo.route(0, 1).hops == 1  # same router
+        assert topo.route(0, 4).hops == 2  # same group, other router
+        assert topo.route(0, 8).hops == 3  # cross group
+        assert len(topo.route(0, 8).links) == 6
+
+    def test_self_route_is_empty(self):
+        _, _, topo = attach(dragonfly16())
+        assert topo.route(3, 3).links == ()
+
+    def test_global_taper_throttles_cross_group(self):
+        sim, net, topo = attach(dragonfly16(global_bw=50.0))
+        finish = {}
+
+        def send(tag, src, dst):
+            yield net.start_flow(list(topo.route(src, dst).links), 100.0)
+            finish[tag] = sim.now
+
+        # 4 hosts of group 0 all cross to group 1: the shared 50-wide
+        # global link carries 4 flows -> 12.5 each -> 8 s per flow.
+        for i in range(4):
+            Process(sim, send(i, i, 8 + i))
+        sim.run_to_completion()
+        for i in range(4):
+            assert finish[i] == pytest.approx(8.0)
+
+    def test_intra_group_avoids_global_links(self):
+        sim, net, topo = attach(dragonfly16(global_bw=50.0))
+        finish = {}
+
+        def send(tag, src, dst):
+            yield net.start_flow(list(topo.route(src, dst).links), 100.0)
+            finish[tag] = sim.now
+
+        # same traffic kept inside the group never sees the taper:
+        # 4 flows over the 200-wide router up/down pair -> 50 each.
+        for i in range(4):
+            Process(sim, send(i, i, 4 + i))
+        sim.run_to_completion()
+        for i in range(4):
+            assert finish[i] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dragonfly(4, 0, 2, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Dragonfly(4, 2, 2, 1.0, -1.0, 1.0)
